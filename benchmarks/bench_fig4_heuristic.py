@@ -1,0 +1,103 @@
+"""Figure 4: heuristic range filters — FPR vs space, four workload rows.
+
+Paper setup: rows are Correlated / Uncorrelated on Uniform keys, then the
+Books and Osm datasets with key-extracted workloads; columns are point /
+small / large ranges; the x-axis sweeps the space budget (~8–28 bits per
+key); side tables report the average query time per row.
+
+Expected shape (paper §6.3): under correlation every heuristic provides
+no or little filtering (only the sample-tuned Proteus/REncoderSE filter
+at all); on the other rows Bucketing matches or beats the best heuristic
+while querying several times faster (the paper reports 5–13x vs SNARF,
+and Bucketing as the fastest overall).
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+import _common
+from _common import (
+    BPK_SWEEP,
+    RANGE_SIZES,
+    figure_grid,
+    get_filter,
+    register_report,
+    run_query_batch,
+    workload,
+)
+from repro.analysis.report import format_series, format_speed_table
+
+FILTERS = ("Bucketing", "SuRF", "SNARF", "Proteus", "REncoderSS", "REncoderSE")
+
+
+@functools.lru_cache(maxsize=None)
+def compute_figure4():
+    return figure_grid(FILTERS)
+
+
+def _report():
+    fpr, avg_times = compute_figure4()
+    sections = []
+    for row_label in fpr:
+        for range_label in RANGE_SIZES:
+            cell = fpr[row_label][range_label]
+            sections.append(
+                format_series(
+                    "bits/key",
+                    list(BPK_SWEEP),
+                    [(n, [f"{v:.2e}" for v in cell[n]]) for n in FILTERS],
+                    title=f"Figure 4 — {row_label}, {range_label} ranges: FPR vs space",
+                )
+            )
+        sections.append(
+            format_speed_table(
+                list(avg_times[row_label].items()),
+                f"Figure 4 — {row_label}: avg query time",
+            )
+        )
+    register_report("fig4_heuristic", "\n\n".join(sections))
+    return fpr, avg_times
+
+
+def test_fig4_shapes():
+    """Qualitative claims of §6.3 at reproduction scale."""
+    fpr, avg_times = _report()
+    # Correlated row: plain heuristics provide little/no filtering at any
+    # budget (Bucketing, SuRF, SNARF near 1); only the workload-tuned
+    # designs (Proteus, REncoderSE) do better.
+    for name in ("Bucketing", "SuRF", "SNARF"):
+        small = fpr["CORRELATED"]["small"][name]
+        assert min(small) > 0.3, (name, small)
+    # Uncorrelated row: Bucketing's FPR is comparable to the best
+    # heuristic at the largest budget (within one decade).
+    best = min(
+        fpr["UNCORRELATED"]["small"][name][-1] for name in FILTERS
+    )
+    assert fpr["UNCORRELATED"]["small"]["Bucketing"][-1] <= max(10 * best, 0.02)
+    # Query time: the paper reports Bucketing as the fastest heuristic
+    # overall (5-13x faster than SNARF, 1.5-4x faster than SuRF).
+    # Absolute rankings shift with Python constant factors — Proteus rides
+    # numpy's C binary search while Bucketing's Elias-Fano predecessor is
+    # interpreted — so we assert the comparisons that survive the language
+    # change: Bucketing beats SNARF and SuRF by wide margins on every row.
+    for row_label, row_times in avg_times.items():
+        assert row_times["Bucketing"] < row_times["SNARF"] / 2, (row_label, row_times)
+        assert row_times["Bucketing"] < row_times["SuRF"], (row_label, row_times)
+    # FPR decreases (weakly) with budget on the uncorrelated row.
+    for name in FILTERS:
+        series = fpr["UNCORRELATED"]["small"][name]
+        assert series[-1] <= series[0] + 0.05, (name, series)
+
+
+@pytest.mark.parametrize("name", FILTERS)
+def test_fig4_query_benchmark(benchmark, name):
+    """pytest-benchmark: uncorrelated small-range batch per heuristic."""
+    build_keys, queries = workload("uniform", "uncorrelated", RANGE_SIZES["small"])
+    filt = get_filter(
+        name, "uniform", 20, RANGE_SIZES["small"],
+        workload_kind="uncorrelated", keys=build_keys,
+    )
+    benchmark(run_query_batch, filt, queries)

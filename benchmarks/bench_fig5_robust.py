@@ -1,0 +1,104 @@
+"""Figure 5: robust range filters — Grafite vs Rosetta vs REncoder.
+
+Same grid as Figure 4 (four workload rows x three range sizes x space
+sweep), restricted to the filters with (near-)distribution-free
+behaviour.
+
+Expected shape (paper §6.4): Grafite dominates both competitors on every
+combination — FPR better by up to 4 orders of magnitude vs REncoder and
+5 vs Rosetta, queries ~9.5–11x faster than REncoder and ~82–92x faster
+than Rosetta (C++ constants; our Python ratios differ but the ordering
+and scale of the gaps persist), with the most predictable FPR overall.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+import _common
+from _common import (
+    BPK_SWEEP,
+    RANGE_SIZES,
+    figure_grid,
+    get_filter,
+    register_report,
+    run_query_batch,
+    workload,
+)
+from repro.analysis.report import format_series, format_speed_table
+
+FILTERS = ("Grafite", "Rosetta", "REncoder")
+
+
+@functools.lru_cache(maxsize=None)
+def compute_figure5():
+    return figure_grid(FILTERS)
+
+
+def _report():
+    fpr, avg_times = compute_figure5()
+    sections = []
+    for row_label in fpr:
+        for range_label in RANGE_SIZES:
+            cell = fpr[row_label][range_label]
+            sections.append(
+                format_series(
+                    "bits/key",
+                    list(BPK_SWEEP),
+                    [(n, [f"{v:.2e}" for v in cell[n]]) for n in FILTERS],
+                    title=f"Figure 5 — {row_label}, {range_label} ranges: FPR vs space",
+                )
+            )
+        sections.append(
+            format_speed_table(
+                list(avg_times[row_label].items()),
+                f"Figure 5 — {row_label}: avg query time",
+            )
+        )
+    register_report("fig5_robust", "\n\n".join(sections))
+    return fpr, avg_times
+
+
+def test_fig5_grafite_dominates():
+    """§6.4: Grafite dominates robust filters in FPR and query time."""
+    fpr, avg_times = _report()
+    noise = 5.0 / _common.N_QUERIES  # small-sample slack on measured FPR
+    for row_label, row in fpr.items():
+        for range_label, cell in row.items():
+            grafite_total = sum(cell["Grafite"])
+            for rival in ("Rosetta", "REncoder"):
+                assert grafite_total <= sum(cell[rival]) + len(BPK_SWEEP) * noise, (
+                    row_label, range_label, rival, cell,
+                )
+    for row_label, row_times in avg_times.items():
+        assert row_times["Grafite"] < row_times["Rosetta"], row_label
+        # REncoder's Python constants are kinder than its C++ ones; the
+        # paper's 9.5x gap need not hold, but Grafite must not lose badly.
+        assert row_times["Grafite"] < 3 * row_times["REncoder"], row_label
+
+
+def test_fig5_fpr_tracks_corollary_bound():
+    """Grafite's measured FPR stays below min(1, ell/2^(B-2)) everywhere."""
+    fpr, _ = _report()
+    noise = 5.0 / _common.N_QUERIES
+    for row_label, row in fpr.items():
+        for range_label, cell in row.items():
+            ell = RANGE_SIZES[range_label]
+            for bpk, measured in zip(BPK_SWEEP, cell["Grafite"]):
+                bound = min(1.0, ell / 2 ** (bpk - 2))
+                assert measured <= bound + noise, (
+                    row_label, range_label, bpk, measured, bound,
+                )
+
+
+@pytest.mark.parametrize("name", FILTERS)
+def test_fig5_query_benchmark(benchmark, name):
+    """pytest-benchmark: correlated small-range batch per robust filter."""
+    build_keys, queries = workload("uniform", "correlated", RANGE_SIZES["small"])
+    filt = get_filter(
+        name, "uniform", 20, RANGE_SIZES["small"],
+        workload_kind="correlated", keys=build_keys,
+    )
+    benchmark(run_query_batch, filt, queries)

@@ -1,0 +1,107 @@
+"""Figure 6: query time on *non-empty* queries vs space budget.
+
+Paper setup (§6.5): Uniform keys; ranges ``[x, x + L - 1]`` built by
+picking a key ``k`` and a left endpoint uniformly in ``[k - L + 1, k]``,
+so every query intersects the dataset; three range sizes; time per query
+plotted against the space budget on a log axis.
+
+Expected shape: Bucketing gives the fastest non-empty queries among
+heuristics (paper: up to 3 orders of magnitude), Grafite the fastest
+among robust filters (1 order vs REncoder, 2 vs Rosetta); Rosetta and
+Proteus reach tens of microseconds per query — "comparable to the access
+latency of an SSD", the paper's argument that a filter can cost more CPU
+than the I/O it saves.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+import _common
+from _common import (
+    BPK_SWEEP,
+    RANGE_SIZES,
+    get_filter,
+    register_report,
+    run_query_batch,
+    workload,
+)
+from repro.analysis.timing import time_queries
+from repro.analysis.report import format_series
+
+FILTERS = (
+    "Grafite", "Bucketing", "SNARF", "SuRF", "Proteus",
+    "Rosetta", "REncoder", "REncoderSS", "REncoderSE",
+)
+
+
+@functools.lru_cache(maxsize=None)
+def compute_figure6():
+    """times[range_label][filter] = per-budget ns/query list."""
+    times = {}
+    for range_label, range_size in RANGE_SIZES.items():
+        keys, queries = workload("uniform", "nonempty", range_size)
+        times[range_label] = {name: [] for name in FILTERS}
+        for bpk in BPK_SWEEP:
+            for name in FILTERS:
+                filt = get_filter(
+                    name, "uniform", bpk, range_size,
+                    workload_kind="uncorrelated", keys=keys,
+                )
+                times[range_label][name].append(
+                    time_queries(filt, queries).ns_per_op
+                )
+    return times
+
+
+def _report():
+    times = compute_figure6()
+    sections = []
+    for range_label in RANGE_SIZES:
+        sections.append(
+            format_series(
+                "bits/key",
+                list(BPK_SWEEP),
+                [
+                    (n, [f"{v:,.0f}" for v in times[range_label][n]])
+                    for n in FILTERS
+                ],
+                title=f"Figure 6 — non-empty queries, {range_label} ranges: ns/query vs space",
+            )
+        )
+    register_report("fig6_nonempty", "\n\n".join(sections))
+    return times
+
+
+def test_fig6_shapes():
+    """§6.5 claims that survive the C++ -> Python constant change."""
+    times = _report()
+
+    def avg(range_label, name):
+        series = times[range_label][name]
+        return sum(series) / len(series)
+
+    for range_label in RANGE_SIZES:
+        # Bucketing remains far faster than SNARF on every range size.
+        assert avg(range_label, "Bucketing") < avg(range_label, "SNARF")
+    # Grafite beats Rosetta wherever Rosetta actually recurses (range
+    # queries). On point queries Rosetta degenerates to a single Bloom
+    # probe, which interpreted Python prices below an Elias-Fano
+    # predecessor — a language constant the paper's C++ does not have.
+    for range_label in ("small", "large"):
+        assert avg(range_label, "Grafite") < avg(range_label, "Rosetta")
+    # Rosetta's non-empty large-range queries are its worst case
+    # (recursive doubting down to the leaf level on true positives).
+    assert avg("large", "Rosetta") > avg("point", "Rosetta")
+
+
+@pytest.mark.parametrize("name", ("Grafite", "Bucketing", "Rosetta"))
+def test_fig6_query_benchmark(benchmark, name):
+    keys, queries = workload("uniform", "nonempty", RANGE_SIZES["small"])
+    filt = get_filter(
+        name, "uniform", 20, RANGE_SIZES["small"],
+        workload_kind="uncorrelated", keys=keys,
+    )
+    benchmark(run_query_batch, filt, queries)

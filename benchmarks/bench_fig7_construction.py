@@ -1,0 +1,155 @@
+"""Figure 7: construction time per key as the dataset grows.
+
+Paper setup (§6.6): Uniform keys, n swept 10^5..10^8 (here 10^3..~10^4.5,
+scaled for pure Python), construction time averaged over space budgets
+and reported *per key*; Rosetta's and Proteus's bars include the tuning
+pass over a sample workload, shown separately.
+
+Expected shape: Grafite and Bucketing construct in linear time (flat
+ns/key curves) and are the fastest of their groups (paper: Grafite
+6.7-10.3x faster than Rosetta, 3.8-7.9x than REncoder; Bucketing 1.8-30x
+faster than the other heuristics). §6.6 also reports multi-threaded sort
+speedups (28.0s -> 14.0s with 8 threads); Python's GIL makes that
+unreproducible, so instead we report the sort share of Grafite's
+construction — the quantity the parallel sort would shrink.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+import numpy as np
+import pytest
+
+import _common
+from _common import (
+    SEED,
+    UNIVERSE,
+    make_config,
+    register_report,
+    sample_queries_for,
+)
+from repro.analysis.harness import build_filter
+from repro.analysis.report import format_series, format_table
+from repro.core.hashing import LocalityPreservingHash
+from repro.workloads.datasets import uniform
+
+FILTERS = (
+    "Grafite", "Bucketing", "SNARF", "SuRF", "Proteus", "Rosetta", "REncoder",
+)
+SIZES = tuple(
+    max(200, int(n * _common.SCALE)) for n in (1_000, 3_000, 10_000, 30_000)
+)
+BUDGETS = (12, 20)
+RANGE_SIZE = 32
+
+
+@functools.lru_cache(maxsize=None)
+def compute_figure7():
+    """ns-per-key construction times: {filter: [per-n ...]}, tuning included."""
+    results = {name: [] for name in FILTERS}
+    tuning_share = {name: [] for name in ("Rosetta", "Proteus")}
+    for n in SIZES:
+        keys = uniform(n, UNIVERSE, seed=SEED)
+        sample = sample_queries_for(keys, RANGE_SIZE, "uncorrelated")
+        for name in FILTERS:
+            per_budget = []
+            for bpk in BUDGETS:
+                cfg = make_config(keys, bpk, RANGE_SIZE, sample)
+                start = time.perf_counter()
+                build_filter(name, cfg)
+                per_budget.append((time.perf_counter() - start) / n * 1e9)
+            results[name].append(sum(per_budget) / len(per_budget))
+        # Tuning overhead: rebuild the self-tuning filters without a sample
+        # and report the difference as the (light-coloured) tuning share.
+        for name in tuning_share:
+            cfg_plain = make_config(keys, BUDGETS[-1], RANGE_SIZE, ())
+            if name == "Proteus":
+                # Proteus cannot build without a sample; fix its design to
+                # isolate pure construction.
+                from repro.filters.proteus import Proteus
+
+                start = time.perf_counter()
+                Proteus(keys, UNIVERSE, bits_per_key=BUDGETS[-1], l1=16, l2=32)
+                plain = (time.perf_counter() - start) / n * 1e9
+            else:
+                start = time.perf_counter()
+                build_filter(name, cfg_plain)
+                plain = (time.perf_counter() - start) / n * 1e9
+            total = results[name][-1]
+            tuning_share[name].append(max(0.0, 1.0 - plain / total) if total else 0.0)
+    return results, tuning_share
+
+
+def sort_share_of_grafite_construction(n: int = 20_000) -> float:
+    """Fraction of Grafite's build spent sorting hash codes (§6.6 proxy)."""
+    keys = uniform(max(1000, int(n * _common.SCALE)), UNIVERSE, seed=SEED)
+    hasher = LocalityPreservingHash(len(keys) * 32 * 4, domain=UNIVERSE, seed=SEED)
+    start = time.perf_counter()
+    codes = hasher.hash_many(keys)
+    hash_time = time.perf_counter() - start
+    start = time.perf_counter()
+    np.unique(codes)
+    sort_time = time.perf_counter() - start
+    return sort_time / (sort_time + hash_time)
+
+
+def _report():
+    results, tuning_share = compute_figure7()
+    sections = [
+        format_series(
+            "n keys",
+            list(SIZES),
+            [(name, [f"{v:,.0f}" for v in results[name]]) for name in FILTERS],
+            title="Figure 7 — construction time [ns/key] vs number of keys",
+        ),
+        format_table(
+            ["filter"] + [str(n) for n in SIZES],
+            [
+                [name] + [f"{v * 100:.0f}%" for v in tuning_share[name]]
+                for name in tuning_share
+            ],
+            title="Figure 7 — share of construction spent auto-tuning",
+        ),
+    ]
+    share = sort_share_of_grafite_construction()
+    sections.append(
+        f"§6.6 sort-parallelism proxy: {share * 100:.0f}% of Grafite's "
+        "construction is the code sort (the part the paper parallelises "
+        "to get its 1.5-2.0x multi-thread speedups)."
+    )
+    register_report("fig7_construction", "\n\n".join(sections))
+    return results, tuning_share
+
+
+def test_fig7_shapes():
+    results, _ = _report()
+    # Construction is near-linear for Grafite and Bucketing: ns/key may
+    # not grow by more than ~3x across a 30x increase in n (log-factor
+    # from sorting plus cache effects allowed).
+    for name in ("Grafite", "Bucketing"):
+        series = results[name]
+        assert series[-1] <= 3.5 * series[0] + 500, (name, series)
+    # Grafite constructs faster than the other robust filters.
+    assert results["Grafite"][-1] < results["Rosetta"][-1]
+    assert results["Grafite"][-1] < results["REncoder"][-1]
+    # Bucketing sits at the front of the heuristic pack (paper: fastest;
+    # at our scale SNARF's fully-vectorised build can tie it, so allow a
+    # whisker while keeping the wide SuRF/Proteus gaps strict).
+    for rival in ("SNARF", "SuRF", "Proteus"):
+        assert results["Bucketing"][-1] < 1.25 * results[rival][-1], rival
+    assert results["Bucketing"][-1] < results["SuRF"][-1]
+    assert results["Bucketing"][-1] < results["Proteus"][-1]
+
+
+def test_fig7_grafite_construction_benchmark(benchmark):
+    keys = uniform(SIZES[-1], UNIVERSE, seed=SEED)
+    cfg = make_config(keys, 20, RANGE_SIZE, ())
+    benchmark(build_filter, "Grafite", cfg)
+
+
+def test_fig7_bucketing_construction_benchmark(benchmark):
+    keys = uniform(SIZES[-1], UNIVERSE, seed=SEED)
+    cfg = make_config(keys, 20, RANGE_SIZE, ())
+    benchmark(build_filter, "Bucketing", cfg)

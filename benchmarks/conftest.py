@@ -1,0 +1,22 @@
+"""Benchmark-session plumbing: print registered figure reports at the end."""
+
+from __future__ import annotations
+
+import _common
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Echo every figure/table produced during the run to the terminal."""
+    if not _common.REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 78)
+    terminalreporter.write_line(
+        "Reproduced paper figures/tables (also saved under benchmarks/results/)"
+    )
+    terminalreporter.write_line("=" * 78)
+    for name in sorted(_common.REPORTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} ---")
+        for line in _common.REPORTS[name].splitlines():
+            terminalreporter.write_line(line)

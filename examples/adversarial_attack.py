@@ -1,0 +1,56 @@
+"""An adaptive adversary attacking range filters (§1, §6.2, §6.7).
+
+Run with::
+
+    python examples/adversarial_attack.py
+
+A malicious client that knows a fraction of the stored keys crafts empty
+ranges hugging them and re-issues whatever came back "not empty". The
+per-round false-positive rate is the fraction of client probes that turn
+into backend reads — i.e. the amplification of the denial-of-service the
+filter was deployed to prevent. Heuristic filters lock in at FPR ~1;
+Grafite's per-query bound leaves the adversary with nothing to adapt to.
+"""
+
+from repro import Bucketing, Grafite, SnarfFilter, SuRF
+from repro.workloads.adversary import AdaptiveAdversary
+from repro.workloads.datasets import uniform
+
+UNIVERSE = 2**48
+N_KEYS = 20_000
+BITS_PER_KEY = 18
+RANGE = 16
+ROUNDS = 4
+PER_ROUND = 500
+
+
+def main() -> None:
+    keys = uniform(N_KEYS, universe=UNIVERSE, seed=21)
+    targets = {
+        "Grafite": Grafite(
+            keys, UNIVERSE, bits_per_key=BITS_PER_KEY, max_range_size=RANGE, seed=1
+        ),
+        "Bucketing": Bucketing(keys, UNIVERSE, bits_per_key=BITS_PER_KEY),
+        "SNARF": SnarfFilter(keys, UNIVERSE, bits_per_key=BITS_PER_KEY),
+        "SuRF": SuRF(keys, UNIVERSE, suffix_mode="real", suffix_bits=8, seed=1),
+    }
+    print(
+        f"adversary knows 10% of {N_KEYS:,} keys; {ROUNDS} rounds x "
+        f"{PER_ROUND} crafted empty probes of size {RANGE}\n"
+    )
+    print(f"{'filter':>10} | FPR per round (backend reads per probe)")
+    print("-" * 60)
+    for name, filt in targets.items():
+        adversary = AdaptiveAdversary(keys, leaked_fraction=0.1, seed=33)
+        report = adversary.attack(
+            filt, rounds=ROUNDS, queries_per_round=PER_ROUND, range_size=RANGE
+        )
+        rounds = "  ".join(f"{r:.3f}" for r in report.per_round_fpr)
+        print(f"{name:>10} | {rounds}")
+    bound = targets["Grafite"].fpr_bound(RANGE)
+    print(f"\nGrafite's bound min(1, ell/2^(B-2)) = {bound:.4f} holds per query,")
+    print("for any adversary — adaptivity buys nothing (Corollary 3.5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Approximate range counting with Grafite (end of paper §3).
+
+Run with::
+
+    python examples/approximate_counting.py
+
+Grafite can return an approximate count of the keys intersecting a range
+at no extra space or time cost: the rank difference of the hashed
+endpoints on the Elias-Fano sequence. This example measures the estimate
+quality against ground truth and shows the collision-adjusted variant.
+"""
+
+import numpy as np
+
+from repro import Grafite
+from repro.workloads.datasets import uniform
+
+UNIVERSE = 2**35
+N_KEYS = 100_000
+RANGE = 2**22  # dense enough that ranges hold ~12 keys on average
+
+
+def main() -> None:
+    keys = uniform(N_KEYS, universe=UNIVERSE, seed=2)
+    filt = Grafite(keys, UNIVERSE, eps=0.05, max_range_size=RANGE, seed=9)
+    print(
+        f"{N_KEYS:,} keys, Grafite at {filt.bits_per_key:.1f} bits/key, "
+        f"counting ranges of {RANGE:,}\n"
+    )
+    rng = np.random.default_rng(3)
+    sorted_keys = np.sort(keys)
+    raw_errors, adj_errors, truths = [], [], []
+    for _ in range(300):
+        lo = int(rng.integers(0, UNIVERSE - RANGE))
+        hi = lo + RANGE - 1
+        truth = int(
+            np.searchsorted(sorted_keys, hi, "right")
+            - np.searchsorted(sorted_keys, lo, "left")
+        )
+        raw = filt.count_range(lo, hi)
+        adjusted = filt.count_range(lo, hi, adjusted=True)
+        truths.append(truth)
+        raw_errors.append(raw - truth)
+        adj_errors.append(adjusted - truth)
+    print(f"mean true count per range:     {np.mean(truths):8.2f}")
+    print(f"raw estimate bias (mean err):  {np.mean(raw_errors):8.2f}  "
+          "(collisions only ever add)")
+    print(f"adjusted estimate bias:        {np.mean(adj_errors):8.2f}")
+    print(f"mean |error| (adjusted):       {np.mean(np.abs(adj_errors)):8.2f}")
+    expected_collisions = RANGE * filt.key_count / filt.reduced_universe
+    print(f"\nexpected collisions per range (n*ell/r): {expected_collisions:.2f} — "
+          "exactly the correction the adjusted variant subtracts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""LSM key-value store guarded by range filters — the paper's motivation.
+
+Run with::
+
+    python examples/lsm_store.py
+
+Builds the same store three times (no filter / SuRF / Grafite), drives it
+with an *adversarially correlated* empty-range workload (endpoints right
+next to stored keys, §6.2's threat model), and prints the simulated-disk
+ledger. SuRF collapses under correlation — nearly every probe reads the
+run anyway — while Grafite keeps its distribution-free FPR, so almost
+every empty probe is answered from memory.
+"""
+
+import numpy as np
+
+from repro import Grafite, SuRF
+from repro.lsm import LSMStore
+from repro.workloads.datasets import uniform
+from repro.workloads.queries import correlated_queries
+
+UNIVERSE = 2**48
+N_KEYS = 20_000
+N_PROBES = 2_000
+RANGE = 32
+
+
+def grafite_factory(keys, universe):
+    return Grafite(keys, universe, bits_per_key=14, max_range_size=RANGE, seed=7)
+
+
+def surf_factory(keys, universe):
+    return SuRF(keys, universe, suffix_mode="real", suffix_bits=4, seed=7)
+
+
+def drive(filter_factory, label: str, keys: np.ndarray, queries) -> None:
+    store = LSMStore(
+        UNIVERSE, memtable_limit=4096, compaction_fanout=4,
+        filter_factory=filter_factory,
+    )
+    rng = np.random.default_rng(0)
+    for key in keys:
+        store.put(int(key), rng.integers(0, 2**31))
+    store.flush()
+    for lo, hi in queries:
+        store.range_scan(lo, hi)
+    s = store.stats
+    print(
+        f"{label:>10}: runs={store.run_count} "
+        f"filter_mem={store.filter_bits_total / 8 / 1024:,.1f} KiB | "
+        f"disk reads={s.reads_performed:>6,} avoided={s.reads_avoided:>6,} "
+        f"wasted={s.wasted_reads:>6,} (waste ratio {s.waste_ratio:.1%})"
+    )
+
+
+def main() -> None:
+    keys = uniform(N_KEYS, universe=UNIVERSE, seed=3)
+    queries = correlated_queries(
+        keys, N_PROBES, RANGE, UNIVERSE, correlation_degree=1.0, seed=4
+    )
+    print(
+        f"{N_KEYS:,} keys, {N_PROBES:,} adversarial empty range probes "
+        f"(endpoints hugging keys, D=1.0):\n"
+    )
+    drive(None, "no filter", keys, queries)
+    drive(surf_factory, "SuRF", keys, queries)
+    drive(grafite_factory, "Grafite", keys, queries)
+    print(
+        "\nEvery 'wasted' read is a disk access the filter was deployed to "
+        "prevent; under correlated probes only Grafite still prevents them."
+    )
+
+
+if __name__ == "__main__":
+    main()

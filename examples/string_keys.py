@@ -1,0 +1,56 @@
+"""String-keyed Grafite (paper §7's future-work extension, engineered).
+
+Run with::
+
+    python examples/string_keys.py
+
+Filters a keyspace of fixed-format user-id paths: strings are encoded as
+fixed-width big-endian integers, the reduced universe is a power of two
+so equation (1) becomes shifts and masks, and string range queries map to
+integer ranges.
+
+One caveat the paper's L-bounded guarantee implies: a *short prefix*
+query covers every possible extension — an integer range astronomically
+larger than ``max_range_size`` — so Grafite answers those conservatively
+("maybe"). Range and point queries between same-length keys stay tight
+and filter at the designed eps.
+"""
+
+from repro import StringGrafite
+
+
+def main() -> None:
+    # Fixed-format keys: every stored id has the same length, so string
+    # ranges between ids map to small integer ranges.
+    paths = [f"/api/v2/users/{uid:06d}" for uid in range(0, 40_000, 4)]
+    filt = StringGrafite(paths, eps=0.01, max_range_size=2**10, seed=13)
+    print(
+        f"{filt.key_count:,} fixed-format URL paths, width "
+        f"{filt.key_width_bytes} bytes, {filt.bits_per_key:.1f} bits/key\n"
+    )
+
+    print("point queries:")
+    for uid, expected in ((400, "stored -> True"), (401, "absent -> False w.h.p.")):
+        path = f"/api/v2/users/{uid:06d}"
+        print(f"  may_contain({path!r}) = {str(filt.may_contain(path)):5}   [{expected}]")
+
+    print("\nrange queries between same-length keys:")
+    cases = [
+        ("/api/v2/users/000100", "/api/v2/users/000200", "covers stored ids -> True"),
+        ("/api/v2/users/000401", "/api/v2/users/000403", "gap between ids -> False w.h.p."),
+        ("/api/v2/users/039998", "/api/v2/users/039999", "past the last id -> False w.h.p."),
+    ]
+    for lo, hi, expected in cases:
+        print(f"  [{lo!r}, {hi!r}] = {str(filt.may_contain_range(lo, hi)):5}   [{expected}]")
+
+    print("\nshort-prefix queries cover ranges far beyond L -> conservative:")
+    for prefix in ("/api/v2/users/0001", "/api/v3/"):
+        print(f"  may_contain_prefix({prefix!r}) = {filt.may_contain_prefix(prefix)}")
+    print(
+        "\n(For unbounded prefix workloads a trie filter like SuRF fits "
+        "better; Grafite's guarantee is per bounded range — §7.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Time-series monitoring: "did any event occur in this window?"
+
+Run with::
+
+    python examples/time_series.py
+
+The paper's §1 names time-series applications as the canonical source of
+*correlated* range queries: operators ask about windows near the events
+themselves ("anything right after the deploy at 14:02?"). This example
+stores event timestamps, issues window-emptiness checks anchored at
+event times, and compares filter effectiveness: the heuristics
+(Bucketing, SNARF) answer "maybe" almost always — useless — while
+Grafite's FPR matches its analytic bound.
+"""
+
+import numpy as np
+
+from repro import Bucketing, Grafite, SnarfFilter
+from repro.analysis.fpr import measure_fpr
+from repro.workloads.queries import correlated_queries
+
+#: One year of microsecond timestamps.
+UNIVERSE = 365 * 24 * 3600 * 10**6
+N_EVENTS = 50_000
+WINDOW = 1000  # 1 ms emptiness windows
+BITS_PER_KEY = 18
+
+
+def bursty_events(n: int, seed: int) -> np.ndarray:
+    """Event timestamps arriving in bursts (incidents cause clusters)."""
+    rng = np.random.default_rng(seed)
+    burst_starts = rng.integers(0, UNIVERSE, n // 50, dtype=np.uint64)
+    offsets = rng.exponential(scale=50_000.0, size=(n // 50, 50)).cumsum(axis=1)
+    stamps = (burst_starts[:, None] + offsets.astype(np.uint64)).ravel()
+    return np.unique(np.minimum(stamps, np.uint64(UNIVERSE - 1)))
+
+
+def main() -> None:
+    events = bursty_events(N_EVENTS, seed=11)
+    print(f"{events.size:,} bursty event timestamps over one year (us resolution)")
+
+    # Operators probe windows right next to known events: D = 1 correlation.
+    probes = correlated_queries(
+        events, 3000, WINDOW, UNIVERSE, correlation_degree=1.0, seed=12
+    )
+    print(f"{len(probes):,} empty 1ms windows anchored next to events\n")
+
+    filters = {
+        "Grafite": Grafite(
+            events, UNIVERSE, bits_per_key=BITS_PER_KEY, max_range_size=WINDOW, seed=5
+        ),
+        "Bucketing": Bucketing(events, UNIVERSE, bits_per_key=BITS_PER_KEY),
+        "SNARF": SnarfFilter(events, UNIVERSE, bits_per_key=BITS_PER_KEY),
+    }
+    print(f"{'filter':>10} | {'bits/key':>8} | {'FPR on correlated windows':>26}")
+    print("-" * 52)
+    for name, filt in filters.items():
+        fpr = measure_fpr(filt, probes).fpr
+        print(f"{name:>10} | {filt.bits_per_key:8.2f} | {fpr:26.4f}")
+    bound = filters["Grafite"].fpr_bound(WINDOW)
+    print(f"\nGrafite's analytic bound for {WINDOW}-wide windows: {bound:.4f}")
+    print("A 'maybe' here means scanning cold storage for the raw events;")
+    print("heuristic filters make that happen on (almost) every probe.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments whose setuptools lacks PEP 517 wheel support.
+
+All real metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e .`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Measurement harness: FPR, timing, space, theory, and reporting."""
+
+from repro.analysis.fpr import (
+    CheckedFprResult,
+    FprResult,
+    measure_fpr,
+    measure_fpr_checked,
+)
+from repro.analysis.harness import (
+    FILTERS,
+    HEURISTIC_FILTERS,
+    ROBUST_FILTERS,
+    ExperimentRow,
+    FilterConfig,
+    build_filter,
+    run_experiment,
+    run_grid,
+)
+from repro.analysis.report import (
+    format_fpr,
+    format_series,
+    format_speed_table,
+    format_table,
+)
+from repro.analysis.theory import (
+    TheoryRow,
+    bucketing_bits,
+    goswami_bits,
+    grafite_bits,
+    grafite_fpr_bound,
+    lower_bound_bits,
+    rosetta_bits,
+    snarf_bits,
+    surf_bits,
+    table1,
+    trivial_baseline_bits,
+)
+from repro.analysis.timing import TimingResult, time_construction, time_queries
+
+__all__ = [
+    "CheckedFprResult",
+    "ExperimentRow",
+    "FILTERS",
+    "FilterConfig",
+    "FprResult",
+    "HEURISTIC_FILTERS",
+    "ROBUST_FILTERS",
+    "TheoryRow",
+    "TimingResult",
+    "bucketing_bits",
+    "build_filter",
+    "format_fpr",
+    "format_series",
+    "format_speed_table",
+    "format_table",
+    "goswami_bits",
+    "grafite_bits",
+    "grafite_fpr_bound",
+    "lower_bound_bits",
+    "measure_fpr",
+    "measure_fpr_checked",
+    "rosetta_bits",
+    "run_experiment",
+    "run_grid",
+    "snarf_bits",
+    "surf_bits",
+    "table1",
+    "time_construction",
+    "time_queries",
+    "trivial_baseline_bits",
+]

@@ -1,0 +1,82 @@
+"""False-positive-rate measurement (the y-axis of Figures 1, 3, 4, 5).
+
+The paper evaluates FPR as "the ratio between the number of 'not empty'
+answers and the size of the batch", over batches of queries that were
+generated empty by construction. :func:`measure_fpr` implements exactly
+that; :func:`measure_fpr_checked` additionally verifies emptiness against
+the ground-truth key set (catching workload bugs) and detects false
+negatives (which, per the filter contract, must never happen — SNARF's
+documented defect mode aside).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.filters.base import RangeFilter
+from repro.workloads.queries import intersects
+
+Query = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FprResult:
+    """Outcome of an FPR measurement batch."""
+
+    trials: int
+    false_positives: int
+
+    @property
+    def fpr(self) -> float:
+        return self.false_positives / self.trials if self.trials else 0.0
+
+    def __str__(self) -> str:
+        return f"FPR {self.fpr:.2e} ({self.false_positives}/{self.trials})"
+
+
+@dataclass(frozen=True)
+class CheckedFprResult:
+    """FPR measurement with ground-truth verification."""
+
+    trials: int
+    false_positives: int
+    true_positives: int
+    false_negatives: int
+
+    @property
+    def fpr(self) -> float:
+        empty = self.trials - self.true_positives - self.false_negatives
+        return self.false_positives / empty if empty else 0.0
+
+
+def measure_fpr(filt: RangeFilter, queries: Sequence[Query]) -> FprResult:
+    """FPR over a batch of *empty* queries (§6.1 semantics)."""
+    false_positives = sum(
+        1 for lo, hi in queries if filt.may_contain_range(lo, hi)
+    )
+    return FprResult(trials=len(queries), false_positives=false_positives)
+
+
+def measure_fpr_checked(
+    filt: RangeFilter,
+    queries: Sequence[Query],
+    keys: np.ndarray,
+) -> CheckedFprResult:
+    """FPR with per-query ground truth (detects false negatives)."""
+    sorted_keys = np.sort(np.asarray(keys, dtype=np.uint64))
+    fp = tp = fn = 0
+    for lo, hi in queries:
+        answer = filt.may_contain_range(lo, hi)
+        truth = intersects(sorted_keys, lo, hi)
+        if truth and answer:
+            tp += 1
+        elif truth and not answer:
+            fn += 1
+        elif answer:
+            fp += 1
+    return CheckedFprResult(
+        trials=len(queries), false_positives=fp, true_positives=tp, false_negatives=fn
+    )

@@ -1,0 +1,209 @@
+"""Experiment harness: build filters uniformly, measure, collect rows.
+
+This module is the glue between the library and the benchmarks: a
+canonical registry of filter constructors (one per evaluated solution,
+keyed by the names the paper's figures use) plus an experiment runner
+that produces one :class:`ExperimentRow` per (filter, configuration)
+cell — the exact quantities Figures 3–7 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.fpr import measure_fpr
+from repro.analysis.timing import time_construction, time_queries
+from repro.core.bucketing import Bucketing
+from repro.core.grafite import Grafite
+from repro.errors import InvalidParameterError
+from repro.filters.base import RangeFilter
+from repro.filters.point_probe import PointProbeFilter
+from repro.filters.proteus import Proteus
+from repro.filters.rencoder import REncoder, rencoder_se, rencoder_ss
+from repro.filters.rosetta import Rosetta
+from repro.filters.snarf import SnarfFilter
+from repro.filters.surf import SuRF
+
+Query = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """Everything a filter constructor may need, in one bundle."""
+
+    keys: np.ndarray
+    universe: int
+    bits_per_key: float
+    max_range_size: int
+    sample_queries: Sequence[Query] = ()
+    seed: int = 0
+
+
+FilterFactory = Callable[[FilterConfig], RangeFilter]
+
+
+def _make_grafite(cfg: FilterConfig) -> RangeFilter:
+    return Grafite(
+        cfg.keys, cfg.universe, bits_per_key=cfg.bits_per_key,
+        max_range_size=cfg.max_range_size, seed=cfg.seed,
+    )
+
+
+def _make_bucketing(cfg: FilterConfig) -> RangeFilter:
+    return Bucketing(cfg.keys, cfg.universe, bits_per_key=cfg.bits_per_key)
+
+
+def _make_rosetta(cfg: FilterConfig) -> RangeFilter:
+    return Rosetta(
+        cfg.keys, cfg.universe, bits_per_key=cfg.bits_per_key,
+        max_range_size=cfg.max_range_size,
+        sample_queries=cfg.sample_queries or None, seed=cfg.seed,
+    )
+
+
+def _make_snarf(cfg: FilterConfig) -> RangeFilter:
+    return SnarfFilter(
+        cfg.keys, cfg.universe, bits_per_key=max(2.5, cfg.bits_per_key)
+    )
+
+
+def _make_surf(cfg: FilterConfig) -> RangeFilter:
+    # SuRF takes >= 10 bits/key for the trie (paper §5); the rest of the
+    # budget buys real suffix bits.
+    suffix_bits = max(1, int(round(cfg.bits_per_key - 10)))
+    return SuRF(
+        cfg.keys, cfg.universe, suffix_mode="real",
+        suffix_bits=suffix_bits, seed=cfg.seed,
+    )
+
+
+def _make_surf_hash(cfg: FilterConfig) -> RangeFilter:
+    suffix_bits = max(1, int(round(cfg.bits_per_key - 10)))
+    return SuRF(
+        cfg.keys, cfg.universe, suffix_mode="hash",
+        suffix_bits=suffix_bits, seed=cfg.seed,
+    )
+
+
+def _make_proteus(cfg: FilterConfig) -> RangeFilter:
+    if not cfg.sample_queries:
+        raise InvalidParameterError("Proteus requires sample_queries in the config")
+    return Proteus(
+        cfg.keys, cfg.universe, bits_per_key=cfg.bits_per_key,
+        sample_queries=cfg.sample_queries, seed=cfg.seed,
+    )
+
+
+def _make_rencoder(cfg: FilterConfig) -> RangeFilter:
+    return REncoder(cfg.keys, cfg.universe, bits_per_key=cfg.bits_per_key, seed=cfg.seed)
+
+
+def _make_rencoder_ss(cfg: FilterConfig) -> RangeFilter:
+    return rencoder_ss(cfg.keys, cfg.universe, bits_per_key=cfg.bits_per_key, seed=cfg.seed)
+
+
+def _make_rencoder_se(cfg: FilterConfig) -> RangeFilter:
+    if not cfg.sample_queries:
+        raise InvalidParameterError("REncoderSE requires sample_queries in the config")
+    return rencoder_se(
+        cfg.keys, cfg.universe, bits_per_key=cfg.bits_per_key,
+        sample_queries=cfg.sample_queries, seed=cfg.seed,
+    )
+
+
+def _make_point_probe(cfg: FilterConfig) -> RangeFilter:
+    return PointProbeFilter(
+        cfg.keys, cfg.universe, bits_per_key=cfg.bits_per_key,
+        max_range_size=cfg.max_range_size, seed=cfg.seed,
+    )
+
+
+#: Filter registry keyed by the names used in the paper's figures.
+FILTERS: Dict[str, FilterFactory] = {
+    "Grafite": _make_grafite,
+    "Bucketing": _make_bucketing,
+    "Rosetta": _make_rosetta,
+    "SNARF": _make_snarf,
+    "SuRF": _make_surf,
+    "SuRF-Hash": _make_surf_hash,
+    "Proteus": _make_proteus,
+    "REncoder": _make_rencoder,
+    "REncoderSS": _make_rencoder_ss,
+    "REncoderSE": _make_rencoder_se,
+    "PointProbe": _make_point_probe,
+}
+
+#: The paper's taxonomy (§6.2): filters with distribution-free FPR bounds
+#: versus heuristics. REncoder is "robust for large ranges" and grouped
+#: with the robust ones in Figure 5, as here.
+ROBUST_FILTERS = ("Grafite", "Rosetta", "REncoder")
+HEURISTIC_FILTERS = ("Bucketing", "SuRF", "SNARF", "Proteus", "REncoderSS", "REncoderSE")
+
+
+def build_filter(name: str, cfg: FilterConfig) -> RangeFilter:
+    """Instantiate a registered filter by figure name."""
+    try:
+        factory = FILTERS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown filter {name!r}; choose from {sorted(FILTERS)}"
+        ) from None
+    return factory(cfg)
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One measured cell of a figure: a filter on one configuration."""
+
+    filter_name: str
+    dataset: str
+    workload: str
+    range_size: int
+    bits_per_key_budget: float
+    bits_per_key_actual: float
+    fpr: float
+    query_ns: float
+    build_ns_per_key: float
+    key_count: int
+    extra: dict = field(default_factory=dict)
+
+
+def run_experiment(
+    filter_name: str,
+    cfg: FilterConfig,
+    queries: Sequence[Query],
+    *,
+    dataset: str = "synthetic",
+    workload: str = "uncorrelated",
+    time_repeats: int = 1,
+) -> ExperimentRow:
+    """Build one filter, measure FPR and query/construction time."""
+    filt, build_timing = time_construction(lambda: build_filter(filter_name, cfg))
+    fpr_result = measure_fpr(filt, queries)
+    query_timing = time_queries(filt, queries, repeats=time_repeats)
+    n = max(1, filt.key_count)
+    return ExperimentRow(
+        filter_name=filter_name,
+        dataset=dataset,
+        workload=workload,
+        range_size=cfg.max_range_size,
+        bits_per_key_budget=cfg.bits_per_key,
+        bits_per_key_actual=filt.bits_per_key,
+        fpr=fpr_result.fpr,
+        query_ns=query_timing.ns_per_op,
+        build_ns_per_key=build_timing.total_seconds / n * 1e9,
+        key_count=filt.key_count,
+    )
+
+
+def run_grid(
+    filter_names: Sequence[str],
+    cfg: FilterConfig,
+    queries: Sequence[Query],
+    **kwargs,
+) -> List[ExperimentRow]:
+    """Run several filters on one configuration."""
+    return [run_experiment(name, cfg, queries, **kwargs) for name in filter_names]

@@ -1,0 +1,78 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The benchmarks print the same rows and series the paper's figures plot;
+this module keeps the formatting in one place (fixed-width text tables,
+scientific-notation FPRs, ns/query columns with ratio annotations — the
+style of the tables attached to Figures 4 and 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table."""
+    materialised: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in materialised:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if 0 < abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.2e}"
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def format_fpr(fpr: float) -> str:
+    """FPR cell in the paper's log-scale style."""
+    if fpr == 0:
+        return "0"
+    return f"{fpr:.2e}"
+
+
+def format_speed_table(entries: Sequence[tuple[str, float]], title: str) -> str:
+    """The Figure 4/5 side tables: avg ns/query with x-factor vs fastest."""
+    ordered = sorted(entries, key=lambda item: item[1])
+    fastest = ordered[0][1] if ordered else 1.0
+    rows = [
+        (name, f"{ns:,.0f}", f"({ns / fastest:.2f} x)")
+        for name, ns in ordered
+    ]
+    return format_table(["Range filter", "Avg ns/query", "vs fastest"], rows, title=title)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Sequence[tuple[str, Sequence[object]]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a figure's data as one column per series (x on rows)."""
+    headers = [x_label] + [name for name, _ in series]
+    rows = [
+        [x] + [values[i] for _, values in series]
+        for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,63 @@
+"""Query- and construction-time measurement (Figures 3–7).
+
+Timing in a pure-Python reproduction cannot match the paper's absolute
+nanoseconds; what these helpers preserve is the *relative* picture —
+which filter is faster, by what factor, and how times scale with the
+range size, the correlation degree and ``n`` (construction linearity,
+Figure 7).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+from repro.filters.base import RangeFilter
+
+Query = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock timing of a batch of operations."""
+
+    total_seconds: float
+    operations: int
+
+    @property
+    def ns_per_op(self) -> float:
+        return self.total_seconds / self.operations * 1e9 if self.operations else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.ns_per_op:,.0f} ns/op over {self.operations} ops"
+
+
+def time_queries(
+    filt: RangeFilter, queries: Sequence[Query], repeats: int = 1
+) -> TimingResult:
+    """Time a single-threaded query batch (the paper's §6.1 setup)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        for lo, hi in queries:
+            filt.may_contain_range(lo, hi)
+        best = min(best, time.perf_counter() - start)
+    return TimingResult(total_seconds=best, operations=len(queries))
+
+
+def time_construction(
+    factory: Callable[[], RangeFilter], repeats: int = 1
+) -> Tuple[RangeFilter, TimingResult]:
+    """Time filter construction; returns the last built filter too.
+
+    Figure 7 reports construction time *per key*; divide by
+    ``filter.key_count`` at the call site.
+    """
+    best = float("inf")
+    built: RangeFilter
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        built = factory()
+        best = min(best, time.perf_counter() - start)
+    return built, TimingResult(total_seconds=best, operations=1)

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands, mirroring how the library is typically exercised:
+
+* ``dataset`` — generate one of the §6.1 datasets and print its shape
+  statistics (size, universe coverage, gap distribution);
+* ``fpr`` — build any registered filter on a dataset and measure FPR
+  and query time under a chosen workload (one cell of Figures 3–5);
+* ``attack`` — run the adaptive adversary of §6.2/§6.7 against a filter
+  and print the per-round false-positive rate;
+* ``table1`` — evaluate the closed-form bounds of Table 1 for given
+  parameters.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.fpr import measure_fpr
+from repro.analysis.harness import FILTERS, FilterConfig, build_filter
+from repro.analysis.report import format_table
+from repro.analysis.theory import table1
+from repro.analysis.timing import time_queries
+from repro.workloads.adversary import AdaptiveAdversary
+from repro.workloads.datasets import DATASETS, load_dataset
+from repro.workloads.queries import correlated_queries, uncorrelated_queries
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=sorted(DATASETS), default="uniform")
+    parser.add_argument("--n", type=int, default=20_000, help="number of keys")
+    parser.add_argument("--universe-bits", type=int, default=48)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Grafite (SIGMOD 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_data = sub.add_parser("dataset", help="generate and describe a dataset")
+    _add_common(p_data)
+
+    p_fpr = sub.add_parser("fpr", help="measure a filter's FPR and query time")
+    _add_common(p_fpr)
+    p_fpr.add_argument("--filter", choices=sorted(FILTERS), default="Grafite")
+    p_fpr.add_argument("--bits-per-key", type=float, default=16.0)
+    p_fpr.add_argument("--range-size", type=int, default=32)
+    p_fpr.add_argument(
+        "--workload", choices=("uncorrelated", "correlated"), default="uncorrelated"
+    )
+    p_fpr.add_argument("--degree", type=float, default=0.8, help="correlation degree D")
+    p_fpr.add_argument("--queries", type=int, default=1000)
+
+    p_attack = sub.add_parser("attack", help="adaptive adversary vs a filter")
+    _add_common(p_attack)
+    p_attack.add_argument("--filter", choices=sorted(FILTERS), default="Grafite")
+    p_attack.add_argument("--bits-per-key", type=float, default=16.0)
+    p_attack.add_argument("--range-size", type=int, default=16)
+    p_attack.add_argument("--rounds", type=int, default=4)
+    p_attack.add_argument("--queries-per-round", type=int, default=400)
+    p_attack.add_argument("--leaked-fraction", type=float, default=0.1)
+
+    p_theory = sub.add_parser("table1", help="evaluate the Table 1 bounds")
+    p_theory.add_argument("--n", type=int, default=200_000_000)
+    p_theory.add_argument("--universe-bits", type=int, default=64)
+    p_theory.add_argument("--range-size", type=int, default=2**10)
+    p_theory.add_argument("--eps", type=float, default=0.01)
+    return parser
+
+
+def _universe(args: argparse.Namespace) -> int:
+    return 2**args.universe_bits
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    """Generate a dataset and print its shape statistics."""
+    keys = load_dataset(args.dataset, args.n, universe=_universe(args), seed=args.seed)
+    gaps = np.diff(keys.astype(np.float64))
+    rows = [
+        ["keys", f"{keys.size:,}"],
+        ["universe", f"2^{args.universe_bits}"],
+        ["min / max", f"{int(keys[0]):,} / {int(keys[-1]):,}"],
+        ["mean gap", f"{gaps.mean():,.1f}" if gaps.size else "-"],
+        ["median gap", f"{np.median(gaps):,.1f}" if gaps.size else "-"],
+        ["max gap", f"{gaps.max():,.1f}" if gaps.size else "-"],
+        ["gap skew (mean/median)", f"{gaps.mean() / max(1.0, np.median(gaps)):,.1f}" if gaps.size else "-"],
+    ]
+    print(format_table(["statistic", "value"], rows, title=f"dataset {args.dataset!r}"))
+    return 0
+
+
+def cmd_fpr(args: argparse.Namespace) -> int:
+    """Build one filter, measure FPR and query time on a workload."""
+    universe = _universe(args)
+    keys = load_dataset(args.dataset, args.n, universe=universe, seed=args.seed)
+    if args.workload == "correlated":
+        queries = correlated_queries(
+            keys, args.queries, args.range_size, universe,
+            correlation_degree=args.degree, seed=args.seed + 1,
+        )
+    else:
+        queries = uncorrelated_queries(
+            args.queries, args.range_size, universe, keys=keys, seed=args.seed + 1
+        )
+    sample = queries[: max(16, len(queries) // 16)]
+    cfg = FilterConfig(
+        keys=keys, universe=universe, bits_per_key=args.bits_per_key,
+        max_range_size=args.range_size, sample_queries=sample, seed=args.seed,
+    )
+    filt = build_filter(args.filter, cfg)
+    fpr = measure_fpr(filt, queries)
+    timing = time_queries(filt, queries)
+    rows = [
+        ["filter", args.filter],
+        ["keys", f"{filt.key_count:,}"],
+        ["bits/key (actual)", f"{filt.bits_per_key:.2f}"],
+        ["workload", f"{args.workload}"
+         + (f" (D={args.degree})" if args.workload == "correlated" else "")],
+        ["range size", str(args.range_size)],
+        ["empty queries", f"{fpr.trials:,}"],
+        ["false positives", f"{fpr.false_positives:,}"],
+        ["FPR", f"{fpr.fpr:.3e}"],
+        ["query time", f"{timing.ns_per_op:,.0f} ns"],
+    ]
+    print(format_table(["metric", "value"], rows, title="fpr measurement"))
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    """Run the adaptive adversary against a filter; print per-round FPR."""
+    universe = _universe(args)
+    keys = load_dataset(args.dataset, args.n, universe=universe, seed=args.seed)
+    sample = uncorrelated_queries(
+        64, args.range_size, universe, keys=keys, seed=args.seed + 2
+    )
+    cfg = FilterConfig(
+        keys=keys, universe=universe, bits_per_key=args.bits_per_key,
+        max_range_size=args.range_size, sample_queries=sample, seed=args.seed,
+    )
+    filt = build_filter(args.filter, cfg)
+    adversary = AdaptiveAdversary(
+        keys, leaked_fraction=args.leaked_fraction, seed=args.seed + 3
+    )
+    report = adversary.attack(
+        filt, rounds=args.rounds,
+        queries_per_round=args.queries_per_round, range_size=args.range_size,
+    )
+    rows = [
+        [f"round {i + 1}", f"{rate:.4f}"]
+        for i, rate in enumerate(report.per_round_fpr)
+    ]
+    rows.append(["amplification", f"{report.amplification:.2f}x"])
+    print(
+        format_table(
+            ["round", "FPR (backend reads / probe)"], rows,
+            title=f"adaptive attack on {args.filter}",
+        )
+    )
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Evaluate and print the closed-form bounds of Table 1."""
+    rows = table1(args.n, 2**args.universe_bits, args.range_size, args.eps)
+    printable = [
+        [
+            r.name,
+            r.category,
+            r.space_formula,
+            f"{r.space_bits / args.n:.2f}" if r.space_bits is not None else "-",
+            r.query_time,
+        ]
+        for r in rows
+    ]
+    print(
+        format_table(
+            ["structure", "class", "space formula", "bits/key", "query time"],
+            printable,
+            title=f"Table 1 at n={args.n:,}, L={args.range_size}, eps={args.eps}",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "dataset": cmd_dataset,
+    "fpr": cmd_fpr,
+    "attack": cmd_attack,
+    "table1": cmd_table1,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's contributions: Grafite (§3) and Bucketing (§4).
+
+This subpackage also hosts the hash-function layer both share and the
+string-key extension sketched in the paper's §7.
+"""
+
+from repro.core.adaptive_bucketing import WorkloadAwareBucketing
+from repro.core.bucketing import Bucketing
+from repro.core.dynamic import DynamicGrafite
+from repro.core.grafite import Grafite, eps_from_bits_per_key, hashed_query_intervals
+from repro.core.hybrid import HybridGrafiteBucketing
+from repro.core.hashing import (
+    LocalityPreservingHash,
+    PairwiseIndependentHash,
+    PowerOfTwoLocalityHash,
+)
+from repro.core.serialization import (
+    bucketing_from_bytes,
+    bucketing_to_bytes,
+    grafite_from_bytes,
+    grafite_to_bytes,
+)
+from repro.core.strings import StringGrafite
+
+__all__ = [
+    "Bucketing",
+    "DynamicGrafite",
+    "Grafite",
+    "HybridGrafiteBucketing",
+    "LocalityPreservingHash",
+    "PairwiseIndependentHash",
+    "PowerOfTwoLocalityHash",
+    "StringGrafite",
+    "WorkloadAwareBucketing",
+    "bucketing_from_bytes",
+    "bucketing_to_bytes",
+    "eps_from_bits_per_key",
+    "grafite_from_bytes",
+    "grafite_to_bytes",
+    "hashed_query_intervals",
+]

@@ -1,0 +1,142 @@
+"""Workload-aware Bucketing (paper §7, future work — engineered here).
+
+The paper closes by suggesting that Bucketing "could be made
+workload-aware (e.g. by creating larger buckets for key ranges that are
+queried less frequently)". This module implements that idea:
+
+* the universe is split into a fixed number of coarse *regions*;
+* a sample of the query workload is histogrammed over the regions;
+* the per-key space budget is distributed across regions proportionally
+  to their sampled query frequency (hot regions get finer buckets, cold
+  regions coarser ones, with a floor so no region is unfiltered);
+* each region keeps its own Elias-Fano-encoded bucket occupancy, and a
+  query checks exactly the regions it overlaps.
+
+Like plain Bucketing this is a heuristic — no distribution-free FPR
+bound — but on skewed workloads it converts the same space into a lower
+observed FPR (see ``bench_ablation.py``'s workload-aware study).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bucketing import Bucketing
+from repro.errors import InvalidParameterError
+from repro.filters.base import RangeFilter, as_key_array
+
+Query = Tuple[int, int]
+
+
+class WorkloadAwareBucketing(RangeFilter):
+    """Bucketing with per-region bucket sizes driven by a query sample.
+
+    Parameters
+    ----------
+    keys / universe:
+        Key set and universe.
+    bits_per_key:
+        Global space budget, redistributed over regions.
+    sample_queries:
+        Sample of ``(lo, hi)`` ranges; regions overlapping more sampled
+        queries receive a larger share of the budget.
+    num_regions:
+        Number of equal-width universe regions (a power of two keeps the
+        region arithmetic shift-based).
+    cold_floor:
+        Minimum budget share (relative to a uniform split) a region with
+        zero sampled queries still receives.
+    """
+
+    name = "Bucketing-WA"
+
+    def __init__(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        universe: int,
+        *,
+        bits_per_key: float,
+        sample_queries: Iterable[Query],
+        num_regions: int = 64,
+        cold_floor: float = 0.25,
+    ) -> None:
+        super().__init__(universe)
+        if bits_per_key <= 0:
+            raise InvalidParameterError("bits_per_key must be positive")
+        if num_regions < 1:
+            raise InvalidParameterError("num_regions must be >= 1")
+        if not 0 < cold_floor <= 1:
+            raise InvalidParameterError("cold_floor must be in (0, 1]")
+        arr = as_key_array(keys, universe)
+        self._n = int(arr.size)
+        self._num_regions = int(num_regions)
+        self._region_width = (universe + num_regions - 1) // num_regions
+        weights = self._sample_weights(list(sample_queries), cold_floor)
+        self._regions: List[Optional[Bucketing]] = []
+        total_budget = bits_per_key * max(1, self._n)
+        for region in range(self._num_regions):
+            lo = region * self._region_width
+            hi = min(universe, lo + self._region_width)
+            mask = (arr >= lo) & (arr < hi)
+            region_keys = (arr[mask] - np.uint64(lo)) if self._n else arr
+            if region_keys.size == 0:
+                self._regions.append(None)
+                continue
+            region_budget = total_budget * weights[region]
+            region_bpk = max(1.0, region_budget / region_keys.size)
+            self._regions.append(
+                Bucketing(region_keys, self._region_width, bits_per_key=region_bpk)
+            )
+
+    def _sample_weights(self, sample: List[Query], cold_floor: float) -> np.ndarray:
+        """Per-region budget shares from the query histogram."""
+        counts = np.zeros(self._num_regions, dtype=np.float64)
+        for lo, hi in sample:
+            first = min(self._num_regions - 1, lo // self._region_width)
+            last = min(self._num_regions - 1, hi // self._region_width)
+            counts[first:last + 1] += 1.0
+        uniform_share = 1.0 / self._num_regions
+        if counts.sum() == 0:
+            return np.full(self._num_regions, uniform_share)
+        weights = counts / counts.sum()
+        weights = np.maximum(weights, cold_floor * uniform_share)
+        return weights / weights.sum()
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @property
+    def key_count(self) -> int:
+        return self._n
+
+    @property
+    def num_regions(self) -> int:
+        return self._num_regions
+
+    @property
+    def size_in_bits(self) -> int:
+        return sum(r.size_in_bits for r in self._regions if r is not None)
+
+    def region_bucket_sizes(self) -> List[Optional[int]]:
+        """Per-region coarseness (None for key-free regions) — for tests
+        and for inspecting what the workload adaptation chose."""
+        return [r.bucket_size if r is not None else None for r in self._regions]
+
+    def may_contain_range(self, lo: int, hi: int) -> bool:
+        self._check_range(lo, hi)
+        if self._n == 0:
+            return False
+        first = min(self._num_regions - 1, lo // self._region_width)
+        last = min(self._num_regions - 1, hi // self._region_width)
+        for region in range(first, last + 1):
+            filt = self._regions[region]
+            if filt is None:
+                continue
+            base = region * self._region_width
+            region_lo = max(lo - base, 0)
+            region_hi = min(hi - base, self._region_width - 1)
+            if region_lo <= region_hi and filt.may_contain_range(region_lo, region_hi):
+                return True
+        return False

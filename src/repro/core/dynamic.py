@@ -1,0 +1,226 @@
+"""Dynamic Grafite: insert support via the logarithmic method (paper §7).
+
+Supporting insertions is one of the open problems the paper leaves
+("dynamic Elias-Fano representations could help [33]"). This module
+engineers the classic *logarithmic method* answer on top of the static
+structure:
+
+* the locality-preserving hash — and therefore the reduced universe
+  ``r`` — is fixed up front from a declared ``capacity`` (the FPR bound
+  ``n * ell / r`` then holds for the *actual* number of keys ``n``, so
+  it is better than the design eps until capacity is reached and
+  degrades gracefully, linearly in ``n``, beyond it);
+* incoming hash codes accumulate in a small sorted buffer;
+* on overflow the buffer is flushed into level 0; level ``i`` holds
+  either nothing or a static Elias-Fano run of ``~2^i * buffer`` codes,
+  and equal-size runs merge upward like an LSM tree — O(log(n)/buffer)
+  Elias-Fano runs at any time, amortised O(log n) work per insert;
+* a query maps the range to hashed intervals once (shared helper with
+  the static filter) and probes every run, plus the buffer.
+
+Because all runs share one hash function, merging is a plain sorted
+merge of code sequences — no access to the original keys is ever needed,
+so the dynamic filter keeps the same per-key space as the static one up
+to the (geometrically vanishing) duplication across levels.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.grafite import eps_from_bits_per_key, hashed_query_intervals
+from repro.core.hashing import LocalityPreservingHash
+from repro.errors import InvalidKeyError, InvalidParameterError
+from repro.succinct.elias_fano import EliasFano
+
+
+class DynamicGrafite:
+    """A Grafite range filter that supports insertions.
+
+    Parameters
+    ----------
+    capacity:
+        The number of distinct keys the filter is provisioned for; fixes
+        ``r = capacity * L / eps``. Inserting beyond capacity keeps
+        working but the FPR bound scales as ``n/capacity * eps``.
+    universe / eps / max_range_size / bits_per_key / seed:
+        As in :class:`~repro.core.grafite.Grafite`.
+    buffer_size:
+        Number of codes held unsorted-cost-free before a flush; also the
+        size unit of level 0.
+    """
+
+    name = "DynamicGrafite"
+
+    def __init__(
+        self,
+        capacity: int,
+        universe: int = 2**64,
+        *,
+        eps: Optional[float] = None,
+        max_range_size: int = 32,
+        bits_per_key: Optional[float] = None,
+        buffer_size: int = 256,
+        seed: Optional[int] = None,
+    ) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
+        if universe <= 1:
+            raise InvalidParameterError(f"universe must be > 1, got {universe}")
+        if buffer_size < 1:
+            raise InvalidParameterError(f"buffer_size must be >= 1, got {buffer_size}")
+        if max_range_size < 1:
+            raise InvalidParameterError(f"max_range_size must be >= 1, got {max_range_size}")
+        if (eps is None) == (bits_per_key is None):
+            raise InvalidParameterError("pass exactly one of eps or bits_per_key")
+        if bits_per_key is not None:
+            eps = eps_from_bits_per_key(bits_per_key, max_range_size)
+        if eps <= 0:
+            raise InvalidParameterError(f"eps must be positive, got {eps}")
+        self._universe = int(universe)
+        self._capacity = int(capacity)
+        self._L = int(max_range_size)
+        self._eps = float(eps)
+        r = max(2, int(self._capacity * self._L / self._eps))
+        self._r = min(r, self._universe)
+        self._hash = LocalityPreservingHash(self._r, domain=self._universe, seed=seed)
+        self._buffer: List[int] = []  # sorted hash codes
+        self._buffer_limit = int(buffer_size)
+        self._runs: List[Optional[EliasFano]] = []  # level i: run of ~2^i units
+        self._n = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def universe(self) -> int:
+        return self._universe
+
+    @property
+    def key_count(self) -> int:
+        """Number of inserted keys (duplicates counted once per insert)."""
+        return self._n
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def reduced_universe(self) -> int:
+        return self._r
+
+    @property
+    def run_count(self) -> int:
+        """Live Elias-Fano runs (bounded by log2(n / buffer_size) + 1)."""
+        return sum(1 for run in self._runs if run is not None)
+
+    @property
+    def size_in_bits(self) -> int:
+        total = sum(run.size_in_bits for run in self._runs if run is not None)
+        return total + len(self._buffer) * 64  # buffer counted at word width
+
+    @property
+    def bits_per_key(self) -> float:
+        return self.size_in_bits / self._n if self._n else 0.0
+
+    def fpr_bound(self, range_size: int) -> float:
+        """``min(1, n * ell / r)`` — exact for the current fill level."""
+        if self._n == 0 or self._r >= self._universe:
+            return 0.0
+        return min(1.0, self._n * range_size / self._r)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, key: int) -> None:
+        """Insert one key (amortised O(log n) code-merge work)."""
+        key = int(key)
+        if not 0 <= key < self._universe:
+            raise InvalidKeyError(f"key {key} outside universe [0, {self._universe})")
+        bisect.insort(self._buffer, self._hash(key))
+        self._n += 1
+        if len(self._buffer) >= self._buffer_limit:
+            self._flush_buffer()
+
+    def insert_many(self, keys: Sequence[int] | np.ndarray) -> None:
+        """Bulk insert (hashes vectorised, then one flush per buffer fill)."""
+        arr = np.asarray(keys, dtype=np.uint64)
+        if arr.size == 0:
+            return
+        if arr.size and int(arr.max()) >= self._universe:
+            raise InvalidKeyError("key outside the declared universe")
+        codes = np.sort(self._hash.hash_many(arr))
+        merged = np.union1d(np.asarray(self._buffer, dtype=np.uint64), codes)
+        self._buffer = [int(c) for c in merged]
+        self._n += int(arr.size)
+        if len(self._buffer) >= self._buffer_limit:
+            self._flush_buffer()
+
+    def _flush_buffer(self) -> None:
+        codes = np.asarray(self._buffer, dtype=np.uint64)
+        self._buffer = []
+        self._push_run(codes, level=0)
+
+    def _push_run(self, codes: np.ndarray, level: int) -> None:
+        """LSM-style carry: merge equal-level runs until a slot is free."""
+        while True:
+            if level >= len(self._runs):
+                self._runs.extend([None] * (level + 1 - len(self._runs)))
+            slot = self._runs[level]
+            if slot is None:
+                self._runs[level] = EliasFano(codes, universe=self._r)
+                return
+            existing = np.fromiter(iter(slot), dtype=np.uint64, count=len(slot))
+            codes = np.union1d(existing, codes)
+            self._runs[level] = None
+            level += 1
+
+    def compact(self) -> None:
+        """Merge everything (buffer included) into one run — FPR-neutral,
+        removes the per-run query overhead after a burst of inserts."""
+        pieces = [np.asarray(self._buffer, dtype=np.uint64)]
+        for run in self._runs:
+            if run is not None:
+                pieces.append(np.fromiter(iter(run), dtype=np.uint64, count=len(run)))
+        self._buffer = []
+        self._runs = []
+        merged = np.unique(np.concatenate(pieces)) if pieces else np.zeros(0, np.uint64)
+        if merged.size:
+            self._runs = [None] * max(1, (int(merged.size).bit_length()))
+            self._runs[-1] = EliasFano(merged, universe=self._r)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def may_contain_range(self, lo: int, hi: int) -> bool:
+        """No false negatives; FPR at most ``n * (hi-lo+1) / r``."""
+        if lo > hi:
+            raise InvalidKeyError(f"query range has lo={lo} > hi={hi}")
+        if lo < 0 or hi >= self._universe:
+            raise InvalidKeyError(
+                f"query range [{lo}, {hi}] outside universe [0, {self._universe})"
+            )
+        if self._n == 0:
+            return False
+        if hi - lo + 1 >= self._r:
+            return True
+        for c, d in hashed_query_intervals(self._hash, self._r, lo, hi):
+            idx = bisect.bisect_left(self._buffer, c)
+            if idx < len(self._buffer) and self._buffer[idx] <= d:
+                return True
+            for run in self._runs:
+                if run is not None and run.contains_in_range(c, d):
+                    return True
+        return False
+
+    def may_contain(self, key: int) -> bool:
+        return self.may_contain_range(key, key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicGrafite(n={self._n}, capacity={self._capacity}, "
+            f"runs={self.run_count}, r={self._r})"
+        )

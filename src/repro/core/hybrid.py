@@ -1,0 +1,100 @@
+"""Bucketing–Grafite hybrid (paper §7: Bucketing "combined with Grafite").
+
+The combination the paper sketches as future work: a coarse Bucketing
+stage answers the easy negatives in one cheap predecessor query, and only
+its "maybe" answers fall through to a Grafite stage whose
+distribution-free bound caps the damage on hard (correlated or
+adversarial) queries.
+
+Both stages are conservative (no false negatives), so intersecting their
+positives is sound: the hybrid answers "not empty" only when *both*
+agree. Its FPR is therefore at most ``min`` of the stages' FPRs on any
+workload — uncorrelated workloads enjoy Bucketing-grade filtering below
+Grafite's eps, while correlated ones keep Corollary 3.5 intact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.bucketing import Bucketing
+from repro.core.grafite import Grafite
+from repro.errors import InvalidParameterError
+from repro.filters.base import RangeFilter, as_key_array
+
+
+class HybridGrafiteBucketing(RangeFilter):
+    """Two-stage filter: Bucketing front, Grafite back.
+
+    Parameters
+    ----------
+    keys / universe:
+        Key set and universe.
+    bits_per_key:
+        Total budget, split between the stages by ``bucketing_share``.
+    max_range_size / seed:
+        Forwarded to the Grafite stage.
+    bucketing_share:
+        Fraction of the budget spent on the Bucketing stage (the rest
+        funds Grafite). The default quarter keeps Grafite's bound within
+        ~0.4 bits/key of a pure Grafite at the same total budget.
+    """
+
+    name = "Grafite+Bucketing"
+
+    def __init__(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        universe: int = 2**64,
+        *,
+        bits_per_key: float,
+        max_range_size: int = 32,
+        bucketing_share: float = 0.25,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(universe)
+        if bits_per_key <= 2:
+            raise InvalidParameterError("bits_per_key must exceed 2")
+        if not 0 < bucketing_share < 1:
+            raise InvalidParameterError("bucketing_share must be in (0, 1)")
+        arr = as_key_array(keys, universe)
+        self._n = len(arr)
+        bucket_budget = bits_per_key * bucketing_share
+        grafite_budget = bits_per_key - bucket_budget
+        self._bucketing = Bucketing(arr, universe, bits_per_key=max(0.5, bucket_budget))
+        self._grafite = Grafite(
+            arr, universe,
+            bits_per_key=max(2.5, grafite_budget),
+            max_range_size=max_range_size, seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @property
+    def key_count(self) -> int:
+        return self._n
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._bucketing.size_in_bits + self._grafite.size_in_bits
+
+    @property
+    def stages(self) -> tuple[Bucketing, Grafite]:
+        """The underlying (bucketing, grafite) pair, for inspection."""
+        return self._bucketing, self._grafite
+
+    def fpr_bound(self, range_size: int) -> float:
+        """The distribution-free bound inherited from the Grafite stage."""
+        return self._grafite.fpr_bound(range_size)
+
+    def may_contain_range(self, lo: int, hi: int) -> bool:
+        self._check_range(lo, hi)
+        if self._n == 0:
+            return False
+        # Short-circuit: most empty uncorrelated queries die here.
+        if not self._bucketing.may_contain_range(lo, hi):
+            return False
+        return self._grafite.may_contain_range(lo, hi)

@@ -1,0 +1,208 @@
+"""Versioned binary serialisation for Grafite and Bucketing.
+
+Filters live next to the data they guard (an SSTable footer, a network
+share); a stable byte format matters more for adoption than pickle's
+convenience. The format is deliberately simple:
+
+``header | params | elias-fano block``
+
+* header: magic ``b"GRFT"`` / ``b"BCKT"``, format version (u16);
+* params: the construction parameters needed to re-derive the hash
+  function deterministically (no re-hashing of keys on load);
+* Elias-Fano block: low-part width, counts, raw little-endian word
+  arrays of the low vector and the high bit vector.
+
+Pickle keeps working too (the classes are plain objects); this module is
+for cross-process, cross-version artifacts with an explicit layout.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.bucketing import Bucketing
+from repro.core.grafite import Grafite
+from repro.errors import InvalidParameterError
+from repro.succinct.bitvector import BitVector
+from repro.succinct.elias_fano import EliasFano
+from repro.succinct.packed import PackedIntVector
+from repro.succinct.rank_select import RankSelect
+
+_GRAFITE_MAGIC = b"GRFT"
+_BUCKETING_MAGIC = b"BCKT"
+_VERSION = 1
+
+
+def _pack_int(value: int) -> bytes:
+    """Length-prefixed big-int encoding (universes may exceed 64 bits)."""
+    raw = value.to_bytes((value.bit_length() + 7) // 8 or 1, "little")
+    return struct.pack("<I", len(raw)) + raw
+
+
+def _unpack_int(buf: bytes, offset: int) -> Tuple[int, int]:
+    (length,) = struct.unpack_from("<I", buf, offset)
+    offset += 4
+    value = int.from_bytes(buf[offset:offset + length], "little")
+    return value, offset + length
+
+
+def _pack_words(words: np.ndarray) -> bytes:
+    raw = words.astype("<u8").tobytes()
+    return struct.pack("<Q", words.size) + raw
+
+
+def _unpack_words(buf: bytes, offset: int) -> Tuple[np.ndarray, int]:
+    (count,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    words = np.frombuffer(buf, dtype="<u8", count=count, offset=offset).astype(np.uint64)
+    return words, offset + count * 8
+
+
+def _pack_elias_fano(ef: EliasFano) -> bytes:
+    parts = [
+        struct.pack("<QQB", len(ef), 0, ef.low_bits),
+        _pack_int(ef.universe),
+        _pack_words(ef._low._words if len(ef) else np.zeros(0, dtype=np.uint64)),
+        struct.pack("<Q", len(ef._high.bitvector)),
+        _pack_words(ef._high.bitvector.words),
+    ]
+    return b"".join(parts)
+
+
+def _unpack_elias_fano(buf: bytes, offset: int) -> Tuple[EliasFano, int]:
+    n, _reserved, low_bits = struct.unpack_from("<QQB", buf, offset)
+    offset += 17
+    universe, offset = _unpack_int(buf, offset)
+    low_words, offset = _unpack_words(buf, offset)
+    (high_len,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    high_words, offset = _unpack_words(buf, offset)
+
+    # Reassemble the structure without re-encoding: rebuild the packed
+    # vector and bit vector from their raw words, then recompute the
+    # (derived) rank/select index and first/last caches.
+    ef = EliasFano.__new__(EliasFano)
+    ef._n = int(n)
+    ef._u = int(universe)
+    ef._l = int(low_bits)
+    low = PackedIntVector.__new__(PackedIntVector)
+    low._width = int(low_bits)
+    low._n = int(n)
+    low._words = low_words
+    ef._low = low
+    high_bits = BitVector(int(high_len))
+    if high_words.size:
+        high_bits.words[: high_words.size] = high_words
+    ef._high = RankSelect(high_bits)
+    if n:
+        ef._first = ef.access(0)
+        ef._last = ef.access(int(n) - 1)
+    else:
+        ef._first = None
+        ef._last = None
+    return ef, offset
+
+
+# ----------------------------------------------------------------------
+# Grafite
+# ----------------------------------------------------------------------
+def grafite_to_bytes(filt: Grafite) -> bytes:
+    """Serialise a static Grafite filter (exact mode included)."""
+    if filt._hash is not None:
+        p, c1, c2 = filt._hash.block_hash.parameters
+    else:
+        p = c1 = c2 = 0
+    parts = [
+        _GRAFITE_MAGIC,
+        struct.pack("<H", _VERSION),
+        struct.pack("<B", 1 if filt.is_exact else 0),
+        struct.pack("<Qd", filt.max_range_size, filt.eps),
+        struct.pack("<Q", filt.key_count),
+        _pack_int(filt.universe),
+        _pack_int(filt.reduced_universe),
+        _pack_int(p),
+        _pack_int(c1),
+        _pack_int(c2),
+        _pack_elias_fano(filt._ef),
+    ]
+    return b"".join(parts)
+
+
+def grafite_from_bytes(buf: bytes) -> Grafite:
+    """Load a Grafite filter serialised by :func:`grafite_to_bytes`."""
+    if buf[:4] != _GRAFITE_MAGIC:
+        raise InvalidParameterError("not a serialised Grafite filter")
+    (version,) = struct.unpack_from("<H", buf, 4)
+    if version != _VERSION:
+        raise InvalidParameterError(f"unsupported Grafite format version {version}")
+    offset = 6
+    (exact,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    max_range, eps = struct.unpack_from("<Qd", buf, offset)
+    offset += 16
+    (n,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    universe, offset = _unpack_int(buf, offset)
+    reduced, offset = _unpack_int(buf, offset)
+    p, offset = _unpack_int(buf, offset)
+    c1, offset = _unpack_int(buf, offset)
+    c2, offset = _unpack_int(buf, offset)
+    ef, offset = _unpack_elias_fano(buf, offset)
+
+    filt = Grafite.__new__(Grafite)
+    filt._universe = int(universe)
+    filt._L = int(max_range)
+    filt._eps = float(eps)
+    filt._n = int(n)
+    filt._r = int(reduced)
+    filt._exact = bool(exact)
+    filt._ef = ef
+    if exact or n == 0:
+        filt._hash = None
+    else:
+        from repro.core.hashing import LocalityPreservingHash
+
+        hasher = LocalityPreservingHash(int(reduced), domain=int(universe), seed=0)
+        hasher._q._p, hasher._q._c1, hasher._q._c2 = int(p), int(c1), int(c2)
+        filt._hash = hasher
+    return filt
+
+
+# ----------------------------------------------------------------------
+# Bucketing
+# ----------------------------------------------------------------------
+def bucketing_to_bytes(filt: Bucketing) -> bytes:
+    """Serialise a Bucketing filter."""
+    parts = [
+        _BUCKETING_MAGIC,
+        struct.pack("<H", _VERSION),
+        struct.pack("<Q", filt.key_count),
+        _pack_int(filt.universe),
+        _pack_int(filt.bucket_size),
+        _pack_elias_fano(filt._ef),
+    ]
+    return b"".join(parts)
+
+
+def bucketing_from_bytes(buf: bytes) -> Bucketing:
+    """Load a Bucketing filter serialised by :func:`bucketing_to_bytes`."""
+    if buf[:4] != _BUCKETING_MAGIC:
+        raise InvalidParameterError("not a serialised Bucketing filter")
+    (version,) = struct.unpack_from("<H", buf, 4)
+    if version != _VERSION:
+        raise InvalidParameterError(f"unsupported Bucketing format version {version}")
+    offset = 6
+    (n,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    universe, offset = _unpack_int(buf, offset)
+    bucket_size, offset = _unpack_int(buf, offset)
+    ef, offset = _unpack_elias_fano(buf, offset)
+    filt = Bucketing.__new__(Bucketing)
+    filt._universe = int(universe)
+    filt._n = int(n)
+    filt._s = int(bucket_size)
+    filt._ef = ef
+    return filt

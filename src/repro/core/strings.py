@@ -1,0 +1,151 @@
+"""String-key extension of Grafite (paper §7, "future work", engineered here).
+
+The paper suggests treating strings as integers and choosing the reduced
+universe as a power of two ``r = 2^k`` so equation (1) becomes
+``h(x) = (q(x >> k) + x) & (r - 1)`` — pure shifts and masks. This module
+implements that: keys are fixed-width big-endian integer encodings of the
+input strings (zero-padded on the right, which preserves lexicographic
+order), and the integer Grafite runs with ``power_of_two_universe=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.grafite import Grafite
+from repro.errors import InvalidKeyError, InvalidParameterError, InvalidQueryError
+
+
+def encode_string(key: str | bytes, width: int) -> int:
+    """Encode a string as a big-endian integer over ``width`` bytes.
+
+    Zero-padding on the right preserves lexicographic order among all
+    strings of length up to ``width`` (a string and itself plus trailing
+    NUL bytes coincide, which only ever *adds* matches — no false
+    negatives can arise).
+    """
+    raw = key.encode("utf-8") if isinstance(key, str) else bytes(key)
+    if len(raw) > width:
+        raise InvalidKeyError(
+            f"key of {len(raw)} bytes exceeds the configured width {width}"
+        )
+    return int.from_bytes(raw.ljust(width, b"\x00"), "big")
+
+
+class StringGrafite:
+    """Grafite over string keys.
+
+    Parameters
+    ----------
+    keys:
+        Iterable of ``str`` or ``bytes`` keys.
+    max_key_bytes:
+        Fixed encoding width in bytes. Defaults to the longest input key.
+        Longer *query* endpoints are truncated to this width (truncation
+        keeps queries conservative: it can only widen the range).
+    eps / max_range_size / bits_per_key / seed:
+        Forwarded to :class:`~repro.core.grafite.Grafite`; the range size
+        ``L`` is measured in the integer-encoded space.
+    """
+
+    name = "Grafite-strings"
+
+    def __init__(
+        self,
+        keys: Iterable[str | bytes],
+        *,
+        max_key_bytes: Optional[int] = None,
+        eps: Optional[float] = None,
+        max_range_size: int = 2**16,
+        bits_per_key: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        raw_keys = [k.encode("utf-8") if isinstance(k, str) else bytes(k) for k in keys]
+        if max_key_bytes is None:
+            max_key_bytes = max((len(k) for k in raw_keys), default=1)
+        if max_key_bytes < 1:
+            raise InvalidParameterError(f"max_key_bytes must be >= 1, got {max_key_bytes}")
+        self._width = int(max_key_bytes)
+        universe = 1 << (8 * self._width)
+        encoded = [encode_string(k, self._width) for k in raw_keys]
+        self._inner = Grafite(
+            encoded,
+            universe,
+            eps=eps,
+            max_range_size=max_range_size,
+            bits_per_key=bits_per_key,
+            seed=seed,
+            power_of_two_universe=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def key_width_bytes(self) -> int:
+        return self._width
+
+    @property
+    def inner(self) -> Grafite:
+        """The underlying integer Grafite (power-of-two universe)."""
+        return self._inner
+
+    @property
+    def key_count(self) -> int:
+        return self._inner.key_count
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._inner.size_in_bits
+
+    @property
+    def bits_per_key(self) -> float:
+        return self._inner.bits_per_key
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _encode_endpoint(self, key: str | bytes, *, round_up: bool) -> int:
+        """Encode a query endpoint, truncating over-long strings safely.
+
+        A truncated low endpoint rounds *down* and a truncated high
+        endpoint rounds *up*, so the queried integer range always covers
+        the original string range (conservative, never a false negative).
+        """
+        raw = key.encode("utf-8") if isinstance(key, str) else bytes(key)
+        if len(raw) > self._width:
+            raw = raw[: self._width]  # truncation widens the range either way
+        value = encode_string(raw, self._width)
+        if round_up and len(raw) < self._width:
+            # Strings extending `raw` sort up to raw + 0xFF... padding.
+            value |= (1 << (8 * (self._width - len(raw)))) - 1
+        return value
+
+    def may_contain_range(self, lo: str | bytes, hi: str | bytes) -> bool:
+        """Return False only if no stored key is in the string range ``[lo, hi]``.
+
+        The high endpoint is *inclusive of extensions*: querying
+        ``("app", "apz")`` matches any stored key with a prefix between
+        the two, mirroring how trie-based filters (SuRF) treat string
+        ranges.
+        """
+        lo_int = self._encode_endpoint(lo, round_up=False)
+        hi_int = self._encode_endpoint(hi, round_up=True)
+        if lo_int > hi_int:
+            raise InvalidQueryError("string query range is inverted")
+        return self._inner.may_contain_range(lo_int, hi_int)
+
+    def may_contain(self, key: str | bytes) -> bool:
+        """Point query for one string key."""
+        value = self._encode_endpoint(key, round_up=False)
+        return self._inner.may_contain_range(value, value)
+
+    def may_contain_prefix(self, prefix: str | bytes) -> bool:
+        """Return False only if no stored key starts with ``prefix``."""
+        raw = prefix.encode("utf-8") if isinstance(prefix, str) else bytes(prefix)
+        lo = self._encode_endpoint(raw, round_up=False)
+        hi = self._encode_endpoint(raw, round_up=True)
+        return self._inner.may_contain_range(lo, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StringGrafite(n={self.key_count}, width={self._width})"

@@ -1,0 +1,190 @@
+"""A classic Bloom filter over integer keys.
+
+This is the point-filter substrate of the paper's related work (§2): the
+trivial ``O(L)`` baseline probes one Bloom filter per range point, Rosetta
+stacks one Bloom filter per prefix level, and Proteus embeds a prefix
+Bloom filter. Double hashing (Kirsch-Mitzenmacher) derives the ``k`` probe
+positions from two 64-bit hashes produced by a splitmix64-style mixer, so
+inserts and probes are branch-free integer arithmetic, vectorised for
+batch construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.succinct.bitvector import BitVector
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+# splitmix64 constants (Steele et al.); the mixer is bijective on 64 bits.
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_SM_M1 = 0xBF58476D1CE4E5B9
+_SM_M2 = 0x94D049BB133111EB
+
+
+def splitmix64(x: int) -> int:
+    """One round of the splitmix64 finaliser (scalar, Python ints)."""
+    x = (x + _SM_GAMMA) & _MASK64
+    x = ((x ^ (x >> 30)) * _SM_M1) & _MASK64
+    x = ((x ^ (x >> 27)) * _SM_M2) & _MASK64
+    return x ^ (x >> 31)
+
+
+def splitmix64_array(xs: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 over a ``uint64`` array (wrapping arithmetic)."""
+    with np.errstate(over="ignore"):
+        x = xs + np.uint64(_SM_GAMMA)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(_SM_M1)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(_SM_M2)
+        return x ^ (x >> np.uint64(31))
+
+
+def optimal_num_hashes(num_bits: int, num_keys: int) -> int:
+    """The classic optimum ``k = (m/n) ln 2``, clipped to ``[1, 16]``."""
+    if num_keys <= 0:
+        return 1
+    k = round(num_bits / num_keys * math.log(2))
+    return max(1, min(16, k))
+
+
+def bits_for_fpr(num_keys: int, fpr: float) -> int:
+    """Bits needed for a target FPR: ``m = -n ln(fpr) / (ln 2)^2``."""
+    if not 0 < fpr < 1:
+        raise InvalidParameterError(f"fpr must be in (0, 1), got {fpr}")
+    return max(64, math.ceil(-num_keys * math.log(fpr) / (math.log(2) ** 2)))
+
+
+class BloomFilter:
+    """A standard Bloom filter on 64-bit integer items.
+
+    Parameters
+    ----------
+    num_bits:
+        Size ``m`` of the bit array (at least 64).
+    num_hashes:
+        Number of probe positions ``k``; defaults to the optimum for the
+        number of items inserted at construction.
+    items:
+        Optional batch of integers to insert immediately (vectorised).
+    seed:
+        Seeds the hash mixers; probes are deterministic given the seed.
+    """
+
+    __slots__ = ("_bits", "_m", "_k", "_seed1", "_seed2", "_count")
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: Optional[int] = None,
+        items: Optional[Sequence[int] | np.ndarray] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_bits < 1:
+            raise InvalidParameterError(f"num_bits must be >= 1, got {num_bits}")
+        self._m = int(num_bits)
+        item_array = None
+        if items is not None:
+            item_array = np.asarray(items, dtype=np.uint64)
+        if num_hashes is None:
+            num_hashes = optimal_num_hashes(self._m, item_array.size if item_array is not None else 1)
+        if num_hashes < 1:
+            raise InvalidParameterError(f"num_hashes must be >= 1, got {num_hashes}")
+        self._k = int(num_hashes)
+        self._seed1 = splitmix64(seed * 2 + 1)
+        self._seed2 = splitmix64(seed * 2 + 2)
+        self._bits = BitVector(self._m)
+        self._count = 0
+        if item_array is not None and item_array.size:
+            self.add_many(item_array)
+
+    @classmethod
+    def from_fpr(
+        cls,
+        items: Sequence[int] | np.ndarray,
+        fpr: float,
+        seed: int = 0,
+    ) -> "BloomFilter":
+        """Size the filter for a target false positive probability."""
+        arr = np.asarray(items, dtype=np.uint64)
+        m = bits_for_fpr(max(1, arr.size), fpr)
+        k = max(1, min(16, round(-math.log(fpr) / math.log(2))))
+        return cls(m, num_hashes=k, items=arr, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def _hash_pair(self, item: int) -> tuple[int, int]:
+        h1 = splitmix64((item ^ self._seed1) & _MASK64)
+        h2 = splitmix64((item ^ self._seed2) & _MASK64) | 1  # odd => full cycle
+        return h1, h2
+
+    def _positions(self, item: int) -> list[int]:
+        h1, h2 = self._hash_pair(int(item))
+        return [((h1 + i * h2) & _MASK64) % self._m for i in range(self._k)]
+
+    # ------------------------------------------------------------------
+    # Updates and probes
+    # ------------------------------------------------------------------
+    def add(self, item: int) -> None:
+        """Insert one integer item."""
+        for pos in self._positions(item):
+            self._bits.set(pos)
+        self._count += 1
+
+    def add_many(self, items: Sequence[int] | np.ndarray) -> None:
+        """Insert a batch of integer items (vectorised)."""
+        arr = np.asarray(items, dtype=np.uint64)
+        if arr.size == 0:
+            return
+        with np.errstate(over="ignore"):
+            h1 = splitmix64_array(arr ^ np.uint64(self._seed1))
+            h2 = splitmix64_array(arr ^ np.uint64(self._seed2)) | np.uint64(1)
+            for i in range(self._k):
+                positions = ((h1 + np.uint64(i) * h2) % np.uint64(self._m)).astype(np.int64)
+                self._bits.set_many(positions)
+        self._count += int(arr.size)
+
+    def may_contain(self, item: int) -> bool:
+        """Return ``False`` only if ``item`` was surely never inserted."""
+        h1, h2 = self._hash_pair(int(item))
+        words = self._bits.words
+        m = self._m
+        for i in range(self._k):
+            pos = ((h1 + i * h2) & _MASK64) % m
+            if not (int(words[pos >> 6]) >> (pos & 63)) & 1:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_bits(self) -> int:
+        return self._m
+
+    @property
+    def num_hashes(self) -> int:
+        return self._k
+
+    @property
+    def item_count(self) -> int:
+        """Number of insertions performed (duplicates counted)."""
+        return self._count
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._m
+
+    def expected_fpr(self) -> float:
+        """The textbook estimate ``(1 - e^(-k n / m))^k``."""
+        if self._count == 0:
+            return 0.0
+        return (1.0 - math.exp(-self._k * self._count / self._m)) ** self._k
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BloomFilter(m={self._m}, k={self._k}, n={self._count})"

@@ -1,0 +1,232 @@
+"""Fast Succinct Trie with LOUDS-Sparse encoding (SuRF's core, paper §2, [40]).
+
+The trie is built over a sorted, prefix-free set of byte strings and
+encoded level by level into three parallel per-edge arrays:
+
+* ``labels``  — the edge's byte;
+* ``has_child`` — 1 if the edge leads to an internal node, 0 for a leaf;
+* ``louds``  — 1 on the first edge of each node (LOUDS delimiter).
+
+Navigation uses rank/select: the child node of internal edge ``e`` is
+``rank1(has_child, e + 1)``; the edges of node ``v`` span
+``[select1(louds, v), select1(louds, v + 1))``; leaf edge ``e`` owns leaf
+id ``rank0(has_child, e)``. This is exactly the LOUDS-Sparse layout of
+[40, §2.2], at 10 + o(1) bits per edge, which the paper's Table 1 uses in
+SuRF's space bound.
+
+Each leaf represents the *interval* of the full-width keys extending its
+(possibly truncated) prefix. The emptiness primitive exposed here —
+"first leaf whose interval ends at or after ``a``" — lets SuRF and
+Proteus answer range queries with zero false negatives regardless of
+truncation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.succinct.bitvector import BitVector
+from repro.succinct.rank_select import RankSelect
+
+
+def distinguishing_prefixes(keys: Sequence[bytes]) -> List[bytes]:
+    """Truncate each key at its shortest unique prefix (SuRF §2.1).
+
+    ``keys`` must be sorted and duplicate-free byte strings of equal
+    length; the result is prefix-free.
+    """
+    out: List[bytes] = []
+    for i, key in enumerate(keys):
+        lcp = 0
+        if i > 0:
+            lcp = max(lcp, _common_prefix_len(key, keys[i - 1]))
+        if i + 1 < len(keys):
+            lcp = max(lcp, _common_prefix_len(key, keys[i + 1]))
+        out.append(key[: min(len(key), lcp + 1)])
+    return out
+
+
+def _common_prefix_len(x: bytes, y: bytes) -> int:
+    limit = min(len(x), len(y))
+    for i in range(limit):
+        if x[i] != y[i]:
+            return i
+    return limit
+
+
+class FastSuccinctTrie:
+    """LOUDS-Sparse encoded trie over a prefix-free byte-string set.
+
+    Parameters
+    ----------
+    strings:
+        Sorted, prefix-free, non-empty byte strings (no duplicates).
+        ``distinguishing_prefixes`` produces a valid input from any sorted
+        set of equal-length keys.
+    """
+
+    def __init__(self, strings: Sequence[bytes]) -> None:
+        self._num_leaves = len(strings)
+        labels: List[int] = []
+        has_child_flags: List[bool] = []
+        louds_flags: List[bool] = []
+        leaf_order: List[int] = []  # key index per leaf, in LOUDS edge order
+        if strings:
+            self._validate(strings)
+            queue: deque[Tuple[int, int, int]] = deque([(0, len(strings), 0)])
+            while queue:
+                lo, hi, depth = queue.popleft()
+                first_edge = True
+                i = lo
+                while i < hi:
+                    byte = strings[i][depth]
+                    j = i
+                    while j < hi and strings[j][depth] == byte:
+                        j += 1
+                    labels.append(byte)
+                    louds_flags.append(first_edge)
+                    first_edge = False
+                    if j - i == 1 and len(strings[i]) == depth + 1:
+                        has_child_flags.append(False)
+                        leaf_order.append(i)
+                    else:
+                        has_child_flags.append(True)
+                        queue.append((i, j, depth + 1))
+                    i = j
+        self._labels = np.asarray(labels, dtype=np.uint8)
+        self._has_child = RankSelect(BitVector.from_bools(has_child_flags))
+        self._louds = RankSelect(BitVector.from_bools(louds_flags))
+        self._leaf_order = np.asarray(leaf_order, dtype=np.int64)
+        self._num_edges = len(labels)
+        self._num_nodes = self._louds.num_ones
+
+    @staticmethod
+    def _validate(strings: Sequence[bytes]) -> None:
+        for i, s in enumerate(strings):
+            if not s:
+                raise InvalidParameterError("empty string not allowed in the trie")
+            if i:
+                prev = strings[i - 1]
+                if s <= prev:
+                    raise InvalidParameterError("strings must be sorted and distinct")
+                if s[: len(prev)] == prev:
+                    raise InvalidParameterError("string set must be prefix-free")
+
+    # ------------------------------------------------------------------
+    # LOUDS navigation primitives
+    # ------------------------------------------------------------------
+    def _edge_range(self, node: int) -> Tuple[int, int]:
+        start = self._louds.select1(node)
+        if node + 1 < self._num_nodes:
+            return start, self._louds.select1(node + 1)
+        return start, self._num_edges
+
+    def _child(self, edge: int) -> int:
+        return self._has_child.rank1(edge + 1)
+
+    def _leaf_id(self, edge: int) -> int:
+        return self._has_child.rank0(edge)
+
+    def _find_edge_geq(self, start: int, end: int, byte: int) -> int:
+        """First edge in ``[start, end)`` whose label is ``>= byte``."""
+        return start + int(
+            np.searchsorted(self._labels[start:end], byte, side="left")
+        )
+
+    # ------------------------------------------------------------------
+    # Leaf search
+    # ------------------------------------------------------------------
+    def _leftmost_leaf(self, edge: int, prefix: bytearray) -> Tuple[int, bytes]:
+        """Descend first-edges from ``edge`` until a leaf; returns (id, prefix)."""
+        while self._has_child.bitvector[edge]:
+            prefix.append(int(self._labels[edge]))
+            node = self._child(edge)
+            edge, _ = self._edge_range(node)
+        prefix.append(int(self._labels[edge]))
+        return self._leaf_id(edge), bytes(prefix)
+
+    def first_leaf_reaching(self, target: bytes) -> Optional[Tuple[int, bytes]]:
+        """First leaf (in order) whose maximal extension is ``>= target``.
+
+        A leaf with prefix ``p`` covers every full-width key extending
+        ``p``; its maximal extension is ``p`` padded with 0xFF. The method
+        returns ``(leaf_id, stored_prefix)`` for the first leaf not wholly
+        below ``target``, or ``None`` when every leaf is below it. This is
+        the ``moveToKeyGreaterThan`` primitive of SuRF, made conservative
+        so the caller can never produce a false negative.
+        """
+        if self._num_leaves == 0:
+            return None
+        stack: List[Tuple[int, int, bytearray]] = []  # (edge, end, prefix so far)
+        node = 0
+        depth = 0
+        prefix = bytearray()
+        while True:
+            start, end = self._edge_range(node)
+            byte = target[depth] if depth < len(target) else 0
+            idx = self._find_edge_geq(start, end, byte)
+            if idx < end:
+                label = int(self._labels[idx])
+                if label > byte or depth >= len(target):
+                    return self._leftmost_leaf(idx, bytearray(prefix))
+                # label == byte: exact match on this byte
+                if not self._has_child.bitvector[idx]:
+                    # Leaf prefix matches target so far; its 0xFF padding
+                    # dominates any remaining target bytes.
+                    return self._leaf_id(idx), bytes(prefix + bytes([label]))
+                stack.append((idx, end, bytearray(prefix)))
+                prefix.append(label)
+                node = self._child(idx)
+                depth += 1
+                continue
+            # No candidate under this node: backtrack to the next sibling.
+            while stack:
+                edge, end, parent_prefix = stack.pop()
+                if edge + 1 < end:
+                    return self._leftmost_leaf(edge + 1, bytearray(parent_prefix))
+            return None
+
+    def contains_prefix_of(self, target: bytes) -> bool:
+        """True iff some stored string is a prefix of ``target`` or equal to it."""
+        node = 0
+        depth = 0
+        while depth < len(target):
+            start, end = self._edge_range(node)
+            idx = self._find_edge_geq(start, end, target[depth])
+            if idx >= end or int(self._labels[idx]) != target[depth]:
+                return False
+            if not self._has_child.bitvector[idx]:
+                return True
+            node = self._child(idx)
+            depth += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_leaves(self) -> int:
+        return self._num_leaves
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def leaf_key_index(self, leaf_id: int) -> int:
+        """Index (into the construction input) of the leaf's string."""
+        return int(self._leaf_order[leaf_id])
+
+    @property
+    def size_in_bits(self) -> int:
+        """The LOUDS-Sparse payload: 8 + 1 + 1 bits per edge, plus indexes."""
+        payload = self._num_edges * 10
+        index = self._has_child.index_size_in_bits + self._louds.index_size_in_bits
+        return payload + index

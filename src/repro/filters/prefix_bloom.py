@@ -1,0 +1,117 @@
+"""Prefix Bloom Filter (paper §2, [12, 26]).
+
+Hashes every distinct key prefix of a fixed bit-length ``l`` into a Bloom
+filter. Each ``l``-bit prefix covers a universe range of ``2^(W - l)``
+values, so a range query probes every prefix configuration overlapping the
+query range and answers "empty" only if all probes miss.
+
+The paper does not evaluate the standalone Prefix Bloom Filter (it is
+generalised by Rosetta and Proteus), but Proteus embeds one, and we expose
+it publicly both for that and for completeness of the related-work
+inventory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.filters.base import RangeFilter, as_key_array
+from repro.filters.bloom import BloomFilter
+
+
+class PrefixBloomFilter(RangeFilter):
+    """Bloom filter over fixed-length key prefixes.
+
+    Parameters
+    ----------
+    keys:
+        Input keys in ``[0, universe)``.
+    universe:
+        Exclusive universe bound; its bit length ``W`` fixes the prefix
+        shift ``W - prefix_bits``.
+    prefix_bits:
+        The prefix length ``l`` in bits, ``0 < l <= W``.
+    num_bits:
+        Bloom array size. Either this or ``bits_per_key`` must be given.
+    bits_per_key:
+        Alternative sizing: ``num_bits = bits_per_key * n``.
+    max_probes:
+        Ranges overlapping more than this many prefixes short-circuit to
+        "maybe" (the answer stays conservative; probing thousands of
+        prefixes is the ``O(L)`` worst case the paper criticises).
+    """
+
+    name = "PrefixBloom"
+
+    def __init__(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        universe: int,
+        prefix_bits: int,
+        *,
+        num_bits: Optional[int] = None,
+        bits_per_key: Optional[float] = None,
+        max_probes: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(universe)
+        self._W = max(1, (universe - 1).bit_length())
+        if not 0 < prefix_bits <= self._W:
+            raise InvalidParameterError(
+                f"prefix_bits must be in [1, {self._W}], got {prefix_bits}"
+            )
+        if (num_bits is None) == (bits_per_key is None):
+            raise InvalidParameterError("pass exactly one of num_bits or bits_per_key")
+        if max_probes < 1:
+            raise InvalidParameterError("max_probes must be >= 1")
+        arr = as_key_array(keys, universe)
+        self._n = int(arr.size)
+        self._l = int(prefix_bits)
+        self._shift = self._W - self._l
+        self._max_probes = int(max_probes)
+        prefixes = np.unique(arr >> np.uint64(self._shift)) if self._n else arr
+        if num_bits is None:
+            num_bits = max(64, math.ceil(bits_per_key * max(1, self._n)))
+        self._bloom = BloomFilter(num_bits, items=prefixes, seed=seed)
+        self._distinct_prefixes = int(prefixes.size)
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @property
+    def key_count(self) -> int:
+        return self._n
+
+    @property
+    def prefix_bits(self) -> int:
+        return self._l
+
+    @property
+    def distinct_prefixes(self) -> int:
+        return self._distinct_prefixes
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._bloom.size_in_bits
+
+    def may_contain_prefix_of(self, key: int) -> bool:
+        """Probe the single prefix covering ``key``."""
+        return self._bloom.may_contain(int(key) >> self._shift)
+
+    def may_contain_range(self, lo: int, hi: int) -> bool:
+        self._check_range(lo, hi)
+        if self._n == 0:
+            return False
+        first = lo >> self._shift
+        last = hi >> self._shift
+        if last - first + 1 > self._max_probes:
+            # Too many prefixes to probe: stay conservative.
+            return True
+        for prefix in range(first, last + 1):
+            if self._bloom.may_contain(prefix):
+                return True
+        return False

@@ -1,0 +1,308 @@
+"""REncoder — Range Encoder with local trees (paper §2, [38]).
+
+Each key is processed 4 bits at a time. For every chunk boundary the 4-bit
+chunk is viewed as a leaf of a complete binary tree with 16 leaves (31
+nodes); the path from that leaf to the root is marked and the resulting
+32-bit pattern is OR-ed into a shared bit array at ``k`` hashed offsets
+derived from the remaining key prefix. Because one 32-bit window encodes
+*five* tree depths, a query resolves four prefix bits per memory probe —
+the "local encoder" idea that makes REncoder faster than Rosetta.
+
+Queries decompose the range into dyadic blocks; each block's node is
+checked in the tree recovered by AND-ing the ``k`` windows, and positives
+are verified downward chunk by chunk until a full key length is confirmed
+(or refuted).
+
+Variants (§6.1 of the paper):
+
+* :class:`REncoder` — stores every level; robust for large ranges.
+* ``REncoderSS`` (``stored_levels < all``) — stores only the bottom
+  levels, saving space but giving up filtering for blocks coarser than
+  the stored coverage.
+* ``REncoderSE`` — picks ``stored_levels`` from a sample of the query
+  workload (auto-tuned, like Rosetta's and Proteus's tuning).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.filters.base import RangeFilter, as_key_array
+from repro.filters.bloom import splitmix64
+from repro.filters.rosetta import dyadic_decomposition
+
+_CHUNK_BITS = 4
+_TREE_NODES = 31  # depths 0..4 of a 16-leaf complete binary tree
+
+
+def tree_pattern(chunk: int) -> int:
+    """32-bit mark pattern for the root-to-leaf path of a 4-bit chunk.
+
+    Node (depth ``d``, value ``v``) sits at bit ``2^d - 1 + v``; the path
+    marks one node per depth 0..4.
+    """
+    pattern = 0
+    for depth in range(_CHUNK_BITS + 1):
+        value = chunk >> (_CHUNK_BITS - depth)
+        pattern |= 1 << ((1 << depth) - 1 + value)
+    return pattern
+
+
+_PATTERNS = [tree_pattern(s) for s in range(16)]
+
+
+class REncoder(RangeFilter):
+    """The REncoder range filter and its SS/SE variants.
+
+    Parameters
+    ----------
+    keys / universe:
+        Key set and universe; the key length is padded to a multiple of 4
+        bits so chunks align.
+    bits_per_key:
+        Size of the shared bit array: ``m = bits_per_key * n``.
+    stored_levels:
+        Number of chunk levels materialised, counted from the *bottom*
+        (leaf side). ``None`` stores all levels (base REncoder); smaller
+        values give the SS variant.
+    sample_queries:
+        If given (and ``stored_levels`` is None), picks ``stored_levels``
+        as the smallest coverage that answers the sampled ranges without
+        falling back to enumeration — the SE variant.
+    num_hashes:
+        Windows OR-ed per (prefix, level); 1 matches the reference
+        configuration at typical budgets.
+    """
+
+    name = "REncoder"
+
+    def __init__(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        universe: int,
+        *,
+        bits_per_key: float,
+        stored_levels: Optional[int] = None,
+        sample_queries: Optional[Iterable[Tuple[int, int]]] = None,
+        num_hashes: int = 1,
+        max_probes: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(universe)
+        if bits_per_key <= 0:
+            raise InvalidParameterError("bits_per_key must be positive")
+        if num_hashes < 1:
+            raise InvalidParameterError("num_hashes must be >= 1")
+        arr = as_key_array(keys, universe)
+        self._n = int(arr.size)
+        bit_width = max(1, (universe - 1).bit_length())
+        self._W = ((bit_width + _CHUNK_BITS - 1) // _CHUNK_BITS) * _CHUNK_BITS
+        self._chunks = self._W // _CHUNK_BITS
+        if stored_levels is None and sample_queries is not None:
+            stored_levels = self._tune_levels(sample_queries)
+        if stored_levels is None:
+            # Budget-aware default: each stored level costs ~5 fresh bits
+            # per key (a root-to-leaf path in one tree window); keep the
+            # OR-array near the classic 50% load so trees stay readable.
+            # Levels beyond the coverage answer "maybe" conservatively.
+            affordable = int(bits_per_key * math.log(2) / 5.0)
+            stored_levels = min(self._chunks, max(3, affordable))
+        if not 1 <= stored_levels <= self._chunks:
+            raise InvalidParameterError(
+                f"stored_levels must be in [1, {self._chunks}], got {stored_levels}"
+            )
+        self._stored = int(stored_levels)
+        self._k = int(num_hashes)
+        self._max_probes = int(max_probes)
+        self._seed = seed
+        self._m = max(256, math.ceil(bits_per_key * max(1, self._n)))
+        self._words = np.zeros((self._m + 63) // 64 + 1, dtype=np.uint64)
+        if self._n:
+            self._insert_all(arr)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _tune_levels(self, sample_queries: Iterable[Tuple[int, int]]) -> int:
+        """SE tuning: smallest level coverage answering the sample ranges.
+
+        A dyadic block of ``2^j`` values needs trees for prefixes at least
+        ``W - j - 4`` bits long; coverage of ``T`` bottom levels reaches
+        ``j <= 4T - 1``.
+        """
+        needed = 1
+        for lo, hi in sample_queries:
+            for _, log_size in dyadic_decomposition(lo, hi):
+                needed = max(needed, math.ceil((log_size + 1) / _CHUNK_BITS))
+        return min(self._chunks, needed)
+
+    def _window_offset(self, prefix: int, level: int, hash_index: int) -> int:
+        """Bit offset of the (prefix, level) tree window for one hash."""
+        mix = splitmix64(prefix ^ splitmix64(self._seed * 1024 + level * 16 + hash_index))
+        return mix % (self._m - _TREE_NODES)
+
+    def _or_window(self, offset: int, pattern: int) -> None:
+        word, bit = divmod(offset, 64)
+        self._words[word] |= np.uint64((pattern << bit) & 0xFFFFFFFFFFFFFFFF)
+        if bit + 32 > 64:
+            self._words[word + 1] |= np.uint64(pattern >> (64 - bit))
+
+    def _read_window(self, offset: int) -> int:
+        word, bit = divmod(offset, 64)
+        value = int(self._words[word]) >> bit
+        if bit + 32 > 64:
+            value |= int(self._words[word + 1]) << (64 - bit)
+        return value & 0xFFFFFFFF
+
+    def _insert_all(self, arr: np.ndarray) -> None:
+        for key in (int(v) for v in arr):
+            # level 0 is the leaf chunk; level i covers bits [4i, 4i+4).
+            for level in range(self._stored):
+                chunk = (key >> (_CHUNK_BITS * level)) & 15
+                prefix = key >> (_CHUNK_BITS * (level + 1))
+                pattern = _PATTERNS[chunk]
+                for j in range(self._k):
+                    self._or_window(self._window_offset(prefix, level, j), pattern)
+
+    # ------------------------------------------------------------------
+    # Tree recovery
+    # ------------------------------------------------------------------
+    def _read_tree(self, prefix: int, level: int) -> int:
+        """AND of the ``k`` windows for (prefix, level) — the recovered tree."""
+        tree = 0xFFFFFFFF
+        for j in range(self._k):
+            tree &= self._read_window(self._window_offset(prefix, level, j))
+            if not tree:
+                break
+        return tree
+
+    def _level_of_prefix_chunks(self, chunk_count: int) -> int:
+        """Level index of the tree hashed by a prefix of ``chunk_count`` chunks."""
+        return self._chunks - 1 - chunk_count
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def _subtree_has_key(self, prefix: int, chunk_count: int) -> bool:
+        """Verify that some full key extends the chunk-aligned ``prefix``."""
+        if chunk_count == self._chunks:
+            return True
+        level = self._level_of_prefix_chunks(chunk_count)
+        if level >= self._stored:
+            # Tree not materialised (SS variant): cannot refute.
+            return True
+        tree = self._read_tree(prefix, level)
+        if not tree & 1:  # root unmarked: no key below this prefix
+            return False
+        for leaf in range(16):
+            path = _PATTERNS[leaf]
+            if tree & path == path and self._subtree_has_key(
+                (prefix << _CHUNK_BITS) | leaf, chunk_count + 1
+            ):
+                return True
+        return False
+
+    def _check_partial(self, prefix: int, depth: int) -> bool:
+        """Check a dyadic block whose prefix has ``depth`` bits."""
+        if depth == 0:
+            return self._n > 0
+        rem = depth % _CHUNK_BITS or _CHUNK_BITS
+        aligned = prefix >> rem
+        chunk_count = (depth - rem) // _CHUNK_BITS
+        level = self._level_of_prefix_chunks(chunk_count)
+        if level >= self._stored:
+            return True  # coarser than stored coverage: cannot refute
+        tree = self._read_tree(aligned, level)
+        node_bit = 1 << ((1 << rem) - 1 + (prefix & ((1 << rem) - 1)))
+        if not tree & node_bit:
+            return False
+        # Enumerate marked leaves under the partial node and verify each
+        # extension down to the full key length.
+        lo_leaf = (prefix & ((1 << rem) - 1)) << (_CHUNK_BITS - rem)
+        hi_leaf = lo_leaf + (1 << (_CHUNK_BITS - rem))
+        for leaf in range(lo_leaf, hi_leaf):
+            path = _PATTERNS[leaf]
+            if tree & path == path and self._subtree_has_key(
+                (aligned << _CHUNK_BITS) | leaf, chunk_count + 1
+            ):
+                return True
+        return False
+
+    def may_contain_range(self, lo: int, hi: int) -> bool:
+        self._check_range(lo, hi)
+        if self._n == 0:
+            return False
+        probes = 0
+        for start, log_size in dyadic_decomposition(lo, hi):
+            probes += 1
+            if probes > self._max_probes:
+                return True
+            depth = self._W - log_size
+            if self._check_partial(start >> log_size, depth):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @property
+    def key_count(self) -> int:
+        return self._n
+
+    @property
+    def stored_levels(self) -> int:
+        return self._stored
+
+    @property
+    def total_levels(self) -> int:
+        return self._chunks
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._m
+
+
+def rencoder_ss(
+    keys: Sequence[int] | np.ndarray,
+    universe: int,
+    *,
+    bits_per_key: float,
+    coverage_levels: int = 4,
+    seed: int = 0,
+) -> REncoder:
+    """REncoderSS: bottom-``coverage_levels`` trees only (space saving)."""
+    bit_width = max(1, (universe - 1).bit_length())
+    chunks = (bit_width + _CHUNK_BITS - 1) // _CHUNK_BITS
+    filt = REncoder(
+        keys,
+        universe,
+        bits_per_key=bits_per_key,
+        stored_levels=min(chunks, coverage_levels),
+        seed=seed,
+    )
+    filt.name = "REncoderSS"
+    return filt
+
+
+def rencoder_se(
+    keys: Sequence[int] | np.ndarray,
+    universe: int,
+    *,
+    bits_per_key: float,
+    sample_queries: Iterable[Tuple[int, int]],
+    seed: int = 0,
+) -> REncoder:
+    """REncoderSE: level coverage auto-tuned on a query sample."""
+    filt = REncoder(
+        keys,
+        universe,
+        bits_per_key=bits_per_key,
+        sample_queries=sample_queries,
+        seed=seed,
+    )
+    filt.name = "REncoderSE"
+    return filt

@@ -1,0 +1,165 @@
+"""SuRF — Succinct Range Filter (paper §2, [40]).
+
+SuRF stores each key truncated at its distinguishing prefix in a
+LOUDS-Sparse Fast Succinct Trie, optionally followed by ``m`` suffix bits
+(real key bits, or a key hash for point queries). A range query finds the
+first trie leaf whose covered key interval reaches the left endpoint and
+answers "not empty" iff that interval starts at or before the right
+endpoint.
+
+Space is ``(10 + m) n + 10 z + o(n + z)`` bits with ``z`` internal nodes
+(Table 1). SuRF's weakness — reproduced here and in Figure 3 — is that a
+query endpoint close to a stored key shares a long prefix with it, so the
+truncated trie cannot separate them and the FPR approaches 1 under
+correlated workloads.
+
+Two small conservative deviations from the reference implementation are
+documented inline; both only ever *add* false positives (never false
+negatives).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.filters.base import RangeFilter, as_key_array
+from repro.filters.bloom import splitmix64
+from repro.filters.fst import FastSuccinctTrie, distinguishing_prefixes
+from repro.succinct.packed import PackedIntVector
+
+_SUFFIX_MODES = ("none", "real", "hash")
+
+
+class SuRF(RangeFilter):
+    """The SuRF range filter.
+
+    Parameters
+    ----------
+    keys / universe:
+        Key set and universe; keys are encoded big-endian over
+        ``ceil(W / 8)`` bytes.
+    suffix_mode:
+        ``"none"`` (SuRF-Base), ``"real"`` (SuRF-Real: the next
+        ``suffix_bits`` key bits follow each truncated prefix — used for
+        range workloads) or ``"hash"`` (SuRF-Hash: a key-hash fragment
+        checked only by point queries — the configuration the paper uses
+        for point-query batches).
+    suffix_bits:
+        The per-key suffix length ``m``.
+    """
+
+    name = "SuRF"
+
+    def __init__(
+        self,
+        keys: Sequence[int] | np.ndarray,
+        universe: int,
+        *,
+        suffix_mode: str = "real",
+        suffix_bits: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(universe)
+        if suffix_mode not in _SUFFIX_MODES:
+            raise InvalidParameterError(
+                f"suffix_mode must be one of {_SUFFIX_MODES}, got {suffix_mode!r}"
+            )
+        if suffix_bits < 0 or (suffix_mode != "none" and suffix_bits == 0):
+            raise InvalidParameterError("suffix_bits must be positive for real/hash modes")
+        self._mode = suffix_mode
+        self._m = int(suffix_bits) if suffix_mode != "none" else 0
+        self._seed = seed
+        arr = as_key_array(keys, universe)
+        self._n = int(arr.size)
+        bit_width = max(1, (universe - 1).bit_length())
+        self._width_bytes = (bit_width + 7) // 8
+        self._width_bits = self._width_bytes * 8
+        if self._n == 0:
+            self._trie = FastSuccinctTrie([])
+            self._suffixes = PackedIntVector(0, [])
+            return
+        encoded = [int(k).to_bytes(self._width_bytes, "big") for k in arr]
+        prefixes = distinguishing_prefixes(encoded)
+        self._trie = FastSuccinctTrie(prefixes)
+        self._suffixes = self._build_suffixes(arr, prefixes)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_suffixes(self, arr: np.ndarray, prefixes) -> PackedIntVector:
+        """Per-leaf suffix bits, stored in LOUDS leaf order."""
+        if self._m == 0:
+            return PackedIntVector(0, [0] * self._trie.num_leaves)
+        values = []
+        for leaf in range(self._trie.num_leaves):
+            key_index = self._trie.leaf_key_index(leaf)
+            key = int(arr[key_index])
+            if self._mode == "hash":
+                values.append(splitmix64(key ^ self._seed) & ((1 << self._m) - 1))
+            else:
+                prefix_bits = 8 * len(prefixes[key_index])
+                remaining = self._width_bits - prefix_bits
+                if remaining >= self._m:
+                    suffix = (key >> (remaining - self._m)) & ((1 << self._m) - 1)
+                else:
+                    suffix = (key & ((1 << remaining) - 1)) << (self._m - remaining)
+                values.append(suffix)
+        return PackedIntVector(self._m, values)
+
+    # ------------------------------------------------------------------
+    # Leaf interval arithmetic
+    # ------------------------------------------------------------------
+    def _leaf_min_key(self, leaf_id: int, prefix: bytes) -> int:
+        """Smallest full-width key consistent with the leaf's stored bits."""
+        prefix_bits = 8 * len(prefix)
+        base = int.from_bytes(prefix, "big") << (self._width_bits - prefix_bits)
+        if self._mode != "real" or self._m == 0:
+            return base
+        remaining = self._width_bits - prefix_bits
+        suffix = self._suffixes[leaf_id]
+        if remaining >= self._m:
+            return base | (suffix << (remaining - self._m))
+        return base | (suffix >> (self._m - remaining))
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @property
+    def key_count(self) -> int:
+        return self._n
+
+    @property
+    def suffix_mode(self) -> str:
+        return self._mode
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._trie.size_in_bits + self._trie.num_leaves * self._m
+
+    def may_contain_range(self, lo: int, hi: int) -> bool:
+        self._check_range(lo, hi)
+        if self._n == 0:
+            return False
+        target = int(lo).to_bytes(self._width_bytes, "big")
+        found = self._trie.first_leaf_reaching(target)
+        if found is None:
+            return False
+        leaf_id, prefix = found
+        if lo == hi and self._mode == "hash":
+            return self._point_check(lo, leaf_id, prefix)
+        # Conservative deviation #1: the "not empty" decision compares the
+        # leaf's *minimal* consistent key against hi. Real suffix bits can
+        # only raise that minimum, improving filtering with no FN risk.
+        return self._leaf_min_key(leaf_id, prefix) <= hi
+
+    def _point_check(self, key: int, leaf_id: int, prefix: bytes) -> bool:
+        """SuRF-Hash point query: exact prefix match plus hash-bit compare."""
+        key_bytes = int(key).to_bytes(self._width_bytes, "big")
+        if key_bytes[: len(prefix)] != prefix:
+            # The located leaf does not cover the key's own prefix path.
+            return self._leaf_min_key(leaf_id, prefix) <= key
+        expected = splitmix64(key ^ self._seed) & ((1 << self._m) - 1)
+        return self._suffixes[leaf_id] == expected

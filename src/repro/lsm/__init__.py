@@ -1,0 +1,7 @@
+"""Mini LSM key-value store with pluggable range filters (§1's motivation)."""
+
+from repro.lsm.memtable import TOMBSTONE, MemTable
+from repro.lsm.sstable import SSTable, merge_runs
+from repro.lsm.store import IoStats, LSMStore
+
+__all__ = ["IoStats", "LSMStore", "MemTable", "SSTable", "TOMBSTONE", "merge_runs"]

@@ -1,0 +1,77 @@
+"""In-memory write buffer of the LSM store.
+
+A plain last-write-wins map plus an ordered view on demand. Real engines
+use skip lists; at reproduction scale a dict with sorted snapshots
+preserves the same semantics (point reads see the newest write, flushes
+emit a sorted run).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _Tombstone:
+    """Sentinel marking a deleted key until compaction drops it."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+class MemTable:
+    """Sorted write buffer with last-write-wins semantics."""
+
+    __slots__ = ("_data", "_sorted_keys", "_dirty")
+
+    def __init__(self) -> None:
+        self._data: dict[int, Any] = {}
+        self._sorted_keys: List[int] = []
+        self._dirty = False
+
+    def put(self, key: int, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        if key not in self._data:
+            self._dirty = True
+        self._data[key] = value
+
+    def delete(self, key: int) -> None:
+        """Mark ``key`` deleted (tombstone survives until compaction)."""
+        self.put(key, TOMBSTONE)
+
+    def get(self, key: int) -> Tuple[bool, Any]:
+        """Return ``(found_here, value)``; tombstones are found with TOMBSTONE."""
+        if key in self._data:
+            return True, self._data[key]
+        return False, None
+
+    def _refresh(self) -> None:
+        if self._dirty:
+            self._sorted_keys = sorted(self._data)
+            self._dirty = False
+
+    def scan(self, lo: int, hi: int) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(key, value)`` pairs in ``[lo, hi]`` in key order."""
+        self._refresh()
+        start = bisect.bisect_left(self._sorted_keys, lo)
+        for idx in range(start, len(self._sorted_keys)):
+            key = self._sorted_keys[idx]
+            if key > hi:
+                break
+            yield key, self._data[key]
+
+    def items_sorted(self) -> List[Tuple[int, Any]]:
+        """All entries in key order (for flushing)."""
+        self._refresh()
+        return [(k, self._data[k]) for k in self._sorted_keys]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._sorted_keys.clear()
+        self._dirty = False

@@ -1,0 +1,122 @@
+"""Immutable sorted runs ("SSTables") with per-run range filters.
+
+Each run keeps its keys in a sorted numpy array and simulates the disk:
+every access that would touch storage increments an I/O counter. The
+attached range filter — any :class:`repro.filters.base.RangeFilter` — is
+consulted *before* touching the run, which is precisely the deployment
+the paper's introduction motivates: filters in memory prevent
+unnecessary reads of on-disk runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.filters.base import RangeFilter
+from repro.lsm.memtable import TOMBSTONE
+
+#: Builds a filter for a run: ``factory(keys, universe) -> RangeFilter``.
+FilterFactory = Callable[[np.ndarray, int], RangeFilter]
+
+
+class SSTable:
+    """An immutable sorted run of ``(key, value)`` entries."""
+
+    __slots__ = ("_keys", "_values", "_filter", "io_reads", "universe")
+
+    def __init__(
+        self,
+        entries: Sequence[Tuple[int, Any]],
+        universe: int,
+        filter_factory: Optional[FilterFactory] = None,
+    ) -> None:
+        keys = [k for k, _ in entries]
+        self._keys = np.asarray(keys, dtype=np.uint64)
+        if self._keys.size > 1 and bool((self._keys[1:] <= self._keys[:-1]).any()):
+            raise ValueError("SSTable entries must be sorted by strictly increasing key")
+        self._values: List[Any] = [v for _, v in entries]
+        self.universe = int(universe)
+        self.io_reads = 0
+        self._filter = (
+            filter_factory(self._keys, self.universe) if filter_factory else None
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._keys.size)
+
+    @property
+    def filter(self) -> Optional[RangeFilter]:
+        return self._filter
+
+    @property
+    def key_bounds(self) -> Optional[Tuple[int, int]]:
+        if self._keys.size == 0:
+            return None
+        return int(self._keys[0]), int(self._keys[-1])
+
+    @property
+    def filter_bits(self) -> int:
+        return self._filter.size_in_bits if self._filter else 0
+
+    # ------------------------------------------------------------------
+    # Filter consultation
+    # ------------------------------------------------------------------
+    def may_contain_range(self, lo: int, hi: int) -> bool:
+        """Consult the in-memory filter; True means "must read the run"."""
+        if self._filter is None:
+            return True
+        return self._filter.may_contain_range(lo, hi)
+
+    # ------------------------------------------------------------------
+    # "Disk" access (each call counts one simulated I/O)
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> Tuple[bool, Any]:
+        """Point lookup; counts one I/O."""
+        self.io_reads += 1
+        idx = int(np.searchsorted(self._keys, key))
+        if idx < self._keys.size and int(self._keys[idx]) == key:
+            return True, self._values[idx]
+        return False, None
+
+    def scan(self, lo: int, hi: int) -> List[Tuple[int, Any]]:
+        """Range scan; counts one I/O (a run read), returns matches."""
+        self.io_reads += 1
+        start = int(np.searchsorted(self._keys, lo, side="left"))
+        out: List[Tuple[int, Any]] = []
+        idx = start
+        while idx < self._keys.size and int(self._keys[idx]) <= hi:
+            out.append((int(self._keys[idx]), self._values[idx]))
+            idx += 1
+        return out
+
+    def entries(self) -> List[Tuple[int, Any]]:
+        """Full dump (compaction input); counts one I/O."""
+        self.io_reads += 1
+        return [(int(k), v) for k, v in zip(self._keys, self._values)]
+
+
+def merge_runs(
+    runs: Sequence[SSTable],
+    *,
+    drop_tombstones: bool,
+) -> List[Tuple[int, Any]]:
+    """K-way merge of runs, newest first, last-write-wins per key.
+
+    ``runs`` must be ordered newest to oldest; the newest occurrence of a
+    key wins. Tombstones are dropped only when merging into the bottom
+    level (``drop_tombstones=True``), as in real leveled compaction.
+    """
+    merged: dict[int, Any] = {}
+    for run in runs:  # newest first: first writer wins
+        for key, value in run.entries():
+            if key not in merged:
+                merged[key] = value
+    items = sorted(merged.items())
+    if drop_tombstones:
+        items = [(k, v) for k, v in items if v is not TOMBSTONE]
+    return items

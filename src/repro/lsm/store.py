@@ -1,0 +1,220 @@
+"""A miniature LSM key-value store with pluggable range filters.
+
+This is the application substrate the paper's introduction motivates:
+key-value stores (RocksDB-style) keep many immutable sorted runs on disk
+and consult an in-memory filter per run before reading it. The store
+implements:
+
+* a memtable flushed into level-0 runs at a size threshold;
+* tiered level-0 with compaction into a single bottom run when level-0
+  grows past ``compaction_fanout`` runs (tombstones dropped at the
+  bottom);
+* point gets, range scans and emptiness probes that consult each run's
+  range filter first;
+* an I/O ledger (:class:`IoStats`) separating necessary reads, reads
+  saved by filters, and wasted reads caused by filter false positives —
+  the quantity an adversary inflates when the filter is not robust
+  (§1, §6.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.lsm.memtable import TOMBSTONE, MemTable
+from repro.lsm.sstable import FilterFactory, SSTable, merge_runs
+
+
+@dataclass
+class IoStats:
+    """Ledger of simulated disk accesses."""
+
+    reads_performed: int = 0
+    reads_avoided: int = 0
+    wasted_reads: int = 0  # filter said "maybe", run had nothing in range
+    flushes: int = 0
+    compactions: int = 0
+
+    @property
+    def total_filter_decisions(self) -> int:
+        return self.reads_performed + self.reads_avoided
+
+    @property
+    def waste_ratio(self) -> float:
+        """Fraction of performed reads that were useless (filter FPs)."""
+        return self.wasted_reads / self.reads_performed if self.reads_performed else 0.0
+
+
+class LSMStore:
+    """LSM key-value store over integer keys.
+
+    Parameters
+    ----------
+    universe:
+        Exclusive key-universe bound.
+    memtable_limit:
+        Flush the memtable into a level-0 run at this many entries.
+    compaction_fanout:
+        Compact level 0 into the bottom run when it holds this many runs.
+    filter_factory:
+        Per-run range-filter builder ``(keys, universe) -> RangeFilter``;
+        ``None`` disables filtering (every probe reads the run).
+    """
+
+    def __init__(
+        self,
+        universe: int = 2**64,
+        *,
+        memtable_limit: int = 1024,
+        compaction_fanout: int = 4,
+        filter_factory: Optional[FilterFactory] = None,
+    ) -> None:
+        if universe <= 0:
+            raise InvalidParameterError("universe must be positive")
+        if memtable_limit < 1:
+            raise InvalidParameterError("memtable_limit must be >= 1")
+        if compaction_fanout < 2:
+            raise InvalidParameterError("compaction_fanout must be >= 2")
+        self.universe = int(universe)
+        self._memtable_limit = int(memtable_limit)
+        self._fanout = int(compaction_fanout)
+        self._factory = filter_factory
+        self._memtable = MemTable()
+        self._level0: List[SSTable] = []  # newest first
+        self._bottom: Optional[SSTable] = None
+        self.stats = IoStats()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < self.universe:
+            raise InvalidQueryError(f"key {key} outside universe [0, {self.universe})")
+
+    def put(self, key: int, value: Any) -> None:
+        """Insert or overwrite a key."""
+        self._check_key(key)
+        if value is TOMBSTONE:
+            raise InvalidParameterError("use delete() instead of writing the tombstone")
+        self._memtable.put(key, value)
+        self._maybe_flush()
+
+    def delete(self, key: int) -> None:
+        """Delete a key (tombstone until compaction)."""
+        self._check_key(key)
+        self._memtable.delete(key)
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if len(self._memtable) >= self._memtable_limit:
+            self.flush()
+
+    def flush(self) -> None:
+        """Force the memtable into a new level-0 run."""
+        entries = self._memtable.items_sorted()
+        if not entries:
+            return
+        run = SSTable(entries, self.universe, self._factory)
+        self._level0.insert(0, run)  # newest first
+        self._memtable.clear()
+        self.stats.flushes += 1
+        if len(self._level0) >= self._fanout:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge all runs into a single bottom run, dropping tombstones."""
+        runs = list(self._level0)
+        if self._bottom is not None:
+            runs.append(self._bottom)  # oldest last
+        if not runs:
+            return
+        merged = merge_runs(runs, drop_tombstones=True)
+        self._bottom = SSTable(merged, self.universe, self._factory)
+        self._level0.clear()
+        self.stats.compactions += 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _runs(self) -> List[SSTable]:
+        """All runs, newest first."""
+        runs = list(self._level0)
+        if self._bottom is not None:
+            runs.append(self._bottom)
+        return runs
+
+    def get(self, key: int) -> Optional[Any]:
+        """Point lookup through memtable then runs (newest wins)."""
+        self._check_key(key)
+        found, value = self._memtable.get(key)
+        if found:
+            return None if value is TOMBSTONE else value
+        for run in self._runs():
+            if not run.may_contain_range(key, key):
+                self.stats.reads_avoided += 1
+                continue
+            self.stats.reads_performed += 1
+            found, value = run.get(key)
+            if found:
+                return None if value is TOMBSTONE else value
+            self.stats.wasted_reads += 1
+        return None
+
+    def range_scan(self, lo: int, hi: int) -> List[Tuple[int, Any]]:
+        """All live ``(key, value)`` pairs in ``[lo, hi]``, in key order."""
+        if lo > hi:
+            raise InvalidQueryError(f"scan range has lo={lo} > hi={hi}")
+        self._check_key(lo)
+        self._check_key(hi)
+        merged: dict[int, Any] = {}
+        for key, value in self._memtable.scan(lo, hi):
+            merged.setdefault(key, value)
+        for run in self._runs():  # newest first: setdefault keeps newest
+            if not run.may_contain_range(lo, hi):
+                self.stats.reads_avoided += 1
+                continue
+            self.stats.reads_performed += 1
+            matches = run.scan(lo, hi)
+            if not matches:
+                self.stats.wasted_reads += 1
+            for key, value in matches:
+                merged.setdefault(key, value)
+        return [
+            (k, v) for k, v in sorted(merged.items()) if v is not TOMBSTONE
+        ]
+
+    def range_empty(self, lo: int, hi: int) -> bool:
+        """Approximate-then-exact emptiness probe for ``[lo, hi]``."""
+        return not self.range_scan(lo, hi)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def run_count(self) -> int:
+        return len(self._runs())
+
+    @property
+    def filter_bits_total(self) -> int:
+        """Memory spent on filters across all runs."""
+        return sum(run.filter_bits for run in self._runs())
+
+    def __len__(self) -> int:
+        """Number of live keys (scans the whole store; for tests/demos)."""
+        live = {
+            k for k, v in self._memtable.items_sorted() if v is not TOMBSTONE
+        }
+        dead = {
+            k for k, v in self._memtable.items_sorted() if v is TOMBSTONE
+        }
+        for run in self._runs():
+            for key, value in run.entries():
+                if key in live or key in dead:
+                    continue
+                if value is TOMBSTONE:
+                    dead.add(key)
+                else:
+                    live.add(key)
+        return len(live)

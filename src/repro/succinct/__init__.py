@@ -1,0 +1,24 @@
+"""Succinct data-structure substrates.
+
+This subpackage contains the compact building blocks the paper's data
+structures are made of:
+
+* :class:`~repro.succinct.bitvector.BitVector` — a plain bit array backed
+  by ``numpy`` 64-bit words, mutable during construction;
+* :class:`~repro.succinct.rank_select.RankSelect` — constant-time
+  ``rank``/``select`` support built over a frozen bit vector (the classic
+  Jacobson/Clark design with word-level popcount blocks and sampled
+  selects);
+* :class:`~repro.succinct.packed.PackedIntVector` — a fixed-width integer
+  array packed into 64-bit words (the "low parts" array of Elias-Fano);
+* :class:`~repro.succinct.elias_fano.EliasFano` — the quasi-succinct
+  monotone sequence encoding of Elias and Fano, augmented with the
+  ``predecessor`` operation used by Grafite's query algorithm (paper §3).
+"""
+
+from repro.succinct.bitvector import BitVector
+from repro.succinct.elias_fano import EliasFano
+from repro.succinct.packed import PackedIntVector
+from repro.succinct.rank_select import RankSelect
+
+__all__ = ["BitVector", "EliasFano", "PackedIntVector", "RankSelect"]

@@ -1,0 +1,232 @@
+"""The Elias-Fano quasi-succinct encoding of monotone integer sequences.
+
+Given ``n`` non-decreasing integers from a universe ``[u]``, the encoding
+(paper §3, [14, 16]) splits each value into ``l = floor(log2(u / n))`` low
+bits, stored verbatim in a packed vector ``V``, and the remaining high
+bits, stored in negated-unary form in a bit vector ``H`` where the i-th
+value contributes a one at position ``high_i + i``. Total space is at most
+``n * ceil(log2(u / n)) + 2n`` bits, plus ``o(n)`` for rank/select.
+
+Grafite (§3) relies on three operations implemented here:
+
+* ``access(i)`` — the i-th smallest value, via ``select1``;
+* ``predecessor(y)`` — the largest stored value ``<= y``, via two
+  ``select0`` calls that isolate the "bucket" of values sharing the high
+  part of ``y`` followed by a binary search on at most ``2^l`` low parts
+  (this is exactly the ``O(log(L / eps))`` query cost of Theorem 3.4);
+* ``successor(y)`` — the smallest stored value ``>= y`` (used by tests and
+  by the approximate-counting extension).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.succinct.bitvector import BitVector
+from repro.succinct.packed import PackedIntVector
+from repro.succinct.rank_select import RankSelect
+
+
+class EliasFano:
+    """Elias-Fano encoding with predecessor/successor support.
+
+    Parameters
+    ----------
+    values:
+        Non-decreasing sequence of integers ``>= 0``. Duplicates are
+        allowed (the encoding handles them natively).
+    universe:
+        Exclusive upper bound ``u`` on the values. Defaults to
+        ``max(values) + 1``. The low-bit width is derived from ``u``, so
+        passing the true universe keeps the encoding within its space
+        bound even when the stored values happen to be small.
+    """
+
+    __slots__ = ("_n", "_u", "_l", "_low", "_high", "_first", "_last")
+
+    def __init__(self, values: Sequence[int] | np.ndarray, universe: Optional[int] = None) -> None:
+        vals = np.asarray(values, dtype=np.uint64)
+        n = int(vals.size)
+        if n and vals.size > 1 and bool((vals[1:] < vals[:-1]).any()):
+            raise InvalidParameterError("Elias-Fano input must be non-decreasing")
+        max_value = int(vals[-1]) if n else 0
+        if universe is None:
+            universe = max_value + 1 if n else 1
+        if universe <= 0:
+            raise InvalidParameterError(f"universe must be positive, got {universe}")
+        if n and max_value >= universe:
+            raise InvalidParameterError(
+                f"value {max_value} outside declared universe [0, {universe})"
+            )
+        self._n = n
+        self._u = int(universe)
+        if n == 0:
+            self._l = 0
+            self._low = PackedIntVector(0, [])
+            self._high = RankSelect(BitVector(1))
+            self._first = None
+            self._last = None
+            return
+        # Low-bit width: floor(log2(u / n)) as in the paper (0 when u <= n).
+        ratio = self._u // n
+        self._l = ratio.bit_length() - 1 if ratio >= 1 else 0
+        l_mask = np.uint64((1 << self._l) - 1) if self._l else np.uint64(0)
+        lows = (vals & l_mask) if self._l else np.zeros(n, dtype=np.uint64)
+        highs = (vals >> np.uint64(self._l)).astype(np.int64)
+        self._low = PackedIntVector(self._l, lows)
+        max_high = ((self._u - 1) >> self._l) if self._u > 0 else 0
+        high_bits = BitVector.from_positions(
+            n + max_high + 1, highs + np.arange(n, dtype=np.int64)
+        )
+        self._high = RankSelect(high_bits)
+        self._first = int(vals[0])
+        self._last = int(vals[-1])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def universe(self) -> int:
+        return self._u
+
+    @property
+    def low_bits(self) -> int:
+        """The low-part width ``l`` (the binary-search window is ``2^l``)."""
+        return self._l
+
+    @property
+    def first(self) -> Optional[int]:
+        """Smallest stored value, or ``None`` if the sequence is empty."""
+        return self._first
+
+    @property
+    def last(self) -> Optional[int]:
+        """Largest stored value, or ``None`` if the sequence is empty."""
+        return self._last
+
+    @property
+    def size_in_bits(self) -> int:
+        """Payload bits: low parts plus the high bit vector."""
+        return self._low.size_in_bits + self._high.bitvector.size_in_bits
+
+    @property
+    def index_size_in_bits(self) -> int:
+        """Auxiliary (``o(n)``) bits spent on the rank/select index."""
+        return self._high.index_size_in_bits
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def access(self, i: int) -> int:
+        """Return the i-th smallest stored value (0-indexed)."""
+        if not 0 <= i < self._n:
+            raise IndexError(f"index {i} out of range [0, {self._n})")
+        high = self._high.select1(i) - i
+        return (high << self._l) | self._low[i]
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._n):
+            yield self.access(i)
+
+    # ------------------------------------------------------------------
+    # Bucket isolation (shared by predecessor / successor)
+    # ------------------------------------------------------------------
+    def _bucket_bounds(self, p: int) -> Tuple[int, int]:
+        """Return ``[i, j)``, the index range of values whose high part is ``p``.
+
+        Values with high part ``p`` appear as a run of ones between the
+        p-th and (p+1)-th zeros of ``H`` (paper §3, step 2 of Figure 2).
+        """
+        i = self._high.select0(p - 1) - p + 1 if p > 0 else 0
+        j = self._high.select0(p) - p
+        return i, j
+
+    # ------------------------------------------------------------------
+    # Predecessor / successor
+    # ------------------------------------------------------------------
+    def predecessor_index(self, y: int) -> Optional[Tuple[int, int]]:
+        """Return ``(index, value)`` of the largest stored value ``<= y``.
+
+        Returns ``None`` when every stored value is greater than ``y`` (or
+        the sequence is empty). This doubles as a rank primitive: the
+        returned index plus one is the number of stored values ``<= y``,
+        which the approximate-counting extension of §3 uses directly.
+        """
+        if self._n == 0 or y < self._first:
+            return None
+        if y >= self._last:
+            return self._n - 1, self._last
+        p = y >> self._l
+        i, j = self._bucket_bounds(p)
+        y_low = y & ((1 << self._l) - 1) if self._l else 0
+        if i < j and self._low[i] <= y_low:
+            # Rightmost index t in [i, j) with low[t] <= y_low.
+            lo, hi = i, j - 1
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if self._low[mid] <= y_low:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            return lo, (p << self._l) | self._low[lo]
+        # Bucket p has no value <= y; the predecessor is the last value of
+        # an earlier bucket. i >= 1 here because y >= first.
+        return i - 1, self.access(i - 1)
+
+    def predecessor(self, y: int) -> Optional[int]:
+        """Return the largest stored value ``<= y``, or ``None``."""
+        found = self.predecessor_index(y)
+        return None if found is None else found[1]
+
+    def successor_index(self, y: int) -> Optional[Tuple[int, int]]:
+        """Return ``(index, value)`` of the smallest stored value ``>= y``."""
+        if self._n == 0 or y > self._last:
+            return None
+        if y <= self._first:
+            return 0, self._first
+        p = y >> self._l
+        i, j = self._bucket_bounds(p)
+        y_low = y & ((1 << self._l) - 1) if self._l else 0
+        if i < j and self._low[j - 1] >= y_low:
+            # Leftmost index t in [i, j) with low[t] >= y_low.
+            lo, hi = i, j - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self._low[mid] >= y_low:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            return lo, (p << self._l) | self._low[lo]
+        # No value >= y in bucket p; take the first value of a later
+        # bucket. j < n here because y <= last.
+        return j, self.access(j)
+
+    def successor(self, y: int) -> Optional[int]:
+        """Return the smallest stored value ``>= y``, or ``None``."""
+        found = self.successor_index(y)
+        return None if found is None else found[1]
+
+    def rank_leq(self, y: int) -> int:
+        """Return the number of stored values ``<= y``."""
+        found = self.predecessor_index(y)
+        return 0 if found is None else found[0] + 1
+
+    def contains_in_range(self, lo: int, hi: int) -> bool:
+        """Return ``True`` iff some stored value lies in ``[lo, hi]``.
+
+        This is the emptiness primitive both Grafite and Bucketing reduce
+        to: ``predecessor(hi) >= lo``.
+        """
+        if lo > hi:
+            return False
+        pred = self.predecessor(hi)
+        return pred is not None and pred >= lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EliasFano(n={self._n}, u={self._u}, l={self._l})"

@@ -1,0 +1,216 @@
+"""Golomb-Rice coded monotone sequences.
+
+SNARF [36] stores its sparse bit array compressed; following its design we
+encode the gaps between consecutive set positions with Rice codes (the
+power-of-two special case of Golomb codes, optimal for geometrically
+distributed gaps) and keep a sampled directory for ``O(log t + s)`` seeks,
+where ``s`` is the sampling stride.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+class BitWriter:
+    """Append-only bit buffer (little-endian within 64-bit words)."""
+
+    __slots__ = ("_words", "_bit_length")
+
+    def __init__(self) -> None:
+        self._words: List[int] = [0]
+        self._bit_length = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Append the ``count`` low bits of ``value``."""
+        if count < 0:
+            raise InvalidParameterError("bit count must be >= 0")
+        if count == 0:
+            return
+        value &= (1 << count) - 1
+        offset = self._bit_length & 63
+        self._words[-1] |= (value << offset) & 0xFFFFFFFFFFFFFFFF
+        written = 64 - offset
+        while written < count:
+            self._words.append((value >> written) & 0xFFFFFFFFFFFFFFFF)
+            written += 64
+        self._bit_length += count
+        if self._bit_length & 63 == 0:
+            self._words.append(0)
+
+    def write_unary(self, quotient: int) -> None:
+        """Append ``quotient`` one-bits followed by a terminating zero."""
+        while quotient >= 63:
+            self.write_bits((1 << 63) - 1, 63)
+            quotient -= 63
+        self.write_bits((1 << quotient) - 1, quotient + 1)
+
+    @property
+    def bit_length(self) -> int:
+        return self._bit_length
+
+    def to_words(self) -> np.ndarray:
+        return np.asarray(self._words, dtype=np.uint64)
+
+
+class BitReader:
+    """Sequential reader over a word array produced by :class:`BitWriter`."""
+
+    __slots__ = ("_words", "position")
+
+    def __init__(self, words: np.ndarray, position: int = 0) -> None:
+        self._words = words
+        self.position = int(position)
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits starting at the current position."""
+        if count == 0:
+            return 0
+        word_idx, offset = divmod(self.position, 64)
+        value = int(self._words[word_idx]) >> offset
+        have = 64 - offset
+        while have < count:
+            word_idx += 1
+            value |= int(self._words[word_idx]) << have
+            have += 64
+        self.position += count
+        return value & ((1 << count) - 1)
+
+    def read_unary(self) -> int:
+        """Read a unary-coded quotient (ones terminated by a zero)."""
+        quotient = 0
+        while True:
+            word_idx, offset = divmod(self.position, 64)
+            chunk = int(self._words[word_idx]) >> offset
+            remaining = 64 - offset
+            trailing_ones = (~chunk & ((1 << remaining) - 1))
+            if trailing_ones:
+                run = (trailing_ones & -trailing_ones).bit_length() - 1
+                self.position += run + 1
+                return quotient + run
+            quotient += remaining
+            self.position += remaining
+
+
+class GolombSequence:
+    """Rice-coded strictly increasing positions with a seek directory.
+
+    Parameters
+    ----------
+    positions:
+        Strictly increasing non-negative integers (set-bit positions).
+    universe:
+        Exclusive upper bound on positions; fixes the Rice parameter
+        ``b = max(0, floor(log2(universe / t)))`` — the optimum for ``t``
+        uniformly scattered positions.
+    sample_every:
+        Directory stride: one ``(value, bit offset)`` checkpoint every
+        this many elements bounds sequential decoding during seeks.
+    """
+
+    __slots__ = (
+        "_t", "_universe", "_b", "_words", "_bits",
+        "_dir_values", "_dir_offsets", "_stride",
+    )
+
+    def __init__(
+        self,
+        positions: Sequence[int] | np.ndarray,
+        universe: int,
+        sample_every: int = 64,
+    ) -> None:
+        pos = np.asarray(positions, dtype=np.uint64)
+        if universe <= 0:
+            raise InvalidParameterError("universe must be positive")
+        if sample_every < 1:
+            raise InvalidParameterError("sample_every must be >= 1")
+        if pos.size:
+            if int(pos.max()) >= universe:
+                raise InvalidParameterError("position outside universe")
+            if pos.size > 1 and bool((pos[1:] <= pos[:-1]).any()):
+                raise InvalidParameterError("positions must be strictly increasing")
+        self._t = int(pos.size)
+        self._universe = int(universe)
+        self._stride = int(sample_every)
+        density = self._universe / max(1, self._t)
+        self._b = max(0, int(math.floor(math.log2(density))) if density >= 1 else 0)
+        writer = BitWriter()
+        dir_values: List[int] = []
+        dir_offsets: List[int] = []
+        previous = -1
+        for index, value in enumerate(int(v) for v in pos):
+            if index % self._stride == 0:
+                dir_values.append(value)
+                dir_offsets.append(writer.bit_length)
+            gap = value - previous - 1
+            writer.write_unary(gap >> self._b)
+            writer.write_bits(gap, self._b)
+            previous = value
+        self._words = writer.to_words()
+        self._bits = writer.bit_length
+        self._dir_values = np.asarray(dir_values, dtype=np.uint64)
+        self._dir_offsets = np.asarray(dir_offsets, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._t
+
+    @property
+    def rice_parameter(self) -> int:
+        return self._b
+
+    @property
+    def size_in_bits(self) -> int:
+        """Code stream plus the directory (counted honestly)."""
+        return self._bits + self._dir_values.size * (64 + 64)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def _decode_from(self, block: int):
+        """Yield positions starting at directory block ``block``.
+
+        The first element of a block is re-anchored on the directory value
+        (its coded gap is decoded and discarded), so blocks are
+        independently seekable.
+        """
+        reader = BitReader(self._words, int(self._dir_offsets[block]))
+        index = block * self._stride
+        previous = -1
+        while index < self._t:
+            gap = (reader.read_unary() << self._b) | reader.read_bits(self._b)
+            if index == block * self._stride:
+                value = int(self._dir_values[block])
+            else:
+                value = previous + 1 + gap
+            yield value
+            previous = value
+            index += 1
+
+    def successor(self, y: int) -> Optional[int]:
+        """Smallest stored position ``>= y``, or ``None``."""
+        if self._t == 0 or y >= self._universe:
+            return None
+        block = max(0, int(np.searchsorted(self._dir_values, y, side="right")) - 1)
+        for value in self._decode_from(block):
+            if value >= y:
+                return value
+        return None
+
+    def __iter__(self):
+        if self._t:
+            yield from self._decode_from(0)
+
+    def any_in_range(self, lo: int, hi: int) -> bool:
+        """True iff some stored position lies in ``[lo, hi]``."""
+        if lo > hi:
+            return False
+        found = self.successor(max(0, lo))
+        return found is not None and found <= hi

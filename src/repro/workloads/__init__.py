@@ -1,0 +1,43 @@
+"""Dataset and query-workload generators (paper §6.1) plus the adversary."""
+
+from repro.workloads.adversary import (
+    AdaptiveAdversary,
+    AttackReport,
+    KeyKnowledgeAdversary,
+)
+from repro.workloads.datasets import (
+    DATASETS,
+    DEFAULT_UNIVERSE,
+    books_like,
+    fb_like,
+    load_dataset,
+    normal,
+    osm_like,
+    uniform,
+)
+from repro.workloads.queries import (
+    correlated_queries,
+    intersects,
+    nonempty_queries,
+    real_extracted_queries,
+    uncorrelated_queries,
+)
+
+__all__ = [
+    "AdaptiveAdversary",
+    "AttackReport",
+    "DATASETS",
+    "DEFAULT_UNIVERSE",
+    "KeyKnowledgeAdversary",
+    "books_like",
+    "correlated_queries",
+    "fb_like",
+    "intersects",
+    "load_dataset",
+    "nonempty_queries",
+    "normal",
+    "osm_like",
+    "real_extracted_queries",
+    "uncorrelated_queries",
+    "uniform",
+]

@@ -1,0 +1,148 @@
+"""Adversarial query generation (§1, §6.2, §6.7).
+
+The paper's security argument: "malicious users can artificially issue
+[correlated] queries with just the knowledge of (a subset of) the keys",
+driving heuristic filters' FPR towards 1 and turning the filter into an
+availability risk for the system it protects. This module implements that
+adversary in two strengths:
+
+* :class:`KeyKnowledgeAdversary` — knows a subset of the keys and issues
+  empty ranges hugging them from the right (the Correlated workload with
+  ``D = 1``, but constructed deterministically from leaked keys);
+* :class:`AdaptiveAdversary` — additionally observes the filter's
+  answers and re-issues (neighbourhoods of) queries that were false
+  positives, amplifying load on the backing store. Against Grafite the
+  amplification is provably useless (the FPR bound is per-query and
+  distribution-free); against heuristic filters it locks onto their weak
+  regions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.filters.base import RangeFilter
+from repro.workloads.queries import intersects
+
+Query = Tuple[int, int]
+
+
+class KeyKnowledgeAdversary:
+    """Issues empty query ranges adjacent to leaked keys.
+
+    Parameters
+    ----------
+    full_keys:
+        The complete key set (used only to guarantee emptiness, playing
+        the role of the ground truth the experiment checks against).
+    leaked_fraction:
+        Fraction of keys the adversary knows (``> 0``).
+    """
+
+    def __init__(
+        self,
+        full_keys: Sequence[int] | np.ndarray,
+        leaked_fraction: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < leaked_fraction <= 1:
+            raise InvalidParameterError("leaked_fraction must be in (0, 1]")
+        self._keys = np.sort(np.asarray(full_keys, dtype=np.uint64))
+        if self._keys.size == 0:
+            raise InvalidParameterError("adversary needs a non-empty key set")
+        rng = np.random.default_rng(seed)
+        count = max(1, int(self._keys.size * leaked_fraction))
+        picks = rng.choice(self._keys.size, size=count, replace=False)
+        self._leaked = np.sort(self._keys[picks])
+        self._rng = rng
+
+    @property
+    def leaked_key_count(self) -> int:
+        return int(self._leaked.size)
+
+    def craft_queries(self, n_queries: int, range_size: int, universe: int) -> List[Query]:
+        """Empty ranges starting right after leaked keys."""
+        out: List[Query] = []
+        attempts = 0
+        limit = n_queries * 200
+        while len(out) < n_queries and attempts < limit:
+            attempts += 1
+            k = int(self._leaked[self._rng.integers(0, self._leaked.size)])
+            lo = k + 1
+            hi = lo + range_size - 1
+            if hi >= universe or intersects(self._keys, lo, hi):
+                continue
+            out.append((lo, hi))
+        if len(out) < n_queries:
+            raise InvalidParameterError(
+                "could not craft enough adversarial queries (key set too dense)"
+            )
+        return out
+
+
+class AdaptiveAdversary(KeyKnowledgeAdversary):
+    """Observes filter answers and re-targets confirmed false positives."""
+
+    def attack(
+        self,
+        target: RangeFilter,
+        rounds: int,
+        queries_per_round: int,
+        range_size: int,
+    ) -> "AttackReport":
+        """Run an adaptive attack; returns per-round false-positive rates.
+
+        Round 1 issues crafted correlated queries; later rounds re-issue
+        perturbed variants of the queries that came back "not empty"
+        (confirmed false positives, since all crafted queries are empty).
+        """
+        if rounds < 1 or queries_per_round < 1:
+            raise InvalidParameterError("rounds and queries_per_round must be >= 1")
+        universe = target.universe
+        per_round_fpr: List[float] = []
+        hot: List[Query] = []
+        for _ in range(rounds):
+            batch: List[Query] = []
+            while hot and len(batch) < queries_per_round:
+                lo, hi = hot.pop()
+                jitter = int(self._rng.integers(0, max(1, range_size // 2)))
+                lo2, hi2 = lo + jitter, hi + jitter
+                if hi2 < universe and not intersects(self._keys, lo2, hi2):
+                    batch.append((lo2, hi2))
+            if len(batch) < queries_per_round:
+                batch.extend(
+                    self.craft_queries(queries_per_round - len(batch), range_size, universe)
+                )
+            false_positives = 0
+            next_hot: List[Query] = []
+            for lo, hi in batch:
+                if target.may_contain_range(lo, hi):
+                    false_positives += 1
+                    next_hot.append((lo, hi))
+            per_round_fpr.append(false_positives / len(batch))
+            hot = next_hot
+        return AttackReport(per_round_fpr)
+
+
+class AttackReport:
+    """Outcome of an adaptive attack: FPR per round."""
+
+    def __init__(self, per_round_fpr: List[float]) -> None:
+        self.per_round_fpr = per_round_fpr
+
+    @property
+    def final_fpr(self) -> float:
+        return self.per_round_fpr[-1]
+
+    @property
+    def amplification(self) -> float:
+        """Ratio of last-round to first-round FPR (1.0 = no lock-on)."""
+        first = self.per_round_fpr[0]
+        return self.final_fpr / first if first > 0 else float("inf") if self.final_fpr else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rates = ", ".join(f"{r:.3f}" for r in self.per_round_fpr)
+        return f"AttackReport([{rates}])"

@@ -1,0 +1,98 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+COMMON = ["--n", "2000", "--universe-bits", "40", "--seed", "7"]
+
+
+class TestDatasetCommand:
+    @pytest.mark.parametrize("name", ["uniform", "books", "osm", "fb", "normal"])
+    def test_describes_each_dataset(self, name):
+        code, out = run_cli(["dataset", "--dataset", name] + COMMON)
+        assert code == 0
+        assert "keys" in out and "2,000" in out
+
+    def test_deterministic(self):
+        _, a = run_cli(["dataset"] + COMMON)
+        _, b = run_cli(["dataset"] + COMMON)
+        assert a == b
+
+
+class TestFprCommand:
+    def test_grafite_uncorrelated(self):
+        code, out = run_cli(
+            ["fpr", "--filter", "Grafite", "--queries", "200"] + COMMON
+        )
+        assert code == 0
+        assert "FPR" in out and "query time" in out
+
+    def test_correlated_degree(self):
+        code, out = run_cli(
+            ["fpr", "--filter", "Bucketing", "--workload", "correlated",
+             "--degree", "1.0", "--queries", "100"] + COMMON
+        )
+        assert code == 0
+        assert "(D=1.0)" in out
+
+    def test_sample_dependent_filter(self):
+        code, out = run_cli(
+            ["fpr", "--filter", "Proteus", "--queries", "100"] + COMMON
+        )
+        assert code == 0
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["fpr", "--filter", "Nope"] + COMMON)
+
+
+class TestAttackCommand:
+    def test_attack_grafite(self):
+        code, out = run_cli(
+            ["attack", "--filter", "Grafite", "--rounds", "2",
+             "--queries-per-round", "50"] + COMMON
+        )
+        assert code == 0
+        assert "round 1" in out and "amplification" in out
+
+    def test_attack_heuristic_locks_on(self):
+        code, out = run_cli(
+            ["attack", "--filter", "Bucketing", "--rounds", "2",
+             "--queries-per-round", "50", "--bits-per-key", "12"] + COMMON
+        )
+        assert code == 0
+        # Bucketing under key-adjacent probes: round FPRs near 1.
+        round1 = next(l for l in out.splitlines() if "round 1" in l)
+        assert float(round1.split("|")[1].strip()) > 0.5
+
+
+class TestTable1Command:
+    def test_prints_paper_parameters(self):
+        code, out = run_cli(["table1"])
+        assert code == 0
+        assert "Grafite" in out and "Lower bound" in out
+
+    def test_custom_parameters(self):
+        code, out = run_cli(
+            ["table1", "--n", "1000", "--range-size", "32", "--eps", "0.1"]
+        )
+        assert code == 0
+        assert "eps=0.1" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            run_cli([])

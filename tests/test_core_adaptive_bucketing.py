@@ -1,0 +1,134 @@
+"""Tests for WorkloadAwareBucketing (the paper's §7 future-work feature)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fpr import measure_fpr
+from repro.core.adaptive_bucketing import WorkloadAwareBucketing
+from repro.core.bucketing import Bucketing
+from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.workloads.datasets import uniform
+from repro.workloads.queries import uncorrelated_queries
+
+UNIVERSE = 2**32
+KEYS = uniform(4000, universe=UNIVERSE, seed=0)
+
+
+def hot_region_queries(n, seed, range_size=16):
+    """Empty queries concentrated in the first 1/16th of the universe."""
+    rng = np.random.default_rng(seed)
+    sorted_keys = np.sort(KEYS)
+    out = []
+    while len(out) < n:
+        lo = int(rng.integers(0, UNIVERSE // 16 - range_size))
+        hi = lo + range_size - 1
+        idx = int(np.searchsorted(sorted_keys, lo))
+        if idx < sorted_keys.size and int(sorted_keys[idx]) <= hi:
+            continue
+        out.append((lo, hi))
+    return out
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            WorkloadAwareBucketing(KEYS, UNIVERSE, bits_per_key=0, sample_queries=[])
+        with pytest.raises(InvalidParameterError):
+            WorkloadAwareBucketing(
+                KEYS, UNIVERSE, bits_per_key=8, sample_queries=[], num_regions=0
+            )
+        with pytest.raises(InvalidParameterError):
+            WorkloadAwareBucketing(
+                KEYS, UNIVERSE, bits_per_key=8, sample_queries=[], cold_floor=0
+            )
+
+    def test_empty_keys(self):
+        f = WorkloadAwareBucketing([], UNIVERSE, bits_per_key=8, sample_queries=[])
+        assert f.key_count == 0
+        assert not f.may_contain_range(0, 100)
+
+    def test_budget_respected(self):
+        sample = hot_region_queries(64, seed=1)
+        f = WorkloadAwareBucketing(KEYS, UNIVERSE, bits_per_key=10, sample_queries=sample)
+        assert f.bits_per_key <= 10 * 1.3  # regions round up a little
+
+    def test_hot_regions_get_finer_buckets(self):
+        sample = hot_region_queries(128, seed=2)
+        f = WorkloadAwareBucketing(
+            KEYS, UNIVERSE, bits_per_key=8, sample_queries=sample, num_regions=16
+        )
+        sizes = [s for s in f.region_bucket_sizes() if s is not None]
+        # region 0 is hot: its buckets must be finer than the cold median.
+        hot = f.region_bucket_sizes()[0]
+        cold = sorted(sizes)[len(sizes) // 2]
+        assert hot is not None and hot <= cold
+
+    def test_no_sample_falls_back_to_uniform(self):
+        f = WorkloadAwareBucketing(KEYS, UNIVERSE, bits_per_key=8, sample_queries=[])
+        sizes = sorted(s for s in f.region_bucket_sizes() if s is not None)
+        # Near-uniform coarseness: most regions sit within a factor of 8
+        # of the median (per-region key-count jitter moves the
+        # power-of-two fit by a step or two, never systematically).
+        median = sizes[len(sizes) // 2]
+        near_median = [s for s in sizes if median / 8 <= s <= median * 8]
+        assert len(near_median) >= 0.8 * len(sizes)
+
+
+class TestQueries:
+    def test_validation(self):
+        f = WorkloadAwareBucketing(KEYS, UNIVERSE, bits_per_key=8, sample_queries=[])
+        with pytest.raises(InvalidQueryError):
+            f.may_contain_range(5, 1)
+
+    def test_no_false_negatives(self):
+        sample = hot_region_queries(64, seed=3)
+        f = WorkloadAwareBucketing(KEYS, UNIVERSE, bits_per_key=8, sample_queries=sample)
+        for k in KEYS[:200]:
+            k = int(k)
+            assert f.may_contain(k)
+            assert f.may_contain_range(max(0, k - 9), min(UNIVERSE - 1, k + 9))
+
+    def test_cross_region_ranges(self):
+        sample = hot_region_queries(32, seed=4)
+        f = WorkloadAwareBucketing(
+            KEYS, UNIVERSE, bits_per_key=8, sample_queries=sample, num_regions=8
+        )
+        width = (UNIVERSE + 7) // 8
+        # a range straddling a region boundary containing a key nearby
+        boundary = width
+        idx = int(np.searchsorted(np.sort(KEYS), boundary))
+        key = int(np.sort(KEYS)[idx])
+        assert f.may_contain_range(boundary - 100, key + 1)
+
+    def test_beats_plain_bucketing_on_skewed_workload(self):
+        """The §7 motivation: same space, lower FPR where queries live."""
+        sample = hot_region_queries(128, seed=5)
+        workload = hot_region_queries(800, seed=6)
+        budget = 7
+        adaptive = WorkloadAwareBucketing(
+            KEYS, UNIVERSE, bits_per_key=budget, sample_queries=sample, num_regions=16
+        )
+        plain = Bucketing(KEYS, UNIVERSE, bits_per_key=budget)
+        fpr_adaptive = measure_fpr(adaptive, workload).fpr
+        fpr_plain = measure_fpr(plain, workload).fpr
+        assert fpr_adaptive <= fpr_plain
+        assert adaptive.bits_per_key <= plain.bits_per_key * 1.5
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_no_false_negatives_property(self, data):
+        keys = data.draw(
+            st.lists(st.integers(min_value=0, max_value=UNIVERSE - 1), min_size=1, max_size=40)
+        )
+        regions = data.draw(st.sampled_from([1, 4, 64]))
+        f = WorkloadAwareBucketing(
+            keys, UNIVERSE, bits_per_key=6,
+            sample_queries=[(0, 100)], num_regions=regions,
+        )
+        for key in keys[:10]:
+            span = data.draw(st.integers(min_value=0, max_value=1000))
+            lo = max(0, key - span)
+            hi = min(UNIVERSE - 1, key + span)
+            assert f.may_contain_range(lo, hi)

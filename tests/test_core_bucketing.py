@@ -1,0 +1,98 @@
+"""Tests for the Bucketing heuristic filter (paper §4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bucketing import Bucketing
+from repro.errors import InvalidParameterError, InvalidQueryError
+
+
+class TestConstruction:
+    def test_requires_exactly_one_knob(self):
+        with pytest.raises(InvalidParameterError):
+            Bucketing([1], 100)
+        with pytest.raises(InvalidParameterError):
+            Bucketing([1], 100, bucket_size=2, bits_per_key=8)
+
+    def test_invalid_bucket_size(self):
+        with pytest.raises(InvalidParameterError):
+            Bucketing([1], 100, bucket_size=0)
+
+    def test_invalid_budget(self):
+        with pytest.raises(InvalidParameterError):
+            Bucketing([1], 100, bits_per_key=0)
+
+    def test_empty_keys(self):
+        b = Bucketing([], 1000, bucket_size=10)
+        assert b.key_count == 0
+        assert not b.may_contain_range(0, 999)
+
+    def test_bucket_size_one_is_lossless(self):
+        keys = [3, 17, 999]
+        b = Bucketing(keys, 1000, bucket_size=1)
+        assert b.marked_buckets == 3
+        for k in keys:
+            assert b.may_contain(k)
+        assert not b.may_contain_range(4, 16)
+        assert not b.may_contain_range(18, 998)
+
+    def test_marked_bucket_count(self):
+        # keys 0..9 with s=5 -> buckets {0, 1}
+        b = Bucketing(range(10), 100, bucket_size=5)
+        assert b.marked_buckets == 2
+        assert b.bucket_size == 5
+
+    def test_budget_fit_shrinks_space(self):
+        rng = np.random.default_rng(0)
+        keys = np.unique(rng.integers(0, 2**40, 2000, dtype=np.uint64))
+        tight = Bucketing(keys, 2**40, bits_per_key=6)
+        loose = Bucketing(keys, 2**40, bits_per_key=30)
+        assert tight.bits_per_key <= 6 + 1e-9
+        assert tight.bucket_size >= loose.bucket_size
+        assert loose.bits_per_key <= 30 + 1e-9
+
+
+class TestQueries:
+    def test_query_validation(self):
+        b = Bucketing([5], 100, bucket_size=2)
+        with pytest.raises(InvalidQueryError):
+            b.may_contain_range(5, 3)
+        with pytest.raises(InvalidQueryError):
+            b.may_contain_range(0, 100)
+
+    def test_false_positive_within_bucket(self):
+        # key 7 marks bucket [0, 9]; empty query [8, 9] is a false positive
+        b = Bucketing([7], 100, bucket_size=10)
+        assert b.may_contain_range(8, 9)
+        assert not b.may_contain_range(10, 19)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**6 - 1), min_size=1, max_size=100),
+        st.sampled_from([1, 2, 7, 64, 1000]),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_no_false_negatives_property(self, keys, bucket_size, data):
+        b = Bucketing(keys, 10**6, bucket_size=bucket_size)
+        for key in keys[:10]:
+            span = data.draw(st.integers(min_value=0, max_value=500))
+            lo = max(0, key - span)
+            hi = min(10**6 - 1, key + span)
+            assert b.may_contain_range(lo, hi)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**6 - 1), min_size=1, max_size=50),
+        st.sampled_from([4, 32]),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bucket_semantics_exactly(self, keys, bucket_size, data):
+        """Bucketing's answer equals the exact bucket-occupancy predicate."""
+        b = Bucketing(keys, 10**6, bucket_size=bucket_size)
+        marked = {k // bucket_size for k in keys}
+        lo = data.draw(st.integers(min_value=0, max_value=10**6 - 1))
+        hi = data.draw(st.integers(min_value=lo, max_value=min(10**6 - 1, lo + 10_000)))
+        expected = any(lo // bucket_size <= m <= hi // bucket_size for m in marked)
+        assert b.may_contain_range(lo, hi) == expected

@@ -1,0 +1,148 @@
+"""Tests for DynamicGrafite (the §7 insertions open problem, engineered)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic import DynamicGrafite
+from repro.errors import InvalidKeyError, InvalidParameterError
+
+UNIVERSE = 2**32
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DynamicGrafite(0, UNIVERSE, eps=0.1)
+        with pytest.raises(InvalidParameterError):
+            DynamicGrafite(10, UNIVERSE)  # no budget knob
+        with pytest.raises(InvalidParameterError):
+            DynamicGrafite(10, UNIVERSE, eps=0.1, bits_per_key=8)
+        with pytest.raises(InvalidParameterError):
+            DynamicGrafite(10, UNIVERSE, eps=0.1, buffer_size=0)
+
+    def test_empty_filter(self):
+        d = DynamicGrafite(100, UNIVERSE, eps=0.1, seed=0)
+        assert d.key_count == 0
+        assert not d.may_contain_range(0, UNIVERSE - 1)
+        assert d.fpr_bound(10) == 0.0
+
+    def test_bits_per_key_constructor(self):
+        d = DynamicGrafite(1000, UNIVERSE, bits_per_key=16, max_range_size=32, seed=0)
+        assert d.reduced_universe == min(UNIVERSE, int(1000 * 32 / (32 / 2**14)))
+
+
+class TestInserts:
+    def test_insert_then_found(self):
+        d = DynamicGrafite(1000, UNIVERSE, eps=0.01, max_range_size=16, seed=1)
+        for key in (0, 17, 2**31, UNIVERSE - 1):
+            d.insert(key)
+            assert d.may_contain(key)
+        assert d.key_count == 4
+
+    def test_key_validation(self):
+        d = DynamicGrafite(10, UNIVERSE, eps=0.1, seed=0)
+        with pytest.raises(InvalidKeyError):
+            d.insert(UNIVERSE)
+        with pytest.raises(InvalidKeyError):
+            d.insert(-1)
+        with pytest.raises(InvalidKeyError):
+            d.may_contain_range(5, 2)
+
+    def test_flush_and_levels(self):
+        d = DynamicGrafite(10_000, UNIVERSE, eps=0.01, buffer_size=16, seed=2)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, UNIVERSE, 500, dtype=np.uint64)
+        for k in keys:
+            d.insert(int(k))
+        # Logarithmic method: run count stays O(log(n / buffer)).
+        assert d.run_count <= int(np.log2(500 / 16)) + 2
+        for k in keys[:100]:
+            assert d.may_contain(int(k))
+
+    def test_insert_many_matches_scalar(self):
+        keys = list(range(0, 50_000, 97))
+        a = DynamicGrafite(2000, UNIVERSE, eps=0.05, buffer_size=64, seed=3)
+        b = DynamicGrafite(2000, UNIVERSE, eps=0.05, buffer_size=64, seed=3)
+        a.insert_many(keys)
+        for k in keys:
+            b.insert(k)
+        probes = [(k - 3, k + 3) for k in keys[:50]] + [(10, 90), (1234, 1300)]
+        for lo, hi in probes:
+            lo = max(0, lo)
+            assert a.may_contain_range(lo, hi) == b.may_contain_range(lo, hi)
+
+    def test_compact_preserves_answers(self):
+        d = DynamicGrafite(5000, UNIVERSE, eps=0.02, buffer_size=32, seed=4)
+        keys = list(range(0, 2**20, 4099))
+        d.insert_many(keys)
+        windows = [(max(0, k - 5), k + 5) for k in keys[:50]]
+        before = [d.may_contain_range(lo, hi) for lo, hi in windows]
+        d.compact()
+        assert d.run_count == 1
+        after = [d.may_contain_range(lo, hi) for lo, hi in windows]
+        assert before == after
+        for k in keys:
+            assert d.may_contain(k)
+
+    def test_beyond_capacity_still_no_false_negatives(self):
+        d = DynamicGrafite(50, UNIVERSE, eps=0.1, buffer_size=8, seed=5)
+        keys = list(range(0, 10_000, 37))  # 271 keys >> capacity 50
+        d.insert_many(keys)
+        for k in keys:
+            assert d.may_contain(k)
+        # Overfull: the honest bound n*ell/r exceeds the design eps.
+        assert d.fpr_bound(16) > 0.1
+
+
+class TestBehaviour:
+    def test_fpr_tracks_fill_level(self):
+        rng = np.random.default_rng(6)
+        capacity, L = 5000, 16
+        d = DynamicGrafite(capacity, UNIVERSE, eps=0.05, max_range_size=L, seed=6)
+        keys = np.unique(rng.integers(0, UNIVERSE, capacity, dtype=np.uint64))
+        d.insert_many(keys)
+        sorted_keys = np.sort(keys)
+        fp = trials = 0
+        while trials < 2000:
+            a = int(rng.integers(0, UNIVERSE - L))
+            b = a + L - 1
+            i = int(np.searchsorted(sorted_keys, a))
+            if i < sorted_keys.size and int(sorted_keys[i]) <= b:
+                continue
+            trials += 1
+            fp += d.may_contain_range(a, b)
+        assert fp / trials <= 0.05 * 2 + 0.01
+
+    def test_space_stays_near_static(self):
+        rng = np.random.default_rng(7)
+        keys = np.unique(rng.integers(0, UNIVERSE, 4000, dtype=np.uint64))
+        d = DynamicGrafite(4000, UNIVERSE, eps=0.01, buffer_size=128, seed=8)
+        d.insert_many(keys)
+        d.compact()
+        from repro.core.grafite import Grafite
+
+        static = Grafite(keys, UNIVERSE, eps=0.01, max_range_size=32, seed=8)
+        assert d.size_in_bits <= static.size_in_bits * 1.5
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_no_false_negatives_property(self, data):
+        d = DynamicGrafite(
+            200, UNIVERSE,
+            eps=data.draw(st.sampled_from([0.01, 0.2, 0.9])),
+            max_range_size=data.draw(st.sampled_from([1, 8, 64])),
+            buffer_size=data.draw(st.sampled_from([1, 4, 32])),
+            seed=data.draw(st.integers(0, 50)),
+        )
+        keys = data.draw(
+            st.lists(st.integers(min_value=0, max_value=UNIVERSE - 1), min_size=1, max_size=60)
+        )
+        for i, key in enumerate(keys):
+            d.insert(key)
+            if i % 7 == 0:
+                for earlier in keys[: i + 1]:
+                    lo = max(0, earlier - 2)
+                    hi = min(UNIVERSE - 1, earlier + 2)
+                    assert d.may_contain_range(lo, hi)

@@ -1,0 +1,143 @@
+"""Tests for the hash-function layer (paper §3, equation 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import (
+    LocalityPreservingHash,
+    PairwiseIndependentHash,
+    PowerOfTwoLocalityHash,
+    choose_prime,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestChoosePrime:
+    def test_returns_strictly_larger(self):
+        assert choose_prime(100) == 2**31 - 1
+        assert choose_prime(2**31 - 1) == 2**61 - 1
+        assert choose_prime(2**64) == 2**89 - 1
+
+    def test_huge_minimum_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            choose_prime(2**521)
+
+
+class TestPairwiseIndependentHash:
+    def test_codomain_respected(self):
+        q = PairwiseIndependentHash(97, domain=10**6, seed=1)
+        values = [q(x) for x in range(1000)]
+        assert all(0 <= v < 97 for v in values)
+
+    def test_deterministic_under_seed(self):
+        q1 = PairwiseIndependentHash(1000, seed=42)
+        q2 = PairwiseIndependentHash(1000, seed=42)
+        assert [q1(x) for x in range(50)] == [q2(x) for x in range(50)]
+
+    def test_different_seeds_differ(self):
+        q1 = PairwiseIndependentHash(10**6, seed=1)
+        q2 = PairwiseIndependentHash(10**6, seed=2)
+        assert [q1(x) for x in range(20)] != [q2(x) for x in range(20)]
+
+    def test_parameters_exposed(self):
+        q = PairwiseIndependentHash(10, domain=100, seed=0)
+        p, c1, c2 = q.parameters
+        assert p > 100 and 1 <= c1 < p and 0 <= c2 < p
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            PairwiseIndependentHash(0)
+        with pytest.raises(InvalidParameterError):
+            PairwiseIndependentHash(10, domain=0)
+
+    def test_uniformity_rough(self):
+        """Chi-square style sanity check: bucket counts stay near uniform."""
+        r = 16
+        q = PairwiseIndependentHash(r, domain=10**6, seed=7)
+        counts = np.zeros(r)
+        samples = 8000
+        for x in range(samples):
+            counts[q(x * 631 + 17)] += 1
+        expected = samples / r
+        assert np.all(np.abs(counts - expected) < 6 * np.sqrt(expected))
+
+
+class TestLocalityPreservingHash:
+    def test_codomain(self):
+        h = LocalityPreservingHash(1000, domain=2**32, seed=3)
+        assert all(0 <= h(x) < 1000 for x in range(0, 2**32, 2**27))
+
+    def test_locality_within_block(self):
+        """Inside one block of size r the hash is a cyclic shift."""
+        r = 997
+        h = LocalityPreservingHash(r, domain=10**7, seed=5)
+        base = 3 * r
+        h0 = h(base)
+        for delta in range(1, 50):
+            assert h(base + delta) == (h0 + delta) % r
+
+    def test_paper_example_3_2(self):
+        """Reconstructs Example 3.2 with the paper's fixed q parameters."""
+        r = 100
+        h = LocalityPreservingHash(r, domain=512, seed=0)
+        # Override the drawn parameters with the paper's p=2^31-1, c1=10, c2=5.
+        h._q._p, h._q._c1, h._q._c2 = 2**31 - 1, 10, 5
+        keys = [9, 48, 50, 191, 226, 269, 335, 446, 487, 511]
+        assert [h(x) for x in keys] == [14, 53, 55, 6, 51, 94, 70, 91, 32, 66]
+        # Example 3.3 endpoints:
+        assert h(44) == 49 and h(47) == 52
+
+    def test_hash_many_matches_scalar(self):
+        h = LocalityPreservingHash(12345, domain=2**40, seed=11)
+        keys = [0, 1, 12344, 12345, 2**39, 2**40 - 1]
+        batch = h.hash_many(keys)
+        assert batch.tolist() == [h(x) for x in keys]
+
+    def test_hash_many_empty(self):
+        h = LocalityPreservingHash(10, seed=0)
+        assert h.hash_many([]).size == 0
+
+    def test_invalid_reduced_universe(self):
+        with pytest.raises(InvalidParameterError):
+            LocalityPreservingHash(0)
+
+    @given(st.integers(min_value=2, max_value=10**6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_collision_structure(self, r, data):
+        """h(x) == h(y) within a block implies x == y (shift is injective)."""
+        h = LocalityPreservingHash(r, domain=10**9, seed=data.draw(st.integers(0, 100)))
+        block = data.draw(st.integers(min_value=0, max_value=10**9 // r - 1))
+        xs = data.draw(
+            st.lists(st.integers(min_value=0, max_value=r - 1), min_size=2, max_size=10, unique=True)
+        )
+        codes = [h(block * r + x) for x in xs]
+        assert len(set(codes)) == len(xs)
+
+
+class TestPowerOfTwoLocalityHash:
+    def test_matches_general_form(self):
+        k = 10
+        h = PowerOfTwoLocalityHash(k, domain=2**30, seed=9)
+        r = 1 << k
+        for x in [0, 5, r - 1, r, 123456, 2**29]:
+            expected = (h._q(x >> k) + x) & (r - 1)
+            assert h(x) == expected
+            assert 0 <= h(x) < r
+
+    def test_locality(self):
+        h = PowerOfTwoLocalityHash(8, domain=2**20, seed=1)
+        base = 256 * 7
+        h0 = h(base)
+        for delta in range(1, 30):
+            assert h(base + delta) == (h0 + delta) % 256
+
+    def test_hash_many(self):
+        h = PowerOfTwoLocalityHash(6, domain=2**16, seed=2)
+        keys = list(range(0, 2**16, 997))
+        assert h.hash_many(keys).tolist() == [h(x) for x in keys]
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            PowerOfTwoLocalityHash(-1)

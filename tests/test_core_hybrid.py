@@ -1,0 +1,117 @@
+"""Tests for the §7 Bucketing+Grafite hybrid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fpr import measure_fpr
+from repro.core.bucketing import Bucketing
+from repro.core.grafite import Grafite
+from repro.core.hybrid import HybridGrafiteBucketing
+from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.workloads.datasets import uniform
+from repro.workloads.queries import correlated_queries, uncorrelated_queries
+
+UNIVERSE = 2**40
+KEYS = uniform(5000, universe=UNIVERSE, seed=0)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HybridGrafiteBucketing(KEYS, UNIVERSE, bits_per_key=1)
+        with pytest.raises(InvalidParameterError):
+            HybridGrafiteBucketing(KEYS, UNIVERSE, bits_per_key=16, bucketing_share=0)
+
+    def test_empty_keys(self):
+        f = HybridGrafiteBucketing([], UNIVERSE, bits_per_key=10)
+        assert f.key_count == 0
+        assert not f.may_contain_range(0, 100)
+
+    def test_budget_split(self):
+        f = HybridGrafiteBucketing(
+            KEYS, UNIVERSE, bits_per_key=16, bucketing_share=0.25, seed=1
+        )
+        bucketing, grafite = f.stages
+        assert bucketing.size_in_bits < grafite.size_in_bits
+        assert f.size_in_bits == bucketing.size_in_bits + grafite.size_in_bits
+        assert f.bits_per_key <= 16 * 1.2
+
+    def test_bound_comes_from_grafite(self):
+        f = HybridGrafiteBucketing(KEYS, UNIVERSE, bits_per_key=16, seed=1)
+        assert f.fpr_bound(32) == f.stages[1].fpr_bound(32)
+
+
+class TestBehaviour:
+    def test_query_validation(self):
+        f = HybridGrafiteBucketing(KEYS, UNIVERSE, bits_per_key=12, seed=0)
+        with pytest.raises(InvalidQueryError):
+            f.may_contain_range(9, 3)
+
+    def test_no_false_negatives(self):
+        f = HybridGrafiteBucketing(KEYS, UNIVERSE, bits_per_key=12, seed=2)
+        for k in KEYS[:300]:
+            k = int(k)
+            assert f.may_contain(k)
+            assert f.may_contain_range(max(0, k - 7), min(UNIVERSE - 1, k + 7))
+
+    def test_fpr_at_most_each_stage(self):
+        budget = 14
+        hybrid = HybridGrafiteBucketing(KEYS, UNIVERSE, bits_per_key=budget, seed=3)
+        queries = uncorrelated_queries(1500, 32, UNIVERSE, keys=KEYS, seed=4)
+        fpr_hybrid = measure_fpr(hybrid, queries).fpr
+        for stage in hybrid.stages:
+            assert fpr_hybrid <= measure_fpr(stage, queries).fpr + 1e-9
+
+    def test_robust_under_correlation(self):
+        """The Grafite stage keeps the hybrid safe where Bucketing dies."""
+        budget = 16
+        hybrid = HybridGrafiteBucketing(
+            KEYS, UNIVERSE, bits_per_key=budget, max_range_size=16, seed=5
+        )
+        plain_bucketing = Bucketing(KEYS, UNIVERSE, bits_per_key=budget)
+        queries = correlated_queries(
+            KEYS, 800, 16, UNIVERSE, correlation_degree=1.0, seed=6
+        )
+        assert measure_fpr(plain_bucketing, queries).fpr > 0.8
+        assert measure_fpr(hybrid, queries).fpr <= hybrid.fpr_bound(16) * 3 + 0.01
+
+    def test_clustered_data_beats_pure_grafite(self):
+        """The point of combining (§7): on clustered data Bucketing is
+        data-adaptive (t << n), so a cheap Bucketing stage undercuts a
+        pure Grafite of the same total budget. (On uniform data the
+        stages' additive constants dominate and pure Grafite wins — the
+        hybrid is a data-dependent optimisation, not a free lunch.)"""
+        from repro.workloads.datasets import books_like
+
+        clustered = books_like(5000, universe=UNIVERSE, seed=0)
+        budget = 9
+        hybrid = HybridGrafiteBucketing(
+            clustered, UNIVERSE, bits_per_key=budget, max_range_size=64,
+            bucketing_share=0.3, seed=7,
+        )
+        pure = Grafite(clustered, UNIVERSE, bits_per_key=budget, max_range_size=64, seed=7)
+        queries = uncorrelated_queries(2000, 64, UNIVERSE, keys=clustered, seed=8)
+        fpr_hybrid = measure_fpr(hybrid, queries).fpr
+        fpr_pure = measure_fpr(pure, queries).fpr
+        assert fpr_hybrid < fpr_pure
+        assert hybrid.bits_per_key <= pure.bits_per_key + 0.5
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_no_false_negatives_property(self, data):
+        keys = data.draw(
+            st.lists(st.integers(min_value=0, max_value=UNIVERSE - 1), min_size=1, max_size=50)
+        )
+        f = HybridGrafiteBucketing(
+            keys, UNIVERSE,
+            bits_per_key=data.draw(st.sampled_from([6, 12, 20])),
+            bucketing_share=data.draw(st.sampled_from([0.1, 0.25, 0.5])),
+            seed=data.draw(st.integers(0, 30)),
+        )
+        for key in keys[:10]:
+            width = data.draw(st.integers(min_value=0, max_value=30))
+            lo = max(0, key - width)
+            hi = min(UNIVERSE - 1, key + width)
+            assert f.may_contain_range(lo, hi)

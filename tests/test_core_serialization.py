@@ -1,0 +1,91 @@
+"""Tests for the versioned binary serialisation of Grafite and Bucketing."""
+
+import numpy as np
+import pytest
+
+from repro.core.bucketing import Bucketing
+from repro.core.grafite import Grafite
+from repro.core.serialization import (
+    bucketing_from_bytes,
+    bucketing_to_bytes,
+    grafite_from_bytes,
+    grafite_to_bytes,
+)
+from repro.errors import InvalidParameterError
+
+UNIVERSE = 2**40
+KEYS = np.unique(np.random.default_rng(0).integers(0, UNIVERSE, 3000, dtype=np.uint64))
+
+
+def probes():
+    out = [(int(k) - 3, int(k) + 3) for k in KEYS[:60]]
+    rng = np.random.default_rng(1)
+    out += [(int(x), int(x) + 31) for x in rng.integers(0, UNIVERSE - 32, 200, dtype=np.uint64)]
+    return [(max(0, lo), min(UNIVERSE - 1, hi)) for lo, hi in out]
+
+
+class TestGrafiteRoundTrip:
+    def test_answers_identical(self):
+        original = Grafite(KEYS, UNIVERSE, eps=0.02, max_range_size=32, seed=5)
+        clone = grafite_from_bytes(grafite_to_bytes(original))
+        for lo, hi in probes():
+            assert clone.may_contain_range(lo, hi) == original.may_contain_range(lo, hi)
+        assert clone.size_in_bits == original.size_in_bits
+        assert clone.key_count == original.key_count
+        assert clone.reduced_universe == original.reduced_universe
+
+    def test_counting_identical(self):
+        original = Grafite(KEYS, UNIVERSE, eps=0.02, max_range_size=64, seed=6)
+        clone = grafite_from_bytes(grafite_to_bytes(original))
+        for lo, hi in probes()[:50]:
+            assert clone.count_range(lo, hi) == original.count_range(lo, hi)
+
+    def test_exact_mode_round_trip(self):
+        original = Grafite(range(0, 1000, 37), 1000, eps=1e-9, max_range_size=8, seed=0)
+        assert original.is_exact
+        clone = grafite_from_bytes(grafite_to_bytes(original))
+        assert clone.is_exact
+        for k in range(0, 1000, 37):
+            assert clone.may_contain(k)
+        assert not clone.may_contain_range(1, 36)
+
+    def test_empty_filter_round_trip(self):
+        original = Grafite([], UNIVERSE, eps=0.1)
+        clone = grafite_from_bytes(grafite_to_bytes(original))
+        assert clone.key_count == 0
+        assert not clone.may_contain_range(0, 100)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            grafite_from_bytes(b"XXXX" + b"\x00" * 50)
+
+    def test_bad_version_rejected(self):
+        blob = bytearray(grafite_to_bytes(Grafite([1], 100, eps=0.5, seed=0)))
+        blob[4] = 0xFF
+        with pytest.raises(InvalidParameterError):
+            grafite_from_bytes(bytes(blob))
+
+    def test_format_is_compact(self):
+        original = Grafite(KEYS, UNIVERSE, eps=0.02, max_range_size=32, seed=5)
+        blob = grafite_to_bytes(original)
+        # Serialised size ~ payload bits / 8 plus small headers.
+        assert len(blob) < original.size_in_bits / 8 * 1.5 + 256
+
+
+class TestBucketingRoundTrip:
+    def test_answers_identical(self):
+        original = Bucketing(KEYS, UNIVERSE, bits_per_key=12)
+        clone = bucketing_from_bytes(bucketing_to_bytes(original))
+        for lo, hi in probes():
+            assert clone.may_contain_range(lo, hi) == original.may_contain_range(lo, hi)
+        assert clone.bucket_size == original.bucket_size
+        assert clone.size_in_bits == original.size_in_bits
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            bucketing_from_bytes(b"GRFT" + b"\x00" * 50)
+
+    def test_cross_format_rejected(self):
+        grafite_blob = grafite_to_bytes(Grafite([1], 100, eps=0.5, seed=0))
+        with pytest.raises(InvalidParameterError):
+            bucketing_from_bytes(grafite_blob)

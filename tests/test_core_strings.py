@@ -1,0 +1,82 @@
+"""Tests for the string-key extension of Grafite (paper §7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strings import StringGrafite, encode_string
+from repro.errors import InvalidKeyError, InvalidQueryError
+
+
+class TestEncoding:
+    def test_lexicographic_order_preserved(self):
+        words = ["", "a", "ab", "abc", "abd", "b", "zz"]
+        encoded = [encode_string(w, 4) for w in words]
+        assert encoded == sorted(encoded)
+
+    def test_too_long_rejected(self):
+        with pytest.raises(InvalidKeyError):
+            encode_string("abcde", 4)
+
+    def test_bytes_accepted(self):
+        assert encode_string(b"ab", 2) == encode_string("ab", 2)
+
+
+class TestStringGrafite:
+    def test_point_queries_on_keys(self):
+        keys = ["apple", "banana", "cherry"]
+        f = StringGrafite(keys, eps=0.01, seed=0)
+        for k in keys:
+            assert f.may_contain(k)
+
+    def test_range_hits_key_between_endpoints(self):
+        f = StringGrafite(["melon"], eps=0.01, seed=1)
+        assert f.may_contain_range("mel", "melz")
+        assert f.may_contain_range("a", "z")
+
+    def test_prefix_queries(self):
+        f = StringGrafite(["prefix/alpha", "prefix/beta"], eps=0.001, seed=2)
+        assert f.may_contain_prefix("prefix/")
+        assert f.may_contain_prefix("prefix/al")
+
+    def test_inverted_range_rejected(self):
+        f = StringGrafite(["m"], eps=0.1, seed=0)
+        with pytest.raises(InvalidQueryError):
+            f.may_contain_range("z", "a")
+
+    def test_width_defaults_to_longest_key(self):
+        f = StringGrafite(["abc", "a"], eps=0.1, seed=0)
+        assert f.key_width_bytes == 3
+
+    def test_uses_power_of_two_universe(self):
+        f = StringGrafite(["aa", "bb", "cc"], eps=0.05, seed=0)
+        r = f.inner.reduced_universe
+        if not f.inner.is_exact:
+            assert r & (r - 1) == 0
+
+    def test_overlong_query_endpoints_truncate_conservatively(self):
+        f = StringGrafite(["apple"], max_key_bytes=5, eps=0.01, seed=3)
+        # Querying with longer endpoints must still cover the stored key.
+        assert f.may_contain_range("apple-pie-long", "apple-pie-longer")
+        assert f.may_contain_range("appl", "apple-extended")
+
+    @given(
+        st.lists(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+            min_size=1,
+            max_size=30,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_negatives_property(self, keys, data):
+        f = StringGrafite(keys, eps=0.2, seed=data.draw(st.integers(0, 100)))
+        for key in keys[:8]:
+            assert f.may_contain(key)
+            # a range [key, key + "zz"] always contains key
+            assert f.may_contain_range(key, key + "zz" if len(key) < 5 else key)
+
+    def test_bits_per_key_reported(self):
+        f = StringGrafite(["k%d" % i for i in range(100)], eps=0.01, seed=0)
+        assert f.bits_per_key > 0
+        assert f.key_count == 100

@@ -1,0 +1,103 @@
+"""Tests for the Bloom filter substrate and its derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.filters.bloom import (
+    BloomFilter,
+    bits_for_fpr,
+    optimal_num_hashes,
+    splitmix64,
+    splitmix64_array,
+)
+
+
+class TestSplitmix:
+    def test_scalar_matches_array(self):
+        xs = np.array([0, 1, 2**63, 2**64 - 1, 123456789], dtype=np.uint64)
+        assert splitmix64_array(xs).tolist() == [splitmix64(int(x)) for x in xs]
+
+    def test_is_64_bit(self):
+        assert 0 <= splitmix64(2**64 - 1) < 2**64
+
+    def test_distinct_inputs_spread(self):
+        outputs = {splitmix64(i) for i in range(1000)}
+        assert len(outputs) == 1000
+
+
+class TestSizing:
+    def test_optimal_num_hashes(self):
+        assert optimal_num_hashes(1000, 100) == 7  # 10 ln 2 ~ 6.93
+        assert optimal_num_hashes(10, 1000) == 1
+        assert optimal_num_hashes(10**9, 1) == 16  # clipped
+
+    def test_bits_for_fpr(self):
+        n = 1000
+        assert bits_for_fpr(n, 0.01) == pytest.approx(9.585 * n, rel=0.01)
+        with pytest.raises(InvalidParameterError):
+            bits_for_fpr(n, 0.0)
+        with pytest.raises(InvalidParameterError):
+            bits_for_fpr(n, 1.0)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        items = list(range(0, 100_000, 97))
+        bf = BloomFilter(20_000, items=items, seed=1)
+        for item in items:
+            assert bf.may_contain(item)
+
+    def test_add_incremental(self):
+        bf = BloomFilter(1024, num_hashes=3, seed=0)
+        assert not bf.may_contain(42)
+        bf.add(42)
+        assert bf.may_contain(42)
+        assert bf.item_count == 1
+
+    def test_add_many_matches_scalar_adds(self):
+        items = [5, 77, 123456, 2**63]
+        a = BloomFilter(4096, num_hashes=4, seed=9)
+        b = BloomFilter(4096, num_hashes=4, seed=9)
+        a.add_many(items)
+        for item in items:
+            b.add(item)
+        assert a._bits.words.tolist() == b._bits.words.tolist()
+
+    def test_from_fpr_hits_target(self):
+        rng = np.random.default_rng(3)
+        items = np.unique(rng.integers(0, 2**62, 5000, dtype=np.uint64))
+        target = 0.02
+        bf = BloomFilter.from_fpr(items, target, seed=5)
+        item_set = set(int(x) for x in items)
+        trials = 20_000
+        fp = sum(
+            1
+            for x in rng.integers(0, 2**62, trials, dtype=np.uint64)
+            if int(x) not in item_set and bf.may_contain(int(x))
+        )
+        assert fp / trials < target * 2.5
+
+    def test_expected_fpr_formula(self):
+        bf = BloomFilter(1000, num_hashes=7, seed=0)
+        assert bf.expected_fpr() == 0.0
+        bf.add_many(list(range(100)))
+        assert 0 < bf.expected_fpr() < 1
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            BloomFilter(0)
+        with pytest.raises(InvalidParameterError):
+            BloomFilter(100, num_hashes=0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=200),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_false_negatives_property(self, items, seed):
+        bf = BloomFilter(4096, items=items, seed=seed)
+        for item in items:
+            assert bf.may_contain(item)

@@ -1,0 +1,211 @@
+"""Deeper per-filter behaviour tests: internals, invariants, edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.filters.bloom import BloomFilter
+from repro.filters.point_probe import PointProbeFilter
+from repro.filters.proteus import Proteus
+from repro.filters.rencoder import REncoder, tree_pattern
+from repro.filters.rosetta import Rosetta
+from repro.filters.snarf import SnarfFilter
+from repro.filters.surf import SuRF
+
+
+class TestREncoderInternals:
+    def test_tree_pattern_encodes_ancestor_closure(self):
+        """Marked nodes of leaf s are exactly its ancestors at depths 0..4."""
+        for s in range(16):
+            pattern = tree_pattern(s)
+            for depth in range(5):
+                value = s >> (4 - depth)
+                node_bit = 1 << ((1 << depth) - 1 + value)
+                assert pattern & node_bit, (s, depth)
+            # and nothing else is marked
+            assert bin(pattern).count("1") == 5
+
+    def test_window_or_read_round_trip_across_words(self):
+        f = REncoder([0], 2**16, bits_per_key=4096, stored_levels=1, seed=0)
+        # Write patterns at offsets straddling the 64-bit word boundary.
+        for offset in (0, 33, 40, 63, 64, 100):
+            pattern = 0xA5A5A5A5
+            f._or_window(offset, pattern)
+            got = f._read_window(offset)
+            assert got & pattern == pattern, offset
+
+    def test_recovered_tree_contains_inserted_paths(self):
+        universe = 2**16
+        keys = [0x1234, 0x1235, 0xFFFF]
+        f = REncoder(keys, universe, bits_per_key=400, seed=3)
+        for key in keys:
+            for level in range(f.stored_levels):
+                chunk = (key >> (4 * level)) & 15
+                prefix = key >> (4 * (level + 1))
+                tree = f._read_tree(prefix, level)
+                path = tree_pattern(chunk)
+                assert tree & path == path, (hex(key), level)
+
+    def test_point_query_exactness_at_huge_budget(self):
+        universe = 2**16
+        keys = list(range(0, universe, 997))
+        f = REncoder(keys, universe, bits_per_key=2000, seed=1)
+        for k in keys:
+            assert f.may_contain(k)
+        misses = sum(f.may_contain(k + 1) for k in keys if k + 1 not in set(keys))
+        assert misses <= 2  # nearly exact when the array is uncrowded
+
+
+class TestRosettaInternals:
+    def test_allocation_spends_budget(self):
+        keys = list(range(0, 2**20, 211))
+        budget_bpk = 18
+        r = Rosetta(keys, 2**20, bits_per_key=budget_bpk, max_range_size=64, seed=0)
+        total_budget = budget_bpk * len(keys)
+        assert 0.5 * total_budget <= r.size_in_bits <= 1.2 * total_budget
+
+    def test_leaf_level_gets_the_lions_share(self):
+        keys = list(range(0, 2**20, 211))
+        r = Rosetta(keys, 2**20, bits_per_key=20, max_range_size=64, seed=0)
+        leaf = r._blooms[r.levels[-1]]
+        for depth in r.levels[:-1]:
+            assert leaf.size_in_bits >= r._blooms[depth].size_in_bits
+
+    def test_huge_range_hits_probe_cap_conservatively(self):
+        r = Rosetta([5], 2**30, bits_per_key=10, max_range_size=2, max_probes=8, seed=0)
+        # Range far wider than the stored levels can decompose: must stay
+        # conservative (True), never crash or false-negative.
+        assert r.may_contain_range(0, 2**30 - 1)
+
+    def test_weighting_changes_allocation(self):
+        keys = list(range(0, 2**16, 37))
+        plain = Rosetta(keys, 2**16, bits_per_key=14, max_range_size=16, seed=1)
+        sampled = Rosetta(
+            keys, 2**16, bits_per_key=14, max_range_size=16, seed=1,
+            sample_queries=[(10, 25)] * 32,
+        )
+        plain_sizes = [plain._blooms[d].size_in_bits for d in plain.levels]
+        sampled_sizes = [sampled._blooms[d].size_in_bits for d in sampled.levels]
+        assert plain_sizes != sampled_sizes
+
+
+class TestSurfInternals:
+    def test_suffix_bits_cross_byte_boundary(self):
+        # 12 suffix bits after a 1-byte prefix in a 16-bit universe: the
+        # suffix extends past the key's remaining bits and must pad.
+        keys = [0x1200, 0x3400]
+        f = SuRF(keys, 2**16, suffix_mode="real", suffix_bits=12, seed=0)
+        for k in keys:
+            assert f.may_contain(k)
+
+    def test_hash_mode_point_fpr_below_base(self):
+        rng = np.random.default_rng(8)
+        universe = 2**32
+        keys = np.unique(rng.integers(0, universe, 4000, dtype=np.uint64))
+        base = SuRF(keys, universe, suffix_mode="none", suffix_bits=0, seed=1)
+        hashed = SuRF(keys, universe, suffix_mode="hash", suffix_bits=8, seed=1)
+        key_set = set(int(k) for k in keys)
+        fp_base = fp_hash = trials = 0
+        for k in keys[:1500]:
+            probe = int(k) + 1
+            if probe in key_set or probe >= universe:
+                continue
+            trials += 1
+            fp_base += base.may_contain(probe)
+            fp_hash += hashed.may_contain(probe)
+        assert trials > 1000
+        # Hashed suffixes are the paper's fix for point queries: the FPR
+        # drops by roughly 2^-m versus the truncated-trie baseline.
+        assert fp_hash < fp_base / 4
+
+    def test_leaf_min_key_consistency(self):
+        keys = [0x11AA, 0x11AB, 0x9000]
+        f = SuRF(keys, 2**16, suffix_mode="real", suffix_bits=4, seed=0)
+        # The minimal consistent key of each located leaf never exceeds
+        # the stored key it represents (otherwise false negatives).
+        for k in keys:
+            target = int(k).to_bytes(2, "big")
+            leaf_id, prefix = f._trie.first_leaf_reaching(target)
+            assert f._leaf_min_key(leaf_id, prefix) <= k
+
+
+class TestProteusInternals:
+    def test_probe_cap_is_conservative(self):
+        f = Proteus([500], 2**32, bits_per_key=16, l1=8, l2=28, max_probes=4)
+        assert f.may_contain_range(0, 2**32 - 1)
+
+    def test_full_key_l2(self):
+        keys = [3, 77, 1024]
+        f = Proteus(keys, 2**16, bits_per_key=20, l1=8, l2=16)
+        for k in keys:
+            assert f.may_contain(k)
+        assert f.design == (8, 16)
+
+    def test_trie_prunes_exactly_at_l1(self):
+        # keys all share the 8-bit prefix 0x12; anything else is pruned
+        # by the trie with zero probes to the Bloom filter.
+        keys = [0x1200 + i for i in range(10)]
+        f = Proteus(keys, 2**16, bits_per_key=24, l1=8, l2=12)
+        assert not f.may_contain_range(0x2000, 0x20FF)
+        assert not f.may_contain_range(0x0000, 0x11FF)
+        assert f.may_contain_range(0x1200, 0x1209)
+
+    @given(st.integers(min_value=0, max_value=2**24 - 1), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_no_false_negatives_explicit_designs(self, key, data):
+        l1 = data.draw(st.sampled_from([0, 8, 16]))
+        l2 = data.draw(st.sampled_from([12, 20, 24]))
+        if not l1 < l2:
+            return
+        f = Proteus([key], 2**24, bits_per_key=16, l1=l1, l2=l2)
+        lo = max(0, key - data.draw(st.integers(0, 20)))
+        hi = min(2**24 - 1, key + data.draw(st.integers(0, 20)))
+        assert f.may_contain_range(lo, hi)
+
+
+class TestSnarfInternals:
+    def test_spline_is_monotone(self):
+        rng = np.random.default_rng(4)
+        keys = np.unique(rng.integers(0, 2**40, 3000, dtype=np.uint64))
+        f = SnarfFilter(keys, 2**40, K=16)
+        probes = np.sort(rng.integers(0, 2**40, 500, dtype=np.uint64))
+        mapped = f._map_keys(probes)
+        assert bool((np.diff(mapped) >= 0).all())
+
+    def test_extreme_probes_clamped(self):
+        keys = [2**20, 2**21]
+        f = SnarfFilter(keys, 2**40, K=8)
+        assert f._map_scalar(0) >= 0
+        assert f._map_scalar(2**40 - 1) <= f._slots - 1
+
+    def test_duplicate_dense_keys(self):
+        f = SnarfFilter([5] * 100 + [6], 100, K=4)
+        assert f.key_count == 2
+        assert f.may_contain(5) and f.may_contain(6)
+
+
+class TestPointProbeInternals:
+    def test_probe_count_scales_with_range(self):
+        f = PointProbeFilter([12345], 2**20, eps=0.01, max_range_size=8, seed=0)
+        calls = {"n": 0}
+        inner = f._bloom
+
+        class CountingBloom:
+            def may_contain(self, item):
+                calls["n"] += 1
+                return inner.may_contain(item)
+
+        f._bloom = CountingBloom()
+        f.may_contain_range(0, 63)
+        # O(L): one probe per point unless an early hit short-circuits.
+        assert calls["n"] == 64
+
+
+class TestBloomSaturation:
+    def test_saturated_filter_stays_correct(self):
+        # 64 bits for 10k items: ~everything is a positive, never a FN.
+        bf = BloomFilter(64, num_hashes=2, items=list(range(10_000)), seed=0)
+        assert all(bf.may_contain(i) for i in range(0, 10_000, 111))
+        assert bf.expected_fpr() > 0.99

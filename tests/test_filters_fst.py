@@ -1,0 +1,127 @@
+"""Tests for the Fast Succinct Trie (LOUDS-Sparse)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.filters.fst import FastSuccinctTrie, distinguishing_prefixes
+
+
+def naive_first_leaf_reaching(prefixes, target, width):
+    """Reference: first prefix whose 0xFF-padded extension >= target."""
+    for i, p in enumerate(sorted(prefixes)):
+        padded_max = p + b"\xff" * (width - len(p))
+        if padded_max >= target:
+            return p
+    return None
+
+
+class TestDistinguishingPrefixes:
+    def test_basic(self):
+        keys = [b"\x01\x02\x03", b"\x01\x02\x07", b"\x05\x00\x00"]
+        prefixes = distinguishing_prefixes(keys)
+        assert prefixes == [b"\x01\x02\x03", b"\x01\x02\x07", b"\x05"]
+
+    def test_single_key(self):
+        assert distinguishing_prefixes([b"\x09\x09"]) == [b"\x09"]
+
+    def test_result_is_prefix_free(self):
+        keys = sorted({bytes([a, b]) for a in range(4) for b in range(4)})
+        prefixes = distinguishing_prefixes(keys)
+        for i, p in enumerate(prefixes):
+            for j, q in enumerate(prefixes):
+                if i != j:
+                    assert not q.startswith(p)
+
+
+class TestConstruction:
+    def test_empty(self):
+        trie = FastSuccinctTrie([])
+        assert trie.num_leaves == 0
+        assert trie.first_leaf_reaching(b"\x00") is None
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(InvalidParameterError):
+            FastSuccinctTrie([b"\x02", b"\x01"])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidParameterError):
+            FastSuccinctTrie([b"\x01", b"\x01"])
+
+    def test_rejects_prefix_violation(self):
+        with pytest.raises(InvalidParameterError):
+            FastSuccinctTrie([b"\x01", b"\x01\x02"])
+
+    def test_rejects_empty_string(self):
+        with pytest.raises(InvalidParameterError):
+            FastSuccinctTrie([b""])
+
+    def test_counts(self):
+        trie = FastSuccinctTrie([b"\x01\x01", b"\x01\x02", b"\x02"])
+        assert trie.num_leaves == 3
+        # root (edges 01, 02) + node for prefix 01 (edges 01, 02)
+        assert trie.num_nodes == 2
+        assert trie.num_edges == 4
+        assert trie.size_in_bits > 0
+
+
+class TestLeafSearch:
+    def test_exact_and_between(self):
+        trie = FastSuccinctTrie([b"\x01\x05", b"\x03", b"\x07\x00"])
+        # target below everything
+        leaf, prefix = trie.first_leaf_reaching(b"\x00\x00")
+        assert prefix == b"\x01\x05"
+        # target exactly on a stored prefix
+        leaf, prefix = trie.first_leaf_reaching(b"\x03\x00")
+        assert prefix == b"\x03"
+        # target above everything
+        assert trie.first_leaf_reaching(b"\x07\x01") is None
+
+    def test_backtracking_path(self):
+        # target shares first byte with an early subtree but exceeds it
+        trie = FastSuccinctTrie([b"\x01\x01", b"\x01\x02", b"\x05\x05"])
+        leaf, prefix = trie.first_leaf_reaching(b"\x01\x03")
+        assert prefix == b"\x05\x05"
+
+    def test_contains_prefix_of(self):
+        trie = FastSuccinctTrie([b"\x01", b"\x02\x05"])
+        assert trie.contains_prefix_of(b"\x01\xaa\xbb")
+        assert trie.contains_prefix_of(b"\x02\x05")
+        assert not trie.contains_prefix_of(b"\x02\x06")
+        assert not trie.contains_prefix_of(b"\x03")
+
+    def test_leaf_key_index_round_trip(self):
+        strings = [b"\x00\x01", b"\x00\x02", b"\x09"]
+        trie = FastSuccinctTrie(strings)
+        seen = set()
+        for target in strings:
+            leaf, prefix = trie.first_leaf_reaching(target)
+            seen.add(trie.leaf_key_index(leaf))
+            assert strings[trie.leaf_key_index(leaf)] == prefix
+        assert seen == {0, 1, 2}
+
+    @given(
+        st.sets(
+            st.integers(min_value=0, max_value=2**24 - 1), min_size=1, max_size=60
+        ),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_naive_reference(self, raw_keys, data):
+        width = 3
+        keys = sorted(int(k).to_bytes(width, "big") for k in raw_keys)
+        prefixes = distinguishing_prefixes(keys)
+        trie = FastSuccinctTrie(prefixes)
+        targets = data.draw(
+            st.lists(st.integers(min_value=0, max_value=2**24 - 1), min_size=1, max_size=15)
+        )
+        targets += list(raw_keys)[:5]
+        for t in targets:
+            target = int(t).to_bytes(width, "big")
+            expected = naive_first_leaf_reaching(prefixes, target, width)
+            got = trie.first_leaf_reaching(target)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None and got[1] == expected

@@ -1,0 +1,101 @@
+"""Cross-module integration tests: harness, datasets, workloads, filters.
+
+These are miniature end-to-end versions of the benchmark experiments:
+every registered filter on every dataset family, FPR trends over space
+budgets, and ground-truth-checked measurement (no false negatives from
+any filter on any workload kind).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.fpr import measure_fpr, measure_fpr_checked
+from repro.analysis.harness import FILTERS, FilterConfig, build_filter, run_grid
+from repro.workloads.datasets import DATASETS, load_dataset
+from repro.workloads.queries import (
+    correlated_queries,
+    nonempty_queries,
+    real_extracted_queries,
+    uncorrelated_queries,
+)
+
+UNIVERSE = 2**40
+N_KEYS = 1200
+N_QUERIES = 60
+RANGE = 16
+
+
+def config_for(keys, bpk=16):
+    sample = uncorrelated_queries(16, RANGE, UNIVERSE, keys=keys, seed=99)
+    return FilterConfig(
+        keys=keys, universe=UNIVERSE, bits_per_key=bpk,
+        max_range_size=RANGE, sample_queries=sample, seed=0,
+    )
+
+
+@pytest.mark.parametrize("dataset_name", sorted(DATASETS))
+@pytest.mark.parametrize("filter_name", sorted(FILTERS))
+def test_every_filter_on_every_dataset(dataset_name, filter_name):
+    keys = load_dataset(dataset_name, N_KEYS, universe=UNIVERSE, seed=5)
+    filt = build_filter(filter_name, config_for(keys))
+    # Mixed workload with ground truth: never a false negative.
+    empties = uncorrelated_queries(N_QUERIES, RANGE, UNIVERSE, keys=keys, seed=6)
+    fulls = nonempty_queries(keys, N_QUERIES, RANGE, UNIVERSE, seed=7)
+    result = measure_fpr_checked(filt, empties + fulls, keys)
+    assert result.false_negatives == 0, (dataset_name, filter_name)
+    assert result.true_positives == N_QUERIES
+
+
+class TestGrafiteTrends:
+    def test_fpr_decreases_with_budget(self):
+        keys = load_dataset("uniform", 4000, universe=UNIVERSE, seed=1)
+        queries = correlated_queries(
+            keys, 400, RANGE, UNIVERSE, correlation_degree=0.9, seed=2
+        )
+        fprs = []
+        for bpk in (6, 10, 14, 18):
+            filt = build_filter("Grafite", config_for(keys, bpk))
+            fprs.append(measure_fpr(filt, queries).fpr)
+        assert fprs[0] >= fprs[-1]
+        assert fprs[-1] <= 0.02
+
+    def test_fpr_scales_with_range_size(self):
+        """Corollary 3.5: FPR proportional to the queried range size."""
+        keys = load_dataset("uniform", 4000, universe=UNIVERSE, seed=3)
+        filt = build_filter("Grafite", config_for(keys, 10))
+        small = measure_fpr(
+            filt, uncorrelated_queries(2000, 2, UNIVERSE, keys=keys, seed=4)
+        ).fpr
+        large = measure_fpr(
+            filt, uncorrelated_queries(2000, 64, UNIVERSE, keys=keys, seed=5)
+        ).fpr
+        # 32x the range -> about 32x the FPR (allow generous noise).
+        assert large >= 4 * small or small == 0
+
+
+class TestWorkloadRound:
+    def test_real_extracted_flows_through_harness(self):
+        keys = load_dataset("books", 2000, universe=UNIVERSE, seed=8)
+        remaining, queries = real_extracted_queries(keys, 50, RANGE, UNIVERSE, seed=9)
+        rows = run_grid(
+            ["Grafite", "Bucketing"], config_for(remaining), queries,
+            dataset="books", workload="real",
+        )
+        assert {r.filter_name for r in rows} == {"Grafite", "Bucketing"}
+        for row in rows:
+            assert 0.0 <= row.fpr <= 1.0
+            assert row.key_count == remaining.size
+
+
+@pytest.mark.parametrize("filter_name", sorted(FILTERS))
+def test_filters_pickle_round_trip(filter_name):
+    keys = load_dataset("uniform", 400, universe=UNIVERSE, seed=10)
+    filt = build_filter(filter_name, config_for(keys))
+    clone = pickle.loads(pickle.dumps(filt))
+    rng = np.random.default_rng(11)
+    probes = [(int(x), int(x) + RANGE - 1) for x in rng.integers(0, UNIVERSE - RANGE, 40, dtype=np.uint64)]
+    probes += [(int(k), int(k)) for k in keys[:20]]
+    for lo, hi in probes:
+        assert clone.may_contain_range(lo, hi) == filt.may_contain_range(lo, hi)

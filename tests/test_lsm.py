@@ -1,0 +1,232 @@
+"""Tests for the mini LSM store, including a model-based property test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grafite import Grafite
+from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.lsm.memtable import TOMBSTONE, MemTable
+from repro.lsm.sstable import SSTable, merge_runs
+from repro.lsm.store import LSMStore
+
+UNIVERSE = 2**32
+
+
+def grafite_factory(keys, universe):
+    return Grafite(keys, universe, bits_per_key=14, max_range_size=64, seed=7)
+
+
+class TestMemTable:
+    def test_put_get_overwrite(self):
+        mt = MemTable()
+        mt.put(5, "a")
+        mt.put(5, "b")
+        assert mt.get(5) == (True, "b")
+        assert mt.get(6) == (False, None)
+        assert len(mt) == 1
+
+    def test_delete_leaves_tombstone(self):
+        mt = MemTable()
+        mt.put(1, "x")
+        mt.delete(1)
+        found, value = mt.get(1)
+        assert found and value is TOMBSTONE
+
+    def test_scan_sorted(self):
+        mt = MemTable()
+        for k in (30, 10, 20):
+            mt.put(k, str(k))
+        assert [k for k, _ in mt.scan(10, 25)] == [10, 20]
+        mt.put(15, "15")  # scan must see post-insert state
+        assert [k for k, _ in mt.scan(10, 25)] == [10, 15, 20]
+
+    def test_items_sorted_and_clear(self):
+        mt = MemTable()
+        mt.put(2, "b")
+        mt.put(1, "a")
+        assert mt.items_sorted() == [(1, "a"), (2, "b")]
+        mt.clear()
+        assert len(mt) == 0
+
+
+class TestSSTable:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            SSTable([(2, "b"), (1, "a")], UNIVERSE)
+
+    def test_get_counts_io(self):
+        run = SSTable([(1, "a"), (5, "b")], UNIVERSE)
+        assert run.get(5) == (True, "b")
+        assert run.get(4) == (False, None)
+        assert run.io_reads == 2
+
+    def test_scan(self):
+        run = SSTable([(1, "a"), (5, "b"), (9, "c")], UNIVERSE)
+        assert run.scan(2, 8) == [(5, "b")]
+        assert run.key_bounds == (1, 9)
+
+    def test_filter_attached(self):
+        run = SSTable([(100, "v")], UNIVERSE, grafite_factory)
+        assert run.filter is not None
+        assert run.filter_bits > 0
+        assert run.may_contain_range(100, 100)
+        assert not run.may_contain_range(200_000, 200_063) or True  # maybe-FP allowed
+
+    def test_merge_last_write_wins(self):
+        new = SSTable([(1, "new"), (2, "x")], UNIVERSE)
+        old = SSTable([(1, "old"), (3, "y")], UNIVERSE)
+        merged = merge_runs([new, old], drop_tombstones=False)
+        assert merged == [(1, "new"), (2, "x"), (3, "y")]
+
+    def test_merge_drops_tombstones_at_bottom(self):
+        new = SSTable([(1, TOMBSTONE)], UNIVERSE)
+        old = SSTable([(1, "old"), (2, "keep")], UNIVERSE)
+        merged = merge_runs([new, old], drop_tombstones=True)
+        assert merged == [(2, "keep")]
+
+
+class TestLSMStore:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LSMStore(universe=0)
+        with pytest.raises(InvalidParameterError):
+            LSMStore(memtable_limit=0)
+        store = LSMStore(universe=100)
+        with pytest.raises(InvalidQueryError):
+            store.put(100, "x")
+        with pytest.raises(InvalidQueryError):
+            store.range_scan(5, 3)
+
+    def test_put_get_through_flush(self):
+        store = LSMStore(UNIVERSE, memtable_limit=4, filter_factory=grafite_factory)
+        for k in range(10):
+            store.put(k * 100, f"v{k}")
+        assert store.get(300) == "v3"
+        assert store.get(301) is None
+        assert store.run_count >= 1
+
+    def test_overwrite_across_flush(self):
+        store = LSMStore(UNIVERSE, memtable_limit=2)
+        store.put(7, "old")
+        store.flush()
+        store.put(7, "new")
+        assert store.get(7) == "new"
+        store.flush()
+        assert store.get(7) == "new"
+
+    def test_delete_across_levels(self):
+        store = LSMStore(UNIVERSE, memtable_limit=100)
+        store.put(42, "x")
+        store.flush()
+        store.delete(42)
+        assert store.get(42) is None
+        store.flush()
+        assert store.get(42) is None
+        store.compact()
+        assert store.get(42) is None
+        assert store.range_scan(0, 1000) == []
+
+    def test_compaction_merges_runs(self):
+        store = LSMStore(UNIVERSE, memtable_limit=2, compaction_fanout=2)
+        for k in range(12):
+            store.put(k, str(k))
+        assert store.stats.compactions >= 1
+        assert store.run_count <= 2
+        assert store.get(11) == "11"
+
+    def test_range_scan_merges_all_sources(self):
+        store = LSMStore(UNIVERSE, memtable_limit=3)
+        store.put(10, "a")
+        store.put(20, "b")
+        store.put(30, "c")  # triggers flush
+        store.put(15, "d")  # stays in memtable
+        result = store.range_scan(10, 25)
+        assert result == [(10, "a"), (15, "d"), (20, "b")]
+
+    def test_filters_save_io_on_empty_probes(self):
+        store = LSMStore(UNIVERSE, memtable_limit=500, filter_factory=grafite_factory)
+        rng = np.random.default_rng(0)
+        keys = np.unique(rng.integers(0, UNIVERSE, 2000, dtype=np.uint64))
+        for k in keys:
+            store.put(int(k), "v")
+        store.flush()
+        sorted_keys = np.sort(keys)
+        probes = 0
+        while probes < 300:
+            lo = int(rng.integers(0, UNIVERSE - 64))
+            hi = lo + 63
+            idx = int(np.searchsorted(sorted_keys, lo))
+            if idx < sorted_keys.size and int(sorted_keys[idx]) <= hi:
+                continue
+            probes += 1
+            assert store.range_scan(lo, hi) == []
+        stats = store.stats
+        assert stats.reads_avoided > stats.reads_performed * 5, (
+            "Grafite filters should avoid the vast majority of empty reads"
+        )
+
+    def test_no_filter_means_every_probe_reads(self):
+        store = LSMStore(UNIVERSE, memtable_limit=2)
+        store.put(1, "a")
+        store.put(2, "b")  # flush
+        store.range_scan(1000, 1100)
+        assert store.stats.reads_performed >= 1
+        assert store.stats.reads_avoided == 0
+
+    def test_filter_bits_accounted(self):
+        store = LSMStore(UNIVERSE, memtable_limit=2, filter_factory=grafite_factory)
+        store.put(1, "a")
+        store.put(2, "b")
+        assert store.filter_bits_total > 0
+
+    def test_len_counts_live_keys(self):
+        store = LSMStore(UNIVERSE, memtable_limit=3)
+        store.put(1, "a")
+        store.put(2, "b")
+        store.put(3, "c")
+        store.delete(2)
+        assert len(store) == 2
+
+
+class TestModelBased:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_reference(self, data):
+        """Random op sequences: the store behaves like a dict."""
+        store = LSMStore(
+            10_000,
+            memtable_limit=data.draw(st.integers(min_value=1, max_value=8)),
+            compaction_fanout=data.draw(st.integers(min_value=2, max_value=4)),
+            filter_factory=grafite_factory if data.draw(st.booleans()) else None,
+        )
+        model: dict[int, str] = {}
+        ops = data.draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["put", "delete", "get", "scan", "flush"]),
+                    st.integers(min_value=0, max_value=9_999),
+                    st.integers(min_value=0, max_value=50),
+                ),
+                max_size=60,
+            )
+        )
+        for op, key, extra in ops:
+            if op == "put":
+                store.put(key, f"v{extra}")
+                model[key] = f"v{extra}"
+            elif op == "delete":
+                store.delete(key)
+                model.pop(key, None)
+            elif op == "get":
+                assert store.get(key) == model.get(key)
+            elif op == "flush":
+                store.flush()
+            else:  # scan
+                hi = min(9_999, key + extra)
+                expected = sorted((k, v) for k, v in model.items() if key <= k <= hi)
+                assert store.range_scan(key, hi) == expected
+        # Final full check
+        expected_all = sorted(model.items())
+        assert store.range_scan(0, 9_999) == expected_all

@@ -1,0 +1,134 @@
+"""Unit and property tests for the BitVector substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.succinct.bitvector import BitVector, popcount_words
+
+
+class TestConstruction:
+    def test_empty_vector(self):
+        bv = BitVector(0)
+        assert len(bv) == 0
+        assert bv.count() == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BitVector(-1)
+
+    def test_all_bits_start_clear(self):
+        bv = BitVector(130)
+        assert bv.count() == 0
+        assert not any(bv[i] for i in range(130))
+
+    def test_from_positions(self):
+        bv = BitVector.from_positions(100, [0, 63, 64, 99])
+        assert bv.count() == 4
+        assert bv[0] and bv[63] and bv[64] and bv[99]
+        assert not bv[1] and not bv[65]
+
+    def test_from_positions_duplicates_idempotent(self):
+        bv = BitVector.from_positions(10, [3, 3, 3])
+        assert bv.count() == 1
+
+    def test_from_positions_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            BitVector.from_positions(10, [10])
+        with pytest.raises(InvalidParameterError):
+            BitVector.from_positions(10, [-1])
+
+    def test_from_bools(self):
+        flags = [True, False, True, True, False]
+        bv = BitVector.from_bools(flags)
+        assert len(bv) == 5
+        assert [bv[i] for i in range(5)] == flags
+
+
+class TestBitAccess:
+    def test_set_and_get(self):
+        bv = BitVector(200)
+        bv.set(150)
+        assert bv[150]
+        bv.set(150, False)
+        assert not bv[150]
+
+    def test_index_errors(self):
+        bv = BitVector(10)
+        with pytest.raises(IndexError):
+            bv[10]
+        with pytest.raises(IndexError):
+            bv.set(-1)
+
+    def test_set_many_and_get_many(self):
+        bv = BitVector(500)
+        bv.set_many([1, 100, 499])
+        got = bv.get_many([0, 1, 100, 499, 498])
+        assert got.tolist() == [False, True, True, True, False]
+
+    def test_get_many_empty(self):
+        bv = BitVector(10)
+        assert bv.get_many([]).size == 0
+
+
+class TestAnyInRange:
+    def test_single_word_window(self):
+        bv = BitVector.from_positions(64, [10])
+        assert bv.any_in_range(10, 10)
+        assert bv.any_in_range(0, 63)
+        assert not bv.any_in_range(11, 63)
+        assert not bv.any_in_range(0, 9)
+
+    def test_multi_word_window(self):
+        bv = BitVector.from_positions(300, [130])
+        assert bv.any_in_range(0, 299)
+        assert bv.any_in_range(128, 192)
+        assert not bv.any_in_range(0, 129)
+        assert not bv.any_in_range(131, 299)
+
+    def test_inverted_range_is_empty(self):
+        bv = BitVector.from_positions(64, [5])
+        assert not bv.any_in_range(7, 3)
+
+    def test_clamps_to_length(self):
+        bv = BitVector.from_positions(10, [9])
+        assert bv.any_in_range(0, 10_000)
+
+    @given(
+        st.integers(min_value=1, max_value=400),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive(self, length, data):
+        positions = data.draw(
+            st.lists(st.integers(min_value=0, max_value=length - 1), max_size=20)
+        )
+        lo = data.draw(st.integers(min_value=0, max_value=length - 1))
+        hi = data.draw(st.integers(min_value=0, max_value=length - 1))
+        bv = BitVector.from_positions(length, positions)
+        expected = any(lo <= p <= hi for p in positions)
+        assert bv.any_in_range(lo, hi) == expected
+
+
+class TestAggregates:
+    def test_iter_set_positions(self):
+        positions = [0, 5, 63, 64, 127, 200]
+        bv = BitVector.from_positions(256, positions)
+        assert list(bv.iter_set_positions()) == positions
+
+    def test_popcount_words(self):
+        words = np.array([0, 1, 0xFFFFFFFFFFFFFFFF, 0x8000000000000000], dtype=np.uint64)
+        assert popcount_words(words).tolist() == [0, 1, 64, 1]
+
+    def test_popcount_rejects_wrong_dtype(self):
+        with pytest.raises(InvalidParameterError):
+            popcount_words(np.array([1, 2], dtype=np.int32))
+
+    @given(st.lists(st.booleans(), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_count_matches_naive(self, flags):
+        bv = BitVector.from_bools(flags)
+        assert bv.count() == sum(flags)
+        assert list(bv.iter_set_positions()) == [i for i, f in enumerate(flags) if f]

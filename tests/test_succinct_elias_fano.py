@@ -1,0 +1,142 @@
+"""Unit and property tests for the Elias-Fano sequence.
+
+The property tests compare every operation against a naive sorted-list
+reference, which is the ground truth the paper's predecessor-based query
+algorithm (Algorithm 2) relies on.
+"""
+
+import bisect
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.succinct.elias_fano import EliasFano
+
+
+def naive_predecessor(sorted_values, y):
+    i = bisect.bisect_right(sorted_values, y)
+    return None if i == 0 else sorted_values[i - 1]
+
+
+def naive_successor(sorted_values, y):
+    i = bisect.bisect_left(sorted_values, y)
+    return None if i == len(sorted_values) else sorted_values[i]
+
+
+class TestConstruction:
+    def test_empty_sequence(self):
+        ef = EliasFano([])
+        assert len(ef) == 0
+        assert ef.first is None and ef.last is None
+        assert ef.predecessor(100) is None
+        assert ef.successor(0) is None
+        assert ef.rank_leq(5) == 0
+
+    def test_rejects_descending_input(self):
+        with pytest.raises(InvalidParameterError):
+            EliasFano([5, 3])
+
+    def test_rejects_value_outside_universe(self):
+        with pytest.raises(InvalidParameterError):
+            EliasFano([10], universe=10)
+
+    def test_rejects_bad_universe(self):
+        with pytest.raises(InvalidParameterError):
+            EliasFano([], universe=0)
+
+    def test_duplicates_supported(self):
+        ef = EliasFano([4, 4, 4, 9])
+        assert list(ef) == [4, 4, 4, 9]
+        assert ef.rank_leq(4) == 3
+
+    def test_paper_example(self):
+        """Example 3.2/3.3 of the paper: hash codes with r=100, l=3."""
+        codes = sorted([14, 53, 55, 6, 51, 94, 70, 91, 32, 66])
+        ef = EliasFano(codes, universe=100)
+        assert ef.low_bits == 3
+        assert list(ef) == codes
+        # Example 3.3: predecessor(52) = 51 >= h(a)=49 -> "not empty".
+        assert ef.predecessor(52) == 51
+
+    def test_space_bound(self):
+        """Space must stay within n*ceil(log2(u/n)) + 2n bits."""
+        n, u = 1000, 2**20
+        values = sorted(set(range(0, u, u // n)))[:n]
+        ef = EliasFano(values, universe=u)
+        bound = len(values) * ((u // len(values)).bit_length()) + 2 * len(values)
+        assert ef.size_in_bits <= bound + 64  # +word slack
+
+
+class TestAccess:
+    def test_access_and_iter(self):
+        values = [0, 1, 5, 100, 1000, 1000, 4095]
+        ef = EliasFano(values, universe=4096)
+        assert [ef.access(i) for i in range(len(values))] == values
+        assert list(ef) == values
+
+    def test_access_out_of_range(self):
+        ef = EliasFano([1, 2])
+        with pytest.raises(IndexError):
+            ef.access(2)
+
+    def test_first_last(self):
+        ef = EliasFano([7, 9, 11], universe=50)
+        assert ef.first == 7
+        assert ef.last == 11
+
+
+class TestPredecessorSuccessor:
+    def test_predecessor_below_first(self):
+        ef = EliasFano([10, 20])
+        assert ef.predecessor(9) is None
+        assert ef.predecessor(10) == 10
+
+    def test_successor_above_last(self):
+        ef = EliasFano([10, 20])
+        assert ef.successor(21) is None
+        assert ef.successor(20) == 20
+
+    def test_contains_in_range(self):
+        ef = EliasFano([10, 20, 30], universe=100)
+        assert ef.contains_in_range(15, 25)
+        assert ef.contains_in_range(20, 20)
+        assert not ef.contains_in_range(21, 29)
+        assert not ef.contains_in_range(25, 15)  # inverted range
+
+    def test_dense_universe(self):
+        # u == n forces l == 0 (no low bits at all).
+        values = list(range(64))
+        ef = EliasFano(values, universe=64)
+        assert ef.low_bits == 0
+        for y in range(64):
+            assert ef.predecessor(y) == y
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**40), min_size=1, max_size=200),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_sorted_list_reference(self, raw, data):
+        values = sorted(raw)
+        universe = values[-1] + data.draw(st.integers(min_value=1, max_value=2**20))
+        ef = EliasFano(values, universe=universe)
+        probes = data.draw(
+            st.lists(st.integers(min_value=0, max_value=universe - 1), min_size=1, max_size=30)
+        )
+        # Also probe near stored values to hit bucket-boundary branches.
+        probes += [values[0], values[-1], max(0, values[0] - 1)]
+        for y in probes:
+            assert ef.predecessor(y) == naive_predecessor(values, y)
+            assert ef.successor(y) == naive_successor(values, y)
+            assert ef.rank_leq(y) == bisect.bisect_right(values, y)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_access_round_trip(self, raw):
+        values = sorted(raw)
+        ef = EliasFano(values)
+        assert list(ef) == values

@@ -1,0 +1,108 @@
+"""Tests for the Golomb-Rice coded sequence (SNARF's compressed bit array)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.succinct.golomb import BitReader, BitWriter, GolombSequence
+
+
+class TestBitIO:
+    def test_round_trip_mixed_widths(self):
+        w = BitWriter()
+        payload = [(0b101, 3), (0xFFFF, 16), (1, 1), (0, 5), (0xDEADBEEF, 32)]
+        for value, bits in payload:
+            w.write_bits(value, bits)
+        r = BitReader(w.to_words())
+        for value, bits in payload:
+            assert r.read_bits(bits) == value
+
+    def test_unary_round_trip(self):
+        w = BitWriter()
+        values = [0, 1, 5, 63, 64, 200]
+        for v in values:
+            w.write_unary(v)
+        r = BitReader(w.to_words())
+        for v in values:
+            assert r.read_unary() == v
+
+    def test_word_boundary_crossing(self):
+        w = BitWriter()
+        w.write_bits(0, 60)
+        w.write_bits(0b1011, 4)  # ends exactly at 64
+        w.write_bits(0x1FF, 9)  # crosses into word 2
+        r = BitReader(w.to_words())
+        r.read_bits(60)
+        assert r.read_bits(4) == 0b1011
+        assert r.read_bits(9) == 0x1FF
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BitWriter().write_bits(1, -1)
+
+
+class TestGolombSequence:
+    def test_empty(self):
+        seq = GolombSequence([], universe=100)
+        assert len(seq) == 0
+        assert seq.successor(0) is None
+        assert not seq.any_in_range(0, 99)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            GolombSequence([5, 5], universe=10)  # not strictly increasing
+        with pytest.raises(InvalidParameterError):
+            GolombSequence([10], universe=10)  # out of universe
+        with pytest.raises(InvalidParameterError):
+            GolombSequence([], universe=0)
+
+    def test_iteration_round_trip(self):
+        positions = [0, 5, 6, 100, 2**20]
+        seq = GolombSequence(positions, universe=2**21)
+        assert list(seq) == positions
+
+    def test_successor_basics(self):
+        seq = GolombSequence([10, 20, 30], universe=100)
+        assert seq.successor(0) == 10
+        assert seq.successor(10) == 10
+        assert seq.successor(11) == 20
+        assert seq.successor(31) is None
+
+    def test_any_in_range(self):
+        seq = GolombSequence([50], universe=100)
+        assert seq.any_in_range(0, 99)
+        assert seq.any_in_range(50, 50)
+        assert not seq.any_in_range(0, 49)
+        assert not seq.any_in_range(51, 99)
+        assert not seq.any_in_range(60, 40)
+
+    def test_block_boundaries(self):
+        # stride 4 forces multiple directory blocks
+        positions = list(range(0, 400, 7))
+        seq = GolombSequence(positions, universe=500, sample_every=4)
+        for y in range(0, 420, 3):
+            expected = next((p for p in positions if p >= y), None)
+            assert seq.successor(y) == expected
+
+    def test_compression_effective(self):
+        # Dense-ish positions should compress far below 64 bits each.
+        positions = list(range(0, 100_000, 13))
+        seq = GolombSequence(positions, universe=100_000)
+        assert seq.size_in_bits < len(positions) * 16
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=200),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_successor_matches_reference(self, raw, data):
+        positions = sorted(raw)
+        seq = GolombSequence(positions, universe=10**6 + 1, sample_every=8)
+        probes = data.draw(
+            st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=20)
+        )
+        probes += positions[:5]
+        for y in probes:
+            expected = next((p for p in positions if p >= y), None)
+            assert seq.successor(y) == expected

@@ -1,0 +1,90 @@
+"""Unit and property tests for PackedIntVector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.succinct.packed import PackedIntVector
+
+
+class TestConstruction:
+    def test_empty(self):
+        pv = PackedIntVector(7, [])
+        assert len(pv) == 0
+        assert pv.size_in_bits == 0
+
+    def test_width_zero_stores_zeros(self):
+        pv = PackedIntVector(0, [0, 0, 0])
+        assert len(pv) == 3
+        assert pv[2] == 0
+        assert pv.size_in_bits == 0
+
+    def test_width_zero_rejects_nonzero(self):
+        with pytest.raises(InvalidParameterError):
+            PackedIntVector(0, [1])
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PackedIntVector(3, [8])
+
+    def test_width_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            PackedIntVector(65, [1])
+        with pytest.raises(InvalidParameterError):
+            PackedIntVector(-1, [1])
+
+    def test_full_width_64(self):
+        values = [0, 1, 2**64 - 1, 2**63]
+        pv = PackedIntVector(64, values)
+        assert [pv[i] for i in range(4)] == values
+
+
+class TestAccess:
+    def test_straddling_word_boundaries(self):
+        # Width 7 means cells straddle the 64-bit boundary regularly.
+        values = list(range(100))
+        pv = PackedIntVector(7, values)
+        assert [pv[i] for i in range(100)] == values
+
+    def test_index_errors(self):
+        pv = PackedIntVector(4, [1, 2])
+        with pytest.raises(IndexError):
+            pv[2]
+        with pytest.raises(IndexError):
+            pv[-1]
+
+    def test_get_many(self):
+        pv = PackedIntVector(9, [5, 300, 511, 0])
+        got = pv.get_many([3, 0, 2, 1])
+        assert got.tolist() == [0, 5, 511, 300]
+
+    def test_get_many_out_of_range(self):
+        pv = PackedIntVector(4, [1])
+        with pytest.raises(IndexError):
+            pv.get_many([1])
+
+    def test_iteration(self):
+        values = [3, 1, 4, 1, 5]
+        assert list(PackedIntVector(4, values)) == values
+
+    def test_size_in_bits(self):
+        assert PackedIntVector(13, list(range(10))).size_in_bits == 130
+
+
+class TestPropertyRoundTrip:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip(self, width, data):
+        limit = 2**width - 1
+        values = data.draw(
+            st.lists(st.integers(min_value=0, max_value=limit), max_size=150)
+        )
+        pv = PackedIntVector(width, values)
+        assert [pv[i] for i in range(len(values))] == values
+        if values:
+            assert pv.get_many(np.arange(len(values))).tolist() == values

@@ -1,0 +1,108 @@
+"""Unit and property tests for the rank/select structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.succinct.bitvector import BitVector
+from repro.succinct.rank_select import RankSelect
+
+
+def naive_rank1(flags, i):
+    return sum(flags[:i])
+
+
+def naive_select(flags, k, bit):
+    seen = 0
+    for pos, f in enumerate(flags):
+        if bool(f) == bit:
+            if seen == k:
+                return pos
+            seen += 1
+    raise IndexError
+
+
+class TestSmallCases:
+    def test_counts(self):
+        rs = RankSelect(BitVector.from_bools([1, 0, 1, 1, 0]))
+        assert rs.num_ones == 3
+        assert rs.num_zeros == 2
+
+    def test_rank_boundaries(self):
+        rs = RankSelect(BitVector.from_bools([1, 0, 1]))
+        assert rs.rank1(0) == 0
+        assert rs.rank1(3) == 2
+        assert rs.rank0(3) == 1
+
+    def test_rank_out_of_range(self):
+        rs = RankSelect(BitVector(5))
+        with pytest.raises(IndexError):
+            rs.rank1(6)
+
+    def test_select_on_word_boundaries(self):
+        positions = [0, 63, 64, 65, 191]
+        rs = RankSelect(BitVector.from_positions(192, positions))
+        for k, pos in enumerate(positions):
+            assert rs.select1(k) == pos
+
+    def test_select0_basic(self):
+        rs = RankSelect(BitVector.from_bools([1, 0, 0, 1, 0]))
+        assert rs.select0(0) == 1
+        assert rs.select0(1) == 2
+        assert rs.select0(2) == 4
+
+    def test_select_out_of_range(self):
+        rs = RankSelect(BitVector.from_bools([1, 0]))
+        with pytest.raises(IndexError):
+            rs.select1(1)
+        with pytest.raises(IndexError):
+            rs.select0(1)
+
+    def test_padding_bits_do_not_leak_into_select0(self):
+        # Length 3 vector occupies one 64-bit word; the 61 padding bits
+        # must never be reported as zeros of the vector.
+        rs = RankSelect(BitVector.from_bools([1, 1, 1]))
+        assert rs.num_zeros == 0
+        with pytest.raises(IndexError):
+            rs.select0(0)
+
+    def test_all_zeros_vector(self):
+        rs = RankSelect(BitVector(70))
+        assert rs.num_ones == 0
+        assert rs.select0(69) == 69
+
+    def test_index_size_reported(self):
+        rs = RankSelect(BitVector(1000))
+        assert rs.index_size_in_bits > 0
+
+
+class TestAgainstNaive:
+    @given(st.lists(st.booleans(), min_size=1, max_size=500))
+    @settings(max_examples=80, deadline=None)
+    def test_rank1_matches(self, flags):
+        rs = RankSelect(BitVector.from_bools(flags))
+        for i in range(0, len(flags) + 1, max(1, len(flags) // 17)):
+            assert rs.rank1(i) == naive_rank1(flags, i)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=500))
+    @settings(max_examples=80, deadline=None)
+    def test_select1_matches(self, flags):
+        rs = RankSelect(BitVector.from_bools(flags))
+        for k in range(rs.num_ones):
+            assert rs.select1(k) == naive_select(flags, k, True)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=500))
+    @settings(max_examples=80, deadline=None)
+    def test_select0_matches(self, flags):
+        rs = RankSelect(BitVector.from_bools(flags))
+        for k in range(rs.num_zeros):
+            assert rs.select0(k) == naive_select(flags, k, False)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_rank_select_inverse(self, flags):
+        rs = RankSelect(BitVector.from_bools(flags))
+        for k in range(rs.num_ones):
+            pos = rs.select1(k)
+            assert rs.rank1(pos) == k
+            assert rs.rank1(pos + 1) == k + 1

@@ -1,0 +1,64 @@
+"""Tests for the adversarial query generators (§1, §6.2 threat model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bucketing import Bucketing
+from repro.core.grafite import Grafite
+from repro.errors import InvalidParameterError
+from repro.workloads.adversary import AdaptiveAdversary, KeyKnowledgeAdversary
+from repro.workloads.datasets import uniform
+from repro.workloads.queries import intersects
+
+UNIVERSE = 2**40
+KEYS = uniform(2000, universe=UNIVERSE, seed=0)
+
+
+class TestKeyKnowledgeAdversary:
+    def test_crafted_queries_are_empty_and_adjacent(self):
+        adv = KeyKnowledgeAdversary(KEYS, leaked_fraction=0.2, seed=1)
+        queries = adv.craft_queries(100, 16, UNIVERSE)
+        assert len(queries) == 100
+        key_set = set(int(k) for k in KEYS)
+        for lo, hi in queries:
+            assert not intersects(KEYS, lo, hi)
+            assert (lo - 1) in key_set  # hugging a leaked key
+
+    def test_leaked_fraction_validation(self):
+        with pytest.raises(InvalidParameterError):
+            KeyKnowledgeAdversary(KEYS, leaked_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            KeyKnowledgeAdversary(np.zeros(0, dtype=np.uint64))
+
+    def test_leaked_count(self):
+        adv = KeyKnowledgeAdversary(KEYS, leaked_fraction=0.5, seed=0)
+        assert adv.leaked_key_count == KEYS.size // 2
+
+
+class TestAdaptiveAdversary:
+    def test_attack_breaks_bucketing_not_grafite(self):
+        """The paper's robustness claim as an adversarial game."""
+        bucketing = Bucketing(KEYS, UNIVERSE, bits_per_key=12)
+        grafite = Grafite(KEYS, UNIVERSE, bits_per_key=12, max_range_size=16, seed=0)
+        adv_b = AdaptiveAdversary(KEYS, leaked_fraction=0.3, seed=2)
+        adv_g = AdaptiveAdversary(KEYS, leaked_fraction=0.3, seed=2)
+        report_b = adv_b.attack(bucketing, rounds=3, queries_per_round=150, range_size=16)
+        report_g = adv_g.attack(grafite, rounds=3, queries_per_round=150, range_size=16)
+        # Bucketing collapses under key-adjacent queries...
+        assert report_b.final_fpr > 0.5
+        # ...while Grafite keeps its distribution-free bound (16/2^10 ~ 0.016).
+        assert report_g.final_fpr <= grafite.fpr_bound(16) * 3 + 0.02
+
+    def test_validation(self):
+        adv = AdaptiveAdversary(KEYS, seed=0)
+        g = Grafite(KEYS, UNIVERSE, bits_per_key=10, seed=0)
+        with pytest.raises(InvalidParameterError):
+            adv.attack(g, rounds=0, queries_per_round=10, range_size=4)
+
+    def test_report_fields(self):
+        adv = AdaptiveAdversary(KEYS, seed=3)
+        b = Bucketing(KEYS, UNIVERSE, bits_per_key=10)
+        report = adv.attack(b, rounds=2, queries_per_round=50, range_size=8)
+        assert len(report.per_round_fpr) == 2
+        assert 0 <= report.final_fpr <= 1
+        assert report.amplification >= 0
