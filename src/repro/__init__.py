@@ -11,7 +11,10 @@ Public API highlights:
 * :mod:`repro.workloads` — dataset and query generators of §6.1;
 * :mod:`repro.analysis` — FPR / timing / space measurement harness;
 * :mod:`repro.lsm` — a mini LSM key-value store with pluggable range
-  filters (the paper's motivating application).
+  filters (the paper's motivating application);
+* :mod:`repro.engine` — the scale-out layer on top of it: a sharded,
+  persistent engine (:class:`~repro.engine.engine.ShardedEngine`) with
+  write-ahead logging, crash recovery and vectorised batch queries.
 
 Quick start::
 
@@ -35,6 +38,7 @@ from repro.core import (
     WorkloadAwareBucketing,
     eps_from_bits_per_key,
 )
+from repro.engine import ShardedEngine
 from repro.errors import (
     InvalidKeyError,
     InvalidParameterError,
@@ -78,6 +82,7 @@ __all__ = [
     "RangeFilter",
     "ReproError",
     "Rosetta",
+    "ShardedEngine",
     "SnarfFilter",
     "StringGrafite",
     "SuRF",

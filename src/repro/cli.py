@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands, mirroring how the library is typically exercised:
+Five commands, mirroring how the library is typically exercised:
 
 * ``dataset`` — generate one of the §6.1 datasets and print its shape
   statistics (size, universe coverage, gap distribution);
@@ -9,7 +9,10 @@ Four commands, mirroring how the library is typically exercised:
 * ``attack`` — run the adaptive adversary of §6.2/§6.7 against a filter
   and print the per-round false-positive rate;
 * ``table1`` — evaluate the closed-form bounds of Table 1 for given
-  parameters.
+  parameters;
+* ``engine`` — drive a mixed read/write workload against the sharded
+  :class:`~repro.engine.ShardedEngine` and report throughput and the
+  I/O the filters saved.
 
 Every command is deterministic given ``--seed``.
 """
@@ -18,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -75,6 +79,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_theory.add_argument("--universe-bits", type=int, default=64)
     p_theory.add_argument("--range-size", type=int, default=2**10)
     p_theory.add_argument("--eps", type=float, default=0.01)
+
+    p_engine = sub.add_parser(
+        "engine", help="mixed read/write workload on the sharded engine"
+    )
+    _add_common(p_engine)
+    p_engine.add_argument("--shards", type=int, default=4)
+    p_engine.add_argument(
+        "--filter", choices=("Grafite", "Bucketing", "none"), default="Grafite"
+    )
+    p_engine.add_argument("--bits-per-key", type=float, default=16.0)
+    p_engine.add_argument("--range-size", type=int, default=32)
+    p_engine.add_argument("--memtable-limit", type=int, default=2048)
+    p_engine.add_argument("--fanout", type=int, default=4)
+    p_engine.add_argument("--batches", type=int, default=4)
+    p_engine.add_argument("--batch-size", type=int, default=2000)
+    p_engine.add_argument(
+        "--writes-per-batch", type=int, default=500,
+        help="puts/deletes interleaved before each probe batch",
+    )
+    p_engine.add_argument(
+        "--dir", default=None,
+        help="directory for WAL + snapshots; omit for an in-memory engine",
+    )
     return parser
 
 
@@ -192,11 +219,100 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_filter_factory(args: argparse.Namespace):
+    """Per-run filter builder for the engine command (None disables)."""
+    from repro.core.bucketing import Bucketing
+    from repro.core.grafite import Grafite
+
+    if args.filter == "none":
+        return None
+    if args.filter == "Grafite":
+        return lambda keys, universe: Grafite(
+            keys, universe, bits_per_key=args.bits_per_key,
+            max_range_size=args.range_size, seed=args.seed,
+        )
+    return lambda keys, universe: Bucketing(
+        keys, universe, bits_per_key=args.bits_per_key
+    )
+
+
+def cmd_engine(args: argparse.Namespace) -> int:
+    """Drive a mixed read/write workload against a sharded engine."""
+    from repro.engine import ShardedEngine
+
+    universe = _universe(args)
+    keys = load_dataset(args.dataset, args.n, universe=universe, seed=args.seed)
+    engine = ShardedEngine(
+        universe,
+        num_shards=args.shards,
+        memtable_limit=args.memtable_limit,
+        compaction_fanout=args.fanout,
+        filter_factory=_engine_filter_factory(args),
+        directory=args.dir,
+    )
+    rng = np.random.default_rng(args.seed + 1)
+
+    t0 = time.perf_counter()
+    arrival = keys[rng.permutation(keys.size)]
+    for key in arrival:
+        engine.put(int(key), b"v")
+    engine.flush_all()
+    load_seconds = time.perf_counter() - t0
+
+    write_seconds = 0.0
+    probe_seconds = 0.0
+    probes = empties = 0
+    for batch in range(args.batches):
+        t0 = time.perf_counter()
+        mutations = rng.integers(0, universe, args.writes_per_batch, dtype=np.uint64)
+        for i, key in enumerate(mutations):
+            if i % 8 == 7:
+                engine.delete(int(key))
+            else:
+                engine.put(int(key), b"w")
+        write_seconds += time.perf_counter() - t0
+        queries = uncorrelated_queries(
+            args.batch_size, args.range_size, universe,
+            keys=keys, seed=args.seed + 10 + batch,
+        )
+        los = np.asarray([lo for lo, _ in queries], dtype=np.uint64)
+        his = np.asarray([hi for _, hi in queries], dtype=np.uint64)
+        t0 = time.perf_counter()
+        result = engine.batch_range_empty(los, his)
+        probe_seconds += time.perf_counter() - t0
+        probes += result.size
+        empties += int(result.sum())
+
+    stats = engine.stats
+    total_writes = keys.size + args.batches * args.writes_per_batch
+    rows = [
+        ["universe / shards", f"2^{args.universe_bits} / {args.shards}"],
+        ["filter", args.filter],
+        ["live keys", f"{len(engine):,}"],
+        ["runs (filter bits)", f"{engine.run_count} ({engine.filter_bits_total:,})"],
+        ["bulk load", f"{keys.size:,} puts, {keys.size / load_seconds:,.0f} op/s"],
+        ["mixed writes", f"{total_writes - keys.size:,} ops, "
+         + (f"{(total_writes - keys.size) / write_seconds:,.0f} op/s" if write_seconds else "-")],
+        ["batch probes", f"{probes:,} ({args.batches} x {args.batch_size}), "
+         + (f"{probes / probe_seconds:,.0f} q/s" if probe_seconds else "-")],
+        ["empty ranges", f"{empties:,} / {probes:,}"],
+        ["reads performed / avoided", f"{stats.reads_performed:,} / {stats.reads_avoided:,}"],
+        ["wasted reads (filter FPs)", f"{stats.wasted_reads:,}"],
+        ["flushes / compactions", f"{stats.flushes} / {stats.compactions}"],
+        ["durability", str(engine.directory) if engine.directory else "in-memory"],
+    ]
+    print(format_table(["metric", "value"], rows, title="sharded engine workload"))
+    if engine.directory is not None:
+        engine.close()
+    return 0
+
+
 _COMMANDS = {
     "dataset": cmd_dataset,
     "fpr": cmd_fpr,
     "attack": cmd_attack,
     "table1": cmd_table1,
+    "engine": cmd_engine,
 }
 
 

@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, InvalidQueryError
 from repro.filters.base import RangeFilter, as_key_array
 from repro.succinct.elias_fano import EliasFano
 
@@ -145,6 +145,25 @@ class Bucketing(RangeFilter):
         if self._n == 0:
             return False
         return self._ef.contains_in_range(lo // self._s, hi // self._s)
+
+    def may_contain_range_batch(self, los, his) -> np.ndarray:
+        """Vectorised probe: bucket the bounds, one batch EF predecessor."""
+        los_arr = np.asarray(los, dtype=np.uint64)
+        his_arr = np.asarray(his, dtype=np.uint64)
+        if los_arr.shape != his_arr.shape or los_arr.ndim != 1:
+            raise InvalidQueryError(
+                "batch queries need equal-length one-dimensional lo/hi arrays"
+            )
+        if los_arr.size == 0:
+            return np.zeros(0, dtype=bool)
+        if bool((los_arr > his_arr).any()):
+            raise InvalidQueryError("batch query with lo > hi")
+        if int(his_arr.max()) >= self._universe:
+            raise InvalidQueryError("batch query outside the universe")
+        if self._n == 0:
+            return np.zeros(los_arr.size, dtype=bool)
+        s = np.uint64(self._s)
+        return self._ef.contains_in_range_batch(los_arr // s, his_arr // s)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Bucketing(n={self._n}, s={self._s}, t={self.marked_buckets})"

@@ -34,7 +34,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.hashing import LocalityPreservingHash, PowerOfTwoLocalityHash
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, InvalidQueryError
 from repro.filters.base import RangeFilter, as_key_array
 from repro.succinct.elias_fano import EliasFano
 
@@ -246,6 +246,84 @@ class Grafite(RangeFilter):
             # code is a hit. (FPR bound is 1 here anyway.)
             return True
         return any(self._segment_not_empty(s, e) for s, e in self._segments(lo, hi))
+
+    def may_contain_range_batch(
+        self, los: Sequence[int] | np.ndarray, his: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Vectorised Algorithm 2 over a batch of query ranges.
+
+        The whole pipeline runs in numpy: the block-boundary split of
+        Footnote 2 produces up to two segments per query, segments are
+        hashed with one modular evaluation of ``q`` per *distinct block*
+        (as in :meth:`LocalityPreservingHash.hash_many`), wrap-arounds
+        become two plain intervals, and all resulting intervals go
+        through one vectorised Elias-Fano predecessor
+        (:meth:`EliasFano.contains_in_range_batch`). Results are OR-ed
+        back per query, so the output matches the scalar
+        :meth:`may_contain_range` bit for bit.
+        """
+        # Big-integer universes (string extension) exceed uint64: take the
+        # scalar loop, which handles unbounded Python ints.
+        if self._universe > 2**64:
+            return super().may_contain_range_batch(los, his)
+        los_arr = np.asarray(los, dtype=np.uint64)
+        his_arr = np.asarray(his, dtype=np.uint64)
+        if los_arr.shape != his_arr.shape or los_arr.ndim != 1:
+            raise InvalidQueryError(
+                "batch queries need equal-length one-dimensional lo/hi arrays"
+            )
+        if los_arr.size == 0:
+            return np.zeros(0, dtype=bool)
+        if bool((los_arr > his_arr).any()):
+            raise InvalidQueryError("batch query with lo > hi")
+        if int(his_arr.max()) >= self._universe:
+            raise InvalidQueryError("batch query outside the universe")
+        if self._n == 0:
+            return np.zeros(los_arr.size, dtype=bool)
+        if self._exact:
+            return self._ef.contains_in_range_batch(los_arr, his_arr)
+        # uint64 arithmetic below needs headroom: offsets are < r, so
+        # (lo % r) + offset must not wrap. r >= 2^63 cannot happen for a
+        # sane eps, but fall back to the scalar loop rather than be wrong.
+        if self._r >= 2**63:
+            return super().may_contain_range_batch(los_arr, his_arr)
+        r = np.uint64(self._r)
+        result = np.zeros(los_arr.size, dtype=bool)
+        # Ranges covering >= r points hash onto all of [r]: always "maybe".
+        full = (his_arr - los_arr) >= np.uint64(self._r - 1)
+        result[full] = True
+        qid = np.flatnonzero(~full)
+        if qid.size == 0:
+            return result
+        q_lo, q_hi = los_arr[qid], his_arr[qid]
+        # Footnote 2: split each range at the block boundary it may cross.
+        lo_block = q_lo // r
+        hi_block = q_hi // r
+        split = lo_block != hi_block
+        boundary = q_hi - (q_hi % r)
+        seg_lo = np.concatenate([q_lo, boundary[split]])
+        seg_hi = np.concatenate(
+            [np.where(split, boundary - np.uint64(1), q_hi), q_hi[split]]
+        )
+        seg_qid = np.concatenate([qid, qid[split]])
+        # One q() evaluation per distinct block (big-int modular math),
+        # broadcast back over the segments that share the block.
+        blocks, inverse = np.unique(seg_lo // r, return_inverse=True)
+        assert self._hash is not None
+        offsets = np.fromiter(
+            (self._hash.hash_block(int(b)) for b in blocks),
+            dtype=np.uint64,
+            count=blocks.size,
+        )[inverse]
+        h_lo = (offsets + (seg_lo % r)) % r
+        h_hi = (offsets + (seg_hi % r)) % r
+        wrap = h_lo > h_hi  # hashed interval wraps around the reduced universe
+        int_lo = np.concatenate([np.where(wrap, np.uint64(0), h_lo), h_lo[wrap]])
+        int_hi = np.concatenate([h_hi, np.full(int(wrap.sum()), self._r - 1, dtype=np.uint64)])
+        int_qid = np.concatenate([seg_qid, seg_qid[wrap]])
+        hits = self._ef.contains_in_range_batch(int_lo, int_hi)
+        np.logical_or.at(result, int_qid, hits)
+        return result
 
     # ------------------------------------------------------------------
     # Approximate range counting (end of §3)

@@ -88,6 +88,7 @@ def _unpack_elias_fano(buf: bytes, offset: int) -> Tuple[EliasFano, int]:
     ef._n = int(n)
     ef._u = int(universe)
     ef._l = int(low_bits)
+    ef._decoded = None
     low = PackedIntVector.__new__(PackedIntVector)
     low._width = int(low_bits)
     low._n = int(n)
@@ -206,3 +207,42 @@ def bucketing_from_bytes(buf: bytes) -> Bucketing:
     filt._s = int(bucket_size)
     filt._ef = ef
     return filt
+
+
+# ----------------------------------------------------------------------
+# Generic dispatch (engine snapshots)
+# ----------------------------------------------------------------------
+def filter_to_bytes(filt) -> bytes:
+    """Serialise any filter this module has a format for.
+
+    The engine snapshot (:mod:`repro.engine.persist`) stores each run's
+    filter next to the run so a reopened store false-positives on exactly
+    the same probes as before the restart; rebuilding from keys would
+    draw fresh hash constants. Raises for filter types without a stable
+    format (the engine then rebuilds those from the run's keys).
+    """
+    if isinstance(filt, Grafite):
+        return grafite_to_bytes(filt)
+    if isinstance(filt, Bucketing):
+        return bucketing_to_bytes(filt)
+    raise InvalidParameterError(
+        f"no stable byte format for filter type {type(filt).__name__}"
+    )
+
+
+def filter_from_bytes(buf: bytes):
+    """Load a filter serialised by :func:`filter_to_bytes` (magic dispatch)."""
+    magic = bytes(buf[:4])
+    if magic == _GRAFITE_MAGIC:
+        return grafite_from_bytes(buf)
+    if magic == _BUCKETING_MAGIC:
+        return bucketing_from_bytes(buf)
+    raise InvalidParameterError(f"unknown filter magic {magic!r}")
+
+
+#: Public aliases for the primitive packers, reused by the engine's run
+#: and WAL formats so every on-disk artifact shares one int/word layout.
+pack_int = _pack_int
+unpack_int = _unpack_int
+pack_words = _pack_words
+unpack_words = _unpack_words

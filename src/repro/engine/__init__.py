@@ -1,0 +1,47 @@
+"""repro.engine — a sharded, persistent, batch-query storage engine.
+
+This package scales the single-shard in-memory :class:`repro.lsm.LSMStore`
+into the system the paper motivates (§1, §6.7): a RocksDB-style store
+serving heavy range-query traffic behind in-memory filters.
+
+* :class:`~repro.engine.engine.ShardedEngine` — the façade: key-range
+  sharding, WAL durability, checkpoints, batch queries;
+* :class:`~repro.engine.sharding.ShardRouter` — contiguous key-range
+  partitioning and cross-shard query splitting;
+* :class:`~repro.engine.wal.WriteAheadLog` — torn-tail-tolerant
+  durability log;
+* :mod:`~repro.engine.persist` — snapshot format for runs *and* their
+  filters (reopened engines answer queries identically);
+* :func:`~repro.engine.batch.batch_range_empty` — vectorised emptiness
+  probes through the filters' batch API;
+* :class:`~repro.engine.scheduler.CompactionScheduler` — deferred
+  compaction drained between batches.
+"""
+
+from repro.engine.batch import batch_range_empty
+from repro.engine.engine import ShardedEngine
+from repro.engine.persist import (
+    load_manifest,
+    load_shards,
+    run_from_bytes,
+    run_to_bytes,
+    save_snapshot,
+)
+from repro.engine.scheduler import CompactionScheduler
+from repro.engine.sharding import ShardRouter
+from repro.engine.wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+__all__ = [
+    "CompactionScheduler",
+    "OP_DELETE",
+    "OP_PUT",
+    "ShardRouter",
+    "ShardedEngine",
+    "WriteAheadLog",
+    "batch_range_empty",
+    "load_manifest",
+    "load_shards",
+    "run_from_bytes",
+    "run_to_bytes",
+    "save_snapshot",
+]

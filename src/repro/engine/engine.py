@@ -1,0 +1,327 @@
+"""The sharded, persistent, batch-capable storage engine.
+
+:class:`ShardedEngine` composes the pieces of this package into the
+system the paper's introduction gestures at — a key-value store serving
+heavy range-query traffic behind in-memory filters:
+
+* the universe is range-partitioned across N independent
+  :class:`~repro.lsm.store.LSMStore` shards (:mod:`.sharding`), so
+  writes scale out and a range query touches only the shards it
+  overlaps;
+* every acknowledged mutation hits a write-ahead log first
+  (:mod:`.wal`); checkpoints snapshot all runs *with their filters* to a
+  directory (:mod:`.persist`), and :meth:`open` recovers
+  snapshot-plus-log after a crash;
+* emptiness probes arrive in batches (:mod:`.batch`) and hit each run's
+  filter through the vectorised batch API — Grafite's
+  ``O(log(L/eps))`` query of Theorem 3.4 amortised over the batch;
+* compaction is deferred to a scheduler (:mod:`.scheduler`) and drained
+  between batches, like a background compaction thread.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine import persist
+from repro.engine.batch import batch_range_empty
+from repro.engine.scheduler import CompactionScheduler
+from repro.engine.sharding import ShardRouter
+from repro.engine.wal import OP_DELETE, OP_PUT, WriteAheadLog
+from repro.errors import InvalidParameterError
+from repro.lsm.memtable import TOMBSTONE
+from repro.lsm.sstable import FilterFactory
+from repro.lsm.store import IoStats, LSMStore
+
+
+class ShardedEngine:
+    """A sharded LSM engine with durability and batch queries.
+
+    Parameters
+    ----------
+    universe:
+        Exclusive key-universe bound (at most ``2^64``; the WAL and run
+        formats store keys as u64).
+    num_shards:
+        Number of contiguous key-range partitions.
+    memtable_limit / compaction_fanout / filter_factory:
+        Passed through to every shard's :class:`LSMStore`.
+    directory:
+        ``None`` keeps the engine in memory. A path makes it persistent:
+        mutations are write-ahead logged there and :meth:`checkpoint`
+        snapshots the runs. Use :meth:`open` to recover an existing
+        directory — passing one that already holds an engine here raises.
+    sync_wal:
+        fsync the WAL on every mutation (durable against power loss).
+    defer_compaction:
+        ``True`` (default) queues compactions on the scheduler and runs
+        them between batches; ``False`` compacts inline like a bare
+        :class:`LSMStore`.
+    """
+
+    def __init__(
+        self,
+        universe: int = 2**64,
+        *,
+        num_shards: int = 4,
+        memtable_limit: int = 1024,
+        compaction_fanout: int = 4,
+        filter_factory: Optional[FilterFactory] = None,
+        directory: Optional[str | Path] = None,
+        sync_wal: bool = False,
+        defer_compaction: bool = True,
+    ) -> None:
+        if universe > 2**64:
+            raise InvalidParameterError(
+                "the engine stores keys as u64: universe must be <= 2^64"
+            )
+        self._router = ShardRouter(universe, num_shards)
+        self._memtable_limit = int(memtable_limit)
+        self._fanout = int(compaction_fanout)
+        self._factory = filter_factory
+        self._defer = bool(defer_compaction)
+        self._scheduler = CompactionScheduler()
+        self._shards: List[LSMStore] = [
+            LSMStore(
+                universe,
+                memtable_limit=memtable_limit,
+                compaction_fanout=compaction_fanout,
+                filter_factory=filter_factory,
+                auto_compact=not self._defer,
+            )
+            for _ in range(num_shards)
+        ]
+        self._wal: Optional[WriteAheadLog] = None
+        self._directory: Optional[Path] = None
+        if directory is not None:
+            self._directory = Path(directory)
+            if persist.load_manifest(self._directory) is not None:
+                raise InvalidParameterError(
+                    f"{directory} already holds an engine; use ShardedEngine.open"
+                )
+            self._directory.mkdir(parents=True, exist_ok=True)
+            # Manifest first, so a crash before the first checkpoint still
+            # leaves enough topology on disk for open() to recover.
+            persist.save_snapshot(self._directory, self._params(), self._shards)
+            self._wal = WriteAheadLog(self._directory / "wal.log", sync=sync_wal)
+            for op, key, value in self._wal.recovered:
+                # A stray pre-manifest log (crash during __init__): replay.
+                self._apply(op, key, value)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        *,
+        filter_factory: Optional[FilterFactory] = None,
+        sync_wal: bool = False,
+        defer_compaction: bool = True,
+    ) -> "ShardedEngine":
+        """Recover a persistent engine: snapshot, then WAL replay.
+
+        ``filter_factory`` must be the one the engine was created with;
+        runs whose filters were snapshotted (Grafite, Bucketing) restore
+        them byte-for-byte regardless, so reopened engines answer every
+        query exactly as before the crash/shutdown.
+        """
+        directory = Path(directory)
+        manifest = persist.load_manifest(directory)
+        if manifest is None:
+            raise InvalidParameterError(f"no engine manifest in {directory}")
+        engine = cls(
+            manifest["universe"],
+            num_shards=manifest["num_shards"],
+            memtable_limit=manifest["memtable_limit"],
+            compaction_fanout=manifest["compaction_fanout"],
+            filter_factory=filter_factory,
+            defer_compaction=defer_compaction,
+        )
+        engine._shards = persist.load_shards(
+            directory,
+            manifest,
+            filter_factory=filter_factory,
+            auto_compact=not engine._defer,
+        )
+        engine._directory = directory
+        engine._wal = WriteAheadLog(directory / "wal.log", sync=sync_wal)
+        for op, key, value in engine._wal.recovered:
+            engine._apply(op, key, value)
+        if engine._defer:
+            # A snapshot may hold shards already at the fanout; queue them
+            # so a read-only workload still drains them between batches.
+            for sid, store in enumerate(engine._shards):
+                engine._scheduler.notify(sid, store)
+        return engine
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _apply(self, op: int, key: int, value: Any) -> None:
+        """Apply a mutation to its shard without re-logging it."""
+        sid = self._router.shard_of(key)
+        store = self._shards[sid]
+        if op == OP_PUT:
+            store.put(key, value)
+        else:
+            store.delete(key)
+        if self._defer:
+            self._scheduler.notify(sid, store)
+
+    def put(self, key: int, value: Any) -> None:
+        """Insert or overwrite a key (logged before applied)."""
+        self._router.shard_of(key)  # validate before the WAL sees it
+        if value is TOMBSTONE:
+            raise InvalidParameterError("use delete() instead of writing the tombstone")
+        if self._wal is not None:
+            self._wal.log_put(key, value)
+        self._apply(OP_PUT, key, value)
+
+    def delete(self, key: int) -> None:
+        """Delete a key (logged before applied)."""
+        self._router.shard_of(key)
+        if self._wal is not None:
+            self._wal.log_delete(key)
+        self._apply(OP_DELETE, key, None)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> Optional[Any]:
+        """Point lookup, routed to the owning shard."""
+        return self._shards[self._router.shard_of(key)].get(key)
+
+    def range_scan(self, lo: int, hi: int) -> List[Tuple[int, Any]]:
+        """All live pairs in ``[lo, hi]``; splits at shard boundaries.
+
+        Shards own disjoint contiguous ranges, so per-shard results
+        concatenate in key order without a merge.
+        """
+        out: List[Tuple[int, Any]] = []
+        for sid, seg_lo, seg_hi in self._router.split(lo, hi):
+            out.extend(self._shards[sid].range_scan(seg_lo, seg_hi))
+        return out
+
+    def range_empty(self, lo: int, hi: int) -> bool:
+        """Exact emptiness probe; short-circuits across shards."""
+        return all(
+            self._shards[sid].range_empty(seg_lo, seg_hi)
+            for sid, seg_lo, seg_hi in self._router.split(lo, hi)
+        )
+
+    def batch_range_empty(
+        self, los: np.ndarray | List[int], his: np.ndarray | List[int]
+    ) -> np.ndarray:
+        """Vectorised :meth:`range_empty` over a batch of ranges.
+
+        Drains deferred compactions first (the "between batches" slot),
+        then runs the filter-pruned batch path of
+        :func:`repro.engine.batch.batch_range_empty`.
+        """
+        self.drain_compactions()
+        return batch_range_empty(self, los, his)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def flush_all(self) -> None:
+        """Flush every shard's memtable into level-0 runs."""
+        for sid, store in enumerate(self._shards):
+            store.flush()
+            if self._defer:
+                self._scheduler.notify(sid, store)
+
+    def drain_compactions(self, max_compactions: Optional[int] = None) -> int:
+        """Run deferred compactions now; returns how many ran."""
+        return self._scheduler.drain(max_compactions)
+
+    def checkpoint(self) -> None:
+        """Flush, snapshot all runs + filters to disk, reset the WAL."""
+        if self._directory is None or self._wal is None:
+            raise InvalidParameterError("checkpoint requires a persistent engine")
+        self.flush_all()
+        persist.save_snapshot(self._directory, self._params(), self._shards)
+        self._wal.reset()
+
+    def close(self, *, checkpoint: bool = True) -> None:
+        """Shut down cleanly; by default checkpoints first."""
+        if self._wal is not None:
+            if checkpoint:
+                self.checkpoint()
+            self._wal.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # On an exception, skip the checkpoint: recovery replays the WAL,
+        # which is exactly the crash semantics callers are testing.
+        self.close(checkpoint=exc_type is None)
+
+    def _params(self) -> dict:
+        return {
+            "universe": self._router.universe,
+            "num_shards": self._router.num_shards,
+            "memtable_limit": self._memtable_limit,
+            "compaction_fanout": self._fanout,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    @property
+    def shards(self) -> List[LSMStore]:
+        return self._shards
+
+    @property
+    def scheduler(self) -> CompactionScheduler:
+        return self._scheduler
+
+    @property
+    def universe(self) -> int:
+        return self._router.universe
+
+    @property
+    def num_shards(self) -> int:
+        return self._router.num_shards
+
+    @property
+    def directory(self) -> Optional[Path]:
+        return self._directory
+
+    @property
+    def stats(self) -> IoStats:
+        """Aggregated I/O ledger across all shards."""
+        return IoStats.aggregate(store.stats for store in self._shards)
+
+    @property
+    def per_shard_stats(self) -> List[IoStats]:
+        return [store.stats for store in self._shards]
+
+    @property
+    def run_count(self) -> int:
+        return sum(store.run_count for store in self._shards)
+
+    @property
+    def filter_bits_total(self) -> int:
+        return sum(store.filter_bits_total for store in self._shards)
+
+    def __len__(self) -> int:
+        """Number of live keys across all shards (scans; for tests/demos)."""
+        return sum(len(store) for store in self._shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self._directory) if self._directory else "memory"
+        return (
+            f"ShardedEngine(shards={self.num_shards}, u={self.universe}, "
+            f"runs={self.run_count}, at={where!r})"
+        )

@@ -1,0 +1,243 @@
+"""On-disk snapshots of engine state (runs, filters, manifest).
+
+A checkpoint writes one directory:
+
+``MANIFEST.json`` — engine parameters plus, per shard, the run file
+names (level 0 newest first, then the bottom run); ``shard-<i>/*.sst`` —
+one file per run; ``wal.log`` — the write-ahead log, reset by the
+checkpoint and replayed over the snapshot on reopen.
+
+A run file reuses the primitive layout of :mod:`repro.core.serialization`
+(``pack_int`` / ``pack_words``) and embeds the run's *filter bytes* when
+the filter has a stable format (Grafite, Bucketing). Persisting the
+filter — rather than rebuilding it from the keys — matters: a rebuild
+would draw fresh hash constants, so a reopened store would false-positive
+on *different* probes than before the restart. With the blob, query
+results are bit-for-bit identical across a reopen.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.serialization import (
+    filter_from_bytes,
+    filter_to_bytes,
+    pack_int,
+    pack_words,
+    unpack_int,
+    unpack_words,
+)
+from repro.errors import InvalidParameterError
+from repro.lsm.memtable import TOMBSTONE
+from repro.lsm.sstable import FilterFactory, SSTable
+from repro.lsm.store import LSMStore
+
+_RUN_MAGIC = b"RSST"
+_RUN_VERSION = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+#: Filter persistence modes recorded in a run file.
+_FILTER_NONE = 0       # the run never had a filter
+_FILTER_BLOB = 1       # serialised bytes follow; restore exactly
+_FILTER_REBUILD = 2    # no stable format; rebuild from keys via the factory
+
+
+# ----------------------------------------------------------------------
+# Run files
+# ----------------------------------------------------------------------
+def run_to_bytes(run: SSTable) -> bytes:
+    """Serialise one immutable run (keys, values, tombstones, filter)."""
+    n = len(run)
+    keys = np.asarray(run._keys, dtype=np.uint64)
+    tombstone_mask = bytearray((n + 7) // 8)
+    live_values: List[Any] = []
+    for i, value in enumerate(run._values):
+        if value is TOMBSTONE:
+            tombstone_mask[i // 8] |= 1 << (i % 8)
+        else:
+            live_values.append(value)
+    values_blob = pickle.dumps(live_values, protocol=pickle.HIGHEST_PROTOCOL)
+    filt = run.filter
+    if filt is None:
+        filter_mode, filter_blob = _FILTER_NONE, b""
+    else:
+        try:
+            filter_mode, filter_blob = _FILTER_BLOB, filter_to_bytes(filt)
+        except InvalidParameterError:
+            filter_mode, filter_blob = _FILTER_REBUILD, b""
+    parts = [
+        _RUN_MAGIC,
+        struct.pack("<H", _RUN_VERSION),
+        struct.pack("<Q", n),
+        pack_int(run.universe),
+        pack_words(keys),
+        struct.pack("<Q", len(tombstone_mask)),
+        bytes(tombstone_mask),
+        struct.pack("<Q", len(values_blob)),
+        values_blob,
+        struct.pack("<BQ", filter_mode, len(filter_blob)),
+        filter_blob,
+    ]
+    return b"".join(parts)
+
+
+def run_from_bytes(
+    buf: bytes, filter_factory: Optional[FilterFactory] = None
+) -> SSTable:
+    """Load a run serialised by :func:`run_to_bytes`."""
+    if buf[:4] != _RUN_MAGIC:
+        raise InvalidParameterError("not a serialised SSTable run")
+    (version,) = struct.unpack_from("<H", buf, 4)
+    if version != _RUN_VERSION:
+        raise InvalidParameterError(f"unsupported run format version {version}")
+    offset = 6
+    (n,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    universe, offset = unpack_int(buf, offset)
+    keys, offset = unpack_words(buf, offset)
+    if keys.size != n:
+        raise InvalidParameterError("run key count does not match header")
+    (mask_len,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    tombstone_mask = buf[offset:offset + mask_len]
+    offset += mask_len
+    (values_len,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    live_values = pickle.loads(buf[offset:offset + values_len])
+    offset += values_len
+    filter_mode, filter_len = struct.unpack_from("<BQ", buf, offset)
+    offset += 9
+    filter_blob = buf[offset:offset + filter_len]
+
+    values: List[Any] = []
+    live_iter = iter(live_values)
+    for i in range(n):
+        if tombstone_mask[i // 8] >> (i % 8) & 1:
+            values.append(TOMBSTONE)
+        else:
+            values.append(next(live_iter))
+
+    if filter_mode == _FILTER_BLOB:
+        filt = filter_from_bytes(filter_blob)
+    elif filter_mode == _FILTER_REBUILD and filter_factory is not None:
+        filt = filter_factory(keys, int(universe))
+    else:
+        filt = None
+    return SSTable.from_parts(keys, values, int(universe), filt)
+
+
+# ----------------------------------------------------------------------
+# Manifest + whole-engine snapshots
+# ----------------------------------------------------------------------
+def load_manifest(directory: str | Path) -> Optional[Dict[str, Any]]:
+    """Read ``MANIFEST.json`` or return ``None`` when the dir has none."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    manifest = json.loads(path.read_text())
+    if manifest.get("manifest_version") != MANIFEST_VERSION:
+        raise InvalidParameterError(
+            f"unsupported manifest version {manifest.get('manifest_version')}"
+        )
+    return manifest
+
+
+def save_snapshot(
+    directory: str | Path,
+    params: Dict[str, Any],
+    shards: List[LSMStore],
+) -> Dict[str, Any]:
+    """Write every shard's runs plus the manifest; returns the manifest.
+
+    ``params`` carries the engine construction parameters (universe,
+    shard count, memtable limit, fanout) so :meth:`ShardedEngine.open`
+    can rebuild the topology without user input. Memtables are *not*
+    snapshotted — the caller flushes them first (checkpoint) or relies on
+    the WAL to replay them (crash).
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    previous = load_manifest(root)
+    generation = (previous.get("generation", 0) + 1) if previous else 1
+    shard_entries = []
+    for sid, store in enumerate(shards):
+        shard_dir = root / f"shard-{sid:04d}"
+        shard_dir.mkdir(exist_ok=True)
+        # Run files are generation-stamped and never overwritten: until
+        # the manifest rename below commits this checkpoint, the previous
+        # manifest still points at intact files, so a crash at *any*
+        # point in this function leaves the old checkpoint recoverable.
+        level0_names = []
+        for j, run in enumerate(store.level0_runs):
+            name = f"run-{generation:06d}-{j:04d}.sst"
+            (shard_dir / name).write_bytes(run_to_bytes(run))
+            level0_names.append(name)
+        bottom_name = None
+        if store.bottom_run is not None:
+            bottom_name = f"bottom-{generation:06d}.sst"
+            (shard_dir / bottom_name).write_bytes(run_to_bytes(store.bottom_run))
+        shard_entries.append({"level0": level0_names, "bottom": bottom_name})
+    manifest = {
+        "manifest_version": MANIFEST_VERSION,
+        "generation": generation,
+        **params,
+        "shards": shard_entries,
+    }
+    # The atomic commit point: write-then-rename the manifest.
+    tmp = root / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=1))
+    tmp.replace(root / MANIFEST_NAME)
+    # Garbage-collect run files no checkpoint references anymore.
+    for sid, entry in enumerate(shard_entries):
+        shard_dir = root / f"shard-{sid:04d}"
+        live = set(entry["level0"])
+        if entry["bottom"] is not None:
+            live.add(entry["bottom"])
+        for candidate in shard_dir.glob("*.sst"):
+            if candidate.name not in live:
+                candidate.unlink()
+    return manifest
+
+
+def load_shards(
+    directory: str | Path,
+    manifest: Dict[str, Any],
+    *,
+    filter_factory: Optional[FilterFactory] = None,
+    auto_compact: bool = True,
+) -> List[LSMStore]:
+    """Rebuild every shard's :class:`LSMStore` from a snapshot manifest."""
+    root = Path(directory)
+    shards: List[LSMStore] = []
+    for sid, entry in enumerate(manifest["shards"]):
+        shard_dir = root / f"shard-{sid:04d}"
+        level0 = [
+            run_from_bytes((shard_dir / name).read_bytes(), filter_factory)
+            for name in entry["level0"]
+        ]
+        bottom = None
+        if entry["bottom"] is not None:
+            bottom = run_from_bytes(
+                (shard_dir / entry["bottom"]).read_bytes(), filter_factory
+            )
+        shards.append(
+            LSMStore.from_runs(
+                manifest["universe"],
+                level0=level0,
+                bottom=bottom,
+                memtable_limit=manifest["memtable_limit"],
+                compaction_fanout=manifest["compaction_fanout"],
+                filter_factory=filter_factory,
+                auto_compact=auto_compact,
+            )
+        )
+    return shards

@@ -1,0 +1,64 @@
+"""Deferred ("background") compaction scheduling.
+
+With ``auto_compact=False`` an :class:`~repro.lsm.store.LSMStore` never
+compacts inline: a flush that fills level 0 only raises
+:attr:`~repro.lsm.store.LSMStore.needs_compaction`. The engine notifies
+this scheduler on every write; the queued work is drained *between*
+query batches — the same reason real engines run compaction on
+background threads: a compaction in the middle of a latency-sensitive
+batch would stall it. The reproduction stays single-threaded (so tests
+are deterministic), but the scheduling seam is the one a thread pool
+would plug into.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.lsm.store import LSMStore
+
+
+class CompactionScheduler:
+    """FIFO queue of shards whose level 0 has reached the fanout."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, LSMStore] = {}  # insertion-ordered
+        self._drained_total = 0
+
+    def notify(self, shard_id: int, store: LSMStore) -> None:
+        """Record that ``shard_id`` may need compaction (cheap, idempotent)."""
+        if store.needs_compaction and shard_id not in self._pending:
+            self._pending[shard_id] = store
+
+    def drain(self, max_compactions: Optional[int] = None) -> int:
+        """Run pending compactions (all of them, or at most ``max_compactions``).
+
+        Returns the number performed. A shard that shrank below the
+        fanout since it was queued (e.g. an explicit :meth:`LSMStore.compact`)
+        is skipped for free.
+        """
+        done = 0
+        while self._pending and (max_compactions is None or done < max_compactions):
+            shard_id, store = next(iter(self._pending.items()))
+            del self._pending[shard_id]
+            if store.needs_compaction:
+                store.compact()
+                done += 1
+        self._drained_total += done
+        return done
+
+    @property
+    def pending_shards(self) -> Tuple[int, ...]:
+        """Shard ids queued for compaction, oldest first."""
+        return tuple(self._pending)
+
+    @property
+    def compactions_run(self) -> int:
+        """Total compactions performed through :meth:`drain`."""
+        return self._drained_total
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompactionScheduler(pending={len(self._pending)})"

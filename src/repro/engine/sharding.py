@@ -1,0 +1,105 @@
+"""Key-range partitioning of the universe across shards.
+
+The engine splits ``[0, u)`` into ``num_shards`` contiguous ranges of
+(near-)equal width. Contiguous ranges — rather than hash partitioning —
+keep range queries local: a query ``[lo, hi]`` touches only the shards
+whose ranges it overlaps, and cross-shard scans concatenate in key order
+with no merge step. This mirrors how RocksDB-style deployments split a
+keyspace across column families / instances while each instance keeps
+its own runs and filters (the setting of the paper's §1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import InvalidParameterError, InvalidQueryError
+
+
+class ShardRouter:
+    """Maps keys and key ranges to contiguous universe shards.
+
+    Parameters
+    ----------
+    universe:
+        Exclusive key-universe bound ``u``.
+    num_shards:
+        Number of contiguous partitions. Widths are ``ceil(u / num_shards)``,
+        so the last shard may be narrower (and is never empty of range
+        only when ``num_shards <= u``).
+    """
+
+    __slots__ = ("_universe", "_num_shards", "_width")
+
+    def __init__(self, universe: int, num_shards: int) -> None:
+        if universe <= 0:
+            raise InvalidParameterError("universe must be positive")
+        if num_shards < 1:
+            raise InvalidParameterError("num_shards must be >= 1")
+        if num_shards > universe:
+            raise InvalidParameterError(
+                f"cannot split a universe of {universe} into {num_shards} shards"
+            )
+        self._universe = int(universe)
+        self._num_shards = int(num_shards)
+        self._width = -(-self._universe // self._num_shards)  # ceil division
+
+    @property
+    def universe(self) -> int:
+        return self._universe
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def shard_width(self) -> int:
+        """Width of every shard but possibly the last."""
+        return self._width
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < self._universe:
+            raise InvalidQueryError(
+                f"key {key} outside universe [0, {self._universe})"
+            )
+
+    def shard_of(self, key: int) -> int:
+        """Return the shard id owning ``key``."""
+        self._check_key(key)
+        return key // self._width
+
+    def shard_range(self, shard_id: int) -> Tuple[int, int]:
+        """Inclusive key range ``(lo, hi)`` owned by ``shard_id``."""
+        if not 0 <= shard_id < self._num_shards:
+            raise InvalidQueryError(
+                f"shard {shard_id} outside [0, {self._num_shards})"
+            )
+        lo = shard_id * self._width
+        hi = min(lo + self._width - 1, self._universe - 1)
+        return lo, hi
+
+    def split(self, lo: int, hi: int) -> List[Tuple[int, int, int]]:
+        """Split ``[lo, hi]`` at shard boundaries.
+
+        Returns ``(shard_id, seg_lo, seg_hi)`` triples in key order; their
+        concatenation covers ``[lo, hi]`` exactly, each segment inside one
+        shard.
+        """
+        if lo > hi:
+            raise InvalidQueryError(f"range has lo={lo} > hi={hi}")
+        self._check_key(lo)
+        self._check_key(hi)
+        first = lo // self._width
+        last = hi // self._width
+        out: List[Tuple[int, int, int]] = []
+        for sid in range(first, last + 1):
+            shard_lo = sid * self._width
+            shard_hi = min(shard_lo + self._width - 1, self._universe - 1)
+            out.append((sid, max(lo, shard_lo), min(hi, shard_hi)))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardRouter(u={self._universe}, shards={self._num_shards}, "
+            f"width={self._width})"
+        )

@@ -96,6 +96,30 @@ class RangeFilter(abc.ABC):
         """Point-query convenience: a range query of size one."""
         return self.may_contain_range(key, key)
 
+    def may_contain_range_batch(
+        self, los: Sequence[int] | np.ndarray, his: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Answer many range-emptiness queries at once.
+
+        ``los[i]``/``his[i]`` are the bounds of query ``i``; the result is
+        a boolean array aligned with them, semantically identical to
+        calling :meth:`may_contain_range` per query. This base
+        implementation is exactly that loop; filters with a vectorised
+        hot path (:class:`~repro.core.grafite.Grafite`) override it — the
+        batch layer of :mod:`repro.engine.batch` calls through this
+        method so every registered filter works there, fast or not.
+        """
+        los_arr = np.asarray(los)
+        his_arr = np.asarray(his)
+        if los_arr.shape != his_arr.shape or los_arr.ndim != 1:
+            raise InvalidQueryError(
+                "batch queries need equal-length one-dimensional lo/hi arrays"
+            )
+        out = np.empty(los_arr.size, dtype=bool)
+        for i in range(los_arr.size):
+            out[i] = self.may_contain_range(int(los_arr[i]), int(his_arr[i]))
+        return out
+
     @property
     def bits_per_key(self) -> float:
         """Space per key, the x-axis of the paper's Figures 4–6."""

@@ -43,6 +43,33 @@ class SSTable:
             filter_factory(self._keys, self.universe) if filter_factory else None
         )
 
+    @classmethod
+    def from_parts(
+        cls,
+        keys: np.ndarray,
+        values: List[Any],
+        universe: int,
+        filt: Optional[RangeFilter] = None,
+    ) -> "SSTable":
+        """Rebuild a run around an existing filter instance.
+
+        The recovery path (:mod:`repro.engine.persist`) deserialises the
+        filter that guarded the run when it was snapshotted; rebuilding it
+        from the keys would draw fresh hash constants and change which
+        probes false-positive after a reopen.
+        """
+        run = cls.__new__(cls)
+        run._keys = np.asarray(keys, dtype=np.uint64)
+        if run._keys.size > 1 and bool((run._keys[1:] <= run._keys[:-1]).any()):
+            raise ValueError("SSTable entries must be sorted by strictly increasing key")
+        if len(values) != run._keys.size:
+            raise ValueError("keys and values must have the same length")
+        run._values = list(values)
+        run.universe = int(universe)
+        run.io_reads = 0
+        run._filter = filt
+        return run
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

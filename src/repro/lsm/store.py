@@ -20,7 +20,7 @@ implements:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError, InvalidQueryError
 from repro.lsm.memtable import TOMBSTONE, MemTable
@@ -46,6 +46,24 @@ class IoStats:
         """Fraction of performed reads that were useless (filter FPs)."""
         return self.wasted_reads / self.reads_performed if self.reads_performed else 0.0
 
+    def merge(self, other: "IoStats") -> "IoStats":
+        """Component-wise sum with ``other``; returns a new ledger."""
+        return IoStats(
+            reads_performed=self.reads_performed + other.reads_performed,
+            reads_avoided=self.reads_avoided + other.reads_avoided,
+            wasted_reads=self.wasted_reads + other.wasted_reads,
+            flushes=self.flushes + other.flushes,
+            compactions=self.compactions + other.compactions,
+        )
+
+    @classmethod
+    def aggregate(cls, ledgers: "Iterable[IoStats]") -> "IoStats":
+        """Sum many ledgers (the per-shard view of a sharded engine)."""
+        total = cls()
+        for ledger in ledgers:
+            total = total.merge(ledger)
+        return total
+
 
 class LSMStore:
     """LSM key-value store over integer keys.
@@ -61,6 +79,13 @@ class LSMStore:
     filter_factory:
         Per-run range-filter builder ``(keys, universe) -> RangeFilter``;
         ``None`` disables filtering (every probe reads the run).
+    auto_compact:
+        When ``True`` (default) a flush that leaves level 0 at
+        ``compaction_fanout`` runs compacts immediately. ``False`` defers:
+        the store only records that compaction is due
+        (:attr:`needs_compaction`) and an external scheduler — e.g.
+        :class:`repro.engine.scheduler.CompactionScheduler` — calls
+        :meth:`compact` at a convenient point (between query batches).
     """
 
     def __init__(
@@ -70,6 +95,7 @@ class LSMStore:
         memtable_limit: int = 1024,
         compaction_fanout: int = 4,
         filter_factory: Optional[FilterFactory] = None,
+        auto_compact: bool = True,
     ) -> None:
         if universe <= 0:
             raise InvalidParameterError("universe must be positive")
@@ -81,10 +107,40 @@ class LSMStore:
         self._memtable_limit = int(memtable_limit)
         self._fanout = int(compaction_fanout)
         self._factory = filter_factory
+        self._auto_compact = bool(auto_compact)
         self._memtable = MemTable()
         self._level0: List[SSTable] = []  # newest first
         self._bottom: Optional[SSTable] = None
         self.stats = IoStats()
+
+    @classmethod
+    def from_runs(
+        cls,
+        universe: int,
+        *,
+        level0: Sequence[SSTable],
+        bottom: Optional[SSTable],
+        memtable_limit: int = 1024,
+        compaction_fanout: int = 4,
+        filter_factory: Optional[FilterFactory] = None,
+        auto_compact: bool = True,
+    ) -> "LSMStore":
+        """Rebuild a store around already-constructed runs.
+
+        This is the recovery path of :mod:`repro.engine.persist`: runs
+        (and their filters) come back from disk exactly as snapshotted,
+        so queries after a reopen behave identically to before it.
+        """
+        store = cls(
+            universe,
+            memtable_limit=memtable_limit,
+            compaction_fanout=compaction_fanout,
+            filter_factory=filter_factory,
+            auto_compact=auto_compact,
+        )
+        store._level0 = list(level0)
+        store._bottom = bottom
+        return store
 
     # ------------------------------------------------------------------
     # Writes
@@ -120,7 +176,7 @@ class LSMStore:
         self._level0.insert(0, run)  # newest first
         self._memtable.clear()
         self.stats.flushes += 1
-        if len(self._level0) >= self._fanout:
+        if self._auto_compact and self.needs_compaction:
             self.compact()
 
     def compact(self) -> None:
@@ -186,8 +242,38 @@ class LSMStore:
         ]
 
     def range_empty(self, lo: int, hi: int) -> bool:
-        """Approximate-then-exact emptiness probe for ``[lo, hi]``."""
-        return not self.range_scan(lo, hi)
+        """Approximate-then-exact emptiness probe for ``[lo, hi]``.
+
+        Unlike :meth:`range_scan` this never materialises the merged
+        result: it walks sources newest first and returns ``False`` at
+        the first key whose newest version is live. Only tombstoned keys
+        (which shadow older versions) need remembering.
+        """
+        if lo > hi:
+            raise InvalidQueryError(f"probe range has lo={lo} > hi={hi}")
+        self._check_key(lo)
+        self._check_key(hi)
+        shadowed: set[int] = set()
+        for key, value in self._memtable.scan(lo, hi):
+            if value is not TOMBSTONE:
+                return False  # newest version of this key, and it is live
+            shadowed.add(key)
+        for run in self._runs():  # newest first
+            if not run.may_contain_range(lo, hi):
+                self.stats.reads_avoided += 1
+                continue
+            self.stats.reads_performed += 1
+            matches = run.scan(lo, hi)
+            if not matches:
+                self.stats.wasted_reads += 1
+                continue
+            for key, value in matches:
+                if key in shadowed:
+                    continue
+                if value is not TOMBSTONE:
+                    return False
+                shadowed.add(key)
+        return True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -197,18 +283,36 @@ class LSMStore:
         return len(self._runs())
 
     @property
+    def needs_compaction(self) -> bool:
+        """True when level 0 has reached the compaction fanout."""
+        return len(self._level0) >= self._fanout
+
+    @property
+    def memtable_size(self) -> int:
+        """Number of entries currently buffered in the memtable."""
+        return len(self._memtable)
+
+    @property
+    def level0_runs(self) -> Tuple[SSTable, ...]:
+        """The level-0 runs, newest first (read-only view for snapshots)."""
+        return tuple(self._level0)
+
+    @property
+    def bottom_run(self) -> Optional[SSTable]:
+        """The bottom run, or ``None`` before the first compaction."""
+        return self._bottom
+
+    @property
     def filter_bits_total(self) -> int:
         """Memory spent on filters across all runs."""
         return sum(run.filter_bits for run in self._runs())
 
     def __len__(self) -> int:
         """Number of live keys (scans the whole store; for tests/demos)."""
-        live = {
-            k for k, v in self._memtable.items_sorted() if v is not TOMBSTONE
-        }
-        dead = {
-            k for k, v in self._memtable.items_sorted() if v is TOMBSTONE
-        }
+        live: set[int] = set()
+        dead: set[int] = set()
+        for k, v in self._memtable.items_sorted():
+            (dead if v is TOMBSTONE else live).add(k)
         for run in self._runs():
             for key, value in run.entries():
                 if key in live or key in dead:

@@ -45,7 +45,7 @@ class EliasFano:
         bound even when the stored values happen to be small.
     """
 
-    __slots__ = ("_n", "_u", "_l", "_low", "_high", "_first", "_last")
+    __slots__ = ("_n", "_u", "_l", "_low", "_high", "_first", "_last", "_decoded")
 
     def __init__(self, values: Sequence[int] | np.ndarray, universe: Optional[int] = None) -> None:
         vals = np.asarray(values, dtype=np.uint64)
@@ -63,6 +63,7 @@ class EliasFano:
             )
         self._n = n
         self._u = int(universe)
+        self._decoded: Optional[np.ndarray] = None
         if n == 0:
             self._l = 0
             self._low = PackedIntVector(0, [])
@@ -227,6 +228,53 @@ class EliasFano:
             return False
         pred = self.predecessor(hi)
         return pred is not None and pred >= lo
+
+    # ------------------------------------------------------------------
+    # Batch queries
+    # ------------------------------------------------------------------
+    def to_array(self) -> np.ndarray:
+        """Decode the whole sequence into a sorted ``uint64`` array (cached).
+
+        Batch probes trade the succinct representation's space for
+        throughput: the decode costs ``64n`` transient bits but turns a
+        batch of predecessor searches into one vectorised
+        ``searchsorted``. The decode itself is vectorised — low parts via
+        :meth:`PackedIntVector.get_many`, high parts by unpacking the
+        ``H`` words and subtracting the index from each one-position.
+        """
+        if self._decoded is None:
+            if self._n == 0:
+                self._decoded = np.zeros(0, dtype=np.uint64)
+            else:
+                idx = np.arange(self._n, dtype=np.int64)
+                lows = self._low.get_many(idx)
+                bits = np.unpackbits(
+                    self._high.bitvector.words.view(np.uint8), bitorder="little"
+                )
+                ones = np.flatnonzero(bits)[: self._n].astype(np.int64)
+                highs = (ones - idx).astype(np.uint64)
+                self._decoded = (highs << np.uint64(self._l)) | lows
+        return self._decoded
+
+    def contains_in_range_batch(
+        self, los: np.ndarray, his: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`contains_in_range` over aligned bound arrays.
+
+        Returns a boolean array: entry ``i`` is ``True`` iff some stored
+        value lies in ``[los[i], his[i]]``. Empty ranges (``lo > hi``)
+        yield ``False``, mirroring the scalar method.
+        """
+        los = np.asarray(los, dtype=np.uint64)
+        his = np.asarray(his, dtype=np.uint64)
+        if los.shape != his.shape:
+            raise InvalidParameterError("lo/hi arrays must have the same shape")
+        if self._n == 0 or los.size == 0:
+            return np.zeros(los.shape, dtype=bool)
+        codes = self.to_array()
+        idx = np.searchsorted(codes, his, side="right")
+        pred = codes[np.maximum(idx - 1, 0)]  # valid only where idx > 0
+        return (idx > 0) & (pred >= los) & (los <= his)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EliasFano(n={self._n}, u={self._u}, l={self._l})"

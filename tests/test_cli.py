@@ -92,6 +92,28 @@ class TestTable1Command:
         assert "eps=0.1" in out
 
 
+class TestEngineCommand:
+    ENGINE_ARGS = ["engine", "--n", "1000", "--batches", "2", "--batch-size", "200",
+                   "--writes-per-batch", "50", "--memtable-limit", "128"] + COMMON
+
+    def test_mixed_workload_in_memory(self):
+        code, out = run_cli(self.ENGINE_ARGS)
+        assert code == 0
+        assert "batch probes" in out and "reads performed / avoided" in out
+        assert "in-memory" in out
+
+    def test_unfiltered_engine(self):
+        code, out = run_cli(self.ENGINE_ARGS + ["--filter", "none"])
+        assert code == 0
+        assert "runs (filter bits)" in out
+
+    def test_persistent_engine(self, tmp_path):
+        code, out = run_cli(self.ENGINE_ARGS + ["--dir", str(tmp_path / "db")])
+        assert code == 0
+        assert str(tmp_path / "db") in out
+        assert (tmp_path / "db" / "MANIFEST.json").exists()
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
