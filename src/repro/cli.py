@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands, mirroring how the library is typically exercised:
+Six commands, mirroring how the library is typically exercised:
 
 * ``dataset`` — generate one of the §6.1 datasets and print its shape
   statistics (size, universe coverage, gap distribution);
@@ -12,9 +12,13 @@ Five commands, mirroring how the library is typically exercised:
   parameters;
 * ``engine`` — drive a mixed read/write workload against the sharded
   :class:`~repro.engine.ShardedEngine` and report throughput and the
-  I/O the filters saved.
+  I/O the filters saved;
+* ``serve`` — the same workload through the concurrent
+  :class:`~repro.engine.RangeQueryService`: thread-pool batch fan-out,
+  background compaction, and the block cache's hit ratio.
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed`` (``serve`` interleaves
+threads, so timings vary but results do not).
 """
 
 from __future__ import annotations
@@ -83,26 +87,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_engine = sub.add_parser(
         "engine", help="mixed read/write workload on the sharded engine"
     )
-    _add_common(p_engine)
-    p_engine.add_argument("--shards", type=int, default=4)
-    p_engine.add_argument(
+    _add_engine_args(p_engine)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="the engine workload through the concurrent RangeQueryService",
+    )
+    _add_engine_args(p_serve)
+    p_serve.add_argument(
+        "--threads", type=int, default=4, help="query thread-pool size"
+    )
+    p_serve.add_argument(
+        "--cache-blocks", type=int, default=4096,
+        help="block-cache capacity in SSTable blocks (0 disables)",
+    )
+    p_serve.add_argument(
+        "--miss-latency-us", type=float, default=0.0,
+        help="simulated disk latency per cache miss, microseconds",
+    )
+    return parser
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Workload knobs shared by the ``engine`` and ``serve`` commands."""
+    _add_common(parser)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
         "--filter", choices=("Grafite", "Bucketing", "none"), default="Grafite"
     )
-    p_engine.add_argument("--bits-per-key", type=float, default=16.0)
-    p_engine.add_argument("--range-size", type=int, default=32)
-    p_engine.add_argument("--memtable-limit", type=int, default=2048)
-    p_engine.add_argument("--fanout", type=int, default=4)
-    p_engine.add_argument("--batches", type=int, default=4)
-    p_engine.add_argument("--batch-size", type=int, default=2000)
-    p_engine.add_argument(
+    parser.add_argument("--bits-per-key", type=float, default=16.0)
+    parser.add_argument("--range-size", type=int, default=32)
+    parser.add_argument("--memtable-limit", type=int, default=2048)
+    parser.add_argument("--fanout", type=int, default=4)
+    parser.add_argument("--batches", type=int, default=4)
+    parser.add_argument("--batch-size", type=int, default=2000)
+    parser.add_argument(
         "--writes-per-batch", type=int, default=500,
         help="puts/deletes interleaved before each probe batch",
     )
-    p_engine.add_argument(
+    parser.add_argument(
         "--dir", default=None,
         help="directory for WAL + snapshots; omit for an in-memory engine",
     )
-    return parser
 
 
 def _universe(args: argparse.Namespace) -> int:
@@ -236,27 +262,21 @@ def _engine_filter_factory(args: argparse.Namespace):
     )
 
 
-def cmd_engine(args: argparse.Namespace) -> int:
-    """Drive a mixed read/write workload against a sharded engine."""
-    from repro.engine import ShardedEngine
+def _drive_workload(target, args: argparse.Namespace, keys: np.ndarray) -> dict:
+    """Bulk-load then run write/probe batches through ``target``.
 
+    ``target`` is anything with the engine's mutation/probe surface —
+    the :class:`ShardedEngine` itself or a :class:`RangeQueryService`
+    wrapping one — so both CLI commands measure the identical workload.
+    """
     universe = _universe(args)
-    keys = load_dataset(args.dataset, args.n, universe=universe, seed=args.seed)
-    engine = ShardedEngine(
-        universe,
-        num_shards=args.shards,
-        memtable_limit=args.memtable_limit,
-        compaction_fanout=args.fanout,
-        filter_factory=_engine_filter_factory(args),
-        directory=args.dir,
-    )
     rng = np.random.default_rng(args.seed + 1)
 
     t0 = time.perf_counter()
     arrival = keys[rng.permutation(keys.size)]
     for key in arrival:
-        engine.put(int(key), b"v")
-    engine.flush_all()
+        target.put(int(key), b"v")
+    target.flush_all()
     load_seconds = time.perf_counter() - t0
 
     write_seconds = 0.0
@@ -267,9 +287,9 @@ def cmd_engine(args: argparse.Namespace) -> int:
         mutations = rng.integers(0, universe, args.writes_per_batch, dtype=np.uint64)
         for i, key in enumerate(mutations):
             if i % 8 == 7:
-                engine.delete(int(key))
+                target.delete(int(key))
             else:
-                engine.put(int(key), b"w")
+                target.put(int(key), b"w")
         write_seconds += time.perf_counter() - t0
         queries = uncorrelated_queries(
             args.batch_size, args.range_size, universe,
@@ -278,32 +298,109 @@ def cmd_engine(args: argparse.Namespace) -> int:
         los = np.asarray([lo for lo, _ in queries], dtype=np.uint64)
         his = np.asarray([hi for _, hi in queries], dtype=np.uint64)
         t0 = time.perf_counter()
-        result = engine.batch_range_empty(los, his)
+        result = target.batch_range_empty(los, his)
         probe_seconds += time.perf_counter() - t0
         probes += result.size
         empties += int(result.sum())
+    return {
+        "load_seconds": load_seconds,
+        "write_seconds": write_seconds,
+        "probe_seconds": probe_seconds,
+        "probes": probes,
+        "empties": empties,
+    }
 
+
+def _workload_rows(engine, args: argparse.Namespace, keys, m: dict) -> list:
+    """Table rows shared by the ``engine`` and ``serve`` reports."""
     stats = engine.stats
     total_writes = keys.size + args.batches * args.writes_per_batch
-    rows = [
+    return [
         ["universe / shards", f"2^{args.universe_bits} / {args.shards}"],
         ["filter", args.filter],
         ["live keys", f"{len(engine):,}"],
         ["runs (filter bits)", f"{engine.run_count} ({engine.filter_bits_total:,})"],
-        ["bulk load", f"{keys.size:,} puts, {keys.size / load_seconds:,.0f} op/s"],
+        ["bulk load", f"{keys.size:,} puts, "
+         + f"{keys.size / m['load_seconds']:,.0f} op/s"],
         ["mixed writes", f"{total_writes - keys.size:,} ops, "
-         + (f"{(total_writes - keys.size) / write_seconds:,.0f} op/s" if write_seconds else "-")],
-        ["batch probes", f"{probes:,} ({args.batches} x {args.batch_size}), "
-         + (f"{probes / probe_seconds:,.0f} q/s" if probe_seconds else "-")],
-        ["empty ranges", f"{empties:,} / {probes:,}"],
+         + (f"{(total_writes - keys.size) / m['write_seconds']:,.0f} op/s"
+            if m["write_seconds"] else "-")],
+        ["batch probes", f"{m['probes']:,} ({args.batches} x {args.batch_size}), "
+         + (f"{m['probes'] / m['probe_seconds']:,.0f} q/s"
+            if m["probe_seconds"] else "-")],
+        ["empty ranges", f"{m['empties']:,} / {m['probes']:,}"],
         ["reads performed / avoided", f"{stats.reads_performed:,} / {stats.reads_avoided:,}"],
         ["wasted reads (filter FPs)", f"{stats.wasted_reads:,}"],
         ["flushes / compactions", f"{stats.flushes} / {stats.compactions}"],
         ["durability", str(engine.directory) if engine.directory else "in-memory"],
     ]
+
+
+def _build_engine(args: argparse.Namespace):
+    """Construct the ShardedEngine both workload commands share."""
+    from repro.engine import ShardedEngine
+
+    return ShardedEngine(
+        _universe(args),
+        num_shards=args.shards,
+        memtable_limit=args.memtable_limit,
+        compaction_fanout=args.fanout,
+        filter_factory=_engine_filter_factory(args),
+        directory=args.dir,
+    )
+
+
+def cmd_engine(args: argparse.Namespace) -> int:
+    """Drive a mixed read/write workload against a sharded engine."""
+    universe = _universe(args)
+    keys = load_dataset(args.dataset, args.n, universe=universe, seed=args.seed)
+    engine = _build_engine(args)
+    metrics = _drive_workload(engine, args, keys)
+    rows = _workload_rows(engine, args, keys, metrics)
     print(format_table(["metric", "value"], rows, title="sharded engine workload"))
     if engine.directory is not None:
         engine.close()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """The same workload, served concurrently by a RangeQueryService."""
+    from repro.engine import RangeQueryService
+
+    universe = _universe(args)
+    keys = load_dataset(args.dataset, args.n, universe=universe, seed=args.seed)
+    engine = _build_engine(args)
+    service = RangeQueryService(
+        engine,
+        num_threads=args.threads,
+        cache_blocks=args.cache_blocks,
+        miss_latency=args.miss_latency_us * 1e-6,
+    )
+    try:
+        metrics = _drive_workload(service, args, keys)
+        service.wait_for_compactions(timeout=30.0)
+        stats = engine.stats
+        rows = _workload_rows(engine, args, keys, metrics)
+        rows.insert(1, ["threads", str(args.threads)])
+        rows.append(
+            ["background compactions", f"{service.background_compactions}"]
+        )
+        if service.cache is not None:
+            rows.append(
+                ["block cache", f"{stats.cache_hits:,} hits / "
+                 f"{stats.cache_misses:,} misses "
+                 f"({stats.cache_hit_ratio:.0%} hit ratio, "
+                 f"{len(service.cache):,} resident)"]
+            )
+        print(
+            format_table(
+                ["metric", "value"], rows, title="concurrent serving workload"
+            )
+        )
+    finally:
+        service.close()
+        if engine.directory is not None:
+            engine.close()
     return 0
 
 
@@ -313,6 +410,7 @@ _COMMANDS = {
     "attack": cmd_attack,
     "table1": cmd_table1,
     "engine": cmd_engine,
+    "serve": cmd_serve,
 }
 
 

@@ -15,10 +15,14 @@ serving heavy range-query traffic behind in-memory filters.
 * :func:`~repro.engine.batch.batch_range_empty` — vectorised emptiness
   probes through the filters' batch API;
 * :class:`~repro.engine.scheduler.CompactionScheduler` — deferred
-  compaction drained between batches.
+  compaction drained between batches (thread-safe queue);
+* :class:`~repro.engine.service.RangeQueryService` — the concurrent
+  serving layer: thread-pool query fan-out behind per-shard
+  reader/writer locks, a background compaction worker, and a sharded
+  block cache in front of the simulated disk.
 """
 
-from repro.engine.batch import batch_range_empty
+from repro.engine.batch import batch_range_empty, shard_batch_empty
 from repro.engine.engine import ShardedEngine
 from repro.engine.persist import (
     load_manifest,
@@ -28,6 +32,7 @@ from repro.engine.persist import (
     save_snapshot,
 )
 from repro.engine.scheduler import CompactionScheduler
+from repro.engine.service import RangeQueryService, RWLock
 from repro.engine.sharding import ShardRouter
 from repro.engine.wal import OP_DELETE, OP_PUT, WriteAheadLog
 
@@ -35,6 +40,8 @@ __all__ = [
     "CompactionScheduler",
     "OP_DELETE",
     "OP_PUT",
+    "RWLock",
+    "RangeQueryService",
     "ShardRouter",
     "ShardedEngine",
     "WriteAheadLog",
@@ -44,4 +51,5 @@ __all__ = [
     "run_from_bytes",
     "run_to_bytes",
     "save_snapshot",
+    "shard_batch_empty",
 ]

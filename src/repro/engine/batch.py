@@ -30,26 +30,30 @@ from repro.errors import InvalidQueryError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.engine import ShardedEngine
+    from repro.lsm.store import LSMStore
 
 
-def _route_batch(
-    engine: "ShardedEngine", los: np.ndarray, his: np.ndarray
-) -> Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
-    """Group (sub-)queries by shard: ``sid -> (sub_los, sub_his, qids)``.
+def route_single_shard(
+    router, los: np.ndarray, his: np.ndarray
+) -> Tuple[Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]], np.ndarray]:
+    """Group single-shard queries: ``({sid: (los, his, qids)}, straddler_qids)``.
 
     Single-shard queries (the overwhelming majority when shards are much
     wider than ranges) are grouped with pure numpy; queries straddling a
-    boundary are split exactly like the scalar router does.
+    shard boundary are returned as indices for the caller to handle —
+    the engine splits them into per-shard segments, the concurrent
+    service answers them atomically under all spanned shards' locks.
     """
-    router = engine.router
+    no_straddlers = np.zeros(0, dtype=np.int64)
     if router.num_shards == 1:  # width may be 2^64: no uint64 division
-        return {0: (los, his, np.arange(los.size, dtype=np.int64))}
+        groups = {0: (los, his, np.arange(los.size, dtype=np.int64))}
+        return groups, no_straddlers
     width = np.uint64(router.shard_width)
     sid_lo = (los // width).astype(np.int64)
     sid_hi = (his // width).astype(np.int64)
     single = sid_lo == sid_hi
 
-    per_shard: Dict[int, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+    per_shard: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
     if single.any():
         qids = np.flatnonzero(single)
         order = np.argsort(sid_lo[qids], kind="stable")
@@ -58,8 +62,24 @@ def _route_batch(
         cuts = np.flatnonzero(np.diff(sids)) + 1
         for group in np.split(qids, cuts):
             sid = int(sid_lo[group[0]])
-            per_shard.setdefault(sid, []).append((los[group], his[group], group))
-    for qid in np.flatnonzero(~single):
+            per_shard[sid] = (los[group], his[group], group)
+    return per_shard, np.flatnonzero(~single)
+
+
+def _route_batch(
+    engine: "ShardedEngine", los: np.ndarray, his: np.ndarray
+) -> Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Group (sub-)queries by shard: ``sid -> (sub_los, sub_his, qids)``.
+
+    Queries straddling a boundary are split exactly like the scalar
+    router does.
+    """
+    router = engine.router
+    singles, straddlers = route_single_shard(router, los, his)
+    per_shard: Dict[int, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {
+        sid: [group] for sid, group in singles.items()
+    }
+    for qid in straddlers:
         for sid, seg_lo, seg_hi in router.split(int(los[qid]), int(his[qid])):
             per_shard.setdefault(sid, []).append(
                 (
@@ -74,6 +94,61 @@ def _route_batch(
     }
 
 
+def validate_batch_bounds(
+    universe: int, los: np.ndarray, his: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalise and validate batch bound arrays; returns uint64 copies."""
+    los = np.asarray(los, dtype=np.uint64)
+    his = np.asarray(his, dtype=np.uint64)
+    if los.shape != his.shape or los.ndim != 1:
+        raise InvalidQueryError(
+            "batch queries need equal-length one-dimensional lo/hi arrays"
+        )
+    if los.size and bool((los > his).any()):
+        raise InvalidQueryError("batch query with lo > hi")
+    if los.size and universe <= 2**64 and int(his.max()) >= universe:
+        raise InvalidQueryError("batch query outside the universe")
+    return los, his
+
+
+def shard_batch_empty(
+    store: "LSMStore", q_lo: np.ndarray, q_hi: np.ndarray
+) -> np.ndarray:
+    """The per-shard batch kernel: emptiness of each ``[q_lo[j], q_hi[j]]``.
+
+    Consults every run's filter once for the whole sub-batch, then
+    verifies only the "maybe" minority with the exact early-exit
+    :meth:`~repro.lsm.store.LSMStore.range_empty`. Returns a boolean
+    array aligned with the inputs (``True`` = provably empty). This is
+    the unit the concurrent service fans out: one call per (shard,
+    chunk), safe under that shard's read lock.
+    """
+    maybe = np.zeros(q_lo.size, dtype=bool)
+    # The memtable is exact (no false positives): any entry in range —
+    # live or tombstone — sends the query to the verification path.
+    memtable = store._memtable
+    if len(memtable):
+        for j in range(q_lo.size):
+            for _ in memtable.scan(int(q_lo[j]), int(q_hi[j])):
+                maybe[j] = True
+                break
+    runs = store._runs()
+    for run in runs:
+        if run.filter is None:
+            maybe[:] = True  # unfiltered run: every probe must read it
+        else:
+            maybe |= run.filter.may_contain_range_batch(q_lo, q_hi)
+    # Queries every filter pruned are empty with zero I/O performed:
+    # one avoided read per (query, run) pair, as in the scalar path.
+    clean = int((~maybe).sum())
+    store.stats.reads_avoided += clean * len(runs)
+    empty = np.ones(q_lo.size, dtype=bool)
+    for j in np.flatnonzero(maybe):
+        if not store.range_empty(int(q_lo[j]), int(q_hi[j])):
+            empty[j] = False
+    return empty
+
+
 def batch_range_empty(
     engine: "ShardedEngine",
     los: np.ndarray,
@@ -86,41 +161,11 @@ def batch_range_empty(
     verified by the store). Semantically identical to a loop of
     :meth:`ShardedEngine.range_empty`.
     """
-    los = np.asarray(los, dtype=np.uint64)
-    his = np.asarray(his, dtype=np.uint64)
-    if los.shape != his.shape or los.ndim != 1:
-        raise InvalidQueryError(
-            "batch queries need equal-length one-dimensional lo/hi arrays"
-        )
+    los, his = validate_batch_bounds(engine.universe, los, his)
     if los.size == 0:
         return np.zeros(0, dtype=bool)
-    if bool((los > his).any()):
-        raise InvalidQueryError("batch query with lo > hi")
-    if engine.universe <= 2**64 and int(his.max()) >= engine.universe:
-        raise InvalidQueryError("batch query outside the universe")
-
     empty = np.ones(los.size, dtype=bool)
     for sid, (q_lo, q_hi, qid) in _route_batch(engine, los, his).items():
-        store = engine.shards[sid]
-        maybe = np.zeros(qid.size, dtype=bool)
-        # The memtable is exact (no false positives): any entry in range —
-        # live or tombstone — sends the query to the verification path.
-        if store.memtable_size:
-            for j in range(qid.size):
-                for _ in store._memtable.scan(int(q_lo[j]), int(q_hi[j])):
-                    maybe[j] = True
-                    break
-        runs = store._runs()
-        for run in runs:
-            if run.filter is None:
-                maybe[:] = True  # unfiltered run: every probe must read it
-            else:
-                maybe |= run.filter.may_contain_range_batch(q_lo, q_hi)
-        # Queries every filter pruned are empty with zero I/O performed:
-        # one avoided read per (query, run) pair, as in the scalar path.
-        clean = int((~maybe).sum())
-        store.stats.reads_avoided += clean * len(runs)
-        for j in np.flatnonzero(maybe):
-            if not store.range_empty(int(q_lo[j]), int(q_hi[j])):
-                empty[qid[j]] = False
+        sub_empty = shard_batch_empty(engine.shards[sid], q_lo, q_hi)
+        empty[qid[~sub_empty]] = False
     return empty

@@ -16,13 +16,18 @@ heavy range-query traffic behind in-memory filters:
   filter through the vectorised batch API — Grafite's
   ``O(log(L/eps))`` query of Theorem 3.4 amortised over the batch;
 * compaction is deferred to a scheduler (:mod:`.scheduler`) and drained
-  between batches, like a background compaction thread.
+  between batches — or, under the concurrent serving layer
+  (:mod:`.service`), by a real background compaction thread.
+
+The engine itself is single-threaded; wrap it in a
+:class:`~repro.engine.service.RangeQueryService` to serve it from a
+thread pool with per-shard reader/writer locking and a block cache.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +40,9 @@ from repro.errors import InvalidParameterError
 from repro.lsm.memtable import TOMBSTONE
 from repro.lsm.sstable import FilterFactory
 from repro.lsm.store import IoStats, LSMStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lsm.cache import BlockCache
 
 
 class ShardedEngine:
@@ -83,6 +91,7 @@ class ShardedEngine:
         self._fanout = int(compaction_fanout)
         self._factory = filter_factory
         self._defer = bool(defer_compaction)
+        self._block_cache: Optional["BlockCache"] = None
         self._scheduler = CompactionScheduler()
         self._shards: List[LSMStore] = [
             LSMStore(
@@ -240,6 +249,18 @@ class ShardedEngine:
         """Run deferred compactions now; returns how many ran."""
         return self._scheduler.drain(max_compactions)
 
+    def attach_block_cache(self, cache: Optional["BlockCache"]) -> None:
+        """Put a shared block cache in front of every shard's run reads.
+
+        Pass ``None`` to detach. Attaching never changes query results
+        (runs are immutable); it only changes which block fetches touch
+        the simulated disk, visible in :attr:`stats` as
+        ``cache_hits`` / ``cache_misses``.
+        """
+        self._block_cache = cache
+        for store in self._shards:
+            store.attach_cache(cache)
+
     def checkpoint(self) -> None:
         """Flush, snapshot all runs + filters to disk, reset the WAL."""
         if self._directory is None or self._wal is None:
@@ -285,6 +306,10 @@ class ShardedEngine:
     @property
     def scheduler(self) -> CompactionScheduler:
         return self._scheduler
+
+    @property
+    def block_cache(self) -> Optional["BlockCache"]:
+        return self._block_cache
 
     @property
     def universe(self) -> int:

@@ -3,62 +3,105 @@
 With ``auto_compact=False`` an :class:`~repro.lsm.store.LSMStore` never
 compacts inline: a flush that fills level 0 only raises
 :attr:`~repro.lsm.store.LSMStore.needs_compaction`. The engine notifies
-this scheduler on every write; the queued work is drained *between*
-query batches — the same reason real engines run compaction on
-background threads: a compaction in the middle of a latency-sensitive
-batch would stall it. The reproduction stays single-threaded (so tests
-are deterministic), but the scheduling seam is the one a thread pool
-would plug into.
+this scheduler on every write; the queued work is drained either
+*between* query batches (the single-threaded
+:meth:`~repro.engine.engine.ShardedEngine.batch_range_empty` path) or by
+the background compaction worker of
+:class:`~repro.engine.service.RangeQueryService`, which polls
+:meth:`pop` and compacts each shard under that shard's write lock — the
+same reason real engines run compaction on background threads: a
+compaction in the middle of a latency-sensitive batch would stall it.
+
+The queue is thread-safe: writers :meth:`notify` from pool threads while
+the worker :meth:`pop`-s, so every ``_pending`` access happens under one
+lock. Running the compaction itself is *not* this class's
+job under concurrency — the caller must hold whatever lock makes
+``store.compact()`` safe (:meth:`drain` is the single-threaded
+convenience that skips that ceremony).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 from repro.lsm.store import LSMStore
 
 
 class CompactionScheduler:
-    """FIFO queue of shards whose level 0 has reached the fanout."""
+    """Thread-safe FIFO queue of shards whose level 0 reached the fanout."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._pending: Dict[int, LSMStore] = {}  # insertion-ordered
         self._drained_total = 0
 
     def notify(self, shard_id: int, store: LSMStore) -> None:
-        """Record that ``shard_id`` may need compaction (cheap, idempotent)."""
-        if store.needs_compaction and shard_id not in self._pending:
-            self._pending[shard_id] = store
+        """Record that ``shard_id`` may need compaction (cheap, idempotent).
+
+        Safe to call from any thread.
+        """
+        if not store.needs_compaction:
+            return
+        with self._lock:
+            self._pending.setdefault(shard_id, store)
+
+    def pop(self) -> Optional[Tuple[int, LSMStore]]:
+        """Dequeue the oldest pending shard, or ``None`` (non-blocking).
+
+        The caller owns making the subsequent ``compact()`` safe (e.g.
+        by taking the shard's write lock) and should re-check
+        ``needs_compaction``: the shard may have been compacted
+        explicitly since it was queued.
+        """
+        with self._lock:
+            if not self._pending:
+                return None
+            shard_id = next(iter(self._pending))
+            return shard_id, self._pending.pop(shard_id)
+
+    def record_compactions(self, count: int = 1) -> None:
+        """Fold compactions an external worker ran into the ledger."""
+        with self._lock:
+            self._drained_total += count
 
     def drain(self, max_compactions: Optional[int] = None) -> int:
         """Run pending compactions (all of them, or at most ``max_compactions``).
 
         Returns the number performed. A shard that shrank below the
         fanout since it was queued (e.g. an explicit :meth:`LSMStore.compact`)
-        is skipped for free.
+        is skipped for free. This is the single-threaded path: the queue
+        pops are synchronized, but the compactions run on the calling
+        thread with no shard locking.
         """
         done = 0
-        while self._pending and (max_compactions is None or done < max_compactions):
-            shard_id, store = next(iter(self._pending.items()))
-            del self._pending[shard_id]
+        while max_compactions is None or done < max_compactions:
+            item = self.pop()
+            if item is None:
+                break
+            _, store = item
             if store.needs_compaction:
                 store.compact()
                 done += 1
-        self._drained_total += done
+        self.record_compactions(done)
         return done
 
     @property
     def pending_shards(self) -> Tuple[int, ...]:
         """Shard ids queued for compaction, oldest first."""
-        return tuple(self._pending)
+        with self._lock:
+            return tuple(self._pending)
 
     @property
     def compactions_run(self) -> int:
-        """Total compactions performed through :meth:`drain`."""
-        return self._drained_total
+        """Total compactions performed through :meth:`drain` or recorded
+        by a background worker via :meth:`record_compactions`."""
+        with self._lock:
+            return self._drained_total
 
     def __len__(self) -> int:
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"CompactionScheduler(pending={len(self._pending)})"
+        return f"CompactionScheduler(pending={len(self)})"

@@ -1,0 +1,425 @@
+"""Concurrent serving layer over the sharded engine.
+
+PR 1 left the engine single-threaded with one deliberate seam: the
+:class:`~repro.engine.scheduler.CompactionScheduler` "the one a thread
+pool would plug into". This module plugs it in.
+:class:`RangeQueryService` wraps a :class:`~repro.engine.ShardedEngine`
+with the three pieces a serving tier adds:
+
+* **a thread pool with per-shard reader/writer locks** — shards own
+  disjoint key ranges, so readers of different shards never touch the
+  same state and run fully in parallel; readers of the *same* shard
+  share its read lock; a writer (or the compaction worker) takes that
+  shard's write lock exclusively. Cross-shard batches fan out across
+  the pool, one task per (shard, chunk), and re-merge on the calling
+  thread;
+* **a background compaction worker** — a daemon thread that pops shards
+  off the engine's :class:`CompactionScheduler` and compacts each under
+  its write lock, keeping compaction latency off the query path (the
+  single-threaded engine drains the queue *between* batches instead);
+* **a sharded block cache** (:class:`~repro.lsm.cache.BlockCache`) in
+  front of the simulated SSTable disk, attached to every shard, with
+  hit/miss counters folded into the engine's
+  :class:`~repro.lsm.store.IoStats`.
+
+Locking discipline (the reason the service cannot deadlock): every code
+path that holds more than one shard lock acquires them in ascending
+shard-id order, and the compaction worker only ever holds one. The WAL
+serialises its own appends, and the scheduler its own queue, so those
+can be hit from any thread.
+
+Call the service from *outside* the pool: a service method invoked from
+within one of its own query tasks would wait on the pool it is running
+in. Mutations are linearised per key by the shard write lock; the
+engine's I/O statistics remain best-effort under concurrent readers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.batch import (
+    route_single_shard,
+    shard_batch_empty,
+    validate_batch_bounds,
+)
+from repro.engine.engine import ShardedEngine
+from repro.errors import InvalidParameterError
+from repro.lsm.cache import BlockCache
+from repro.lsm.store import IoStats
+
+
+class RWLock:
+    """A reader/writer lock with writer preference.
+
+    Many readers may hold the lock together; a writer holds it alone.
+    Arriving writers block *new* readers (readers already in proceed),
+    so a steady stream of probes cannot starve compaction or writes —
+    the failure mode a serving tier actually hits.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    class _Guard:
+        __slots__ = ("_acquire", "_release")
+
+        def __init__(self, acquire, release) -> None:
+            self._acquire = acquire
+            self._release = release
+
+        def __enter__(self) -> None:
+            self._acquire()
+
+        def __exit__(self, *exc) -> None:
+            self._release()
+
+    def read_locked(self) -> "_Guard":
+        return self._Guard(self.acquire_read, self.release_read)
+
+    def write_locked(self) -> "_Guard":
+        return self._Guard(self.acquire_write, self.release_write)
+
+
+class RangeQueryService:
+    """Thread-pool serving front end for a :class:`ShardedEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve. The service takes over its compaction
+        scheduler; do not drive the engine directly (or from a second
+        service) while this one is open.
+    num_threads:
+        Pool size for query fan-out. One extra daemon thread runs
+        compactions in the background regardless.
+    cache_blocks:
+        Block-cache capacity (in SSTable blocks) shared by all shards;
+        ``0`` disables the cache. A cache already attached to the engine
+        (via :meth:`ShardedEngine.attach_block_cache`) is kept as-is and
+        this parameter is ignored — the service never replaces a cache
+        the caller configured.
+    cache_stripes / miss_latency:
+        Forwarded to :class:`~repro.lsm.cache.BlockCache`;
+        ``miss_latency`` simulates the storage device on cache misses.
+    compaction_poll:
+        Idle back-off of the compaction worker between queue checks.
+    """
+
+    def __init__(
+        self,
+        engine: ShardedEngine,
+        *,
+        num_threads: int = 4,
+        cache_blocks: int = 4096,
+        cache_stripes: int = 8,
+        miss_latency: float = 0.0,
+        compaction_poll: float = 0.01,
+    ) -> None:
+        if num_threads < 1:
+            raise InvalidParameterError("num_threads must be >= 1")
+        if compaction_poll <= 0:
+            raise InvalidParameterError("compaction_poll must be positive")
+        self._engine = engine
+        self._num_threads = int(num_threads)
+        self._locks = [RWLock() for _ in engine.shards]
+        self._cache: Optional[BlockCache] = engine.block_cache
+        if self._cache is None and cache_blocks:
+            self._cache = BlockCache(
+                cache_blocks, num_stripes=cache_stripes, miss_latency=miss_latency
+            )
+            engine.attach_block_cache(self._cache)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._num_threads, thread_name_prefix="repro-query"
+        )
+        self._poll = float(compaction_poll)
+        self._stop = threading.Event()
+        self._closed = False
+        # _work_mutex makes (queue pop, in-flight flag) transitions atomic
+        # so wait_for_compactions cannot observe "queue empty" while a
+        # popped shard is still being compacted.
+        self._work_mutex = threading.Lock()
+        self._inflight = False
+        self._background_compactions = 0
+        self._compactor = threading.Thread(
+            target=self._compaction_loop, name="repro-compactor", daemon=True
+        )
+        self._compactor.start()
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InvalidParameterError("service is closed")
+
+    def _submit(self, fn, *args):
+        """``pool.submit`` that reports a racing ``close()`` coherently.
+
+        A caller can pass :meth:`_check_open` and lose the race with a
+        concurrent ``close()``; the executor then refuses new work with
+        a bare ``RuntimeError``. Translate it to the same exception every
+        other post-close call raises.
+        """
+        try:
+            return self._pool.submit(fn, *args)
+        except RuntimeError as exc:
+            raise InvalidParameterError("service is closed") from exc
+
+    def get(self, key: int) -> Optional[Any]:
+        """Point lookup under the owning shard's read lock."""
+        self._check_open()
+        sid = self._engine.router.shard_of(key)
+        with self._locks[sid].read_locked():
+            return self._engine.shards[sid].get(key)
+
+    def put(self, key: int, value: Any) -> None:
+        """Insert or overwrite a key under its shard's write lock."""
+        self._check_open()
+        sid = self._engine.router.shard_of(key)
+        with self._locks[sid].write_locked():
+            self._engine.put(key, value)
+
+    def delete(self, key: int) -> None:
+        """Delete a key under its shard's write lock."""
+        self._check_open()
+        sid = self._engine.router.shard_of(key)
+        with self._locks[sid].write_locked():
+            self._engine.delete(key)
+
+    def range_empty(self, lo: int, hi: int) -> bool:
+        """Exact emptiness probe, atomic across the shards it spans.
+
+        All overlapped shards' read locks are taken (in id order) before
+        the first segment is probed, so a cross-shard probe sees one
+        consistent cut of the keyspace even while writers queue up.
+        """
+        self._check_open()
+        router = self._engine.router
+        sids = router.shards_spanning(lo, hi)
+        acquired: List[RWLock] = []
+        try:
+            for sid in sids:
+                self._locks[sid].acquire_read()
+                acquired.append(self._locks[sid])
+            return all(
+                self._engine.shards[sid].range_empty(seg_lo, seg_hi)
+                for sid, seg_lo, seg_hi in router.split(lo, hi)
+            )
+        finally:
+            for lock in reversed(acquired):
+                lock.release_read()
+
+    # ------------------------------------------------------------------
+    # Batch queries
+    # ------------------------------------------------------------------
+    def _chunks(
+        self, sid: int, q_lo: np.ndarray, q_hi: np.ndarray, qid: np.ndarray, chunk: int
+    ) -> Iterator[Tuple[int, np.ndarray, np.ndarray, np.ndarray]]:
+        for start in range(0, qid.size, chunk):
+            stop = start + chunk
+            yield sid, q_lo[start:stop], q_hi[start:stop], qid[start:stop]
+
+    def _shard_task(
+        self, sid: int, q_lo: np.ndarray, q_hi: np.ndarray, qid: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        with self._locks[sid].read_locked():
+            return qid, shard_batch_empty(self._engine.shards[sid], q_lo, q_hi)
+
+    def batch_range_empty(
+        self, los: np.ndarray | List[int], his: np.ndarray | List[int]
+    ) -> np.ndarray:
+        """Vectorised ``range_empty`` over a batch, fanned out per shard.
+
+        Queries are routed to shards in bulk, each shard's sub-batch is
+        split into pool tasks (so a skewed batch still uses every
+        thread), and the per-task results re-merge on the calling
+        thread. The rare query that straddles a shard boundary runs as
+        its own task through :meth:`range_empty`, which holds every
+        spanned shard's read lock at once — so each *query* sees one
+        consistent cut of the keyspace even while writers interleave
+        (different queries of the batch may see different cuts, exactly
+        as a loop of scalar calls would). With no concurrent writers the
+        output is identical to :meth:`ShardedEngine.batch_range_empty`;
+        compactions queued by interleaved writers happen on the
+        background worker instead of stalling the batch.
+        """
+        self._check_open()
+        los, his = validate_batch_bounds(self._engine.universe, los, his)
+        if los.size == 0:
+            return np.zeros(0, dtype=bool)
+        singles, straddlers = route_single_shard(self._engine.router, los, his)
+        # Aim for ~2 tasks per thread so the slowest chunk cannot leave
+        # the rest of the pool idle for long.
+        chunk = max(64, -(-int(los.size) // (2 * self._num_threads)))
+        futures = [
+            self._submit(self._shard_task, *task)
+            for sid, (q_lo, q_hi, qid) in singles.items()
+            for task in self._chunks(sid, q_lo, q_hi, qid, chunk)
+        ]
+        straddler_futures = [
+            (qid, self._submit(self.range_empty, int(los[qid]), int(his[qid])))
+            for qid in straddlers
+        ]
+        empty = np.ones(los.size, dtype=bool)
+        for future in futures:
+            qid, sub_empty = future.result()
+            empty[qid[~sub_empty]] = False
+        for qid, future in straddler_futures:
+            empty[qid] = future.result()
+        return empty
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _all_write_locks(self) -> Iterator[None]:
+        for lock in self._locks:  # ascending shard id: deadlock-free
+            lock.acquire_write()
+        try:
+            yield
+        finally:
+            for lock in reversed(self._locks):
+                lock.release_write()
+
+    def flush_all(self) -> None:
+        """Flush every shard's memtable (all write locks held)."""
+        self._check_open()
+        with self._all_write_locks():
+            self._engine.flush_all()
+
+    def checkpoint(self) -> None:
+        """Snapshot the engine to disk with the keyspace quiesced."""
+        self._check_open()
+        with self._all_write_locks():
+            self._engine.checkpoint()
+
+    def wait_for_compactions(self, timeout: float = 10.0) -> bool:
+        """Block until the background worker has no queued or running
+        compaction; returns ``False`` on timeout (or immediately, with
+        the current queue state, once the service is closed — a stopped
+        worker will never drain what is left)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._work_mutex:
+                idle = not self._inflight and len(self._engine.scheduler) == 0
+            if idle:
+                return True
+            remaining = deadline - time.monotonic()
+            if self._closed or remaining <= 0:
+                return False
+            time.sleep(min(self._poll / 2, remaining))
+
+    def _compaction_loop(self) -> None:
+        scheduler = self._engine.scheduler
+        while not self._stop.is_set():
+            with self._work_mutex:
+                item = scheduler.pop()
+                if item is not None:
+                    self._inflight = True
+            if item is None:
+                self._stop.wait(self._poll)
+                continue
+            sid, store = item
+            try:
+                with self._locks[sid].write_locked():
+                    if store.needs_compaction:
+                        store.compact()
+                        scheduler.record_compactions(1)
+                        self._background_compactions += 1
+            finally:
+                with self._work_mutex:
+                    self._inflight = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, checkpoint: bool = False) -> None:
+        """Stop the worker and pool; optionally checkpoint first.
+
+        The engine itself stays usable (single-threaded) after the
+        service closes; the block cache stays attached, which never
+        changes results.
+        """
+        if self._closed:
+            return
+        if checkpoint:
+            self.checkpoint()
+        self._closed = True
+        self._stop.set()
+        self._compactor.join(timeout=5.0)
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "RangeQueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> ShardedEngine:
+        return self._engine
+
+    @property
+    def num_threads(self) -> int:
+        return self._num_threads
+
+    @property
+    def cache(self) -> Optional[BlockCache]:
+        return self._cache
+
+    @property
+    def background_compactions(self) -> int:
+        """Compactions the worker thread has run."""
+        return self._background_compactions
+
+    @property
+    def stats(self) -> IoStats:
+        """The engine's aggregate I/O ledger (incl. cache hits/misses)."""
+        return self._engine.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RangeQueryService(threads={self._num_threads}, "
+            f"shards={self._engine.num_shards}, "
+            f"cache={self._cache!r}, closed={self._closed})"
+        )

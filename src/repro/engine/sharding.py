@@ -78,6 +78,20 @@ class ShardRouter:
         hi = min(lo + self._width - 1, self._universe - 1)
         return lo, hi
 
+    def shards_spanning(self, lo: int, hi: int) -> range:
+        """Shard ids ``[lo, hi]`` overlaps, in key order.
+
+        The cheap companion to :meth:`split` for callers that only need
+        to know *which* shards a range touches — e.g. the concurrent
+        service acquiring every overlapped shard's read lock (in id
+        order, so lock acquisition can never deadlock) before probing.
+        """
+        if lo > hi:
+            raise InvalidQueryError(f"range has lo={lo} > hi={hi}")
+        self._check_key(lo)
+        self._check_key(hi)
+        return range(lo // self._width, hi // self._width + 1)
+
     def split(self, lo: int, hi: int) -> List[Tuple[int, int, int]]:
         """Split ``[lo, hi]`` at shard boundaries.
 

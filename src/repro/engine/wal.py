@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import threading
 import zlib
 from pathlib import Path
 from typing import Any, List, Tuple
@@ -73,6 +74,9 @@ class WriteAheadLog:
         self._path = Path(path)
         self._sync = bool(sync)
         self._recovered: List[Tuple[int, int, Any]] = []
+        # Appends from concurrent writers (the thread-pool service) must
+        # not interleave half-records; one lock serialises the file.
+        self._lock = threading.Lock()
         valid_length = self._scan()
         # Drop any torn tail, then position for appends.
         with open(self._path, "r+b") as fh:
@@ -124,11 +128,12 @@ class WriteAheadLog:
         if op not in (OP_PUT, OP_DELETE):
             raise InvalidParameterError(f"unknown WAL opcode {op}")
         payload = _encode_payload(op, key, value)
-        self._fh.write(_RECORD_HEADER.pack(zlib.crc32(payload), len(payload)))
-        self._fh.write(payload)
-        self._fh.flush()
-        if self._sync:
-            os.fsync(self._fh.fileno())
+        with self._lock:
+            self._fh.write(_RECORD_HEADER.pack(zlib.crc32(payload), len(payload)))
+            self._fh.write(payload)
+            self._fh.flush()
+            if self._sync:
+                os.fsync(self._fh.fileno())
 
     def log_put(self, key: int, value: Any) -> None:
         self.append(OP_PUT, key, value)
@@ -145,17 +150,19 @@ class WriteAheadLog:
 
     def reset(self) -> None:
         """Discard all records (called right after a snapshot checkpoint)."""
-        self._fh.close()
-        self._path.write_bytes(_HEADER)
-        self._recovered.clear()
-        self._fh = open(self._path, "ab")
-        if self._sync:
-            os.fsync(self._fh.fileno())
+        with self._lock:
+            self._fh.close()
+            self._path.write_bytes(_HEADER)
+            self._recovered.clear()
+            self._fh = open(self._path, "ab")
+            if self._sync:
+                os.fsync(self._fh.fileno())
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.flush()
-            self._fh.close()
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -1,7 +1,17 @@
 """Mini LSM key-value store with pluggable range filters (§1's motivation)."""
 
+from repro.lsm.cache import BlockCache
 from repro.lsm.memtable import TOMBSTONE, MemTable
-from repro.lsm.sstable import SSTable, merge_runs
+from repro.lsm.sstable import BLOCK_ENTRIES, SSTable, merge_runs
 from repro.lsm.store import IoStats, LSMStore
 
-__all__ = ["IoStats", "LSMStore", "MemTable", "SSTable", "TOMBSTONE", "merge_runs"]
+__all__ = [
+    "BLOCK_ENTRIES",
+    "BlockCache",
+    "IoStats",
+    "LSMStore",
+    "MemTable",
+    "SSTable",
+    "TOMBSTONE",
+    "merge_runs",
+]

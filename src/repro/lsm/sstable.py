@@ -10,6 +10,7 @@ unnecessary reads of on-disk runs.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,11 +21,21 @@ from repro.lsm.memtable import TOMBSTONE
 #: Builds a filter for a run: ``factory(keys, universe) -> RangeFilter``.
 FilterFactory = Callable[[np.ndarray, int], RangeFilter]
 
+#: Entries per simulated disk block — the granularity the block cache
+#: fetches and pins. Fence pointers (the first key of every block) stay
+#: in memory, like real SSTable index blocks.
+BLOCK_ENTRIES = 256
+
+#: Process-wide run ids. Runs are immutable, so a cache may key on the
+#: id forever; ``itertools.count`` is atomic under the GIL, so ids stay
+#: unique even when concurrent flushes create runs from pool threads.
+_RUN_IDS = itertools.count()
+
 
 class SSTable:
     """An immutable sorted run of ``(key, value)`` entries."""
 
-    __slots__ = ("_keys", "_values", "_filter", "io_reads", "universe")
+    __slots__ = ("_keys", "_values", "_filter", "io_reads", "universe", "uid")
 
     def __init__(
         self,
@@ -39,6 +50,7 @@ class SSTable:
         self._values: List[Any] = [v for _, v in entries]
         self.universe = int(universe)
         self.io_reads = 0
+        self.uid = next(_RUN_IDS)
         self._filter = (
             filter_factory(self._keys, self.universe) if filter_factory else None
         )
@@ -67,6 +79,7 @@ class SSTable:
         run._values = list(values)
         run.universe = int(universe)
         run.io_reads = 0
+        run.uid = next(_RUN_IDS)
         run._filter = filt
         return run
 
@@ -125,6 +138,45 @@ class SSTable:
         """Full dump (compaction input); counts one I/O."""
         self.io_reads += 1
         return [(int(k), v) for k, v in zip(self._keys, self._values)]
+
+    # ------------------------------------------------------------------
+    # Block-granular access (the unit the block cache works in)
+    # ------------------------------------------------------------------
+    @property
+    def block_count(self) -> int:
+        """Number of :data:`BLOCK_ENTRIES`-sized blocks in the run."""
+        return -(-self._keys.size // BLOCK_ENTRIES)
+
+    def block_span(self, lo: int, hi: int) -> Optional[Tuple[int, int]]:
+        """Blocks a reader must fetch to resolve ``[lo, hi]``, from the
+        in-memory fence pointers alone (no simulated I/O).
+
+        Returns an inclusive ``(first, last)`` block-index pair, or
+        ``None`` when the fences prove the range precedes all stored
+        keys. Fences only record each block's *first* key, so a range
+        beyond the last key still costs one block read — exactly the
+        wasted read a real fence-pointer index would incur.
+        """
+        if self._keys.size == 0 or lo > hi:
+            return None
+        fences = self._keys[::BLOCK_ENTRIES]
+        # Block whose first key <= bound, i.e. the candidate block.
+        first = int(np.searchsorted(fences, lo, side="right")) - 1
+        last = int(np.searchsorted(fences, hi, side="right")) - 1
+        if last < 0:
+            return None  # the whole range sits before the first key
+        return max(first, 0), last
+
+    def read_block(self, index: int) -> List[Tuple[int, Any]]:
+        """Fetch one block from the simulated disk; counts one I/O."""
+        if not 0 <= index < self.block_count:
+            raise IndexError(f"block {index} outside [0, {self.block_count})")
+        self.io_reads += 1
+        start = index * BLOCK_ENTRIES
+        stop = min(start + BLOCK_ENTRIES, self._keys.size)
+        return [
+            (int(self._keys[i]), self._values[i]) for i in range(start, stop)
+        ]
 
 
 def merge_runs(

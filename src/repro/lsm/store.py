@@ -19,23 +19,34 @@ implements:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError, InvalidQueryError
 from repro.lsm.memtable import TOMBSTONE, MemTable
 from repro.lsm.sstable import FilterFactory, SSTable, merge_runs
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lsm.cache import BlockCache
+
 
 @dataclass
 class IoStats:
-    """Ledger of simulated disk accesses."""
+    """Ledger of simulated disk accesses.
+
+    Under a concurrent service the counters are best-effort: readers on
+    the same shard may race an increment and under-count. The ledger is
+    diagnostic, never consulted for correctness.
+    """
 
     reads_performed: int = 0
     reads_avoided: int = 0
     wasted_reads: int = 0  # filter said "maybe", run had nothing in range
     flushes: int = 0
     compactions: int = 0
+    cache_hits: int = 0    # block reads served by the block cache
+    cache_misses: int = 0  # block reads that went to the simulated disk
 
     @property
     def total_filter_decisions(self) -> int:
@@ -46,6 +57,12 @@ class IoStats:
         """Fraction of performed reads that were useless (filter FPs)."""
         return self.wasted_reads / self.reads_performed if self.reads_performed else 0.0
 
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of block fetches the cache absorbed."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
     def merge(self, other: "IoStats") -> "IoStats":
         """Component-wise sum with ``other``; returns a new ledger."""
         return IoStats(
@@ -54,6 +71,8 @@ class IoStats:
             wasted_reads=self.wasted_reads + other.wasted_reads,
             flushes=self.flushes + other.flushes,
             compactions=self.compactions + other.compactions,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
         )
 
     @classmethod
@@ -111,6 +130,13 @@ class LSMStore:
         self._memtable = MemTable()
         self._level0: List[SSTable] = []  # newest first
         self._bottom: Optional[SSTable] = None
+        self._cache: Optional["BlockCache"] = None
+        # Serialises mutations (put/delete/flush/compact) so a flush can
+        # never tear the memtable swap out from under another writer.
+        # Reader-vs-writer isolation is the *caller's* job — the service
+        # layer wraps each shard in a reader/writer lock; the bare store
+        # stays single-reader like the rest of the reproduction.
+        self._write_lock = threading.RLock()
         self.stats = IoStats()
 
     @classmethod
@@ -154,46 +180,79 @@ class LSMStore:
         self._check_key(key)
         if value is TOMBSTONE:
             raise InvalidParameterError("use delete() instead of writing the tombstone")
-        self._memtable.put(key, value)
-        self._maybe_flush()
+        with self._write_lock:
+            self._memtable.put(key, value)
+            self._maybe_flush()
 
     def delete(self, key: int) -> None:
         """Delete a key (tombstone until compaction)."""
         self._check_key(key)
-        self._memtable.delete(key)
-        self._maybe_flush()
+        with self._write_lock:
+            self._memtable.delete(key)
+            self._maybe_flush()
 
     def _maybe_flush(self) -> None:
         if len(self._memtable) >= self._memtable_limit:
             self.flush()
 
     def flush(self) -> None:
-        """Force the memtable into a new level-0 run."""
-        entries = self._memtable.items_sorted()
-        if not entries:
-            return
-        run = SSTable(entries, self.universe, self._factory)
-        self._level0.insert(0, run)  # newest first
-        self._memtable.clear()
-        self.stats.flushes += 1
-        if self._auto_compact and self.needs_compaction:
-            self.compact()
+        """Force the memtable into a new level-0 run.
+
+        The whole transition — drain the memtable, install the run —
+        happens under the write lock, so a concurrent writer can never
+        slip an entry into the memtable between the snapshot and the
+        clear (the lost-write window the unguarded version had).
+        """
+        with self._write_lock:
+            entries = self._memtable.items_sorted()
+            if not entries:
+                return
+            run = SSTable(entries, self.universe, self._factory)
+            self._level0.insert(0, run)  # newest first
+            self._memtable = MemTable()
+            self.stats.flushes += 1
+            if self._auto_compact and self.needs_compaction:
+                self.compact()
 
     def compact(self) -> None:
         """Merge all runs into a single bottom run, dropping tombstones."""
-        runs = list(self._level0)
-        if self._bottom is not None:
-            runs.append(self._bottom)  # oldest last
-        if not runs:
-            return
-        merged = merge_runs(runs, drop_tombstones=True)
-        self._bottom = SSTable(merged, self.universe, self._factory)
-        self._level0.clear()
-        self.stats.compactions += 1
+        with self._write_lock:
+            runs = list(self._level0)
+            if self._bottom is not None:
+                runs.append(self._bottom)  # oldest last
+            if not runs:
+                return
+            merged = merge_runs(runs, drop_tombstones=True)
+            self._bottom = SSTable(merged, self.universe, self._factory)
+            self._level0.clear()
+            self.stats.compactions += 1
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
+    def attach_cache(self, cache: Optional["BlockCache"]) -> None:
+        """Route run reads through ``cache`` (``None`` detaches).
+
+        With a cache attached, probes fetch block-granular pieces of each
+        run through the shared LRU instead of whole-run ``scan`` calls;
+        hit/miss counts fold into :attr:`stats`. Runs are immutable, so
+        attaching or detaching never changes any query result.
+        """
+        self._cache = cache
+
+    @property
+    def cache(self) -> Optional["BlockCache"]:
+        return self._cache
+
+    def _run_scan(self, run: SSTable, lo: int, hi: int) -> List[Tuple[int, Any]]:
+        """``run.scan`` through the block cache when one is attached."""
+        if self._cache is None:
+            return run.scan(lo, hi)
+        matches, hits, misses = self._cache.scan(run, lo, hi)
+        self.stats.cache_hits += hits
+        self.stats.cache_misses += misses
+        return matches
+
     def _runs(self) -> List[SSTable]:
         """All runs, newest first."""
         runs = list(self._level0)
@@ -212,7 +271,12 @@ class LSMStore:
                 self.stats.reads_avoided += 1
                 continue
             self.stats.reads_performed += 1
-            found, value = run.get(key)
+            if self._cache is None:
+                found, value = run.get(key)
+            else:
+                matches = self._run_scan(run, key, key)
+                found = bool(matches)
+                value = matches[0][1] if matches else None
             if found:
                 return None if value is TOMBSTONE else value
             self.stats.wasted_reads += 1
@@ -232,7 +296,7 @@ class LSMStore:
                 self.stats.reads_avoided += 1
                 continue
             self.stats.reads_performed += 1
-            matches = run.scan(lo, hi)
+            matches = self._run_scan(run, lo, hi)
             if not matches:
                 self.stats.wasted_reads += 1
             for key, value in matches:
@@ -263,7 +327,7 @@ class LSMStore:
                 self.stats.reads_avoided += 1
                 continue
             self.stats.reads_performed += 1
-            matches = run.scan(lo, hi)
+            matches = self._run_scan(run, lo, hi)
             if not matches:
                 self.stats.wasted_reads += 1
                 continue

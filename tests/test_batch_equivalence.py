@@ -1,0 +1,162 @@
+"""Property tests: every vectorised batch path equals its scalar loop.
+
+The batch layer's whole contract is "semantically identical to calling
+the scalar method per query" — an equivalence example tests keep
+missing at exactly the awkward points (empty key sets, ``lo == hi``,
+ranges hugging ``0`` or ``universe - 1``, ranges wider than Grafite's
+reduced universe, Elias-Fano's ``lo > hi`` convention). Hypothesis
+drives randomized key sets and query mixes through every filter with a
+``may_contain_range_batch`` fast path (Grafite, Bucketing — and the
+generic fallback on a filter without an override) plus
+``EliasFano.contains_in_range_batch``, asserting element-wise equality
+with the scalar loop.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bucketing import Bucketing
+from repro.core.grafite import Grafite
+from repro.filters.base import RangeFilter
+from repro.succinct.elias_fano import EliasFano
+
+UNIVERSE = 2**24
+
+
+class ExactSetFilter(RangeFilter):
+    """Minimal filter with *no* batch override: exercises the base-class
+    ``may_contain_range_batch`` loop the engine's batch layer falls back
+    to for filters without a vectorised fast path."""
+
+    name = "exact-set"
+
+    def __init__(self, keys, universe):
+        super().__init__(universe)
+        self._keys = np.unique(np.asarray(sorted(keys), dtype=np.uint64))
+
+    @property
+    def key_count(self):
+        return int(self._keys.size)
+
+    @property
+    def size_in_bits(self):
+        return int(self._keys.size) * 64
+
+    def may_contain_range(self, lo, hi):
+        self._check_range(lo, hi)
+        idx = int(np.searchsorted(self._keys, lo, side="left"))
+        return idx < self._keys.size and int(self._keys[idx]) <= hi
+
+keys_strategy = st.lists(
+    st.integers(0, UNIVERSE - 1), min_size=0, max_size=200
+)
+
+
+def queries_strategy(allow_inverted: bool):
+    """Bound pairs mixing random, boundary-hugging and degenerate ranges."""
+    bound = st.integers(0, UNIVERSE - 1)
+    random_pair = st.tuples(bound, bound)
+    boundary = st.sampled_from(
+        [
+            (0, 0),
+            (0, UNIVERSE - 1),
+            (UNIVERSE - 1, UNIVERSE - 1),
+            (0, 1),
+            (UNIVERSE - 2, UNIVERSE - 1),
+        ]
+    )
+    pair = st.one_of(random_pair, boundary)
+    if allow_inverted:
+        return st.lists(pair, min_size=0, max_size=64)
+    return st.lists(
+        pair.map(lambda p: (min(p), max(p))), min_size=0, max_size=64
+    )
+
+
+def as_bounds(queries):
+    los = np.asarray([lo for lo, _ in queries], dtype=np.uint64)
+    his = np.asarray([hi for _, hi in queries], dtype=np.uint64)
+    return los, his
+
+
+def assert_batch_equals_scalar(filt, queries):
+    los, his = as_bounds(queries)
+    batch = filt.may_contain_range_batch(los, his)
+    assert batch.dtype == bool and batch.shape == (len(queries),)
+    for i, (lo, hi) in enumerate(queries):
+        assert batch[i] == filt.may_contain_range(lo, hi), (
+            f"{type(filt).__name__}: query {i} [{lo}, {hi}] diverged "
+            f"(batch={bool(batch[i])})"
+        )
+
+
+@given(keys=keys_strategy, queries=queries_strategy(False), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_grafite_batch_equals_scalar(keys, queries, data):
+    bits = data.draw(st.sampled_from([4, 8, 16]))
+    max_range = data.draw(st.sampled_from([1, 16, 1024]))
+    filt = Grafite(
+        keys, UNIVERSE, bits_per_key=bits, max_range_size=max_range, seed=11
+    )
+    assert_batch_equals_scalar(filt, queries)
+
+
+@given(keys=keys_strategy, queries=queries_strategy(False), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_bucketing_batch_equals_scalar(keys, queries, data):
+    bits = data.draw(st.sampled_from([2, 8, 16]))
+    filt = Bucketing(keys, UNIVERSE, bits_per_key=bits)
+    assert_batch_equals_scalar(filt, queries)
+
+
+@given(keys=st.lists(st.integers(0, UNIVERSE - 1), max_size=60),
+       queries=queries_strategy(False))
+@settings(max_examples=30, deadline=None)
+def test_generic_batch_fallback_equals_scalar(keys, queries):
+    """A filter without a vectorised override uses the base-class loop;
+    the engine's batch layer relies on that being exactly equivalent."""
+    filt = ExactSetFilter(keys, UNIVERSE)
+    assert_batch_equals_scalar(filt, queries)
+
+
+@given(values=keys_strategy, queries=queries_strategy(True))
+@settings(max_examples=60, deadline=None)
+def test_elias_fano_batch_equals_scalar(values, queries):
+    ef = EliasFano(sorted(set(values)), UNIVERSE)
+    los, his = as_bounds(queries)
+    batch = ef.contains_in_range_batch(los, his)
+    for i, (lo, hi) in enumerate(queries):
+        assert batch[i] == ef.contains_in_range(lo, hi), (
+            f"EliasFano: query {i} [{lo}, {hi}] diverged"
+        )
+
+
+def test_empty_batches_are_empty_arrays():
+    empty = np.zeros(0, dtype=np.uint64)
+    grafite = Grafite([1, 5], UNIVERSE, bits_per_key=8, max_range_size=16)
+    bucketing = Bucketing([1, 5], UNIVERSE, bits_per_key=8)
+    ef = EliasFano([1, 5], UNIVERSE)
+    for result in (
+        grafite.may_contain_range_batch(empty, empty),
+        bucketing.may_contain_range_batch(empty, empty),
+        ef.contains_in_range_batch(empty, empty),
+    ):
+        assert result.shape == (0,) and result.dtype == bool
+
+
+@pytest.mark.parametrize("n_keys", [0, 1, 3])
+def test_no_false_negatives_on_member_ranges(n_keys):
+    """Batch answers must stay superset-correct: a range containing a
+    stored key can never come back 'surely empty'."""
+    rng = np.random.default_rng(17)
+    keys = np.unique(rng.integers(0, UNIVERSE, n_keys, dtype=np.uint64))
+    grafite = Grafite(keys, UNIVERSE, bits_per_key=12, max_range_size=64)
+    bucketing = Bucketing(keys, UNIVERSE, bits_per_key=12)
+    if keys.size == 0:
+        return
+    los = keys
+    his = np.minimum(keys + np.uint64(3), np.uint64(UNIVERSE - 1))
+    assert grafite.may_contain_range_batch(los, his).all()
+    assert bucketing.may_contain_range_batch(los, his).all()

@@ -1,0 +1,242 @@
+"""Crash-recovery fuzzing: truncate the WAL everywhere, crash checkpoints.
+
+The WAL's contract is exact: a crash may tear the *last* record, and
+recovery must keep every acknowledged write whose record survived —
+never a torn write, never losing a checkpointed one. Byte-offset
+truncation is the strongest test of that contract: for **every** prefix
+length of a recorded run's WAL, reopening the engine must yield exactly
+the oracle state after ``checkpoint base + (number of whole records in
+the prefix)`` operations. Any "almost valid" tail that recovery
+mistakenly replays, or any valid record it mistakenly drops, shows up
+as a divergence at some offset.
+
+Checkpoint durability is fuzzed at its commit-point boundaries
+separately: a checkpoint commits atomically at the manifest rename, so
+a crash before the rename must recover the *previous* checkpoint plus
+the full WAL, a crash after the rename but before the WAL reset must
+recover the *new* snapshot (idempotently re-applying the WAL), and
+stray ``.tmp`` manifests or orphaned run files must never be read.
+"""
+
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.core.grafite import Grafite
+from repro.engine import ShardedEngine, WriteAheadLog, persist
+from repro.engine.wal import _HEADER
+
+UNIVERSE = 2**16
+SEED = int(os.environ.get("REPRO_DIFF_SEED", "20240731"))
+
+
+def grafite_factory(keys, universe):
+    return Grafite(keys, universe, bits_per_key=12, max_range_size=64, seed=3)
+
+
+def record_run(
+    directory: Path,
+    *,
+    n_ops: int = 60,
+    checkpoint_every: Optional[int] = 25,
+    filter_factory=None,
+) -> Tuple[List[Dict[int, Any]], int, bytes]:
+    """Drive a persistent engine; return per-op oracle states, the op
+    index of the last checkpoint, and the final WAL bytes."""
+    import numpy as np
+
+    rng = np.random.default_rng(SEED)
+    engine = ShardedEngine(
+        UNIVERSE,
+        num_shards=2,
+        memtable_limit=16,
+        compaction_fanout=3,
+        filter_factory=filter_factory,
+        directory=directory,
+    )
+    states: List[Dict[int, Any]] = [{}]
+    last_checkpoint = 0
+    for index in range(1, n_ops + 1):
+        state = dict(states[-1])
+        if rng.random() < 0.75 or not state:
+            key = int(rng.integers(UNIVERSE))
+            value = int(rng.integers(1 << 20))
+            engine.put(key, value)
+            state[key] = value
+        else:
+            key = int(
+                list(state)[rng.integers(len(state))]
+                if rng.random() < 0.7
+                else rng.integers(UNIVERSE)
+            )
+            engine.delete(key)
+            state.pop(key, None)
+        states.append(state)
+        if checkpoint_every and index % checkpoint_every == 0:
+            engine.checkpoint()
+            last_checkpoint = index
+    engine.close(checkpoint=False)  # crash: leave the WAL as-is
+    return states, last_checkpoint, (directory / "wal.log").read_bytes()
+
+
+def recovered_state(directory: Path, filter_factory=None) -> Dict[int, Any]:
+    engine = ShardedEngine.open(directory, filter_factory=filter_factory)
+    try:
+        return {k: v for k, v in engine.range_scan(0, UNIVERSE - 1)}
+    finally:
+        engine.close(checkpoint=False)
+
+
+def count_whole_records(wal_path: Path) -> int:
+    """Parse a (possibly torn) WAL with the production reader."""
+    wal = WriteAheadLog(wal_path)
+    try:
+        return len(wal.recovered)
+    finally:
+        wal.close()
+
+
+def truncation_offsets(wal_bytes: bytes, stride: int):
+    offsets = list(range(len(_HEADER), len(wal_bytes) + 1, stride))
+    if offsets[-1] != len(wal_bytes):
+        offsets.append(len(wal_bytes))
+    return offsets
+
+
+def run_truncation_sweep(
+    tmp_path: Path, *, filter_factory, stride: int, checkpoint_every=25
+):
+    db = tmp_path / "db"
+    states, last_checkpoint, wal_bytes = record_run(
+        db, filter_factory=filter_factory, checkpoint_every=checkpoint_every
+    )
+    scratch = tmp_path / "scratch"
+    shutil.copytree(db, scratch)
+    wal_path = scratch / "wal.log"
+
+    # The op count at the WAL's base: records in the file sit on top of
+    # the last checkpoint's snapshot.
+    parse = tmp_path / "parse"
+    parse.mkdir()
+    for offset in truncation_offsets(wal_bytes, stride):
+        prefix = wal_bytes[:offset]
+        parse_wal = parse / "wal.log"
+        parse_wal.write_bytes(prefix)
+        surviving = count_whole_records(parse_wal)
+        expected_index = last_checkpoint + surviving
+        # Prefix property: truncation can only lose unacknowledged tail
+        # records, never checkpointed state.
+        assert expected_index >= last_checkpoint
+        assert expected_index <= len(states) - 1
+
+        wal_path.write_bytes(prefix)
+        got = recovered_state(scratch, filter_factory)
+        want = states[expected_index]
+        assert got == want, (
+            f"offset {offset}: recovered {len(got)} keys, expected oracle "
+            f"state after op {expected_index} "
+            f"({len(want)} keys, checkpoint at {last_checkpoint})"
+        )
+
+
+def test_wal_truncation_every_byte(tmp_path):
+    """The full sweep: every byte offset of a 60-record WAL (no mid-run
+    checkpoints, so deep truncations cut far into acknowledged history)."""
+    run_truncation_sweep(
+        tmp_path, filter_factory=None, stride=1, checkpoint_every=None
+    )
+
+
+def test_wal_truncation_every_byte_with_checkpoints(tmp_path):
+    """Every byte offset of the post-checkpoint WAL tail: truncation may
+    lose tail records but never state from before the checkpoint."""
+    run_truncation_sweep(tmp_path, filter_factory=None, stride=1)
+
+
+def test_wal_truncation_with_filters(tmp_path):
+    """Strided sweep with Grafite filters on every run (slower restore
+    path: snapshots carry filter blobs that must deserialise bit-exact)."""
+    run_truncation_sweep(tmp_path, filter_factory=grafite_factory, stride=7)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint commit-point boundaries
+# ----------------------------------------------------------------------
+def checkpointed_engine(tmp_path):
+    db = tmp_path / "db"
+    states, last_checkpoint, _ = record_run(
+        db, n_ops=40, checkpoint_every=20
+    )
+    return db, states, last_checkpoint
+
+
+def test_crash_between_snapshot_and_wal_reset(tmp_path):
+    """Snapshot written, manifest renamed, WAL *not* reset: replaying the
+    stale WAL over the newer snapshot must be idempotent."""
+    db, states, _ = checkpointed_engine(tmp_path)
+    engine = ShardedEngine.open(db)
+    engine.flush_all()
+    # A checkpoint that dies right after the manifest rename.
+    persist.save_snapshot(db, engine._params(), engine.shards)
+    engine._wal.close()  # crash instead of engine.checkpoint()'s reset
+    assert recovered_state(db) == states[-1]
+
+
+def test_crash_before_manifest_rename_keeps_old_checkpoint(tmp_path):
+    """New run files on disk but the manifest rename never happened: the
+    previous checkpoint plus the full WAL still reconstructs everything.
+
+    Replays exactly what :func:`persist.save_snapshot` does *before* its
+    commit point — new-generation run files and the ``.tmp`` manifest —
+    then crashes. The old manifest must still be honoured, and the old
+    generation's files are untouched (GC only runs after the rename).
+    """
+    import json
+
+    db, states, _ = checkpointed_engine(tmp_path)
+    manifest = persist.load_manifest(db)
+    engine = ShardedEngine.open(db)
+    engine.flush_all()
+    generation = manifest["generation"] + 1
+    for sid, store in enumerate(engine.shards):
+        shard_dir = db / f"shard-{sid:04d}"
+        for j, run in enumerate(store.level0_runs):
+            (shard_dir / f"run-{generation:06d}-{j:04d}.sst").write_bytes(
+                persist.run_to_bytes(run)
+            )
+        if store.bottom_run is not None:
+            (shard_dir / f"bottom-{generation:06d}.sst").write_bytes(
+                persist.run_to_bytes(store.bottom_run)
+            )
+    (db / (persist.MANIFEST_NAME + ".tmp")).write_text(
+        json.dumps({**manifest, "generation": generation})
+    )
+    engine._wal.close()  # crash before the rename commits
+    assert recovered_state(db) == states[-1]
+
+
+def test_torn_manifest_tmp_is_ignored(tmp_path):
+    """A torn ``MANIFEST.json.tmp`` (crash mid-write) must never be read."""
+    db, states, _ = checkpointed_engine(tmp_path)
+    (db / (persist.MANIFEST_NAME + ".tmp")).write_text("{ not json")
+    assert recovered_state(db) == states[-1]
+
+
+def test_orphan_run_files_are_ignored(tmp_path):
+    """Stray ``.sst`` files from a dead checkpoint don't poison recovery."""
+    db, states, _ = checkpointed_engine(tmp_path)
+    (db / "shard-0000" / "run-999999-0000.sst").write_bytes(b"\x00garbage")
+    assert recovered_state(db) == states[-1]
+
+
+def test_truncation_inside_header(tmp_path):
+    """A crash before the WAL header finished must not brick recovery —
+    the log restarts and only unacknowledged post-checkpoint writes are
+    lost (exactly the oracle state at the last checkpoint)."""
+    db, states, last_checkpoint = checkpointed_engine(tmp_path)
+    wal = db / "wal.log"
+    wal.write_bytes(wal.read_bytes()[:3])  # even the magic is torn
+    assert recovered_state(db) == states[last_checkpoint]

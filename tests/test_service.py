@@ -1,0 +1,372 @@
+"""Tests for the concurrent serving layer.
+
+Covers the pieces :mod:`repro.engine.service` introduces: the
+reader/writer lock, the sharded block cache (and its fold into
+``IoStats``), block-granular SSTable access, and the
+:class:`RangeQueryService` itself — parity with the single-threaded
+engine, background compaction, checkpoint/reopen under locks, and a
+concurrent reader/writer hammer.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.grafite import Grafite
+from repro.engine import RangeQueryService, RWLock, ShardedEngine
+from repro.errors import InvalidParameterError
+from repro.lsm import BLOCK_ENTRIES, BlockCache, LSMStore, SSTable
+
+UNIVERSE = 2**32
+
+
+def grafite_factory(keys, universe):
+    return Grafite(keys, universe, bits_per_key=14, max_range_size=64, seed=7)
+
+
+def build_engine(**kwargs):
+    defaults = dict(
+        num_shards=4, memtable_limit=128, filter_factory=grafite_factory
+    )
+    defaults.update(kwargs)
+    return ShardedEngine(UNIVERSE, **defaults)
+
+
+def load_keys(target, n=3000, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, UNIVERSE, n, dtype=np.uint64)
+    for key in keys:
+        target.put(int(key), int(key) % 251)
+    return np.unique(keys)
+
+
+# ----------------------------------------------------------------------
+# Reader/writer lock
+# ----------------------------------------------------------------------
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        entered = threading.Barrier(3, timeout=5.0)
+
+        def reader():
+            with lock.read_locked():
+                entered.wait()  # all three must be inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        log = []
+
+        def writer(tag):
+            with lock.write_locked():
+                log.append(f"{tag}-in")
+                time.sleep(0.02)
+                log.append(f"{tag}-out")
+
+        def reader():
+            with lock.read_locked():
+                log.append("r")
+
+        lock.acquire_write()
+        threads = [
+            threading.Thread(target=writer, args=("w",)),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        assert log == []  # everyone blocked behind the held write lock
+        lock.release_write()
+        for t in threads:
+            t.join(timeout=5.0)
+        # The writer's critical section was never interleaved.
+        w_in = log.index("w-in")
+        assert log[w_in + 1] == "w-out"
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        order = []
+
+        def writer():
+            lock.acquire_write()
+            order.append("w")
+            lock.release_write()
+
+        def late_reader():
+            lock.acquire_read()
+            order.append("r")
+            lock.release_read()
+
+        w = threading.Thread(target=writer)
+        w.start()
+        time.sleep(0.02)  # writer is now queued
+        r = threading.Thread(target=late_reader)
+        r.start()
+        time.sleep(0.02)
+        assert order == []  # late reader must queue behind the writer
+        lock.release_read()
+        w.join(timeout=5.0)
+        r.join(timeout=5.0)
+        assert order == ["w", "r"]
+
+
+# ----------------------------------------------------------------------
+# SSTable blocks + block cache
+# ----------------------------------------------------------------------
+class TestBlocks:
+    def make_run(self, n):
+        return SSTable([(i * 10, i) for i in range(n)], UNIVERSE)
+
+    def test_block_layout_and_reads(self):
+        run = self.make_run(BLOCK_ENTRIES * 2 + 5)
+        assert run.block_count == 3
+        before = run.io_reads
+        block = run.read_block(2)
+        assert run.io_reads == before + 1
+        assert len(block) == 5
+        with pytest.raises(IndexError):
+            run.read_block(3)
+
+    def test_block_span_matches_scan(self):
+        run = self.make_run(BLOCK_ENTRIES + 10)
+        top = (BLOCK_ENTRIES + 9) * 10
+        for lo, hi in [
+            (0, 0), (5, 5), (0, top), (top, top), (top + 1, top + 500),
+            (3, 47), (BLOCK_ENTRIES * 10 - 1, BLOCK_ENTRIES * 10 + 1),
+        ]:
+            span = run.block_span(lo, hi)
+            expected = run.scan(lo, hi)
+            got = []
+            if span is not None:
+                for b in range(span[0], span[1] + 1):
+                    got.extend(
+                        (k, v) for k, v in run.read_block(b) if lo <= k <= hi
+                    )
+            assert got == expected, (lo, hi)
+
+    def test_span_before_first_key_is_free(self):
+        run = SSTable([(100, "x")], UNIVERSE)
+        assert run.block_span(0, 99) is None
+        assert run.block_span(100, 100) == (0, 0)
+        assert run.block_span(101, 500) == (0, 0)  # costs one wasted block
+
+    def test_cache_hits_and_lru_eviction(self):
+        run = self.make_run(BLOCK_ENTRIES * 4)
+        cache = BlockCache(2, num_stripes=1)
+        cache.get_block(run, 0)
+        _, hit = cache.get_block(run, 0)
+        assert hit
+        cache.get_block(run, 1)
+        cache.get_block(run, 2)  # evicts block 0 (capacity 2, LRU)
+        _, hit = cache.get_block(run, 0)
+        assert not hit
+        assert cache.misses == 4 and cache.hits == 1
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_uids_never_alias(self):
+        a = SSTable([(1, "a")], UNIVERSE)
+        b = SSTable([(1, "b")], UNIVERSE)
+        cache = BlockCache(16)
+        assert cache.scan(a, 0, 10)[0] == [(1, "a")]
+        assert cache.scan(b, 0, 10)[0] == [(1, "b")]
+
+    def test_scan_through_cache_equals_direct(self):
+        rng = np.random.default_rng(3)
+        keys = np.unique(rng.integers(0, 10_000, 2000, dtype=np.uint64))
+        run = SSTable([(int(k), int(k)) for k in keys], UNIVERSE)
+        cache = BlockCache(64)
+        for lo, hi in rng.integers(0, 10_000, (200, 2)):
+            lo, hi = int(min(lo, hi)), int(max(lo, hi))
+            assert cache.scan(run, lo, hi)[0] == run.scan(lo, hi)
+
+    def test_store_folds_cache_counters(self):
+        store = LSMStore(UNIVERSE, memtable_limit=64)
+        for key in range(0, 6400, 10):
+            store.put(key, key)
+        store.flush()
+        store.attach_cache(BlockCache(64))
+        store.range_scan(0, 600)
+        assert store.stats.cache_misses > 0
+        misses = store.stats.cache_misses
+        store.range_scan(0, 600)
+        assert store.stats.cache_hits > 0
+        assert store.stats.cache_misses == misses
+        assert 0.0 < store.stats.cache_hit_ratio <= 1.0
+
+    def test_cache_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BlockCache(0)
+        with pytest.raises(InvalidParameterError):
+            BlockCache(8, num_stripes=0)
+        with pytest.raises(InvalidParameterError):
+            BlockCache(8, miss_latency=-1.0)
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class TestRangeQueryService:
+    @pytest.mark.parametrize("num_threads", [1, 2, 8])
+    def test_batch_matches_engine(self, num_threads):
+        engine = build_engine()
+        keys = load_keys(engine)
+        engine.flush_all()
+        engine.drain_compactions()
+        rng = np.random.default_rng(1)
+        los = rng.integers(0, UNIVERSE - 200, 4000, dtype=np.uint64)
+        his = los + rng.integers(0, 128, 4000, dtype=np.uint64)
+        reference = engine.batch_range_empty(los, his)
+        with RangeQueryService(engine, num_threads=num_threads) as svc:
+            got = svc.batch_range_empty(los, his)
+            assert (got == reference).all()
+            # And the scalar service path agrees with the batch path.
+            for i in range(0, 200):
+                assert svc.range_empty(int(los[i]), int(his[i])) == got[i]
+
+    def test_batch_with_boundary_straddling_queries(self):
+        """Straddlers take the atomic multi-lock path; results must still
+        match the single-threaded engine exactly."""
+        engine = build_engine(num_shards=8)
+        load_keys(engine, n=2000, seed=4)
+        engine.flush_all()
+        engine.drain_compactions()
+        width = engine.router.shard_width
+        los, his = [], []
+        for sid in range(1, 8):  # a window around every shard boundary
+            boundary = sid * width
+            los.append(boundary - 500)
+            his.append(boundary + 500)
+        los += [0, UNIVERSE - 1000]
+        his += [UNIVERSE - 1, UNIVERSE - 1]  # full-universe + tail ranges
+        los = np.asarray(los, dtype=np.uint64)
+        his = np.asarray(his, dtype=np.uint64)
+        reference = engine.batch_range_empty(los, his)
+        with RangeQueryService(engine, num_threads=4) as svc:
+            assert (svc.batch_range_empty(los, his) == reference).all()
+
+    def test_point_ops_and_cross_shard_probe(self):
+        engine = build_engine(num_shards=8)
+        with RangeQueryService(engine, num_threads=4) as svc:
+            svc.put(5, "five")
+            svc.put(UNIVERSE - 3, "last")
+            assert svc.get(5) == "five"
+            assert svc.get(UNIVERSE - 3) == "last"
+            # Spans all eight shards; both endpoints live in different ones.
+            assert not svc.range_empty(0, UNIVERSE - 1)
+            svc.delete(5)
+            assert svc.get(5) is None
+            assert svc.range_empty(0, UNIVERSE // 8 - 1)
+
+    def test_background_compaction_runs(self):
+        engine = build_engine(memtable_limit=32, compaction_fanout=3)
+        with RangeQueryService(engine, num_threads=2) as svc:
+            load_keys(svc, n=2000)
+            assert svc.wait_for_compactions(timeout=20.0)
+            assert svc.background_compactions > 0
+            assert engine.scheduler.compactions_run >= svc.background_compactions
+            # The worker kept level 0 under control on every shard.
+            for store in engine.shards:
+                assert not store.needs_compaction
+
+    def test_batch_queries_do_not_drain_inline(self):
+        """Compactions queued by writes stay off the query path."""
+        engine = build_engine(memtable_limit=16, compaction_fanout=2)
+        # Very slow poll so the worker cannot steal the queued work
+        # before the batch runs.
+        svc = RangeQueryService(engine, num_threads=2, compaction_poll=30.0)
+        try:
+            for key in range(0, 4096, 4):
+                svc.put(key, b"v")
+            pending_before = len(engine.scheduler)
+            assert pending_before > 0
+            svc.batch_range_empty(np.asarray([1]), np.asarray([2**20]))
+            assert len(engine.scheduler) >= pending_before
+        finally:
+            svc.close()
+
+    def test_checkpoint_and_reopen(self, tmp_path):
+        engine = ShardedEngine(
+            UNIVERSE, num_shards=2, memtable_limit=64,
+            filter_factory=grafite_factory, directory=tmp_path / "db",
+        )
+        with RangeQueryService(engine, num_threads=2) as svc:
+            keys = load_keys(svc, n=500, seed=9)
+            svc.checkpoint()
+        engine.close(checkpoint=False)
+        reopened = ShardedEngine.open(
+            tmp_path / "db", filter_factory=grafite_factory
+        )
+        with RangeQueryService(reopened, num_threads=2) as svc:
+            for key in keys[:100]:
+                assert svc.get(int(key)) == int(key) % 251
+
+    def test_closed_service_rejects_calls(self):
+        svc = RangeQueryService(build_engine(), num_threads=1)
+        svc.close()
+        svc.close()  # idempotent
+        with pytest.raises(InvalidParameterError):
+            svc.get(1)
+        with pytest.raises(InvalidParameterError):
+            svc.put(1, "x")
+
+    def test_validation(self):
+        engine = build_engine()
+        with pytest.raises(InvalidParameterError):
+            RangeQueryService(engine, num_threads=0)
+        with pytest.raises(InvalidParameterError):
+            RangeQueryService(engine, compaction_poll=0.0)
+
+    def test_cache_disabled(self):
+        engine = build_engine()
+        with RangeQueryService(engine, cache_blocks=0) as svc:
+            assert svc.cache is None
+            svc.put(1, "x")
+            assert svc.get(1) == "x"
+        assert engine.block_cache is None
+
+    def test_concurrent_hammer(self):
+        """Writers on disjoint key slices race readers and the compactor;
+        the final state must be exactly the union of all writes."""
+        engine = build_engine(num_shards=4, memtable_limit=64)
+        n_writers, per_writer = 4, 400
+        with RangeQueryService(engine, num_threads=4) as svc:
+            errors = []
+
+            def writer(slot):
+                try:
+                    for i in range(per_writer):
+                        key = slot * per_writer + i
+                        svc.put(key * 1000, slot)
+                        if i % 7 == 0:
+                            svc.get(key * 1000)
+                        if i % 13 == 0:
+                            svc.range_empty(0, 10_000)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=writer, args=(s,))
+                for s in range(n_writers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+            assert not errors
+            assert svc.wait_for_compactions(timeout=20.0)
+            for slot in range(n_writers):
+                for i in range(0, per_writer, 29):
+                    key = (slot * per_writer + i) * 1000
+                    assert svc.get(key) == slot
+            assert len(engine) == n_writers * per_writer
