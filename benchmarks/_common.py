@@ -15,9 +15,13 @@ operations so ``--benchmark-only`` also yields machine-readable timings.
 from __future__ import annotations
 
 import functools
+import json
 import os
+import platform
+import subprocess
+import time
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,6 +54,86 @@ def register_report(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     REPORTS[name] = text
+
+
+# ----------------------------------------------------------------------
+# Machine-readable bench artifacts (the perf trajectory)
+# ----------------------------------------------------------------------
+def git_sha() -> str:
+    """The repo's current commit, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        pass
+    return "unknown"
+
+
+def timing_stats(
+    fn: Callable[[], object], *, ops: int, repeat: int = 5
+) -> Dict[str, float]:
+    """Run ``fn`` ``repeat`` times; return op/s plus p50/p99 seconds-per-run.
+
+    With a handful of repetitions p99 degenerates to the max — which is
+    exactly what a regression gate wants to see move. ``ops`` is the
+    number of logical operations one call performs (e.g. the batch
+    size), so ``op_s`` is comparable across batch sizes.
+    """
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return {
+        "op_s": ops / samples[0],
+        "p50_s": float(np.percentile(samples, 50)),
+        "p99_s": float(np.percentile(samples, 99)),
+        "best_s": samples[0],
+        "repeat": repeat,
+        "ops": ops,
+    }
+
+
+def write_bench_json(
+    name: str,
+    *,
+    results,
+    config: Optional[Dict] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` next to the ``.txt`` reports.
+
+    The payload seeds the repo's machine-readable perf trajectory: every
+    file records what was measured (``results``), under which knobs
+    (``config``), and on which commit/host, so successive runs diff
+    cleanly. ``results`` is typically a list of cells each carrying
+    ``op_s`` / ``p50_s`` / ``p99_s`` from :func:`timing_stats`.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "bench": name,
+        "git_sha": git_sha(),
+        "recorded_unix": time.time(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "scale": SCALE,
+        "config": config or {},
+        "results": results,
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
 
 
 @functools.lru_cache(maxsize=None)

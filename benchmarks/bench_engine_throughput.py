@@ -19,13 +19,12 @@ regime where filters, not disk reads, dominate the cost.
 from __future__ import annotations
 
 import functools
-import time
 
 import numpy as np
 import pytest
 
 import _common
-from _common import SEED, UNIVERSE, register_report
+from _common import SEED, UNIVERSE, register_report, timing_stats, write_bench_json
 from repro.analysis.report import format_table
 from repro.core.grafite import Grafite
 from repro.engine import ShardedEngine
@@ -75,23 +74,18 @@ def probe_bounds(batch_size: int):
     return los, his
 
 
-def _time(fn, repeat: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeat):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 @functools.lru_cache(maxsize=None)
 def throughput_cell(num_shards: int, batch_size: int) -> dict:
     """Queries/sec for the batch path and the per-query loop."""
     engine = build_engine(num_shards)
     los, his = probe_bounds(batch_size)
-    batch_seconds = _time(lambda: engine.batch_range_empty(los, his))
-    loop_seconds = _time(
-        lambda: [engine.range_empty(int(lo), int(hi)) for lo, hi in zip(los, his)]
+    batch_stats = timing_stats(
+        lambda: engine.batch_range_empty(los, his), ops=batch_size, repeat=3
+    )
+    loop_stats = timing_stats(
+        lambda: [engine.range_empty(int(lo), int(hi)) for lo, hi in zip(los, his)],
+        ops=batch_size,
+        repeat=3,
     )
     batch = engine.batch_range_empty(los, his)
     loop = np.asarray(
@@ -99,18 +93,24 @@ def throughput_cell(num_shards: int, batch_size: int) -> dict:
     )
     assert bool((batch == loop).all()), "batch path must agree with the scalar loop"
     return {
-        "batch_qps": batch_size / batch_seconds,
-        "loop_qps": batch_size / loop_seconds,
-        "speedup": loop_seconds / batch_seconds,
+        "num_shards": num_shards,
+        "batch_size": batch_size,
+        "batch_qps": batch_stats["op_s"],
+        "loop_qps": loop_stats["op_s"],
+        "batch_p50_s": batch_stats["p50_s"],
+        "batch_p99_s": batch_stats["p99_s"],
+        "speedup": batch_stats["op_s"] / loop_stats["op_s"],
         "empty_fraction": float(batch.mean()),
     }
 
 
 def _report():
     rows = []
+    cells = []
     for num_shards in SHARD_COUNTS:
         for batch_size in BATCH_SIZES:
             cell = throughput_cell(num_shards, batch_size)
+            cells.append(cell)
             rows.append(
                 [
                     num_shards,
@@ -131,6 +131,17 @@ def _report():
                 f"{BITS_PER_KEY} bpk, range {RANGE})"
             ),
         ),
+    )
+    write_bench_json(
+        "engine_throughput",
+        results=cells,
+        config={
+            "n_keys": N_KEYS,
+            "bits_per_key": BITS_PER_KEY,
+            "range_size": RANGE,
+            "shard_counts": list(SHARD_COUNTS),
+            "batch_sizes": list(BATCH_SIZES),
+        },
     )
 
 

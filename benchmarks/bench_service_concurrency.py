@@ -28,7 +28,7 @@ import numpy as np
 import pytest
 
 import _common
-from _common import SEED, UNIVERSE, register_report
+from _common import SEED, UNIVERSE, register_report, write_bench_json
 from repro.analysis.report import format_table
 from repro.core.grafite import Grafite
 from repro.engine import RangeQueryService, ShardedEngine
@@ -140,9 +140,11 @@ def concurrency_cell(num_threads: int, batch_size: int) -> dict:
 
 def _report():
     rows = []
+    cells = []
     for batch_size in BATCH_SIZES:
         for num_threads in THREAD_COUNTS:
             cell = concurrency_cell(num_threads, batch_size)
+            cells.append({"batch_size": batch_size, "threads": num_threads, **cell})
             rows.append(
                 [
                     f"{batch_size:,}",
@@ -153,6 +155,19 @@ def _report():
                     f"{cell['empty_fraction']:.3f}",
                 ]
             )
+    write_bench_json(
+        "service_concurrency",
+        results=cells,
+        config={
+            "n_keys": N_KEYS,
+            "num_shards": NUM_SHARDS,
+            "bits_per_key": BITS_PER_KEY,
+            "range_size": RANGE,
+            "miss_latency_s": MISS_LATENCY,
+            "cache_blocks": CACHE_BLOCKS,
+            "nonempty_fraction": NONEMPTY_FRACTION,
+        },
+    )
     register_report(
         "service_concurrency",
         format_table(

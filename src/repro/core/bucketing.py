@@ -147,7 +147,13 @@ class Bucketing(RangeFilter):
         return self._ef.contains_in_range(lo // self._s, hi // self._s)
 
     def may_contain_range_batch(self, los, his) -> np.ndarray:
-        """Vectorised probe: bucket the bounds, one batch EF predecessor."""
+        """Vectorised probe: bucket the bounds, one batch EF predecessor.
+
+        Rides directly on the succinct bulk kernels — the bucketed bound
+        columns go through :meth:`EliasFano.contains_in_range_batch`,
+        i.e. one batched ``select0`` bucket isolation plus a lock-step
+        low-part binary search, with no decode and no per-query Python.
+        """
         los_arr = np.asarray(los, dtype=np.uint64)
         his_arr = np.asarray(his, dtype=np.uint64)
         if los_arr.shape != his_arr.shape or los_arr.ndim != 1:

@@ -306,15 +306,15 @@ class Grafite(RangeFilter):
             [np.where(split, boundary - np.uint64(1), q_hi), q_hi[split]]
         )
         seg_qid = np.concatenate([qid, qid[split]])
-        # One q() evaluation per distinct block (big-int modular math),
-        # broadcast back over the segments that share the block.
+        # One q() evaluation per distinct block, vectorised end to end
+        # (:meth:`PairwiseIndependentHash.hash_many`), broadcast back over
+        # the segments that share the block. This was the last per-query
+        # Python loop on the batch path: uniform workloads make nearly
+        # every block distinct, so a scalar q() here costs one interpreted
+        # big-int evaluation per query per run.
         blocks, inverse = np.unique(seg_lo // r, return_inverse=True)
         assert self._hash is not None
-        offsets = np.fromiter(
-            (self._hash.hash_block(int(b)) for b in blocks),
-            dtype=np.uint64,
-            count=blocks.size,
-        )[inverse]
+        offsets = self._hash.hash_blocks(blocks)[inverse]
         h_lo = (offsets + (seg_lo % r)) % r
         h_hi = (offsets + (seg_hi % r)) % r
         wrap = h_lo > h_hi  # hashed interval wraps around the reduced universe

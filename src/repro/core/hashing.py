@@ -12,10 +12,18 @@ Two layers:
   makes range emptiness reducible to predecessor search on hash codes,
   with collision probability ``<= 1/r`` for distinct points (Lemma 3.1).
 
-All arithmetic uses unbounded Python integers: the universe is up to
+Scalar evaluation uses unbounded Python integers: the universe is up to
 ``2^64`` and ``c1 * x`` routinely exceeds 64 bits, which would silently
-wrap in numpy. Batch hashing therefore converts through Python ints; the
-costs are linear and acceptable at reproduction scale.
+wrap in numpy. Batch evaluation (:meth:`PairwiseIndependentHash.hash_many`)
+is vectorised wherever the modulus allows exact 64-bit arithmetic — plain
+``uint64`` math when ``p = 2^31 - 1`` and a limb-split Mersenne reduction
+when ``p = 2^61 - 1``, which together cover every block hash arising from
+a 64-bit universe at practical filter parameters. Only the huge-prime
+cases (string universes beyond ``2^64``) fall back to the per-element
+Python loop. This matters because the columnar batch pipeline evaluates
+one block hash per *distinct query block*: under uniform workloads that
+is one evaluation per query, so a Python fallback there would put a
+per-query interpreter loop back into the hot path.
 """
 
 from __future__ import annotations
@@ -45,6 +53,36 @@ def choose_prime(minimum: int) -> int:
         if p > minimum:
             return p
     raise InvalidParameterError(f"no candidate prime above {minimum}")
+
+
+_M61 = np.uint64((1 << 61) - 1)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_MASK29 = np.uint64((1 << 29) - 1)
+
+
+def _mulmod_m61(a: int, b: np.ndarray) -> np.ndarray:
+    """Vectorised ``(a * b) mod (2^61 - 1)`` for ``a, b < 2^61``.
+
+    Splits both operands into 32-bit limbs so every partial product fits
+    a ``uint64``, then folds the power-of-two weights through the
+    Mersenne identity ``2^61 ≡ 1``:
+
+    ``a*b = hh*2^64 + mid*2^32 + ll`` with ``hh < 2^58``, ``mid < 2^62``,
+    ``ll < 2^64``; ``2^64 ≡ 8`` and ``mid*2^32 ≡ (mid >> 29) +
+    ((mid & (2^29-1)) << 32)``, each term below ``2^61``-ish, so the sum
+    stays below ``2^63`` and one exact ``% p`` finishes the reduction.
+    """
+    a_hi = np.uint64(a >> 32)
+    a_lo = np.uint64(a & 0xFFFFFFFF)
+    b_hi = b >> np.uint64(32)
+    b_lo = b & _MASK32
+    hh = a_hi * b_hi
+    mid = a_hi * b_lo + a_lo * b_hi
+    ll = b_lo * a_lo
+    term_hh = hh * np.uint64(8)  # hh < 2^58, so the product stays below 2^61
+    term_mid = (mid >> np.uint64(29)) + ((mid & _MASK29) << np.uint64(32))
+    term_ll = (ll & _M61) + (ll >> np.uint64(61))
+    return (term_hh + term_mid + term_ll) % _M61
 
 
 class PairwiseIndependentHash:
@@ -93,6 +131,29 @@ class PairwiseIndependentHash:
     def __call__(self, x: int) -> int:
         return ((self._c1 * int(x) + self._c2) % self._p) % self._r
 
+    def hash_many(self, xs: np.ndarray | Sequence[int]) -> np.ndarray:
+        """Vectorised ``q`` over a column of inputs (< domain each).
+
+        Exact for every modulus: ``p = 2^31 - 1`` fits plain ``uint64``
+        arithmetic (``c1 * x + c2 < 2^62``), ``p = 2^61 - 1`` goes through
+        the limb-split Mersenne reduction, and larger primes (only
+        reachable from beyond-64-bit string universes) fall back to the
+        per-element Python evaluation.
+        """
+        xs = np.asarray(xs, dtype=np.uint64)
+        if xs.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        r = np.uint64(self._r)
+        if self._p <= 2**31 - 1:
+            out = (np.uint64(self._c1) * xs + np.uint64(self._c2)) % np.uint64(self._p)
+            return out % r
+        if self._p == 2**61 - 1:
+            out = (_mulmod_m61(self._c1, xs) + np.uint64(self._c2)) % _M61
+            return out % r
+        return np.fromiter(
+            (self(int(x)) for x in xs), dtype=np.uint64, count=xs.size
+        )
+
 
 class LocalityPreservingHash:
     """Equation (1): ``h(x) = (q(floor(x / r)) + x) mod r``.
@@ -130,6 +191,10 @@ class LocalityPreservingHash:
         """The per-block offset ``q(block)`` (each block is a cyclic shift)."""
         return self._q(block)
 
+    def hash_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`hash_block` over a column of block indices."""
+        return self._q.hash_many(blocks)
+
     def hash_many(self, keys: Sequence[int] | np.ndarray | Iterable[int]) -> np.ndarray:
         """Hash a batch of keys; returns an (unsorted) ``uint64`` array.
 
@@ -139,13 +204,11 @@ class LocalityPreservingHash:
         r = self._r
         if isinstance(keys, np.ndarray) and keys.dtype == np.uint64 and keys.size:
             # Vectorised path: valid whenever offset + key cannot wrap the
-            # 64-bit modulus (offsets are < r). q() runs once per distinct
-            # block, everything else is numpy arithmetic.
+            # 64-bit modulus (offsets are < r). q() itself is vectorised,
+            # once per distinct block; everything else is numpy arithmetic.
             if r < 2**63 and int(keys.max()) <= 2**64 - 1 - r:
                 blocks, inverse = np.unique(keys // np.uint64(r), return_inverse=True)
-                offsets = np.fromiter(
-                    (self._q(int(b)) for b in blocks), dtype=np.uint64, count=blocks.size
-                )
+                offsets = self._q.hash_many(blocks)
                 return (offsets[inverse] + keys) % np.uint64(r)
         values = keys.tolist() if isinstance(keys, np.ndarray) else [int(x) for x in keys]
         if not values:
@@ -184,6 +247,10 @@ class PowerOfTwoLocalityHash:
 
     def hash_block(self, block: int) -> int:
         return self._q(block)
+
+    def hash_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`hash_block` over a column of block indices."""
+        return self._q.hash_many(blocks)
 
     def hash_many(self, keys: Sequence[int] | Iterable[int]) -> np.ndarray:
         keys = [int(x) for x in keys]

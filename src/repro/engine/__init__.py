@@ -19,10 +19,19 @@ serving heavy range-query traffic behind in-memory filters.
 * :class:`~repro.engine.service.RangeQueryService` — the concurrent
   serving layer: thread-pool query fan-out behind per-shard
   reader/writer locks, a background compaction worker, and a sharded
-  block cache in front of the simulated disk.
+  block cache in front of the simulated disk;
+* :class:`~repro.engine.workers.ShardWorkerPool` — process-mode back
+  end: per-shard snapshot workers behind ``multiprocessing``
+  shared-memory query rings, invalidated by the checkpoint-epoch
+  handshake (``mode="process"`` on the service).
 """
 
-from repro.engine.batch import batch_range_empty, shard_batch_empty
+from repro.engine.batch import (
+    ColumnarPlan,
+    batch_range_empty,
+    route_columnar,
+    shard_batch_empty,
+)
 from repro.engine.engine import ShardedEngine
 from repro.engine.persist import (
     load_manifest,
@@ -35,19 +44,24 @@ from repro.engine.scheduler import CompactionScheduler
 from repro.engine.service import RangeQueryService, RWLock
 from repro.engine.sharding import ShardRouter
 from repro.engine.wal import OP_DELETE, OP_PUT, WriteAheadLog
+from repro.engine.workers import ShardWorkerPool, WorkerError
 
 __all__ = [
+    "ColumnarPlan",
     "CompactionScheduler",
     "OP_DELETE",
     "OP_PUT",
     "RWLock",
     "RangeQueryService",
     "ShardRouter",
+    "ShardWorkerPool",
     "ShardedEngine",
+    "WorkerError",
     "WriteAheadLog",
     "batch_range_empty",
     "load_manifest",
     "load_shards",
+    "route_columnar",
     "run_from_bytes",
     "run_to_bytes",
     "save_snapshot",

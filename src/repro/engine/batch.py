@@ -1,28 +1,41 @@
-"""Vectorised batch range-emptiness over a sharded engine.
+"""Zero-copy columnar batch range-emptiness over a sharded engine.
 
 A serving tier rarely asks one question at a time: it accumulates a
 batch of range probes and wants them answered at throughput, not
-per-call latency. The batch path here keeps the per-query python
-overhead out of the common case:
+per-call latency. The batch path keeps per-query python overhead out of
+the whole pipeline by moving the batch as structure-of-arrays columns:
 
-1. queries are routed to shards in bulk (numpy on the bound arrays; only
-   the rare cross-shard query takes a python split);
+1. routing produces a :class:`ColumnarPlan` — contiguous ``uint64``
+   ``seg_lo`` / ``seg_hi`` columns plus an ``int64`` position column
+   (``qid``), argsort-grouped by shard with CSR-style group offsets.
+   Queries straddling a shard boundary are expanded into per-shard
+   segments *inside* the same columns with one vectorised ``np.repeat``
+   — no python splits, no dict-of-lists, no per-query tuples;
 2. per shard, every run's filter is consulted once for the *whole*
    sub-batch via :meth:`RangeFilter.may_contain_range_batch` — for
-   Grafite that is the vectorised Algorithm 2, an ``O(log(L/eps))``
-   probe amortised over thousands of queries;
+   Grafite that is the vectorised Algorithm 2 riding on the succinct
+   bulk kernels (batched ``select0`` bucket isolation, lock-step
+   low-part search), an ``O(log(L/eps))`` probe amortised over
+   thousands of queries; the memtable is probed with one
+   ``searchsorted`` over its cached key column;
 3. only queries some filter (or the memtable) flagged as "maybe
    non-empty" fall back to the exact early-exit
    :meth:`~repro.lsm.store.LSMStore.range_empty` — under a well-sized
-   filter that is the FPR-sized minority.
+   filter that is the FPR-sized minority;
+4. per-shard verdicts are scattered back into the result bitmap by the
+   position column (``empty[qid[~sub_empty]] = False``), which AND-folds
+   a straddler's segments for free.
 
-Queries proven empty by the filters cost zero simulated I/O and are
-credited to ``reads_avoided``, matching the scalar path's accounting.
+Between the caller's bound arrays and the Elias-Fano kernel no per-query
+Python object is created. Queries proven empty by the filters cost zero
+simulated I/O and are credited to ``reads_avoided``, matching the scalar
+path's accounting.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
 
 import numpy as np
 
@@ -30,7 +43,96 @@ from repro.errors import InvalidQueryError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.engine import ShardedEngine
+    from repro.engine.sharding import ShardRouter
     from repro.lsm.store import LSMStore
+
+
+@dataclass(frozen=True)
+class ColumnarPlan:
+    """A routed batch in structure-of-arrays form.
+
+    ``seg_lo`` / ``seg_hi`` / ``qid`` are parallel columns holding every
+    per-shard segment of the batch, sorted by owning shard;
+    ``shard_ids[g]`` owns the half-open slice
+    ``starts[g]:starts[g + 1]`` of those columns. ``qid`` maps each
+    segment back to the originating query position, so verdicts scatter
+    back with one fancy-indexed store per shard group. A query that
+    straddles shard boundaries contributes one segment per overlapped
+    shard (its ``qid`` repeats); ``straddler_qids`` lists those queries
+    for callers that answer them atomically instead (the concurrent
+    service holds all spanned locks at once).
+    """
+
+    shard_ids: np.ndarray      # int64, ascending, one per non-empty group
+    starts: np.ndarray         # int64, len(shard_ids) + 1 CSR offsets
+    seg_lo: np.ndarray         # uint64 segment lower bounds
+    seg_hi: np.ndarray         # uint64 segment upper bounds
+    qid: np.ndarray            # int64 originating query positions
+    straddler_qids: np.ndarray # int64 queries spanning > 1 shard
+
+    def group(self, g: int) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """The g-th shard group as ``(sid, seg_lo, seg_hi, qid)`` views."""
+        sl = slice(int(self.starts[g]), int(self.starts[g + 1]))
+        return int(self.shard_ids[g]), self.seg_lo[sl], self.seg_hi[sl], self.qid[sl]
+
+
+def route_columnar(router: "ShardRouter", los: np.ndarray, his: np.ndarray) -> ColumnarPlan:
+    """Route a validated batch into a :class:`ColumnarPlan`, all-numpy.
+
+    Straddlers are expanded with ``np.repeat`` (shards own contiguous
+    ranges, so a query spanning shards ``a..b`` becomes ``b - a + 1``
+    consecutive segments) and every segment is clamped against the
+    router's cached per-shard bound columns. A stable argsort then
+    groups the segment columns by shard.
+    """
+    n = int(los.size)
+    no_straddlers = np.zeros(0, dtype=np.int64)
+    if router.num_shards == 1:  # width may be 2^64: no uint64 division
+        return ColumnarPlan(
+            shard_ids=np.zeros(1, dtype=np.int64),
+            starts=np.asarray([0, n], dtype=np.int64),
+            seg_lo=los,
+            seg_hi=his,
+            qid=np.arange(n, dtype=np.int64),
+            straddler_qids=no_straddlers,
+        )
+    width = np.uint64(router.shard_width)
+    sid_lo = (los // width).astype(np.int64)
+    sid_hi = (his // width).astype(np.int64)
+    counts = sid_hi - sid_lo + 1
+    straddlers = np.flatnonzero(counts > 1)
+    if straddlers.size == 0:
+        # Fast path: one segment per query, group by owning shard.
+        order = np.argsort(sid_lo, kind="stable")
+        seg_lo, seg_hi, qid = los[order], his[order], order.astype(np.int64)
+        sids = sid_lo[order]
+    else:
+        rep_qid = np.repeat(np.arange(n, dtype=np.int64), counts)
+        seg_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        within = np.arange(rep_qid.size, dtype=np.int64) - seg_starts[rep_qid]
+        sids = sid_lo[rep_qid] + within
+        shard_los, shard_his = router.bounds_arrays()
+        seg_lo = np.maximum(los[rep_qid], shard_los[sids])
+        seg_hi = np.minimum(his[rep_qid], shard_his[sids])
+        order = np.argsort(sids, kind="stable")
+        seg_lo, seg_hi, qid, sids = seg_lo[order], seg_hi[order], rep_qid[order], sids[order]
+    if sids.size == 0:
+        return ColumnarPlan(
+            shard_ids=np.zeros(0, dtype=np.int64),
+            starts=np.zeros(1, dtype=np.int64),
+            seg_lo=seg_lo, seg_hi=seg_hi, qid=np.zeros(0, dtype=np.int64),
+            straddler_qids=no_straddlers,
+        )
+    cuts = np.flatnonzero(np.diff(sids)) + 1
+    starts = np.concatenate(([0], cuts, [sids.size])).astype(np.int64)
+    return ColumnarPlan(
+        shard_ids=sids[starts[:-1]].astype(np.int64),
+        starts=starts,
+        seg_lo=seg_lo,
+        seg_hi=seg_hi,
+        qid=qid,
+        straddler_qids=straddlers.astype(np.int64),
+    )
 
 
 def route_single_shard(
@@ -38,60 +140,28 @@ def route_single_shard(
 ) -> Tuple[Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]], np.ndarray]:
     """Group single-shard queries: ``({sid: (los, his, qids)}, straddler_qids)``.
 
-    Single-shard queries (the overwhelming majority when shards are much
-    wider than ranges) are grouped with pure numpy; queries straddling a
-    shard boundary are returned as indices for the caller to handle —
-    the engine splits them into per-shard segments, the concurrent
-    service answers them atomically under all spanned shards' locks.
+    The concurrent service's view of :func:`route_columnar`: single-shard
+    queries (the overwhelming majority when shards are much wider than
+    ranges) come back as per-shard columns ready for fan-out; queries
+    straddling a shard boundary are returned as indices for the service
+    to answer atomically under all spanned shards' locks.
     """
-    no_straddlers = np.zeros(0, dtype=np.int64)
-    if router.num_shards == 1:  # width may be 2^64: no uint64 division
-        groups = {0: (los, his, np.arange(los.size, dtype=np.int64))}
-        return groups, no_straddlers
-    width = np.uint64(router.shard_width)
-    sid_lo = (los // width).astype(np.int64)
-    sid_hi = (his // width).astype(np.int64)
-    single = sid_lo == sid_hi
-
-    per_shard: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-    if single.any():
-        qids = np.flatnonzero(single)
-        order = np.argsort(sid_lo[qids], kind="stable")
-        qids = qids[order]
-        sids = sid_lo[qids]
-        cuts = np.flatnonzero(np.diff(sids)) + 1
-        for group in np.split(qids, cuts):
-            sid = int(sid_lo[group[0]])
-            per_shard[sid] = (los[group], his[group], group)
-    return per_shard, np.flatnonzero(~single)
-
-
-def _route_batch(
-    engine: "ShardedEngine", los: np.ndarray, his: np.ndarray
-) -> Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
-    """Group (sub-)queries by shard: ``sid -> (sub_los, sub_his, qids)``.
-
-    Queries straddling a boundary are split exactly like the scalar
-    router does.
-    """
-    router = engine.router
-    singles, straddlers = route_single_shard(router, los, his)
-    per_shard: Dict[int, List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = {
-        sid: [group] for sid, group in singles.items()
-    }
-    for qid in straddlers:
-        for sid, seg_lo, seg_hi in router.split(int(los[qid]), int(his[qid])):
-            per_shard.setdefault(sid, []).append(
-                (
-                    np.asarray([seg_lo], dtype=np.uint64),
-                    np.asarray([seg_hi], dtype=np.uint64),
-                    np.asarray([qid], dtype=np.int64),
-                )
-            )
-    return {
-        sid: tuple(np.concatenate(parts) for parts in zip(*chunks))
-        for sid, chunks in per_shard.items()
-    }
+    plan = route_columnar(router, los, his)
+    straddler_set = plan.straddler_qids
+    groups: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    if straddler_set.size == 0:
+        for g in range(plan.shard_ids.size):
+            sid, q_lo, q_hi, qid = plan.group(g)
+            groups[sid] = (q_lo, q_hi, qid)
+        return groups, straddler_set
+    keep_mask = np.ones(int(los.size), dtype=bool)
+    keep_mask[straddler_set] = False
+    for g in range(plan.shard_ids.size):
+        sid, q_lo, q_hi, qid = plan.group(g)
+        keep = keep_mask[qid]
+        if keep.any():
+            groups[sid] = (q_lo[keep], q_hi[keep], qid[keep])
+    return groups, straddler_set
 
 
 def validate_batch_bounds(
@@ -111,27 +181,42 @@ def validate_batch_bounds(
     return los, his
 
 
+def memtable_overlaps(store: "LSMStore", q_lo: np.ndarray, q_hi: np.ndarray) -> np.ndarray:
+    """Which queries have *any* memtable entry (live or tombstone) in range.
+
+    One ``searchsorted`` over the memtable's cached sorted key column —
+    the columnar replacement for a per-query python scan. Tombstones
+    count: any entry in range means the memtable has an opinion and the
+    query must take the exact verification path (or, in process mode,
+    stay off the snapshot worker).
+    """
+    memtable = store._memtable
+    if not len(memtable):
+        return np.zeros(q_lo.size, dtype=bool)
+    keys = memtable.keys_array()
+    idx = np.searchsorted(keys, q_lo, side="left")
+    overlaps = np.zeros(q_lo.size, dtype=bool)
+    hit = idx < keys.size
+    overlaps[hit] = keys[idx[hit]] <= q_hi[hit]
+    return overlaps
+
+
 def shard_batch_empty(
     store: "LSMStore", q_lo: np.ndarray, q_hi: np.ndarray
 ) -> np.ndarray:
     """The per-shard batch kernel: emptiness of each ``[q_lo[j], q_hi[j]]``.
 
-    Consults every run's filter once for the whole sub-batch, then
-    verifies only the "maybe" minority with the exact early-exit
+    Probes the memtable with one vectorised ``searchsorted``, consults
+    every run's filter once for the whole sub-batch, then verifies only
+    the "maybe" minority with the exact early-exit
     :meth:`~repro.lsm.store.LSMStore.range_empty`. Returns a boolean
     array aligned with the inputs (``True`` = provably empty). This is
     the unit the concurrent service fans out: one call per (shard,
     chunk), safe under that shard's read lock.
     """
-    maybe = np.zeros(q_lo.size, dtype=bool)
     # The memtable is exact (no false positives): any entry in range —
     # live or tombstone — sends the query to the verification path.
-    memtable = store._memtable
-    if len(memtable):
-        for j in range(q_lo.size):
-            for _ in memtable.scan(int(q_lo[j]), int(q_hi[j])):
-                maybe[j] = True
-                break
+    maybe = memtable_overlaps(store, q_lo, q_hi)
     runs = store._runs()
     for run in runs:
         if run.filter is None:
@@ -159,13 +244,18 @@ def batch_range_empty(
     Returns a boolean array: ``True`` means the range holds no live key
     (exact, never approximate — filters only *prune*, the maybes are
     verified by the store). Semantically identical to a loop of
-    :meth:`ShardedEngine.range_empty`.
+    :meth:`ShardedEngine.range_empty`. Routing, per-shard probing and
+    the scatter back to query positions all run on contiguous columns;
+    a straddler's segments AND-fold through the scatter (the result
+    starts ``True`` and only ever flips to ``False``).
     """
     los, his = validate_batch_bounds(engine.universe, los, his)
     if los.size == 0:
         return np.zeros(0, dtype=bool)
+    plan = route_columnar(engine.router, los, his)
     empty = np.ones(los.size, dtype=bool)
-    for sid, (q_lo, q_hi, qid) in _route_batch(engine, los, his).items():
+    for g in range(plan.shard_ids.size):
+        sid, q_lo, q_hi, qid = plan.group(g)
         sub_empty = shard_batch_empty(engine.shards[sid], q_lo, q_hi)
         empty[qid[~sub_empty]] = False
     return empty

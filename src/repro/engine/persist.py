@@ -208,6 +208,46 @@ def save_snapshot(
     return manifest
 
 
+def load_shard(
+    directory: str | Path,
+    manifest: Dict[str, Any],
+    shard_id: int,
+    *,
+    filter_factory: Optional[FilterFactory] = None,
+    auto_compact: bool = True,
+) -> LSMStore:
+    """Rebuild one shard's :class:`LSMStore` from a snapshot manifest.
+
+    The per-shard granularity is what the process-mode serving workers
+    use: each worker owns a subset of the shards and loads only those
+    from the checkpoint, read-only, without a filter factory — runs with
+    a stable filter format (Grafite, Bucketing) restore their filters
+    byte-for-byte from the blob regardless, and runs without one simply
+    come back unfiltered (every probe verifies; slower, never wrong).
+    """
+    root = Path(directory)
+    entry = manifest["shards"][shard_id]
+    shard_dir = root / f"shard-{shard_id:04d}"
+    level0 = [
+        run_from_bytes((shard_dir / name).read_bytes(), filter_factory)
+        for name in entry["level0"]
+    ]
+    bottom = None
+    if entry["bottom"] is not None:
+        bottom = run_from_bytes(
+            (shard_dir / entry["bottom"]).read_bytes(), filter_factory
+        )
+    return LSMStore.from_runs(
+        manifest["universe"],
+        level0=level0,
+        bottom=bottom,
+        memtable_limit=manifest["memtable_limit"],
+        compaction_fanout=manifest["compaction_fanout"],
+        filter_factory=filter_factory,
+        auto_compact=auto_compact,
+    )
+
+
 def load_shards(
     directory: str | Path,
     manifest: Dict[str, Any],
@@ -216,28 +256,13 @@ def load_shards(
     auto_compact: bool = True,
 ) -> List[LSMStore]:
     """Rebuild every shard's :class:`LSMStore` from a snapshot manifest."""
-    root = Path(directory)
-    shards: List[LSMStore] = []
-    for sid, entry in enumerate(manifest["shards"]):
-        shard_dir = root / f"shard-{sid:04d}"
-        level0 = [
-            run_from_bytes((shard_dir / name).read_bytes(), filter_factory)
-            for name in entry["level0"]
-        ]
-        bottom = None
-        if entry["bottom"] is not None:
-            bottom = run_from_bytes(
-                (shard_dir / entry["bottom"]).read_bytes(), filter_factory
-            )
-        shards.append(
-            LSMStore.from_runs(
-                manifest["universe"],
-                level0=level0,
-                bottom=bottom,
-                memtable_limit=manifest["memtable_limit"],
-                compaction_fanout=manifest["compaction_fanout"],
-                filter_factory=filter_factory,
-                auto_compact=auto_compact,
-            )
+    return [
+        load_shard(
+            directory,
+            manifest,
+            sid,
+            filter_factory=filter_factory,
+            auto_compact=auto_compact,
         )
-    return shards
+        for sid in range(len(manifest["shards"]))
+    ]

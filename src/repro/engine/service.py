@@ -20,7 +20,20 @@ with the three pieces a serving tier adds:
 * **a sharded block cache** (:class:`~repro.lsm.cache.BlockCache`) in
   front of the simulated SSTable disk, attached to every shard, with
   hit/miss counters folded into the engine's
-  :class:`~repro.lsm.store.IoStats`.
+  :class:`~repro.lsm.store.IoStats`;
+* optionally, with ``mode="process"``, **a pool of per-shard snapshot
+  worker processes** (:mod:`repro.engine.workers`) that answer
+  CPU-bound batch probes outside the GIL. Workers hold the shard's runs
+  read-only from the last checkpoint and receive query columns / return
+  verdict bitmaps through shared-memory rings. The parent routes a
+  query to a worker only while (a) the shard's run set is unchanged
+  since the checkpoint (the checkpoint-epoch handshake:
+  :attr:`~repro.lsm.store.LSMStore.runs_version` must match the synced
+  version — any flush or compaction invalidates) and (b) the shard's
+  memtable has no entry inside the query range (checked with one
+  vectorised ``searchsorted``); everything else — and all write traffic
+  — stays on the locked in-process path, so results are exact under any
+  interleaving.
 
 Locking discipline (the reason the service cannot deadlock): every code
 path that holds more than one shard lock acquires them in ascending
@@ -45,11 +58,13 @@ from typing import Any, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.engine.batch import (
+    memtable_overlaps,
     route_single_shard,
     shard_batch_empty,
     validate_batch_bounds,
 )
 from repro.engine.engine import ShardedEngine
+from repro.engine.workers import ShardWorkerPool, WorkerError
 from repro.errors import InvalidParameterError
 from repro.lsm.cache import BlockCache
 from repro.lsm.store import IoStats
@@ -140,6 +155,16 @@ class RangeQueryService:
         ``miss_latency`` simulates the storage device on cache misses.
     compaction_poll:
         Idle back-off of the compaction worker between queue checks.
+    mode:
+        ``"thread"`` (default) answers batches on the thread pool alone;
+        ``"process"`` adds the snapshot worker processes of
+        :mod:`repro.engine.workers` for CPU-bound batch probes and
+        requires a *persistent* engine (the workers open the shards from
+        its checkpoint directory). Opening the service in process mode
+        checkpoints the engine once so the workers start in sync.
+    num_workers:
+        Worker processes in process mode (default: ``num_threads``,
+        capped at the shard count). Ignored in thread mode.
     """
 
     def __init__(
@@ -151,12 +176,17 @@ class RangeQueryService:
         cache_stripes: int = 8,
         miss_latency: float = 0.0,
         compaction_poll: float = 0.01,
+        mode: str = "thread",
+        num_workers: Optional[int] = None,
     ) -> None:
         if num_threads < 1:
             raise InvalidParameterError("num_threads must be >= 1")
         if compaction_poll <= 0:
             raise InvalidParameterError("compaction_poll must be positive")
+        if mode not in ("thread", "process"):
+            raise InvalidParameterError(f"unknown serving mode {mode!r}")
         self._engine = engine
+        self._mode = mode
         self._num_threads = int(num_threads)
         self._locks = [RWLock() for _ in engine.shards]
         self._cache: Optional[BlockCache] = engine.block_cache
@@ -165,6 +195,37 @@ class RangeQueryService:
                 cache_blocks, num_stripes=cache_stripes, miss_latency=miss_latency
             )
             engine.attach_block_cache(self._cache)
+        self._workers: Optional[ShardWorkerPool] = None
+        self._synced_versions: List[int] = []
+        self._stats_mutex = threading.Lock()
+        self._worker_queries = 0
+        self._local_queries = 0
+        if mode == "process":
+            if engine.directory is None:
+                raise InvalidParameterError(
+                    "mode='process' needs a persistent engine: the snapshot "
+                    "workers open the shards from its checkpoint directory"
+                )
+            # Seed the workers with a fresh checkpoint, then fork them
+            # *before* any thread of ours exists (fork safety). Workers
+            # replicate the block-cache configuration so their run reads
+            # pay the same simulated device cost as the in-process path.
+            engine.checkpoint()
+            self._workers = ShardWorkerPool(
+                engine.directory,
+                engine.num_shards,
+                num_workers if num_workers is not None else self._num_threads,
+                cache_blocks=(
+                    self._cache.capacity_blocks if self._cache is not None else 0
+                ),
+                cache_stripes=(
+                    self._cache.num_stripes if self._cache is not None else 4
+                ),
+                miss_latency=(
+                    self._cache.miss_latency if self._cache is not None else 0.0
+                ),
+            )
+            self._sync_workers()
         self._pool = ThreadPoolExecutor(
             max_workers=self._num_threads, thread_name_prefix="repro-query"
         )
@@ -181,6 +242,25 @@ class RangeQueryService:
             target=self._compaction_loop, name="repro-compactor", daemon=True
         )
         self._compactor.start()
+
+    def _sync_workers(self) -> None:
+        """Checkpoint-epoch handshake: point workers at the new snapshot.
+
+        Caller must hold all write locks (or be the constructor, before
+        any concurrency exists): the engine was just checkpointed, so the
+        on-disk generation matches the in-memory run sets, and recording
+        each shard's ``runs_version`` here makes the staleness check in
+        :meth:`_shard_task_process` exact.
+        """
+        assert self._workers is not None
+        from repro.engine import persist
+
+        manifest = persist.load_manifest(self._engine.directory)
+        assert manifest is not None
+        self._workers.reload(manifest["generation"])
+        self._synced_versions = [
+            store.runs_version for store in self._engine.shards
+        ]
 
     # ------------------------------------------------------------------
     # Point operations
@@ -260,7 +340,62 @@ class RangeQueryService:
         self, sid: int, q_lo: np.ndarray, q_hi: np.ndarray, qid: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         with self._locks[sid].read_locked():
+            if self._workers is not None:
+                return qid, self._shard_empty_process(sid, q_lo, q_hi)
             return qid, shard_batch_empty(self._engine.shards[sid], q_lo, q_hi)
+
+    def _shard_empty_process(
+        self, sid: int, q_lo: np.ndarray, q_hi: np.ndarray
+    ) -> np.ndarray:
+        """Process-mode shard kernel; caller holds the shard's read lock.
+
+        Routes the sub-batch to the shard's snapshot worker when it is
+        allowed to answer — the run set is unchanged since the last
+        checkpoint (epoch check) and, per query, the memtable has no
+        entry in range — and answers everything else with the in-process
+        exact kernel. Worker-side I/O counters fold back into the
+        shard's ledger so ``stats`` stays one coherent view.
+        """
+        store = self._engine.shards[sid]
+        assert self._workers is not None
+        if store.runs_version != self._synced_versions[sid]:
+            # Stale epoch: a flush/compaction changed the run set after
+            # the checkpoint. Serve locally until the next checkpoint.
+            with self._stats_mutex:
+                self._local_queries += int(q_lo.size)
+            return shard_batch_empty(store, q_lo, q_hi)
+        overlap = memtable_overlaps(store, q_lo, q_hi)
+        remote = ~overlap
+        verdicts = np.empty(q_lo.size, dtype=bool)
+        n_remote = int(remote.sum())
+        if n_remote:
+            try:
+                rv, deltas = self._workers.query(sid, q_lo[remote], q_hi[remote])
+            except WorkerError:
+                # A dead worker must never fail a query: answer locally
+                # (and keep doing so — the pool marks the worker down).
+                with self._stats_mutex:
+                    self._local_queries += int(q_lo.size)
+                return shard_batch_empty(store, q_lo, q_hi)
+            verdicts[remote] = rv
+            ledger = store.stats
+            # Chunked fan-out runs several tasks per shard under shared
+            # read locks, so the ledger fold takes the stats mutex — the
+            # '+=' on plain ints is not atomic across pool threads.
+            with self._stats_mutex:
+                ledger.reads_performed += deltas[0]
+                ledger.reads_avoided += deltas[1]
+                ledger.wasted_reads += deltas[2]
+                ledger.cache_hits += deltas[3]
+                ledger.cache_misses += deltas[4]
+                self._worker_queries += n_remote
+        if overlap.any():
+            verdicts[overlap] = shard_batch_empty(
+                store, q_lo[overlap], q_hi[overlap]
+            )
+            with self._stats_mutex:
+                self._local_queries += int(overlap.sum())
+        return verdicts
 
     def batch_range_empty(
         self, los: np.ndarray | List[int], his: np.ndarray | List[int]
@@ -325,10 +460,18 @@ class RangeQueryService:
             self._engine.flush_all()
 
     def checkpoint(self) -> None:
-        """Snapshot the engine to disk with the keyspace quiesced."""
+        """Snapshot the engine to disk with the keyspace quiesced.
+
+        In process mode this is also the epoch boundary: once the
+        snapshot is on disk the workers reload it synchronously, so
+        shards dirtied by flushes/compactions since the previous
+        checkpoint flow back onto the worker path.
+        """
         self._check_open()
         with self._all_write_locks():
             self._engine.checkpoint()
+            if self._workers is not None:
+                self._sync_workers()
 
     def wait_for_compactions(self, timeout: float = 10.0) -> bool:
         """Block until the background worker has no queued or running
@@ -385,6 +528,8 @@ class RangeQueryService:
         self._stop.set()
         self._compactor.join(timeout=5.0)
         self._pool.shutdown(wait=True)
+        if self._workers is not None:
+            self._workers.close()
 
     def __enter__(self) -> "RangeQueryService":
         return self
@@ -404,6 +549,28 @@ class RangeQueryService:
         return self._num_threads
 
     @property
+    def mode(self) -> str:
+        """``"thread"`` or ``"process"``."""
+        return self._mode
+
+    @property
+    def num_workers(self) -> int:
+        """Snapshot worker processes (0 in thread mode)."""
+        return self._workers.num_workers if self._workers is not None else 0
+
+    @property
+    def worker_queries(self) -> int:
+        """Batch queries answered by snapshot workers (process mode)."""
+        return self._worker_queries
+
+    @property
+    def local_queries(self) -> int:
+        """Process-mode batch queries that fell back to the locked
+        in-process path (stale epoch, memtable overlap, worker failure).
+        Always 0 in thread mode — thread-mode queries are not tallied."""
+        return self._local_queries
+
+    @property
     def cache(self) -> Optional[BlockCache]:
         return self._cache
 
@@ -419,7 +586,8 @@ class RangeQueryService:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"RangeQueryService(threads={self._num_threads}, "
+            f"RangeQueryService(mode={self._mode!r}, "
+            f"threads={self._num_threads}, workers={self.num_workers}, "
             f"shards={self._engine.num_shards}, "
             f"cache={self._cache!r}, closed={self._closed})"
         )

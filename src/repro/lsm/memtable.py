@@ -11,6 +11,8 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 
 class _Tombstone:
     """Sentinel marking a deleted key until compaction drops it."""
@@ -25,17 +27,19 @@ TOMBSTONE = _Tombstone()
 class MemTable:
     """Sorted write buffer with last-write-wins semantics."""
 
-    __slots__ = ("_data", "_sorted_keys", "_dirty")
+    __slots__ = ("_data", "_sorted_keys", "_keys_arr", "_dirty")
 
     def __init__(self) -> None:
         self._data: dict[int, Any] = {}
         self._sorted_keys: List[int] = []
+        self._keys_arr: Optional[np.ndarray] = None
         self._dirty = False
 
     def put(self, key: int, value: Any) -> None:
         """Insert or overwrite ``key``."""
         if key not in self._data:
             self._dirty = True
+            self._keys_arr = None
         self._data[key] = value
 
     def delete(self, key: int) -> None:
@@ -68,10 +72,24 @@ class MemTable:
         self._refresh()
         return [(k, self._data[k]) for k in self._sorted_keys]
 
+    def keys_array(self) -> np.ndarray:
+        """All keys (live and tombstoned) as a sorted ``uint64`` array.
+
+        Cached between mutations: the columnar batch path probes the
+        memtable with one ``searchsorted`` per query column instead of a
+        per-query Python scan, so the array is rebuilt only when a new
+        key arrives, not per batch.
+        """
+        if self._keys_arr is None:
+            self._refresh()
+            self._keys_arr = np.asarray(self._sorted_keys, dtype=np.uint64)
+        return self._keys_arr
+
     def __len__(self) -> int:
         return len(self._data)
 
     def clear(self) -> None:
         self._data.clear()
         self._sorted_keys.clear()
+        self._keys_arr = None
         self._dirty = False

@@ -130,6 +130,7 @@ class LSMStore:
         self._memtable = MemTable()
         self._level0: List[SSTable] = []  # newest first
         self._bottom: Optional[SSTable] = None
+        self._runs_version = 0
         self._cache: Optional["BlockCache"] = None
         # Serialises mutations (put/delete/flush/compact) so a flush can
         # never tear the memtable swap out from under another writer.
@@ -210,6 +211,7 @@ class LSMStore:
             run = SSTable(entries, self.universe, self._factory)
             self._level0.insert(0, run)  # newest first
             self._memtable = MemTable()
+            self._runs_version += 1
             self.stats.flushes += 1
             if self._auto_compact and self.needs_compaction:
                 self.compact()
@@ -225,6 +227,7 @@ class LSMStore:
             merged = merge_runs(runs, drop_tombstones=True)
             self._bottom = SSTable(merged, self.universe, self._factory)
             self._level0.clear()
+            self._runs_version += 1
             self.stats.compactions += 1
 
     # ------------------------------------------------------------------
@@ -350,6 +353,17 @@ class LSMStore:
     def needs_compaction(self) -> bool:
         """True when level 0 has reached the compaction fanout."""
         return len(self._level0) >= self._fanout
+
+    @property
+    def runs_version(self) -> int:
+        """Monotone counter bumped whenever the run set changes.
+
+        Flushes and compactions increment it; memtable writes do not.
+        The process-mode serving layer compares it against the version
+        recorded at the last checkpoint to decide whether a read-only
+        snapshot worker still sees this store's exact run set.
+        """
+        return self._runs_version
 
     @property
     def memtable_size(self) -> int:

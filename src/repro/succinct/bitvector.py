@@ -23,16 +23,33 @@ from repro.errors import InvalidParameterError
 _WORD_BITS = 64
 
 # Per-byte popcount table; numpy < 2.0 has no bitwise_count ufunc, so we
-# popcount through a uint8 view and a 256-entry lookup.
+# popcount through a uint8 view and a 256-entry lookup. The table also
+# backs the byte-walking select kernels in rank_select regardless of the
+# numpy version.
 _POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint32)
+
+#: True when numpy provides the hardware-popcount ufunc (numpy >= 2.0).
+HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _popcount_words_table(words: np.ndarray) -> np.ndarray:
+    """Table-walk fallback: popcount through a uint8 view and a lookup."""
+    as_bytes = words.view(np.uint8).reshape(-1, 8)
+    return _POPCOUNT8[as_bytes].sum(axis=1, dtype=np.uint64)
 
 
 def popcount_words(words: np.ndarray) -> np.ndarray:
-    """Return the per-word population counts of a ``uint64`` array."""
+    """Return the per-word population counts of a ``uint64`` array.
+
+    Uses ``np.bitwise_count`` (a single hardware-popcount ufunc call) on
+    numpy >= 2.0 and falls back to the per-byte table walk otherwise;
+    both paths return ``uint64`` counts.
+    """
     if words.dtype != np.uint64:
         raise InvalidParameterError("popcount_words expects a uint64 array")
-    as_bytes = words.view(np.uint8).reshape(-1, 8)
-    return _POPCOUNT8[as_bytes].sum(axis=1, dtype=np.uint64)
+    if HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).astype(np.uint64)
+    return _popcount_words_table(words)
 
 
 class BitVector:

@@ -9,6 +9,14 @@ precomputed select-in-byte table.
 In a C implementation the auxiliary arrays are the ``o(n)`` overhead the
 paper's space bounds refer to; :attr:`RankSelect.index_size_in_bits`
 reports what we actually allocate so benches can account for it honestly.
+
+The batch variants (``select1_batch`` / ``select0_batch`` / ``rank1_batch``)
+answer a whole query column at once: the word is located with one
+``np.searchsorted`` over the (monotone) cumulative counts and the in-word
+offset is resolved with a vectorised byte-table walk — no per-query Python
+objects. They are the bulk kernels the columnar batch pipeline
+(:mod:`repro.engine.batch` via :class:`~repro.succinct.elias_fano.EliasFano`)
+is built on.
 """
 
 from __future__ import annotations
@@ -36,6 +44,32 @@ def _build_select_in_byte_table() -> np.ndarray:
 
 _SELECT8 = _build_select_in_byte_table()
 
+#: Shift amounts extracting the 8 bytes of a word, LSB byte first. Byte
+#: extraction via shifts (not a uint8 view) keeps the kernels
+#: endianness-independent.
+_BYTE_SHIFTS = (np.arange(8, dtype=np.uint64) * np.uint64(8))[np.newaxis, :]
+
+
+def _select_in_words_batch(words: np.ndarray, ks: np.ndarray) -> np.ndarray:
+    """Vectorised in-word select: offset of the (k+1)-th set bit per word.
+
+    ``words`` is a ``uint64`` array, ``ks`` an ``int64`` array of in-word
+    ranks with ``ks[i] < popcount(words[i])``. This is the byte-table walk
+    of :meth:`RankSelect._select_in_word` unrolled across the batch: byte
+    popcounts come from the 256-entry table, the byte holding the target
+    bit from a cumulative comparison, the final offset from the
+    select-in-byte table.
+    """
+    word_bytes = ((words[:, np.newaxis] >> _BYTE_SHIFTS) & np.uint64(0xFF)).astype(
+        np.intp
+    )
+    cum = np.cumsum(_POPCOUNT8[word_bytes], axis=1, dtype=np.int64)
+    byte_idx = (cum <= ks[:, np.newaxis]).sum(axis=1)
+    rows = np.arange(words.size)
+    before = np.where(byte_idx > 0, cum[rows, np.maximum(byte_idx, 1) - 1], 0)
+    within = ks - before
+    return byte_idx * 8 + _SELECT8[word_bytes[rows, byte_idx], within].astype(np.int64)
+
 
 class RankSelect:
     """Rank/select support structure over a :class:`BitVector`.
@@ -51,12 +85,13 @@ class RankSelect:
     * ``select0(k)`` — position of the (k+1)-th clear bit.
     """
 
-    __slots__ = ("_bv", "_cum1", "_num_ones", "_num_zeros")
+    __slots__ = ("_bv", "_cum1", "_cum0", "_num_ones", "_num_zeros")
 
     def __init__(self, bitvector: BitVector) -> None:
         self._bv = bitvector
         pops = popcount_words(bitvector.words)
         self._cum1 = np.concatenate(([0], np.cumsum(pops, dtype=np.int64)))
+        self._cum0 = None  # zeros-before-word counts, built on first batch select0
         ones = int(self._cum1[-1])
         # Padding bits in the last word are zero, so they never inflate the
         # ones count; zeros are defined over the payload length only.
@@ -142,6 +177,67 @@ class RankSelect:
         in_word_rank = k - (word_index * _WORD_BITS - int(self._cum1[word_index]))
         word = (~int(self._bv.words[word_index])) & 0xFFFFFFFFFFFFFFFF
         return word_index * _WORD_BITS + self._select_in_word(word, in_word_rank)
+
+    # ------------------------------------------------------------------
+    # Batch kernels (the columnar hot path)
+    # ------------------------------------------------------------------
+    def rank1_batch(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rank1` over a position column (``int64`` out)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) > len(self._bv):
+            raise IndexError(f"rank position out of range [0, {len(self._bv)}]")
+        word_idx = pos // _WORD_BITS
+        offsets = (pos % _WORD_BITS).astype(np.uint64)
+        totals = self._cum1[word_idx].copy()
+        partial = offsets > 0
+        if partial.any():
+            # Mask off the bits at and above the offset, popcount the rest.
+            masks = (np.uint64(1) << offsets[partial]) - np.uint64(1)
+            # Gather through a clipped index: positions with pos == len may
+            # address one word past the payload words.
+            words = self._bv.words[np.minimum(word_idx[partial], self._bv.words.size - 1)]
+            totals[partial] += popcount_words(words & masks).astype(np.int64)
+        return totals
+
+    def select1_batch(self, ks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`select1`: positions of the (k+1)-th set bits.
+
+        One ``searchsorted`` over the cumulative counts locates every
+        word, one byte-table pass resolves the in-word offsets; the whole
+        batch costs O(B log W) with no per-query Python.
+        """
+        ks = np.asarray(ks, dtype=np.int64)
+        if ks.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(ks.min()) < 0 or int(ks.max()) >= self._num_ones:
+            raise IndexError(f"select1 argument out of range [0, {self._num_ones})")
+        word_idx = np.searchsorted(self._cum1, ks, side="right") - 1
+        in_rank = ks - self._cum1[word_idx]
+        words = self._bv.words[word_idx]
+        return word_idx * _WORD_BITS + _select_in_words_batch(words, in_rank)
+
+    def _zeros_cum(self) -> np.ndarray:
+        """Zeros before each word boundary (lazy companion of ``_cum1``)."""
+        if self._cum0 is None:
+            self._cum0 = (
+                np.arange(self._cum1.size, dtype=np.int64) * _WORD_BITS - self._cum1
+            )
+        return self._cum0
+
+    def select0_batch(self, ks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`select0`: positions of the (k+1)-th clear bits."""
+        ks = np.asarray(ks, dtype=np.int64)
+        if ks.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(ks.min()) < 0 or int(ks.max()) >= self._num_zeros:
+            raise IndexError(f"select0 argument out of range [0, {self._num_zeros})")
+        zeros_cum = self._zeros_cum()
+        word_idx = np.searchsorted(zeros_cum, ks, side="right") - 1
+        in_rank = ks - zeros_cum[word_idx]
+        words = ~self._bv.words[word_idx]
+        return word_idx * _WORD_BITS + _select_in_words_batch(words, in_rank)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RankSelect(len={len(self._bv)}, ones={self._num_ones})"

@@ -19,6 +19,8 @@ from hypothesis import strategies as st
 
 from repro.core.bucketing import Bucketing
 from repro.core.grafite import Grafite
+from repro.engine import ShardedEngine
+from repro.engine.batch import route_columnar, validate_batch_bounds
 from repro.filters.base import RangeFilter
 from repro.succinct.elias_fano import EliasFano
 
@@ -131,6 +133,71 @@ def test_elias_fano_batch_equals_scalar(values, queries):
         assert batch[i] == ef.contains_in_range(lo, hi), (
             f"EliasFano: query {i} [{lo}, {hi}] diverged"
         )
+
+
+@given(
+    keys=st.lists(st.integers(0, UNIVERSE - 1), max_size=120),
+    deletes=st.lists(st.integers(0, UNIVERSE - 1), max_size=20),
+    queries=queries_strategy(False),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_engine_columnar_batch_equals_scalar(keys, deletes, queries, data):
+    """The whole columnar pipeline — routing plan, straddler expansion,
+    vectorised memtable probe, scatter-back — must equal a loop of
+    scalar ``range_empty`` calls on any engine state, including shard
+    widths narrow enough that random queries straddle boundaries."""
+    num_shards = data.draw(st.sampled_from([1, 3, 8]))
+    flush = data.draw(st.booleans())
+    engine = ShardedEngine(
+        UNIVERSE,
+        num_shards=num_shards,
+        memtable_limit=32,
+        compaction_fanout=3,
+        filter_factory=lambda ks, u: Grafite(
+            ks, u, bits_per_key=8, max_range_size=64, seed=3
+        ),
+    )
+    for key in keys:
+        engine.put(key, key & 0xFF)
+    for key in deletes:
+        engine.delete(key)
+    if flush:
+        engine.flush_all()
+    los, his = as_bounds(queries)
+    batch = engine.batch_range_empty(los, his)
+    assert batch.dtype == bool and batch.shape == (len(queries),)
+    for i, (lo, hi) in enumerate(queries):
+        assert batch[i] == engine.range_empty(lo, hi), (
+            f"engine({num_shards} shards): query {i} [{lo}, {hi}] diverged"
+        )
+
+
+@given(queries=queries_strategy(False), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_columnar_plan_matches_scalar_router(queries, data):
+    """``route_columnar``'s segment columns must be exactly the scalar
+    router's splits: same (shard, seg_lo, seg_hi) per query, grouped by
+    shard with consistent CSR offsets."""
+    num_shards = data.draw(st.sampled_from([1, 2, 5, 16]))
+    engine_router = ShardedEngine(UNIVERSE, num_shards=num_shards).router
+    los, his = validate_batch_bounds(UNIVERSE, *as_bounds(queries))
+    plan = route_columnar(engine_router, los, his)
+    got = {}
+    for g in range(plan.shard_ids.size):
+        sid, seg_lo, seg_hi, qid = plan.group(g)
+        for j in range(qid.size):
+            got.setdefault(int(qid[j]), []).append(
+                (sid, int(seg_lo[j]), int(seg_hi[j]))
+            )
+    for i, (lo, hi) in enumerate(queries):
+        want = sorted(engine_router.split(lo, hi))
+        assert sorted(got.get(i, [])) == want, f"query {i} [{lo}, {hi}]"
+    want_straddlers = {
+        i for i, (lo, hi) in enumerate(queries)
+        if len(engine_router.split(lo, hi)) > 1
+    }
+    assert set(plan.straddler_qids.tolist()) == want_straddlers
 
 
 def test_empty_batches_are_empty_arrays():

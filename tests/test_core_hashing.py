@@ -141,3 +141,50 @@ class TestPowerOfTwoLocalityHash:
     def test_invalid(self):
         with pytest.raises(InvalidParameterError):
             PowerOfTwoLocalityHash(-1)
+
+
+class TestVectorisedHashMany:
+    """``hash_many`` must equal the scalar ``q`` on every modulus path."""
+
+    @pytest.mark.parametrize(
+        ("domain", "codomain"),
+        [
+            (10**5, 997),          # p = 2^31 - 1: plain uint64 arithmetic
+            (2**40, 2**35),        # p = 2^61 - 1: limb-split Mersenne mulmod
+            (2**100, 1000),        # p = 2^127 - 1: python fallback
+        ],
+    )
+    def test_matches_scalar(self, domain, codomain):
+        h = PairwiseIndependentHash(codomain, domain=domain, seed=11)
+        rng = np.random.default_rng(2)
+        xs = rng.integers(0, min(domain, 2**63), 3000, dtype=np.uint64)
+        assert h.hash_many(xs).tolist() == [h(int(x)) for x in xs]
+
+    def test_empty_column(self):
+        h = PairwiseIndependentHash(97, domain=10**4, seed=1)
+        assert h.hash_many(np.zeros(0, dtype=np.uint64)).size == 0
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_mersenne61_boundary_operands(self, seed):
+        """Operands hugging 0, p - 1 and the limb boundaries must reduce
+        exactly — the classic failure modes of split-multiply modmul."""
+        h = PairwiseIndependentHash(2**35, domain=2**40, seed=seed)
+        p = h.parameters[0]
+        assert p == 2**61 - 1
+        edges = np.asarray(
+            [0, 1, 2**29, 2**32 - 1, 2**32, 2**40 - 1, 2**40 - 2],
+            dtype=np.uint64,
+        )
+        assert h.hash_many(edges).tolist() == [h(int(x)) for x in edges]
+
+    def test_locality_hash_blocks(self):
+        lp = LocalityPreservingHash(4 * 10**8, domain=2**48, seed=9)
+        blocks = np.arange(200, dtype=np.uint64)
+        assert lp.hash_blocks(blocks).tolist() == [
+            lp.hash_block(int(b)) for b in blocks
+        ]
+        p2 = PowerOfTwoLocalityHash(20, domain=2**48, seed=9)
+        assert p2.hash_blocks(blocks).tolist() == [
+            p2.hash_block(int(b)) for b in blocks
+        ]

@@ -12,7 +12,12 @@ get / batched probes) simultaneously against a trivially correct oracle
 * the concurrent :class:`RangeQueryService` at 1, 2 and 8 worker
   threads (mutations are applied sequentially so results stay
   deterministic; queries still fan out across the pool and race the
-  background compaction worker).
+  background compaction worker),
+* the process-mode :class:`RangeQueryService` at 1 and 4 snapshot
+  worker processes: the stream's checkpoints re-sync the workers
+  (epoch handshake) while its flushes/compactions invalidate them
+  mid-stream, so every batch exercises the worker/local routing
+  decision against the oracle.
 
 Every query result is compared the moment it is produced; any
 divergence fails with the op index and the offending range, which —
@@ -220,10 +225,12 @@ class EngineTarget(Target):
 
 
 class ServiceTarget(Target):
-    def __init__(self, num_threads: int, *, directory=None):
-        self.name = f"service(threads={num_threads})"
+    def __init__(self, num_threads: int, *, directory=None, mode="thread", workers=None):
+        self.name = f"service(threads={num_threads}, mode={mode}, workers={workers})"
         self._threads = num_threads
         self._directory = directory
+        self._mode = mode
+        self._workers = workers
         self.engine = ShardedEngine(
             UNIVERSE,
             num_shards=4,
@@ -234,7 +241,7 @@ class ServiceTarget(Target):
         )
         self.service = RangeQueryService(
             self.engine, num_threads=num_threads, cache_blocks=256,
-            compaction_poll=0.002,
+            compaction_poll=0.002, mode=mode, num_workers=workers,
         )
 
     def put(self, key, value):
@@ -270,7 +277,7 @@ class ServiceTarget(Target):
         )
         self.service = RangeQueryService(
             self.engine, num_threads=self._threads, cache_blocks=256,
-            compaction_poll=0.002,
+            compaction_poll=0.002, mode=self._mode, num_workers=self._workers,
         )
 
     def finish(self):
@@ -372,6 +379,23 @@ def test_differential_service_persistent(tmp_path):
     rng = np.random.default_rng(SEED + 3)
     replay(
         ServiceTarget(2, directory=tmp_path / "db"),
+        gen_ops(rng, N_OPS, persistent=True),
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_differential_service_process(tmp_path, workers):
+    """Process mode against the oracle, checkpoint-epoch churn included.
+
+    The persistent stream carries checkpoints (which hand fresh snapshots
+    to the workers mid-stream), flushes/compactions (which invalidate
+    them), reopens (which rebuild the whole pool) and a steady write mix
+    (so the per-query memtable-overlap fallback fires): every batched
+    probe must still match the sorted-dict oracle bit for bit.
+    """
+    rng = np.random.default_rng(SEED + 5 + workers)
+    replay(
+        ServiceTarget(2, directory=tmp_path / "db", mode="process", workers=workers),
         gen_ops(rng, N_OPS, persistent=True),
     )
 

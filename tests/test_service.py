@@ -370,3 +370,200 @@ class TestRangeQueryService:
                     key = (slot * per_writer + i) * 1000
                     assert svc.get(key) == slot
             assert len(engine) == n_writers * per_writer
+
+
+# ----------------------------------------------------------------------
+# Process-mode serving (snapshot workers + epoch handshake)
+# ----------------------------------------------------------------------
+class TestProcessMode:
+    def build_persistent(self, tmp_path, **kwargs):
+        return build_engine(directory=tmp_path / "db", **kwargs)
+
+    def test_requires_persistent_engine(self):
+        engine = build_engine()
+        with pytest.raises(InvalidParameterError):
+            RangeQueryService(engine, mode="process")
+        with pytest.raises(InvalidParameterError):
+            RangeQueryService(engine, mode="carrier-pigeon")
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_batch_matches_engine_and_uses_workers(self, tmp_path, workers):
+        engine = self.build_persistent(tmp_path)
+        keys = load_keys(engine, n=2500, seed=3)
+        engine.flush_all()
+        rng = np.random.default_rng(4)
+        los = rng.integers(0, UNIVERSE - 5000, 800, dtype=np.uint64)
+        his = los + rng.integers(0, 5000, 800, dtype=np.uint64)
+        reference = engine.batch_range_empty(los, his)
+        with RangeQueryService(
+            engine, num_threads=2, mode="process", num_workers=workers,
+            cache_blocks=0,
+        ) as service:
+            assert service.mode == "process"
+            assert service.num_workers == workers
+            # Let the background worker drain load-time compactions (each
+            # would dirty its shard's epoch), then take a clean checkpoint.
+            assert service.wait_for_compactions(timeout=10.0)
+            service.checkpoint()
+            got = service.batch_range_empty(los, his)
+            assert bool((got == reference).all())
+            # Post-checkpoint epoch is clean and nothing sits in the
+            # memtables: every probe must have gone to a worker.
+            assert service.worker_queries == 800
+            assert service.local_queries == 0
+        engine.close()
+
+    def test_flush_invalidates_and_checkpoint_resyncs(self, tmp_path):
+        engine = self.build_persistent(tmp_path, memtable_limit=64)
+        load_keys(engine, n=1500, seed=5)
+        engine.flush_all()
+        rng = np.random.default_rng(6)
+        los = rng.integers(0, UNIVERSE - 1000, 300, dtype=np.uint64)
+        his = los + rng.integers(0, 1000, 300, dtype=np.uint64)
+        with RangeQueryService(
+            engine, num_threads=2, mode="process", num_workers=2, cache_blocks=0,
+        ) as service:
+            assert service.wait_for_compactions(timeout=10.0)
+            service.checkpoint()  # clean epoch after load-time compactions
+            service.batch_range_empty(los, his)
+            base_worker = service.worker_queries
+            assert base_worker == 300
+            # Enough writes to overflow a few memtables: flushes bump
+            # runs_version, so those shards must leave the worker path.
+            for key in rng.integers(0, UNIVERSE, 400, dtype=np.uint64):
+                service.put(int(key), b"w")
+            scalar = [engine.range_empty(int(l), int(h)) for l, h in zip(los, his)]
+            got = service.batch_range_empty(los, his)
+            assert got.tolist() == scalar
+            assert service.local_queries > 0, "dirty shards must serve locally"
+            # The epoch boundary: checkpoint hands workers the new runs.
+            service.checkpoint()
+            mid_worker = service.worker_queries
+            got = service.batch_range_empty(los, his)
+            assert got.tolist() == scalar
+            assert service.worker_queries == mid_worker + 300
+        engine.close()
+
+    def test_memtable_overlap_falls_back_per_query(self, tmp_path):
+        engine = self.build_persistent(tmp_path, memtable_limit=10_000)
+        load_keys(engine, n=1200, seed=7)
+        engine.flush_all()
+        with RangeQueryService(
+            engine, num_threads=2, mode="process", num_workers=2, cache_blocks=0,
+        ) as service:
+            # One unflushed write: the memtable holds exactly {probe_key}.
+            probe_key = 12345
+            service.put(probe_key, b"fresh")
+            los = np.asarray([probe_key - 5, probe_key + 100], dtype=np.uint64)
+            his = np.asarray([probe_key + 5, probe_key + 200], dtype=np.uint64)
+            got = service.batch_range_empty(los, his)
+            assert not got[0], "the overlapping query must see the fresh write"
+            assert service.local_queries == 1, "only the overlap goes local"
+            assert service.worker_queries == 1
+        engine.close()
+
+    def test_reopen_after_process_service(self, tmp_path):
+        """Close/reopen around a process-mode service preserves state —
+        the init checkpoint and WAL interplay must not lose writes."""
+        engine = self.build_persistent(tmp_path)
+        load_keys(engine, n=600, seed=8)
+        with RangeQueryService(
+            engine, num_threads=1, mode="process", num_workers=1, cache_blocks=0,
+        ) as service:
+            service.put(77, b"x")
+            service.delete(78)
+        engine.close(checkpoint=False)
+        reopened = ShardedEngine.open(tmp_path / "db", filter_factory=grafite_factory)
+        assert reopened.get(77) == b"x"
+        assert reopened.get(78) is None
+        reopened.close()
+
+    def test_worker_pool_validation(self, tmp_path):
+        from repro.engine import ShardWorkerPool
+
+        engine = self.build_persistent(tmp_path)
+        engine.checkpoint()
+        with pytest.raises(InvalidParameterError):
+            ShardWorkerPool(engine.directory, 4, 0)
+        with pytest.raises(InvalidParameterError):
+            ShardWorkerPool(engine.directory, 4, 2, slot_count=0)
+        engine.close()
+
+    def test_worker_stats_fold_into_ledger(self, tmp_path):
+        engine = self.build_persistent(tmp_path)
+        keys = load_keys(engine, n=2000, seed=9)
+        engine.flush_all()
+        with RangeQueryService(
+            engine, num_threads=2, mode="process", num_workers=2, cache_blocks=0,
+        ) as service:
+            assert service.wait_for_compactions(timeout=10.0)
+            service.checkpoint()  # clean epoch after load-time compactions
+            before = engine.stats.total_filter_decisions
+            # Probes centred on stored keys: every one verifies against a
+            # run inside the worker, so the folded ledger must move.
+            los = keys[:200]
+            his = np.minimum(los + np.uint64(2), np.uint64(UNIVERSE - 1))
+            got = service.batch_range_empty(los, his)
+            assert not got.any()
+            assert service.worker_queries == 200
+            assert engine.stats.total_filter_decisions > before
+        engine.close()
+
+    def test_dead_worker_falls_back_to_local_path(self, tmp_path):
+        """SIGKILL a snapshot worker mid-service: queries must keep
+        answering exactly (local fallback), never raise, and the next
+        checkpoint must not fail either."""
+        import os
+        import signal
+        import warnings as _warnings
+
+        engine = self.build_persistent(tmp_path)
+        load_keys(engine, n=1000, seed=11)
+        engine.flush_all()
+        rng = np.random.default_rng(12)
+        los = rng.integers(0, UNIVERSE - 1000, 200, dtype=np.uint64)
+        his = los + rng.integers(0, 1000, 200, dtype=np.uint64)
+        with RangeQueryService(
+            engine, num_threads=2, mode="process", num_workers=2, cache_blocks=0,
+        ) as service:
+            assert service.wait_for_compactions(timeout=10.0)
+            service.checkpoint()
+            scalar = [engine.range_empty(int(l), int(h)) for l, h in zip(los, his)]
+            assert service.batch_range_empty(los, his).tolist() == scalar
+            # Murder worker 0 the way the OOM killer would.
+            victim = service._workers._handles[0].process
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=5.0)
+            got = service.batch_range_empty(los, his)
+            assert got.tolist() == scalar, "fallback answers must stay exact"
+            assert service.local_queries > 0
+            # Checkpoint (reload handshake) survives the dead worker too.
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("ignore", RuntimeWarning)
+                service.checkpoint()
+            assert service.batch_range_empty(los, his).tolist() == scalar
+        engine.close()
+
+    def test_worker_cache_replica_folds_hits_home(self, tmp_path):
+        """With a cache configured, worker-side verification runs behind a
+        per-worker cache replica whose hit/miss counters fold into the
+        engine ledger — so process-mode runs stay comparable to thread
+        mode under a simulated device."""
+        engine = self.build_persistent(tmp_path)
+        keys = load_keys(engine, n=1500, seed=13)
+        engine.flush_all()
+        with RangeQueryService(
+            engine, num_threads=2, mode="process", num_workers=2,
+            cache_blocks=512,
+        ) as service:
+            assert service.wait_for_compactions(timeout=10.0)
+            service.checkpoint()
+            los = keys[:300]
+            his = np.minimum(los + np.uint64(2), np.uint64(UNIVERSE - 1))
+            before = engine.stats.cache_hits + engine.stats.cache_misses
+            got = service.batch_range_empty(los, his)
+            assert not got.any()
+            assert service.worker_queries == 300
+            after = engine.stats.cache_hits + engine.stats.cache_misses
+            assert after > before, "worker cache traffic must fold into IoStats"
+        engine.close()

@@ -140,3 +140,87 @@ class TestPredecessorSuccessor:
         values = sorted(raw)
         ef = EliasFano(values)
         assert list(ef) == values
+
+
+class TestBatchKernels:
+    """Succinct bulk kernels vs. their scalar counterparts."""
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**20 - 1), min_size=0, max_size=200),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_predecessor_index_batch_matches_scalar(self, raw, data):
+        import numpy as np
+
+        values = sorted(raw)
+        universe = (values[-1] + 1 if values else 1) + data.draw(
+            st.integers(min_value=0, max_value=2**18)
+        )
+        ef = EliasFano(values, universe=universe)
+        ys = np.asarray(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=universe - 1),
+                    min_size=1,
+                    max_size=40,
+                )
+            ),
+            dtype=np.uint64,
+        )
+        indices, vals = ef.predecessor_index_batch(ys)
+        ranks = ef.rank_leq_batch(ys)
+        for k, y in enumerate(ys):
+            want = ef.predecessor_index(int(y))
+            got = None if indices[k] == -1 else (int(indices[k]), int(vals[k]))
+            assert got == want, f"probe {int(y)}"
+            assert int(ranks[k]) == ef.rank_leq(int(y))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50_000), min_size=1, max_size=150),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_access_batch_and_bucket_bounds(self, raw):
+        import numpy as np
+
+        values = sorted(raw)
+        ef = EliasFano(values)
+        idx = np.arange(len(values), dtype=np.int64)
+        assert ef.access_batch(idx).tolist() == values
+        highs = np.unique(
+            (np.asarray(values, dtype=np.uint64) >> np.uint64(ef.low_bits)).astype(
+                np.int64
+            )
+        )
+        i, j = ef.bucket_bounds_batch(highs)
+        for k, p in enumerate(highs):
+            assert (int(i[k]), int(j[k])) == ef._bucket_bounds(int(p))
+
+    def test_contains_batch_small_batches_skip_the_decode(self):
+        """Small batches on a large, never-decoded sequence must take the
+        succinct kernel path (no ``64n`` materialisation) and still agree
+        with the scalar probe."""
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        values = np.unique(rng.integers(0, 2**30, 5000, dtype=np.uint64))
+        ef = EliasFano(values, universe=2**30)
+        los = rng.integers(0, 2**30 - 1000, 32, dtype=np.uint64)
+        his = los + rng.integers(0, 1000, 32, dtype=np.uint64)
+        got = ef.contains_in_range_batch(los, his)
+        assert ef._decoded is None, "a 32-query batch must not decode 5000 codes"
+        for k in range(los.size):
+            assert bool(got[k]) == ef.contains_in_range(int(los[k]), int(his[k]))
+
+    def test_contains_batch_large_batches_amortise_a_decode(self):
+        import numpy as np
+
+        rng = np.random.default_rng(8)
+        values = np.unique(rng.integers(0, 2**20, 400, dtype=np.uint64))
+        ef = EliasFano(values, universe=2**20)
+        los = rng.integers(0, 2**20 - 64, 512, dtype=np.uint64)
+        his = los + rng.integers(0, 64, 512, dtype=np.uint64)
+        got = ef.contains_in_range_batch(los, his)
+        assert ef._decoded is not None, "a 512-query batch amortises the decode"
+        for k in range(0, los.size, 7):
+            assert bool(got[k]) == ef.contains_in_range(int(los[k]), int(his[k]))

@@ -106,3 +106,60 @@ class TestAgainstNaive:
             pos = rs.select1(k)
             assert rs.rank1(pos) == k
             assert rs.rank1(pos + 1) == k + 1
+
+
+class TestBatchKernels:
+    """The vectorised select/rank columns must equal their scalar loops."""
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_select1_batch_matches_scalar(self, flags):
+        import numpy as np
+
+        rs = RankSelect(BitVector.from_bools(flags))
+        if rs.num_ones == 0:
+            assert rs.select1_batch(np.zeros(0, dtype=np.int64)).size == 0
+            return
+        ks = np.arange(rs.num_ones, dtype=np.int64)
+        assert rs.select1_batch(ks).tolist() == [rs.select1(int(k)) for k in ks]
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_select0_batch_matches_scalar(self, flags):
+        import numpy as np
+
+        rs = RankSelect(BitVector.from_bools(flags))
+        if rs.num_zeros == 0:
+            assert rs.select0_batch(np.zeros(0, dtype=np.int64)).size == 0
+            return
+        ks = np.arange(rs.num_zeros, dtype=np.int64)
+        assert rs.select0_batch(ks).tolist() == [rs.select0(int(k)) for k in ks]
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_rank1_batch_matches_scalar(self, flags):
+        import numpy as np
+
+        rs = RankSelect(BitVector.from_bools(flags))
+        pos = np.arange(len(flags) + 1, dtype=np.int64)
+        assert rs.rank1_batch(pos).tolist() == [rs.rank1(int(p)) for p in pos]
+
+    def test_batch_kernels_validate_arguments(self):
+        import numpy as np
+
+        rs = RankSelect(BitVector.from_bools([True, False, True]))
+        with pytest.raises(IndexError):
+            rs.select1_batch(np.asarray([2]))
+        with pytest.raises(IndexError):
+            rs.select0_batch(np.asarray([-1]))
+        with pytest.raises(IndexError):
+            rs.rank1_batch(np.asarray([4]))
+
+    def test_unordered_and_duplicate_ranks(self):
+        import numpy as np
+
+        flags = [True, False, False, True, True, False, True] * 13
+        rs = RankSelect(BitVector.from_bools(flags))
+        ks = np.asarray([3, 0, 3, 2, 1, 0], dtype=np.int64)
+        assert rs.select1_batch(ks).tolist() == [rs.select1(int(k)) for k in ks]
+        assert rs.select0_batch(ks).tolist() == [rs.select0(int(k)) for k in ks]
