@@ -1,0 +1,261 @@
+"""Auto-tuning acceptance bench: auto vs. static backends across phases.
+
+ISSUE 4's acceptance bar: on a workload with mixed correlated and
+uncorrelated phases, the auto-tuned engine must land within 10% of the
+*best static* backend on the FPR x latency product — in **both** phases.
+Neither static backend can do that by itself:
+
+* static SNARF wins the uncorrelated phase (learned slots, tiny FPR on
+  short ranges, Fig. 4) but collapses toward FPR ~ 1 when the queries
+  hug the keys (Fig. 3);
+* static Grafite holds its design epsilon everywhere (Theorem 3.4) but
+  leaves the uncorrelated-phase advantage on the table.
+
+The auto-tuner observes each phase and converges to the phase winner —
+the measured segments start after a warmup that absorbs the decision
+windows, the backend rebuild, and one probation-gated heuristic retry.
+
+Scoring is deterministic so the gate cannot flake on CI timing: the
+FPR term is wasted run reads per probe (every query is crafted empty,
+so every wasted read is a filter false positive), and the latency term
+is an I/O-model cost — 1 unit of filter work per probe plus
+``READ_COST`` units per performed run read, the same accounting the
+block cache's ``miss_latency`` simulates in wall-clock form. Measured
+wall-clock q/s is recorded in the JSON artifact alongside, but the
+gate rides on the model. Results land in ``BENCH_autotune.json``.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List
+
+import numpy as np
+
+import _common
+from _common import SEED, register_report, write_bench_json
+from repro.analysis.report import format_table
+from repro.engine import AutoTunePolicy, AutoTuner, ShardedEngine
+from repro.filters.registry import FilterSpec
+from repro.workloads.datasets import uniform
+from repro.workloads.queries import correlated_queries, uncorrelated_queries
+
+#: Sparse universe: heuristic slot/prefix resolution is then coarser than
+#: the correlated offset, the regime where Fig. 3's collapse manifests.
+UNIVERSE = 2**44
+N_KEYS = max(4_000, int(20_000 * _common.SCALE))
+BATCH = max(1_000, int(2_000 * _common.SCALE))
+NUM_SHARDS = 2
+RANGE = 16
+BITS_PER_KEY = 16
+READ_COST = 50.0       #: latency-model units per performed run read
+FPR_FLOOR = 1e-3       #: keeps the product meaningful at FPR ~ 0
+TOLERANCE = 1.10       #: auto must be within 10% of the best static
+
+STATIC_BACKENDS = ("grafite", "snarf")
+
+#: (phase name, warmup batches, measured batches). The correlated warmup
+#: is sized to absorb: eviction (1 window) + probation (2) + the single
+#: probation-gated retry + re-eviction — after which the retry backoff
+#: (growth x initial) exceeds any measured horizon.
+PHASES = (
+    ("uncorrelated", 2, 6),
+    ("correlated", 6, 6),
+)
+
+
+def _phase_queries(keys: np.ndarray, phase: str, seed: int):
+    if phase == "correlated":
+        return correlated_queries(
+            keys, BATCH, RANGE, UNIVERSE, correlation_degree=1.0, seed=seed
+        )
+    return uncorrelated_queries(BATCH, RANGE, UNIVERSE, keys=keys, seed=seed)
+
+
+def _build(kind: str) -> ShardedEngine:
+    """A loaded engine: ``kind`` is a static backend name or ``"auto"``."""
+    backend = "grafite" if kind == "auto" else kind
+    engine = ShardedEngine(
+        UNIVERSE,
+        num_shards=NUM_SHARDS,
+        memtable_limit=max(1024, N_KEYS // 4),
+        filter_spec=FilterSpec(
+            backend=backend, bits_per_key=BITS_PER_KEY,
+            max_range_size=RANGE, seed=SEED,
+        ),
+    )
+    if kind == "auto":
+        engine.attach_autotuner(
+            AutoTuner(
+                AutoTunePolicy(
+                    min_window=max(64, BATCH // (2 * NUM_SHARDS)),
+                    probation_growth=64,
+                )
+            )
+        )
+    keys = uniform(N_KEYS, UNIVERSE, seed=SEED)
+    arrival = keys[np.random.default_rng(SEED + 1).permutation(keys.size)]
+    for key in arrival:
+        engine.put(int(key), b"v")
+    engine.flush_all()
+    engine.drain_compactions()
+    return engine
+
+
+def _run_phases(engine: ShardedEngine) -> List[Dict[str, float]]:
+    """Drive the phase schedule; measure FPR + latency model per phase."""
+    import time
+
+    keys = uniform(N_KEYS, UNIVERSE, seed=SEED)
+    cells = []
+    batch_index = 0
+    for phase, warmup, measured in PHASES:
+        for _ in range(warmup):
+            queries = _phase_queries(keys, phase, SEED + 100 + batch_index)
+            batch_index += 1
+            los = np.asarray([lo for lo, _ in queries], dtype=np.uint64)
+            his = np.asarray([hi for _, hi in queries], dtype=np.uint64)
+            warm = engine.batch_range_empty(los, his)
+            assert warm.all()
+        stats0 = engine.stats
+        probes = 0
+        wall = 0.0
+        for _ in range(measured):
+            queries = _phase_queries(keys, phase, SEED + 100 + batch_index)
+            batch_index += 1
+            los = np.asarray([lo for lo, _ in queries], dtype=np.uint64)
+            his = np.asarray([hi for _, hi in queries], dtype=np.uint64)
+            t0 = time.perf_counter()
+            result = engine.batch_range_empty(los, his)
+            wall += time.perf_counter() - t0
+            if not result.all():  # pragma: no cover - queries crafted empty
+                raise AssertionError("crafted queries must all be empty")
+            probes += int(result.size)
+        stats1 = engine.stats
+        fpr = (stats1.wasted_reads - stats0.wasted_reads) / probes
+        reads_per_q = (stats1.reads_performed - stats0.reads_performed) / probes
+        latency_units = 1.0 + READ_COST * reads_per_q
+        cells.append({
+            "phase": phase,
+            "probes": probes,
+            "fpr": fpr,
+            "reads_per_query": reads_per_q,
+            "latency_units": latency_units,
+            "score": (fpr + FPR_FLOOR) * latency_units,
+            "wall_qps": probes / wall if wall else 0.0,
+        })
+    return cells
+
+
+@functools.lru_cache(maxsize=None)
+def _grid() -> Dict[str, List[Dict[str, float]]]:
+    grid: Dict[str, List[Dict[str, float]]] = {}
+    tuner_meta: Dict[str, object] = {}
+    for kind in STATIC_BACKENDS + ("auto",):
+        engine = _build(kind)
+        grid[kind] = _run_phases(engine)
+        if kind == "auto":
+            tuner = engine.autotuner
+            tuner_meta = {
+                "decisions": [
+                    {
+                        "shard": d.shard_id,
+                        "from": d.previous.backend,
+                        "to": d.chosen.backend,
+                        "fp_rate": d.fp_rate,
+                    }
+                    for d in tuner.decisions
+                ],
+                "final_backends": tuner.backend_counts(),
+            }
+    rows = []
+    for kind, cells in grid.items():
+        for cell in cells:
+            rows.append([
+                kind, cell["phase"], f"{cell['fpr']:.2e}",
+                f"{cell['latency_units']:.1f}", f"{cell['score']:.4f}",
+                f"{cell['wall_qps']:,.0f}",
+            ])
+    register_report(
+        "autotune",
+        format_table(
+            ["engine", "phase", "FPR", "latency (model)", "FPR x latency", "wall q/s"],
+            rows,
+            title=(
+                f"Auto-tuning vs static backends ({N_KEYS:,} keys, u=2^44, "
+                f"{NUM_SHARDS} shards, range {RANGE}, {BITS_PER_KEY} bpk, "
+                f"{BATCH:,}-query batches)"
+            ),
+        ),
+    )
+    write_bench_json(
+        "autotune",
+        results={"grid": grid, "tuner": tuner_meta},
+        config={
+            "n_keys": N_KEYS,
+            "universe_bits": 44,
+            "num_shards": NUM_SHARDS,
+            "batch": BATCH,
+            "range_size": RANGE,
+            "bits_per_key": BITS_PER_KEY,
+            "read_cost_units": READ_COST,
+            "fpr_floor": FPR_FLOOR,
+            "tolerance": TOLERANCE,
+            "phases": [list(p) for p in PHASES],
+            "static_backends": list(STATIC_BACKENDS),
+        },
+    )
+    return grid
+
+
+def _phase_cell(cells: List[Dict[str, float]], phase: str) -> Dict[str, float]:
+    return next(c for c in cells if c["phase"] == phase)
+
+
+def test_static_backends_split_the_phases():
+    """The premise: each phase has a different static winner, so no
+    static choice can match auto everywhere."""
+    grid = _grid()
+    unc_snarf = _phase_cell(grid["snarf"], "uncorrelated")["score"]
+    unc_grafite = _phase_cell(grid["grafite"], "uncorrelated")["score"]
+    cor_snarf = _phase_cell(grid["snarf"], "correlated")["score"]
+    cor_grafite = _phase_cell(grid["grafite"], "correlated")["score"]
+    assert unc_snarf < unc_grafite, (unc_snarf, unc_grafite)
+    assert cor_grafite < cor_snarf, (cor_grafite, cor_snarf)
+    # And the collapse is qualitative, not marginal (Fig. 3's cliff).
+    assert _phase_cell(grid["snarf"], "correlated")["fpr"] > 0.5
+
+
+def test_auto_within_tolerance_of_best_static_per_phase():
+    """ISSUE 4 acceptance: auto >= best static within 10% on FPR x latency
+    in both the correlated and the uncorrelated phase."""
+    grid = _grid()
+    for phase in ("uncorrelated", "correlated"):
+        auto = _phase_cell(grid["auto"], phase)["score"]
+        best = min(
+            _phase_cell(grid[b], phase)["score"] for b in STATIC_BACKENDS
+        )
+        assert auto <= best * TOLERANCE, (
+            f"auto scored {auto:.4f} in the {phase} phase; best static is "
+            f"{best:.4f} (tolerance {TOLERANCE}x)"
+        )
+
+
+def test_auto_actually_switches_backends():
+    """Guard against a vacuous pass: the tuner must have adopted the
+    heuristic in the uncorrelated phase and fallen back to the robust
+    default under correlation."""
+    grid = _grid()
+    assert grid  # populate the cache (tuner metadata is written there)
+    import json
+    from pathlib import Path
+
+    payload = json.loads(
+        (Path(__file__).parent / "results" / "BENCH_autotune.json").read_text()
+    )
+    moves = {(d["from"], d["to"]) for d in payload["results"]["tuner"]["decisions"]}
+    assert ("grafite", "snarf") in moves, moves
+    assert ("snarf", "grafite") in moves, moves
+    assert payload["results"]["tuner"]["final_backends"] == {
+        "grafite": NUM_SHARDS
+    }, payload["results"]["tuner"]

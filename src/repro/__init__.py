@@ -14,7 +14,11 @@ Public API highlights:
   filters (the paper's motivating application);
 * :mod:`repro.engine` — the scale-out layer on top of it: a sharded,
   persistent engine (:class:`~repro.engine.engine.ShardedEngine`) with
-  write-ahead logging, crash recovery and vectorised batch queries.
+  write-ahead logging, crash recovery, vectorised batch queries, a
+  concurrent serving layer and per-shard filter auto-tuning
+  (:class:`~repro.engine.autotune.AutoTuner`);
+* :class:`~repro.filters.registry.FilterSpec` — mount any evaluated
+  filter as the engine's per-run backend.
 
 Quick start::
 
@@ -38,8 +42,9 @@ from repro.core import (
     WorkloadAwareBucketing,
     eps_from_bits_per_key,
 )
-from repro.engine import ShardedEngine
+from repro.engine import AutoTuner, RangeQueryService, ShardedEngine
 from repro.errors import (
+    ConfigError,
     InvalidKeyError,
     InvalidParameterError,
     InvalidQueryError,
@@ -48,6 +53,7 @@ from repro.errors import (
 )
 from repro.filters import (
     BloomFilter,
+    FilterSpec,
     PointProbeFilter,
     PrefixBloomFilter,
     Proteus,
@@ -63,9 +69,12 @@ from repro.filters import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AutoTuner",
     "BloomFilter",
     "Bucketing",
+    "ConfigError",
     "DynamicGrafite",
+    "FilterSpec",
     "Grafite",
     "HybridGrafiteBucketing",
     "InvalidKeyError",
@@ -80,6 +89,7 @@ __all__ = [
     "Proteus",
     "REncoder",
     "RangeFilter",
+    "RangeQueryService",
     "ReproError",
     "Rosetta",
     "ShardedEngine",

@@ -12,7 +12,10 @@ Six commands, mirroring how the library is typically exercised:
   parameters;
 * ``engine`` — drive a mixed read/write workload against the sharded
   :class:`~repro.engine.ShardedEngine` and report throughput and the
-  I/O the filters saved;
+  I/O the filters saved. ``--filter`` mounts any registered backend
+  (``grafite``, ``bucketing``, ``surf``, ``rosetta``, ``proteus``,
+  ``snarf``, ``rencoder``) and ``--autotune`` lets the per-shard tuner
+  re-pick the backend from observed traffic;
 * ``serve`` — the same workload through the concurrent
   :class:`~repro.engine.RangeQueryService`: thread-pool batch fan-out,
   background compaction, the block cache's hit ratio, and (with
@@ -123,10 +126,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     """Workload knobs shared by the ``engine`` and ``serve`` commands."""
+    from repro.filters.registry import backend_names
+
     _add_common(parser)
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument(
-        "--filter", choices=("Grafite", "Bucketing", "none"), default="Grafite"
+        "--filter", type=str.lower, choices=backend_names() + ["none"],
+        default="grafite",
+        help="per-run filter backend from the registry (case-insensitive; "
+        "'none' disables filtering)",
+    )
+    parser.add_argument(
+        "--autotune", action="store_true",
+        help="let the per-shard auto-tuner switch filter backends and "
+        "bits/key from observed traffic (--filter sets the starting "
+        "backend)",
     )
     parser.add_argument("--bits-per-key", type=float, default=16.0)
     parser.add_argument("--range-size", type=int, default=32)
@@ -258,20 +272,17 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
-def _engine_filter_factory(args: argparse.Namespace):
-    """Per-run filter builder for the engine command (None disables)."""
-    from repro.core.bucketing import Bucketing
-    from repro.core.grafite import Grafite
+def _engine_filter_spec(args: argparse.Namespace):
+    """The registry spec behind ``--filter`` (None disables filtering)."""
+    from repro.filters.registry import FilterSpec
 
     if args.filter == "none":
         return None
-    if args.filter == "Grafite":
-        return lambda keys, universe: Grafite(
-            keys, universe, bits_per_key=args.bits_per_key,
-            max_range_size=args.range_size, seed=args.seed,
-        )
-    return lambda keys, universe: Bucketing(
-        keys, universe, bits_per_key=args.bits_per_key
+    return FilterSpec(
+        backend=args.filter,
+        bits_per_key=args.bits_per_key,
+        max_range_size=args.range_size,
+        seed=args.seed,
     )
 
 
@@ -334,9 +345,19 @@ def _workload_rows(engine, args: argparse.Namespace, keys, m: dict) -> list:
     """Table rows shared by the ``engine`` and ``serve`` reports."""
     stats = engine.stats
     total_writes = keys.size + args.batches * args.writes_per_batch
+    tuner = engine.autotuner
+    filter_cell = args.filter
+    if tuner is not None:
+        counts = ", ".join(
+            f"{name} x{n}" for name, n in sorted(tuner.backend_counts().items())
+        )
+        filter_cell = (
+            f"{args.filter} + autotune ({counts}; "
+            f"{len(tuner.decisions)} decisions)"
+        )
     return [
         ["universe / shards", f"2^{args.universe_bits} / {args.shards}"],
-        ["filter", args.filter],
+        ["filter", filter_cell],
         ["live keys", f"{len(engine):,}"],
         ["runs (filter bits)", f"{engine.run_count} ({engine.filter_bits_total:,})"],
         ["bulk load", f"{keys.size:,} puts, "
@@ -357,16 +378,19 @@ def _workload_rows(engine, args: argparse.Namespace, keys, m: dict) -> list:
 
 def _build_engine(args: argparse.Namespace):
     """Construct the ShardedEngine both workload commands share."""
-    from repro.engine import ShardedEngine
+    from repro.engine import AutoTuner, ShardedEngine
 
-    return ShardedEngine(
+    engine = ShardedEngine(
         _universe(args),
         num_shards=args.shards,
         memtable_limit=args.memtable_limit,
         compaction_fanout=args.fanout,
-        filter_factory=_engine_filter_factory(args),
+        filter_spec=_engine_filter_spec(args),
         directory=args.dir,
     )
+    if args.autotune:
+        engine.attach_autotuner(AutoTuner())
+    return engine
 
 
 def cmd_engine(args: argparse.Namespace) -> int:

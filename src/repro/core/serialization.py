@@ -1,16 +1,24 @@
-"""Versioned binary serialisation for Grafite and Bucketing.
+"""Versioned binary serialisation for every engine filter backend.
 
 Filters live next to the data they guard (an SSTable footer, a network
 share); a stable byte format matters more for adoption than pickle's
 convenience. The format is deliberately simple:
 
-``header | params | elias-fano block``
+``header | params | payload blocks``
 
-* header: magic ``b"GRFT"`` / ``b"BCKT"``, format version (u16);
-* params: the construction parameters needed to re-derive the hash
-  function deterministically (no re-hashing of keys on load);
-* Elias-Fano block: low-part width, counts, raw little-endian word
-  arrays of the low vector and the high bit vector.
+* header: a four-byte magic per filter type, format version (u16);
+* params: the construction parameters needed to re-derive derived state
+  deterministically (no re-hashing of keys on load);
+* payload: raw little-endian word arrays of the filter's bit structures
+  (Elias-Fano vectors, Bloom arrays, LOUDS tries, Rice streams, ...).
+
+Every backend the engine can mount is covered — the paper's own filters
+(Grafite, Bucketing) *and* the heuristic baselines (SuRF, Rosetta,
+Proteus, SNARF, REncoder). This is what lets
+:mod:`repro.engine.persist` checkpoint a run's filter as an opaque blob
+and restore it byte-for-byte on reopen (same hash constants, same false
+positives), and what lets the process-mode snapshot workers of
+:mod:`repro.engine.workers` open any shard without a filter factory.
 
 Pickle keeps working too (the classes are plain objects); this module is
 for cross-process, cross-version artifacts with an explicit layout.
@@ -26,13 +34,26 @@ import numpy as np
 from repro.core.bucketing import Bucketing
 from repro.core.grafite import Grafite
 from repro.errors import InvalidParameterError
+from repro.filters.bloom import BloomFilter
+from repro.filters.fst import FastSuccinctTrie
+from repro.filters.proteus import Proteus
+from repro.filters.rencoder import REncoder
+from repro.filters.rosetta import Rosetta
+from repro.filters.snarf import SnarfFilter
+from repro.filters.surf import SuRF, _SUFFIX_MODES
 from repro.succinct.bitvector import BitVector
 from repro.succinct.elias_fano import EliasFano
+from repro.succinct.golomb import GolombSequence
 from repro.succinct.packed import PackedIntVector
 from repro.succinct.rank_select import RankSelect
 
 _GRAFITE_MAGIC = b"GRFT"
 _BUCKETING_MAGIC = b"BCKT"
+_SURF_MAGIC = b"SURF"
+_ROSETTA_MAGIC = b"ROSE"
+_PROTEUS_MAGIC = b"PRTS"
+_SNARF_MAGIC = b"SNRF"
+_RENCODER_MAGIC = b"RENC"
 _VERSION = 1
 
 
@@ -108,6 +129,158 @@ def _unpack_elias_fano(buf: bytes, offset: int) -> Tuple[EliasFano, int]:
 
 
 # ----------------------------------------------------------------------
+# Shared component blocks (bit vectors, Blooms, tries, Rice streams)
+# ----------------------------------------------------------------------
+def _pack_bytes(raw: bytes) -> bytes:
+    return struct.pack("<Q", len(raw)) + raw
+
+
+def _unpack_bytes(buf: bytes, offset: int) -> Tuple[bytes, int]:
+    (length,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    return bytes(buf[offset:offset + length]), offset + length
+
+
+def _pack_f64(arr: np.ndarray) -> bytes:
+    raw = np.asarray(arr, dtype="<f8").tobytes()
+    return struct.pack("<Q", arr.size) + raw
+
+
+def _unpack_f64(buf: bytes, offset: int) -> Tuple[np.ndarray, int]:
+    (count,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    arr = np.frombuffer(buf, dtype="<f8", count=count, offset=offset).astype(np.float64)
+    return arr, offset + count * 8
+
+
+def _pack_bitvector(bv: BitVector) -> bytes:
+    return struct.pack("<Q", len(bv)) + _pack_words(bv.words)
+
+
+def _unpack_bitvector(buf: bytes, offset: int) -> Tuple[BitVector, int]:
+    (length,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    words, offset = _unpack_words(buf, offset)
+    bv = BitVector(int(length))
+    if words.size:
+        bv.words[: words.size] = words
+    return bv, offset
+
+
+def _pack_packed(pv: PackedIntVector) -> bytes:
+    return struct.pack("<BQ", pv.width, len(pv)) + _pack_words(pv._words)
+
+
+def _unpack_packed(buf: bytes, offset: int) -> Tuple[PackedIntVector, int]:
+    width, n = struct.unpack_from("<BQ", buf, offset)
+    offset += 9
+    words, offset = _unpack_words(buf, offset)
+    pv = PackedIntVector.__new__(PackedIntVector)
+    pv._width = int(width)
+    pv._n = int(n)
+    pv._words = words
+    return pv, offset
+
+
+def _pack_bloom(bloom: BloomFilter) -> bytes:
+    parts = [
+        struct.pack(
+            "<QHQQQ",
+            bloom.num_bits,
+            bloom.num_hashes,
+            bloom._seed1,
+            bloom._seed2,
+            bloom.item_count,
+        ),
+        _pack_bitvector(bloom._bits),
+    ]
+    return b"".join(parts)
+
+
+def _unpack_bloom(buf: bytes, offset: int) -> Tuple[BloomFilter, int]:
+    m, k, seed1, seed2, count = struct.unpack_from("<QHQQQ", buf, offset)
+    offset += 34
+    bits, offset = _unpack_bitvector(buf, offset)
+    bloom = BloomFilter.__new__(BloomFilter)
+    bloom._m = int(m)
+    bloom._k = int(k)
+    bloom._seed1 = int(seed1)
+    bloom._seed2 = int(seed2)
+    bloom._count = int(count)
+    bloom._bits = bits
+    return bloom, offset
+
+
+def _pack_trie(trie: FastSuccinctTrie) -> bytes:
+    parts = [
+        struct.pack("<Q", trie.num_leaves),
+        _pack_bytes(trie._labels.tobytes()),
+        _pack_bitvector(trie._has_child.bitvector),
+        _pack_bitvector(trie._louds.bitvector),
+        _pack_words(trie._leaf_order.astype(np.uint64)),
+    ]
+    return b"".join(parts)
+
+
+def _unpack_trie(buf: bytes, offset: int) -> Tuple[FastSuccinctTrie, int]:
+    (num_leaves,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    labels_raw, offset = _unpack_bytes(buf, offset)
+    has_child_bv, offset = _unpack_bitvector(buf, offset)
+    louds_bv, offset = _unpack_bitvector(buf, offset)
+    leaf_words, offset = _unpack_words(buf, offset)
+    # The rank/select indexes are derived state: rebuilding them from the
+    # bit vectors is deterministic, so only the vectors travel.
+    trie = FastSuccinctTrie.__new__(FastSuccinctTrie)
+    trie._num_leaves = int(num_leaves)
+    trie._labels = np.frombuffer(labels_raw, dtype=np.uint8).copy()
+    trie._has_child = RankSelect(has_child_bv)
+    trie._louds = RankSelect(louds_bv)
+    trie._leaf_order = leaf_words.astype(np.int64)
+    trie._num_edges = int(trie._labels.size)
+    trie._num_nodes = trie._louds.num_ones
+    return trie, offset
+
+
+def _pack_golomb(seq: GolombSequence) -> bytes:
+    parts = [
+        struct.pack("<QBIQ", len(seq), seq._b, seq._stride, seq._bits),
+        _pack_int(seq._universe),
+        _pack_words(seq._words),
+        _pack_words(seq._dir_values),
+        _pack_words(seq._dir_offsets.astype(np.uint64)),
+    ]
+    return b"".join(parts)
+
+
+def _unpack_golomb(buf: bytes, offset: int) -> Tuple[GolombSequence, int]:
+    t, b, stride, bits = struct.unpack_from("<QBIQ", buf, offset)
+    offset += 21
+    universe, offset = _unpack_int(buf, offset)
+    words, offset = _unpack_words(buf, offset)
+    dir_values, offset = _unpack_words(buf, offset)
+    dir_offsets, offset = _unpack_words(buf, offset)
+    seq = GolombSequence.__new__(GolombSequence)
+    seq._t = int(t)
+    seq._universe = int(universe)
+    seq._b = int(b)
+    seq._stride = int(stride)
+    seq._bits = int(bits)
+    seq._words = words
+    seq._dir_values = dir_values
+    seq._dir_offsets = dir_offsets.astype(np.int64)
+    return seq, offset
+
+
+def _check_header(buf: bytes, magic: bytes, kind: str) -> None:
+    if bytes(buf[:4]) != magic:
+        raise InvalidParameterError(f"not a serialised {kind} filter")
+    (version,) = struct.unpack_from("<H", buf, 4)
+    if version != _VERSION:
+        raise InvalidParameterError(f"unsupported {kind} format version {version}")
+
+
+# ----------------------------------------------------------------------
 # Grafite
 # ----------------------------------------------------------------------
 def grafite_to_bytes(filt: Grafite) -> bytes:
@@ -134,11 +307,7 @@ def grafite_to_bytes(filt: Grafite) -> bytes:
 
 def grafite_from_bytes(buf: bytes) -> Grafite:
     """Load a Grafite filter serialised by :func:`grafite_to_bytes`."""
-    if buf[:4] != _GRAFITE_MAGIC:
-        raise InvalidParameterError("not a serialised Grafite filter")
-    (version,) = struct.unpack_from("<H", buf, 4)
-    if version != _VERSION:
-        raise InvalidParameterError(f"unsupported Grafite format version {version}")
+    _check_header(buf, _GRAFITE_MAGIC, "Grafite")
     offset = 6
     (exact,) = struct.unpack_from("<B", buf, offset)
     offset += 1
@@ -190,11 +359,7 @@ def bucketing_to_bytes(filt: Bucketing) -> bytes:
 
 def bucketing_from_bytes(buf: bytes) -> Bucketing:
     """Load a Bucketing filter serialised by :func:`bucketing_to_bytes`."""
-    if buf[:4] != _BUCKETING_MAGIC:
-        raise InvalidParameterError("not a serialised Bucketing filter")
-    (version,) = struct.unpack_from("<H", buf, 4)
-    if version != _VERSION:
-        raise InvalidParameterError(f"unsupported Bucketing format version {version}")
+    _check_header(buf, _BUCKETING_MAGIC, "Bucketing")
     offset = 6
     (n,) = struct.unpack_from("<Q", buf, offset)
     offset += 8
@@ -210,21 +375,287 @@ def bucketing_from_bytes(buf: bytes) -> Bucketing:
 
 
 # ----------------------------------------------------------------------
+# SuRF
+# ----------------------------------------------------------------------
+def surf_to_bytes(filt: SuRF) -> bytes:
+    """Serialise a SuRF filter (trie, suffix vector, mode, seed)."""
+    parts = [
+        _SURF_MAGIC,
+        struct.pack("<H", _VERSION),
+        struct.pack(
+            "<QBHBq",
+            filt.key_count,
+            _SUFFIX_MODES.index(filt._mode),
+            filt._m,
+            filt._width_bytes,
+            filt._seed,
+        ),
+        _pack_int(filt.universe),
+        _pack_trie(filt._trie),
+        _pack_packed(filt._suffixes),
+    ]
+    return b"".join(parts)
+
+
+def surf_from_bytes(buf: bytes) -> SuRF:
+    """Load a SuRF filter serialised by :func:`surf_to_bytes`."""
+    _check_header(buf, _SURF_MAGIC, "SuRF")
+    offset = 6
+    n, mode_idx, m, width_bytes, seed = struct.unpack_from("<QBHBq", buf, offset)
+    offset += 20
+    universe, offset = _unpack_int(buf, offset)
+    trie, offset = _unpack_trie(buf, offset)
+    suffixes, offset = _unpack_packed(buf, offset)
+    filt = SuRF.__new__(SuRF)
+    filt._universe = int(universe)
+    filt._mode = _SUFFIX_MODES[int(mode_idx)]
+    filt._m = int(m)
+    filt._seed = int(seed)
+    filt._n = int(n)
+    filt._width_bytes = int(width_bytes)
+    filt._width_bits = int(width_bytes) * 8
+    filt._trie = trie
+    filt._suffixes = suffixes
+    return filt
+
+
+# ----------------------------------------------------------------------
+# Rosetta
+# ----------------------------------------------------------------------
+def rosetta_to_bytes(filt: Rosetta) -> bytes:
+    """Serialise a Rosetta filter (one Bloom filter per stored level)."""
+    parts = [
+        _ROSETTA_MAGIC,
+        struct.pack("<H", _VERSION),
+        struct.pack("<QHQI", filt.key_count, filt._W, filt._L, filt._max_probes),
+        _pack_int(filt.universe),
+        struct.pack("<H", len(filt._blooms)),
+    ]
+    for level in sorted(filt._blooms):
+        parts.append(struct.pack("<H", level))
+        parts.append(_pack_bloom(filt._blooms[level]))
+    return b"".join(parts)
+
+
+def rosetta_from_bytes(buf: bytes) -> Rosetta:
+    """Load a Rosetta filter serialised by :func:`rosetta_to_bytes`."""
+    _check_header(buf, _ROSETTA_MAGIC, "Rosetta")
+    offset = 6
+    n, W, L, max_probes = struct.unpack_from("<QHQI", buf, offset)
+    offset += 22
+    universe, offset = _unpack_int(buf, offset)
+    (bloom_count,) = struct.unpack_from("<H", buf, offset)
+    offset += 2
+    blooms = {}
+    for _ in range(bloom_count):
+        (level,) = struct.unpack_from("<H", buf, offset)
+        offset += 2
+        bloom, offset = _unpack_bloom(buf, offset)
+        blooms[int(level)] = bloom
+    filt = Rosetta.__new__(Rosetta)
+    filt._universe = int(universe)
+    filt._n = int(n)
+    filt._W = int(W)
+    filt._L = int(L)
+    filt._max_probes = int(max_probes)
+    depth_span = min(filt._W, filt._L.bit_length())
+    filt._levels = list(range(filt._W - depth_span + 1, filt._W + 1))
+    filt._blooms = blooms
+    return filt
+
+
+# ----------------------------------------------------------------------
+# Proteus
+# ----------------------------------------------------------------------
+def proteus_to_bytes(filt: Proteus) -> bytes:
+    """Serialise a Proteus filter (design pair, trie, prefix Bloom)."""
+    parts = [
+        _PROTEUS_MAGIC,
+        struct.pack("<H", _VERSION),
+        struct.pack(
+            "<QHHHIq",
+            filt.key_count,
+            filt._W,
+            filt._l1,
+            filt._l2,
+            filt._max_probes,
+            filt._seed,
+        ),
+        _pack_int(filt.universe),
+        _pack_words(np.asarray(filt._prefixes1, dtype=np.uint64)),
+        _pack_trie(filt._trie),
+        _pack_bloom(filt._bloom),
+    ]
+    return b"".join(parts)
+
+
+def proteus_from_bytes(buf: bytes) -> Proteus:
+    """Load a Proteus filter serialised by :func:`proteus_to_bytes`."""
+    _check_header(buf, _PROTEUS_MAGIC, "Proteus")
+    offset = 6
+    n, W, l1, l2, max_probes, seed = struct.unpack_from("<QHHHIq", buf, offset)
+    offset += 26
+    universe, offset = _unpack_int(buf, offset)
+    prefixes1, offset = _unpack_words(buf, offset)
+    trie, offset = _unpack_trie(buf, offset)
+    bloom, offset = _unpack_bloom(buf, offset)
+    filt = Proteus.__new__(Proteus)
+    filt._universe = int(universe)
+    filt._n = int(n)
+    filt._W = int(W)
+    filt._max_probes = int(max_probes)
+    filt._seed = int(seed)
+    filt._l1 = int(l1)
+    filt._l2 = int(l2)
+    filt._prefix_cache = {}
+    filt._prefixes1 = prefixes1
+    filt._trie = trie
+    filt._bloom = bloom
+    return filt
+
+
+# ----------------------------------------------------------------------
+# SNARF
+# ----------------------------------------------------------------------
+def snarf_to_bytes(filt: SnarfFilter) -> bytes:
+    """Serialise a SNARF filter (spline knots + Rice-coded bit array)."""
+    parts = [
+        _SNARF_MAGIC,
+        struct.pack("<H", _VERSION),
+        struct.pack("<QdBQ", filt.key_count, filt._K, int(filt._float32), filt._slots),
+        _pack_int(filt.universe),
+        _pack_int(filt._min_key),
+        _pack_int(filt._max_key),
+        _pack_f64(filt._knot_keys),
+        _pack_f64(filt._knot_ranks),
+        _pack_golomb(filt._bits),
+    ]
+    return b"".join(parts)
+
+
+def snarf_from_bytes(buf: bytes) -> SnarfFilter:
+    """Load a SNARF filter serialised by :func:`snarf_to_bytes`."""
+    _check_header(buf, _SNARF_MAGIC, "SNARF")
+    offset = 6
+    n, K, float32, slots = struct.unpack_from("<QdBQ", buf, offset)
+    offset += 25
+    universe, offset = _unpack_int(buf, offset)
+    min_key, offset = _unpack_int(buf, offset)
+    max_key, offset = _unpack_int(buf, offset)
+    knot_keys, offset = _unpack_f64(buf, offset)
+    knot_ranks, offset = _unpack_f64(buf, offset)
+    bits, offset = _unpack_golomb(buf, offset)
+    filt = SnarfFilter.__new__(SnarfFilter)
+    filt._universe = int(universe)
+    filt._K = float(K)
+    filt._float32 = bool(float32)
+    filt._n = int(n)
+    filt._slots = int(slots)
+    filt._min_key = int(min_key)
+    filt._max_key = int(max_key)
+    if filt._float32:
+        # float32 -> float64 widening is exact, so the narrowing here
+        # restores the defect-emulation knots bit for bit.
+        knot_keys = knot_keys.astype(np.float32)
+        knot_ranks = knot_ranks.astype(np.float32)
+    filt._knot_keys = knot_keys
+    filt._knot_ranks = knot_ranks
+    filt._bits = bits
+    return filt
+
+
+# ----------------------------------------------------------------------
+# REncoder
+# ----------------------------------------------------------------------
+def rencoder_to_bytes(filt: REncoder) -> bytes:
+    """Serialise an REncoder (any variant: base, SS, SE)."""
+    name_raw = filt.name.encode("utf-8")
+    parts = [
+        _RENCODER_MAGIC,
+        struct.pack("<H", _VERSION),
+        struct.pack(
+            "<QHHHIqQ",
+            filt.key_count,
+            filt._W,
+            filt._stored,
+            filt._k,
+            filt._max_probes,
+            filt._seed,
+            filt._m,
+        ),
+        _pack_int(filt.universe),
+        _pack_bytes(name_raw),
+        _pack_words(filt._words),
+    ]
+    return b"".join(parts)
+
+
+def rencoder_from_bytes(buf: bytes) -> REncoder:
+    """Load an REncoder serialised by :func:`rencoder_to_bytes`."""
+    _check_header(buf, _RENCODER_MAGIC, "REncoder")
+    offset = 6
+    n, W, stored, k, max_probes, seed, m = struct.unpack_from("<QHHHIqQ", buf, offset)
+    offset += 34
+    universe, offset = _unpack_int(buf, offset)
+    name_raw, offset = _unpack_bytes(buf, offset)
+    words, offset = _unpack_words(buf, offset)
+    filt = REncoder.__new__(REncoder)
+    filt._universe = int(universe)
+    filt._n = int(n)
+    filt._W = int(W)
+    filt._chunks = int(W) // 4
+    filt._stored = int(stored)
+    filt._k = int(k)
+    filt._max_probes = int(max_probes)
+    filt._seed = int(seed)
+    filt._m = int(m)
+    filt._words = words
+    name = name_raw.decode("utf-8")
+    if name != REncoder.name:  # SS/SE variants carry an instance name
+        filt.name = name
+    return filt
+
+
+# ----------------------------------------------------------------------
 # Generic dispatch (engine snapshots)
 # ----------------------------------------------------------------------
+#: magic -> loader, the single place a new format gets registered.
+_LOADERS = {
+    _GRAFITE_MAGIC: grafite_from_bytes,
+    _BUCKETING_MAGIC: bucketing_from_bytes,
+    _SURF_MAGIC: surf_from_bytes,
+    _ROSETTA_MAGIC: rosetta_from_bytes,
+    _PROTEUS_MAGIC: proteus_from_bytes,
+    _SNARF_MAGIC: snarf_from_bytes,
+    _RENCODER_MAGIC: rencoder_from_bytes,
+}
+
+#: concrete type -> serialiser (checked in order; REncoder covers SS/SE).
+_SAVERS = (
+    (Grafite, grafite_to_bytes),
+    (Bucketing, bucketing_to_bytes),
+    (SuRF, surf_to_bytes),
+    (Rosetta, rosetta_to_bytes),
+    (Proteus, proteus_to_bytes),
+    (SnarfFilter, snarf_to_bytes),
+    (REncoder, rencoder_to_bytes),
+)
+
+
 def filter_to_bytes(filt) -> bytes:
     """Serialise any filter this module has a format for.
 
     The engine snapshot (:mod:`repro.engine.persist`) stores each run's
     filter next to the run so a reopened store false-positives on exactly
     the same probes as before the restart; rebuilding from keys would
-    draw fresh hash constants. Raises for filter types without a stable
-    format (the engine then rebuilds those from the run's keys).
+    draw fresh hash constants. Every backend of
+    :mod:`repro.filters.registry` is covered; raises for filter types
+    without a stable format (the engine then rebuilds those from the
+    run's keys via the filter factory).
     """
-    if isinstance(filt, Grafite):
-        return grafite_to_bytes(filt)
-    if isinstance(filt, Bucketing):
-        return bucketing_to_bytes(filt)
+    for cls, saver in _SAVERS:
+        if isinstance(filt, cls):
+            return saver(filt)
     raise InvalidParameterError(
         f"no stable byte format for filter type {type(filt).__name__}"
     )
@@ -232,12 +663,10 @@ def filter_to_bytes(filt) -> bytes:
 
 def filter_from_bytes(buf: bytes):
     """Load a filter serialised by :func:`filter_to_bytes` (magic dispatch)."""
-    magic = bytes(buf[:4])
-    if magic == _GRAFITE_MAGIC:
-        return grafite_from_bytes(buf)
-    if magic == _BUCKETING_MAGIC:
-        return bucketing_from_bytes(buf)
-    raise InvalidParameterError(f"unknown filter magic {magic!r}")
+    loader = _LOADERS.get(bytes(buf[:4]))
+    if loader is None:
+        raise InvalidParameterError(f"unknown filter magic {bytes(buf[:4])!r}")
+    return loader(buf)
 
 
 #: Public aliases for the primitive packers, reused by the engine's run

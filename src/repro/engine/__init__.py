@@ -23,9 +23,15 @@ serving heavy range-query traffic behind in-memory filters.
 * :class:`~repro.engine.workers.ShardWorkerPool` — process-mode back
   end: per-shard snapshot workers behind ``multiprocessing``
   shared-memory query rings, invalidated by the checkpoint-epoch
-  handshake (``mode="process"`` on the service).
+  handshake (``mode="process"`` on the service);
+* :class:`~repro.engine.autotune.AutoTuner` — per-shard filter backend
+  auto-tuning from live workload telemetry (range lengths + windowed
+  false-positive rate), switching between the robust Grafite default
+  and the heuristic backends of :mod:`repro.filters.registry` where
+  they win.
 """
 
+from repro.engine.autotune import AutoTunePolicy, AutoTuner, Decision
 from repro.engine.batch import (
     ColumnarPlan,
     batch_range_empty,
@@ -47,8 +53,11 @@ from repro.engine.wal import OP_DELETE, OP_PUT, WriteAheadLog
 from repro.engine.workers import ShardWorkerPool, WorkerError
 
 __all__ = [
+    "AutoTunePolicy",
+    "AutoTuner",
     "ColumnarPlan",
     "CompactionScheduler",
+    "Decision",
     "OP_DELETE",
     "OP_PUT",
     "RWLock",

@@ -231,6 +231,11 @@ def shard_batch_empty(
     for j in np.flatnonzero(maybe):
         if not store.range_empty(int(q_lo[j]), int(q_hi[j])):
             empty[j] = False
+    observer = store.query_observer
+    if observer is not None:
+        # Near-zero cost workload telemetry (two numpy reductions) for
+        # the per-shard auto-tuner; never consulted for correctness.
+        observer(q_lo, q_hi, empty)
     return empty
 
 

@@ -37,11 +37,13 @@ from repro.engine.scheduler import CompactionScheduler
 from repro.engine.sharding import ShardRouter
 from repro.engine.wal import OP_DELETE, OP_PUT, WriteAheadLog
 from repro.errors import InvalidParameterError
+from repro.filters.registry import FilterSpec
 from repro.lsm.memtable import TOMBSTONE
 from repro.lsm.sstable import FilterFactory
 from repro.lsm.store import IoStats, LSMStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.autotune import AutoTuner
     from repro.lsm.cache import BlockCache
 
 
@@ -57,6 +59,12 @@ class ShardedEngine:
         Number of contiguous key-range partitions.
     memtable_limit / compaction_fanout / filter_factory:
         Passed through to every shard's :class:`LSMStore`.
+    filter_spec:
+        Alternative to ``filter_factory``: a named backend from
+        :mod:`repro.filters.registry` plus its knobs. A spec (unlike a
+        bare callable) is recorded in the manifest, so :meth:`open` can
+        rebuild the factory without the caller re-supplying it. Passing
+        both is an error.
     directory:
         ``None`` keeps the engine in memory. A path makes it persistent:
         mutations are write-ahead logged there and :meth:`checkpoint`
@@ -78,6 +86,7 @@ class ShardedEngine:
         memtable_limit: int = 1024,
         compaction_fanout: int = 4,
         filter_factory: Optional[FilterFactory] = None,
+        filter_spec: Optional[FilterSpec] = None,
         directory: Optional[str | Path] = None,
         sync_wal: bool = False,
         defer_compaction: bool = True,
@@ -86,10 +95,18 @@ class ShardedEngine:
             raise InvalidParameterError(
                 "the engine stores keys as u64: universe must be <= 2^64"
             )
+        if filter_spec is not None:
+            if filter_factory is not None:
+                raise InvalidParameterError(
+                    "pass filter_factory or filter_spec, not both"
+                )
+            filter_factory = filter_spec.factory()
         self._router = ShardRouter(universe, num_shards)
         self._memtable_limit = int(memtable_limit)
         self._fanout = int(compaction_fanout)
         self._factory = filter_factory
+        self._filter_spec = filter_spec
+        self._autotuner: Optional["AutoTuner"] = None
         self._defer = bool(defer_compaction)
         self._block_cache: Optional["BlockCache"] = None
         self._scheduler = CompactionScheduler()
@@ -131,31 +148,51 @@ class ShardedEngine:
         filter_factory: Optional[FilterFactory] = None,
         sync_wal: bool = False,
         defer_compaction: bool = True,
+        missing_filter: str = "raise",
     ) -> "ShardedEngine":
         """Recover a persistent engine: snapshot, then WAL replay.
 
-        ``filter_factory`` must be the one the engine was created with;
-        runs whose filters were snapshotted (Grafite, Bucketing) restore
-        them byte-for-byte regardless, so reopened engines answer every
-        query exactly as before the crash/shutdown.
+        Every registered backend's filters restore byte-for-byte from
+        the snapshot blobs, so reopened engines answer every query
+        exactly as before the crash/shutdown. An engine created with a
+        ``filter_spec`` additionally recorded it in the manifest, and
+        gets its factory back automatically; an engine created with a
+        bare ``filter_factory`` callable must be reopened with the same
+        one. Reopening with neither, when the snapshot holds runs whose
+        filters cannot be restored, raises
+        :class:`~repro.errors.ConfigError` instead of silently serving
+        filterless runs (``missing_filter="drop"`` opts into that).
         """
         directory = Path(directory)
         manifest = persist.load_manifest(directory)
         if manifest is None:
             raise InvalidParameterError(f"no engine manifest in {directory}")
+        filter_spec = None
+        if filter_factory is None and manifest.get("filter_spec") is not None:
+            filter_spec = FilterSpec.from_params(manifest["filter_spec"])
         engine = cls(
             manifest["universe"],
             num_shards=manifest["num_shards"],
             memtable_limit=manifest["memtable_limit"],
             compaction_fanout=manifest["compaction_fanout"],
             filter_factory=filter_factory,
+            filter_spec=filter_spec,
             defer_compaction=defer_compaction,
         )
+        if filter_factory is not None and manifest.get("filter_spec") is not None:
+            # A caller-supplied factory overrides what gets *mounted*, but
+            # the recorded spec must survive into the next checkpoint's
+            # manifest — dropping it would make a later no-factory open()
+            # silently flush unfiltered runs (the cliff ConfigError exists
+            # to prevent; it cannot fire here because blob-backed runs
+            # restore without a factory).
+            engine._filter_spec = FilterSpec.from_params(manifest["filter_spec"])
         engine._shards = persist.load_shards(
             directory,
             manifest,
-            filter_factory=filter_factory,
+            filter_factory=engine._factory,
             auto_compact=not engine._defer,
+            missing_filter=missing_filter,
         )
         engine._directory = directory
         engine._wal = WriteAheadLog(directory / "wal.log", sync=sync_wal)
@@ -230,10 +267,16 @@ class ShardedEngine:
 
         Drains deferred compactions first (the "between batches" slot),
         then runs the filter-pruned batch path of
-        :func:`repro.engine.batch.batch_range_empty`.
+        :func:`repro.engine.batch.batch_range_empty`. With an auto-tuner
+        attached, the batch's workload telemetry may retarget shard
+        filter factories afterwards — rebuilds happen at the *next*
+        between-batches slot, never inside this one.
         """
         self.drain_compactions()
-        return batch_range_empty(self, los, his)
+        result = batch_range_empty(self, los, his)
+        if self._autotuner is not None:
+            self._autotuner.maybe_retune()
+        return result
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -260,6 +303,21 @@ class ShardedEngine:
         self._block_cache = cache
         for store in self._shards:
             store.attach_cache(cache)
+
+    def attach_autotuner(self, tuner: Optional["AutoTuner"]) -> None:
+        """Install (or remove, with ``None``) a per-shard auto-tuner.
+
+        The tuner subscribes to each shard's batch-query telemetry and
+        is given a chance to retarget filter factories after every
+        batch (:meth:`batch_range_empty`, or the serving layer's batch
+        path). Attaching never changes query results — filters only
+        prune, and the exact verification path is backend-agnostic.
+        """
+        if self._autotuner is not None:
+            self._autotuner.detach()
+        self._autotuner = tuner
+        if tuner is not None:
+            tuner.attach(self)
 
     def checkpoint(self) -> None:
         """Flush, snapshot all runs + filters to disk, reset the WAL."""
@@ -290,6 +348,9 @@ class ShardedEngine:
             "num_shards": self._router.num_shards,
             "memtable_limit": self._memtable_limit,
             "compaction_fanout": self._fanout,
+            "filter_spec": (
+                self._filter_spec.to_params() if self._filter_spec else None
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -310,6 +371,16 @@ class ShardedEngine:
     @property
     def block_cache(self) -> Optional["BlockCache"]:
         return self._block_cache
+
+    @property
+    def filter_spec(self) -> Optional[FilterSpec]:
+        """The registry spec the engine was built with (``None`` for a
+        bare callable factory or an unfiltered engine)."""
+        return self._filter_spec
+
+    @property
+    def autotuner(self) -> Optional["AutoTuner"]:
+        return self._autotuner
 
     @property
     def universe(self) -> int:

@@ -8,12 +8,16 @@ one file per run; ``wal.log`` — the write-ahead log, reset by the
 checkpoint and replayed over the snapshot on reopen.
 
 A run file reuses the primitive layout of :mod:`repro.core.serialization`
-(``pack_int`` / ``pack_words``) and embeds the run's *filter bytes* when
-the filter has a stable format (Grafite, Bucketing). Persisting the
-filter — rather than rebuilding it from the keys — matters: a rebuild
+(``pack_int`` / ``pack_words``) and embeds the run's *filter bytes* —
+every backend in :mod:`repro.filters.registry` (Grafite, Bucketing,
+SuRF, Rosetta, Proteus, SNARF, REncoder) has a stable format. Persisting
+the filter — rather than rebuilding it from the keys — matters: a rebuild
 would draw fresh hash constants, so a reopened store would false-positive
 on *different* probes than before the restart. With the blob, query
-results are bit-for-bit identical across a reopen.
+results are bit-for-bit identical across a reopen. A run whose filter
+type has no format is flagged for factory rebuild; loading such a run
+without a factory raises :class:`~repro.errors.ConfigError` unless the
+caller opts into filterless runs.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from repro.core.serialization import (
     unpack_int,
     unpack_words,
 )
-from repro.errors import InvalidParameterError
+from repro.errors import ConfigError, InvalidParameterError
 from repro.lsm.memtable import TOMBSTONE
 from repro.lsm.sstable import FilterFactory, SSTable
 from repro.lsm.store import LSMStore
@@ -91,9 +95,28 @@ def run_to_bytes(run: SSTable) -> bytes:
 
 
 def run_from_bytes(
-    buf: bytes, filter_factory: Optional[FilterFactory] = None
+    buf: bytes,
+    filter_factory: Optional[FilterFactory] = None,
+    *,
+    missing_filter: str = "raise",
 ) -> SSTable:
-    """Load a run serialised by :func:`run_to_bytes`."""
+    """Load a run serialised by :func:`run_to_bytes`.
+
+    A run whose filter had a stable byte format restores it from the
+    embedded blob regardless of ``filter_factory``. A run flagged
+    ``_FILTER_REBUILD`` (it *had* a filter, but one this build could not
+    serialise) needs the factory back; without one the behaviour follows
+    ``missing_filter``:
+
+    * ``"raise"`` (default) — raise :class:`~repro.errors.ConfigError`.
+      Silently coming back filterless used to turn every probe into a
+      run read, an order-of-magnitude regression discovered only by
+      profiling.
+    * ``"drop"`` — restore the run without a filter (correct, slower).
+      This is what read-only snapshot workers opt into: they own no
+      factory by design and verification-only reads are acceptable
+      there.
+    """
     if buf[:4] != _RUN_MAGIC:
         raise InvalidParameterError("not a serialised SSTable run")
     (version,) = struct.unpack_from("<H", buf, 4)
@@ -126,10 +149,21 @@ def run_from_bytes(
         else:
             values.append(next(live_iter))
 
+    if missing_filter not in ("raise", "drop"):
+        raise InvalidParameterError(
+            f"missing_filter must be 'raise' or 'drop', got {missing_filter!r}"
+        )
     if filter_mode == _FILTER_BLOB:
         filt = filter_from_bytes(filter_blob)
     elif filter_mode == _FILTER_REBUILD and filter_factory is not None:
         filt = filter_factory(keys, int(universe))
+    elif filter_mode == _FILTER_REBUILD and missing_filter == "raise":
+        raise ConfigError(
+            "snapshot run was built with a filter that has no stable byte "
+            "format, and no filter_factory was provided to rebuild it — "
+            "pass the factory the engine was created with, or opt into "
+            "filterless runs explicitly with missing_filter='drop'"
+        )
     else:
         filt = None
     return SSTable.from_parts(keys, values, int(universe), filt)
@@ -215,27 +249,34 @@ def load_shard(
     *,
     filter_factory: Optional[FilterFactory] = None,
     auto_compact: bool = True,
+    missing_filter: str = "raise",
 ) -> LSMStore:
     """Rebuild one shard's :class:`LSMStore` from a snapshot manifest.
 
     The per-shard granularity is what the process-mode serving workers
     use: each worker owns a subset of the shards and loads only those
-    from the checkpoint, read-only, without a filter factory — runs with
-    a stable filter format (Grafite, Bucketing) restore their filters
-    byte-for-byte from the blob regardless, and runs without one simply
-    come back unfiltered (every probe verifies; slower, never wrong).
+    from the checkpoint, read-only — every registered backend restores
+    its filter byte-for-byte from the run's embedded blob, no factory
+    needed. A run that *had* a filter but no blob (a custom filter type
+    outside :mod:`repro.core.serialization`) follows ``missing_filter``:
+    the default raises :class:`~repro.errors.ConfigError`; the workers
+    pass ``"drop"`` and serve that run unfiltered (slower, never wrong).
     """
     root = Path(directory)
     entry = manifest["shards"][shard_id]
     shard_dir = root / f"shard-{shard_id:04d}"
     level0 = [
-        run_from_bytes((shard_dir / name).read_bytes(), filter_factory)
+        run_from_bytes(
+            (shard_dir / name).read_bytes(), filter_factory,
+            missing_filter=missing_filter,
+        )
         for name in entry["level0"]
     ]
     bottom = None
     if entry["bottom"] is not None:
         bottom = run_from_bytes(
-            (shard_dir / entry["bottom"]).read_bytes(), filter_factory
+            (shard_dir / entry["bottom"]).read_bytes(), filter_factory,
+            missing_filter=missing_filter,
         )
     return LSMStore.from_runs(
         manifest["universe"],
@@ -254,6 +295,7 @@ def load_shards(
     *,
     filter_factory: Optional[FilterFactory] = None,
     auto_compact: bool = True,
+    missing_filter: str = "raise",
 ) -> List[LSMStore]:
     """Rebuild every shard's :class:`LSMStore` from a snapshot manifest."""
     return [
@@ -263,6 +305,7 @@ def load_shards(
             sid,
             filter_factory=filter_factory,
             auto_compact=auto_compact,
+            missing_filter=missing_filter,
         )
         for sid in range(len(manifest["shards"]))
     ]

@@ -378,6 +378,12 @@ class RangeQueryService:
                     self._local_queries += int(q_lo.size)
                 return shard_batch_empty(store, q_lo, q_hi)
             verdicts[remote] = rv
+            observer = store.query_observer
+            if observer is not None:
+                # Worker-answered queries still feed the auto-tuner's
+                # per-shard window (the in-process kernel reports its
+                # own sub-batches from inside shard_batch_empty).
+                observer(q_lo[remote], q_hi[remote], rv)
             ledger = store.stats
             # Chunked fan-out runs several tasks per shard under shared
             # read locks, so the ledger fold takes the stats mutex — the
@@ -438,6 +444,12 @@ class RangeQueryService:
             empty[qid[~sub_empty]] = False
         for qid, future in straddler_futures:
             empty[qid] = future.result()
+        tuner = self._engine.autotuner
+        if tuner is not None:
+            # The serving tier's between-batches slot: any backend switch
+            # lands as a factory swap plus a queued compaction, which the
+            # background worker rebuilds under the shard's write lock.
+            tuner.maybe_retune()
         return empty
 
     # ------------------------------------------------------------------

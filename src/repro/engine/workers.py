@@ -186,8 +186,14 @@ def worker_main(
                             f"expected {generation}"
                         )
                     stores = {
+                        # Workers own no filter factory by design (nothing
+                        # unpicklable crosses the process boundary); runs
+                        # restore filters from their embedded blobs, and a
+                        # custom-filtered run degrades to verification-only
+                        # reads instead of failing the worker.
                         sid: persist.load_shard(
-                            directory, manifest, sid, auto_compact=False
+                            directory, manifest, sid, auto_compact=False,
+                            missing_filter="drop",
                         )
                         for sid in owned_sids
                     }

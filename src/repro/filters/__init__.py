@@ -20,6 +20,11 @@ freely:
   with sample-driven self-design (heuristic);
 * :class:`~repro.filters.rencoder.REncoder` (+ ``rencoder_ss`` /
   ``rencoder_se``) — local-tree bit array (robust for large ranges).
+
+:mod:`repro.filters.registry` wraps a curated subset of these (plus the
+core Grafite/Bucketing) as engine-mountable backends: a
+:class:`~repro.filters.registry.FilterSpec` names the backend and its
+knobs, and its factory builds one filter per flushed run.
 """
 
 from repro.filters.base import RangeFilter, as_key_array
@@ -29,13 +34,17 @@ from repro.filters.point_probe import PointProbeFilter
 from repro.filters.prefix_bloom import PrefixBloomFilter
 from repro.filters.proteus import Proteus
 from repro.filters.rencoder import REncoder, rencoder_se, rencoder_ss
+from repro.filters.registry import BACKENDS, FilterBackend, FilterSpec, make_factory
 from repro.filters.rosetta import Rosetta, dyadic_decomposition
 from repro.filters.snarf import SnarfFilter
 from repro.filters.surf import SuRF
 
 __all__ = [
+    "BACKENDS",
     "BloomFilter",
     "FastSuccinctTrie",
+    "FilterBackend",
+    "FilterSpec",
     "PointProbeFilter",
     "PrefixBloomFilter",
     "Proteus",
@@ -47,6 +56,7 @@ __all__ = [
     "as_key_array",
     "distinguishing_prefixes",
     "dyadic_decomposition",
+    "make_factory",
     "rencoder_se",
     "rencoder_ss",
 ]

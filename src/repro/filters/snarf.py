@@ -80,10 +80,19 @@ class SnarfFilter(RangeFilter):
         self._n = int(arr.size)
         if self._n == 0:
             self._slots = 1
+            self._min_key = 0
+            self._max_key = 0
             self._knot_keys = np.zeros(0)
             self._knot_ranks = np.zeros(0)
             self._bits = GolombSequence([], universe=1)
             return
+        # Exact span bounds: the learned model clamps outside the knots,
+        # which would map every out-of-span query onto the first/last
+        # key's (set) slot — a guaranteed false positive. The reference
+        # implementation answers out-of-span queries exactly; these two
+        # integers restore that at zero model cost.
+        self._min_key = int(arr[0])
+        self._max_key = int(arr[-1])
         self._slots = max(1, math.ceil(self._K * self._n))
         self._build_spline(arr, sample_stride)
         slots = np.unique(self._map_keys(arr))
@@ -141,4 +150,6 @@ class SnarfFilter(RangeFilter):
         self._check_range(lo, hi)
         if self._n == 0:
             return False
+        if hi < self._min_key or lo > self._max_key:
+            return False  # outside the key span: exactly empty
         return self._bits.any_in_range(self._map_scalar(lo), self._map_scalar(hi))

@@ -131,7 +131,11 @@ class LSMStore:
         self._level0: List[SSTable] = []  # newest first
         self._bottom: Optional[SSTable] = None
         self._runs_version = 0
+        self._compaction_requested = False
         self._cache: Optional["BlockCache"] = None
+        #: Optional ``(q_lo, q_hi, empty) -> None`` hook the batch kernel
+        #: calls after answering a sub-batch (see repro.engine.autotune).
+        self.query_observer: Optional[Any] = None
         # Serialises mutations (put/delete/flush/compact) so a flush can
         # never tear the memtable swap out from under another writer.
         # Reader-vs-writer isolation is the *caller's* job — the service
@@ -217,8 +221,14 @@ class LSMStore:
                 self.compact()
 
     def compact(self) -> None:
-        """Merge all runs into a single bottom run, dropping tombstones."""
+        """Merge all runs into a single bottom run, dropping tombstones.
+
+        The merged run is (re)built with the *current* filter factory,
+        so a factory swapped in by :meth:`set_filter_factory` takes over
+        every key of the store here, not just future flushes.
+        """
         with self._write_lock:
+            self._compaction_requested = False
             runs = list(self._level0)
             if self._bottom is not None:
                 runs.append(self._bottom)  # oldest last
@@ -229,6 +239,45 @@ class LSMStore:
             self._level0.clear()
             self._runs_version += 1
             self.stats.compactions += 1
+
+    def set_filter_factory(self, factory: Optional[FilterFactory]) -> None:
+        """Swap the per-run filter builder for *future* runs.
+
+        Existing runs keep the filters they were built with (they are
+        immutable); the next flush or compaction uses ``factory``. This
+        is the mechanism :mod:`repro.engine.autotune` uses to retarget a
+        shard — typically paired with :meth:`request_compaction` so the
+        whole shard converges to the new backend at the next compaction.
+        Never changes any query result: filters only prune.
+
+        Deliberately lock-free: a single attribute store is atomic under
+        the GIL, and taking the write lock here would stall the caller
+        (the auto-tuner, holding its own lock with query observers
+        queued behind it) for the full duration of any in-flight
+        compaction. A swap landing mid-compaction simply means that
+        compaction finishes under the old factory — the paired
+        :meth:`request_compaction` queues the rebuild that converges it.
+        """
+        self._factory = factory
+
+    @property
+    def filter_factory(self) -> Optional[FilterFactory]:
+        """The per-run filter builder currently in effect."""
+        return self._factory
+
+    def request_compaction(self) -> None:
+        """Force :attr:`needs_compaction` on even below the fanout.
+
+        Used after a filter-factory swap to have the (deferred or
+        background) compaction machinery rebuild every run under the new
+        backend. A no-op once :meth:`compact` runs. Lock-free like
+        :meth:`set_filter_factory` (same stall concern); the unlocked
+        emptiness peek can at worst set the flag for a store that just
+        compacted to nothing, which the next :meth:`compact` clears for
+        free.
+        """
+        if self._level0 or self._bottom is not None:
+            self._compaction_requested = True
 
     # ------------------------------------------------------------------
     # Reads
@@ -351,8 +400,9 @@ class LSMStore:
 
     @property
     def needs_compaction(self) -> bool:
-        """True when level 0 has reached the compaction fanout."""
-        return len(self._level0) >= self._fanout
+        """True when level 0 reached the fanout — or a rebuild was
+        explicitly requested via :meth:`request_compaction`."""
+        return len(self._level0) >= self._fanout or self._compaction_requested
 
     @property
     def runs_version(self) -> int:

@@ -15,6 +15,15 @@ adversary in two strengths:
   amplification is provably useless (the FPR bound is per-query and
   distribution-free); against heuristic filters it locks onto their weak
   regions.
+
+Both operate on a bare :class:`~repro.filters.base.RangeFilter`;
+:meth:`AdaptiveAdversary.attack_system` replays the same adaptive loop
+against a *served engine* (a :class:`~repro.engine.ShardedEngine` or
+the :class:`~repro.engine.service.RangeQueryService` in front of one),
+where the attacker no longer sees filter verdicts — the served answers
+are exact — but observes the I/O ledger instead: a crafted empty range
+that costs the system a wasted run read is a confirmed filter false
+positive, which is precisely the availability attack of §1/§6.7.
 """
 
 from __future__ import annotations
@@ -123,6 +132,63 @@ class AdaptiveAdversary(KeyKnowledgeAdversary):
                     false_positives += 1
                     next_hot.append((lo, hi))
             per_round_fpr.append(false_positives / len(batch))
+            hot = next_hot
+        return AttackReport(per_round_fpr)
+
+    def attack_system(
+        self,
+        target,
+        *,
+        universe: int,
+        rounds: int,
+        queries_per_round: int,
+        range_size: int,
+    ) -> "AttackReport":
+        """Adaptive attack against a served engine, driven by its I/O.
+
+        ``target`` is anything with the engine's probe surface — a
+        ``range_empty(lo, hi)`` method and a ``stats``
+        :class:`~repro.lsm.store.IoStats` ledger (the
+        :class:`~repro.engine.ShardedEngine` and the
+        :class:`~repro.engine.service.RangeQueryService` both qualify).
+        The served answer itself is always exact, so the adversary keys
+        on the *wasted-read delta* per probe: a crafted empty range that
+        made some run's filter say "maybe" forced the system to read and
+        discard — the per-probe I/O amplification of §6.7. Rates are
+        fractions of probes causing at least one wasted read, so the
+        report is comparable with :meth:`attack` on a bare filter.
+        """
+        if rounds < 1 or queries_per_round < 1:
+            raise InvalidParameterError("rounds and queries_per_round must be >= 1")
+        per_round_fpr: List[float] = []
+        hot: List[Query] = []
+        for _ in range(rounds):
+            batch: List[Query] = []
+            while hot and len(batch) < queries_per_round:
+                lo, hi = hot.pop()
+                jitter = int(self._rng.integers(0, max(1, range_size // 2)))
+                lo2, hi2 = lo + jitter, hi + jitter
+                if hi2 < universe and not intersects(self._keys, lo2, hi2):
+                    batch.append((lo2, hi2))
+            if len(batch) < queries_per_round:
+                batch.extend(
+                    self.craft_queries(
+                        queries_per_round - len(batch), range_size, universe
+                    )
+                )
+            amplified = 0
+            next_hot: List[Query] = []
+            for lo, hi in batch:
+                wasted_before = target.stats.wasted_reads
+                is_empty = target.range_empty(lo, hi)
+                if not is_empty:  # pragma: no cover - crafted queries are empty
+                    raise InvalidParameterError(
+                        f"crafted query [{lo}, {hi}] was not empty"
+                    )
+                if target.stats.wasted_reads > wasted_before:
+                    amplified += 1
+                    next_hot.append((lo, hi))
+            per_round_fpr.append(amplified / len(batch))
             hot = next_hot
         return AttackReport(per_round_fpr)
 

@@ -17,7 +17,14 @@ get / batched probes) simultaneously against a trivially correct oracle
   worker processes: the stream's checkpoints re-sync the workers
   (epoch handshake) while its flushes/compactions invalidate them
   mid-stream, so every batch exercises the worker/local routing
-  decision against the oracle.
+  decision against the oracle,
+* heuristic filter backends (SuRF, SNARF) mounted through the
+  :class:`~repro.filters.registry.FilterSpec` path, in memory and
+  persistent — the persistent streams checkpoint and restore the
+  heuristic filters' serialised blobs on every reopen,
+* the auto-tuned service (``serve --autotune``'s configuration): the
+  per-shard tuner retargets backends between batches while the stream
+  churns flushes and compactions underneath it.
 
 Every query result is compared the moment it is produced; any
 divergence fails with the op index and the offending range, which —
@@ -37,7 +44,8 @@ import numpy as np
 import pytest
 
 from repro.core.grafite import Grafite
-from repro.engine import RangeQueryService, ShardedEngine
+from repro.engine import AutoTunePolicy, AutoTuner, RangeQueryService, ShardedEngine
+from repro.filters.registry import FilterSpec, backend_names
 from repro.lsm import BlockCache
 
 SEED = int(os.environ.get("REPRO_DIFF_SEED", "20240731"))
@@ -48,6 +56,14 @@ BATCH_FLUSH = 64  # pending probes per batch_range_empty comparison
 
 def grafite_factory(keys, universe):
     return Grafite(keys, universe, bits_per_key=12, max_range_size=256, seed=5)
+
+
+#: Heuristic backends run through the oracle (ISSUE 4): their filters now
+#: persist as blobs, so the persistent streams reload them byte-for-byte.
+HEURISTIC_SPECS = {
+    "surf": FilterSpec(backend="surf", bits_per_key=14, seed=5),
+    "snarf": FilterSpec(backend="snarf", bits_per_key=12, seed=5),
+}
 
 
 class Oracle:
@@ -172,19 +188,35 @@ class Target:
 
 
 class EngineTarget(Target):
-    def __init__(self, *, directory=None, cache=False, num_shards=4):
-        self.name = f"engine(persistent={directory is not None}, cache={cache})"
+    def __init__(
+        self, *, directory=None, cache=False, num_shards=4, spec=None, autotune=False
+    ):
+        self.name = (
+            f"engine(persistent={directory is not None}, cache={cache}, "
+            f"spec={spec.backend if spec else 'grafite-factory'}, "
+            f"autotune={autotune})"
+        )
         self._directory = directory
+        self._spec = spec
+        self._autotune = autotune
         self.engine = ShardedEngine(
             UNIVERSE,
             num_shards=num_shards,
             memtable_limit=96,
             compaction_fanout=3,
-            filter_factory=grafite_factory,
+            filter_factory=None if spec is not None else grafite_factory,
+            filter_spec=spec,
             directory=directory,
         )
+        self._maybe_attach_tuner()
         if cache:
             self.engine.attach_block_cache(BlockCache(256, num_stripes=4))
+
+    def _maybe_attach_tuner(self):
+        if self._autotune:
+            self.engine.attach_autotuner(
+                AutoTuner(AutoTunePolicy(min_window=128))
+            )
 
     def put(self, key, value):
         self.engine.put(key, value)
@@ -212,11 +244,15 @@ class EngineTarget(Target):
 
     def reopen(self):
         # Crash-style restart: no checkpoint, recovery must replay the WAL.
+        # A spec-built engine reopens with *no* factory argument — the
+        # spec comes back from the manifest, the filters from their blobs.
         cache = self.engine.block_cache
         self.engine.close(checkpoint=False)
         self.engine = ShardedEngine.open(
-            self._directory, filter_factory=grafite_factory
+            self._directory,
+            filter_factory=None if self._spec is not None else grafite_factory,
         )
+        self._maybe_attach_tuner()
         if cache is not None:
             self.engine.attach_block_cache(cache)
 
@@ -225,20 +261,32 @@ class EngineTarget(Target):
 
 
 class ServiceTarget(Target):
-    def __init__(self, num_threads: int, *, directory=None, mode="thread", workers=None):
-        self.name = f"service(threads={num_threads}, mode={mode}, workers={workers})"
+    def __init__(
+        self, num_threads: int, *, directory=None, mode="thread", workers=None,
+        spec=None, autotune=False,
+    ):
+        self.name = (
+            f"service(threads={num_threads}, mode={mode}, workers={workers}, "
+            f"spec={spec.backend if spec else 'grafite-factory'}, "
+            f"autotune={autotune})"
+        )
         self._threads = num_threads
         self._directory = directory
         self._mode = mode
         self._workers = workers
+        self._spec = spec
+        self._autotune = autotune
         self.engine = ShardedEngine(
             UNIVERSE,
             num_shards=4,
             memtable_limit=96,
             compaction_fanout=3,
-            filter_factory=grafite_factory,
+            filter_factory=None if spec is not None else grafite_factory,
+            filter_spec=spec,
             directory=directory,
         )
+        if autotune:
+            self.engine.attach_autotuner(AutoTuner(AutoTunePolicy(min_window=128)))
         self.service = RangeQueryService(
             self.engine, num_threads=num_threads, cache_blocks=256,
             compaction_poll=0.002, mode=mode, num_workers=workers,
@@ -273,8 +321,11 @@ class ServiceTarget(Target):
         self.service.close()
         self.engine.close(checkpoint=False)
         self.engine = ShardedEngine.open(
-            self._directory, filter_factory=grafite_factory
+            self._directory,
+            filter_factory=None if self._spec is not None else grafite_factory,
         )
+        if self._autotune:
+            self.engine.attach_autotuner(AutoTuner(AutoTunePolicy(min_window=128)))
         self.service = RangeQueryService(
             self.engine, num_threads=self._threads, cache_blocks=256,
             compaction_poll=0.002, mode=self._mode, num_workers=self._workers,
@@ -397,6 +448,51 @@ def test_differential_service_process(tmp_path, workers):
     replay(
         ServiceTarget(2, directory=tmp_path / "db", mode="process", workers=workers),
         gen_ops(rng, N_OPS, persistent=True),
+    )
+
+
+@pytest.mark.parametrize("backend", sorted(HEURISTIC_SPECS))
+def test_differential_engine_heuristic_in_memory(backend):
+    """Heuristic backends ride the generic batch fallback; answers must
+    still match the oracle bit for bit (filters only ever prune)."""
+    rng = np.random.default_rng(SEED + 11)
+    replay(
+        EngineTarget(spec=HEURISTIC_SPECS[backend]),
+        gen_ops(rng, N_OPS // 2, persistent=False),
+    )
+
+
+@pytest.mark.parametrize("backend", sorted(HEURISTIC_SPECS))
+def test_differential_engine_heuristic_persistent(tmp_path, backend):
+    """Persistent streams exercise the new serialization formats: every
+    checkpoint snapshots SuRF/SNARF blobs and every reopen restores them
+    (no factory argument — the spec comes back from the manifest)."""
+    rng = np.random.default_rng(SEED + 13)
+    replay(
+        EngineTarget(directory=tmp_path / "db", spec=HEURISTIC_SPECS[backend]),
+        gen_ops(rng, N_OPS // 2, persistent=True),
+    )
+
+
+@pytest.mark.parametrize("backend", backend_names())
+def test_differential_service_every_backend(backend):
+    """`serve --filter <backend>` exactness for the whole registry: a
+    shorter stream than the deep suites above, but every backend answers
+    the identical op mix through the concurrent service."""
+    rng = np.random.default_rng(SEED + 19)
+    replay(
+        ServiceTarget(2, spec=FilterSpec(backend=backend, bits_per_key=14, seed=5)),
+        gen_ops(rng, N_OPS // 5, persistent=False),
+    )
+
+
+def test_differential_service_autotune():
+    """`serve --autotune`'s exactness: the tuner retargets shards between
+    batches while the stream interleaves flushes/compactions."""
+    rng = np.random.default_rng(SEED + 17)
+    replay(
+        ServiceTarget(2, spec=HEURISTIC_SPECS["snarf"], autotune=True),
+        gen_ops(rng, N_OPS // 2, persistent=False),
     )
 
 

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Documentation lint: intra-repo links + public-symbol docstrings.
+
+Two checks, both cheap enough for every CI run:
+
+1. **Links** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must point at a file that exists (anchors and external
+   ``http(s)``/``mailto`` links are skipped). A docs "site" whose map
+   rots is worse than none.
+2. **Docstrings** — every public symbol exported by ``repro.engine``
+   and ``repro.filters`` (their ``__all__``), and every module in those
+   packages, must carry a docstring. New subsystems land with their
+   documentation or not at all.
+
+Exit code 0 when clean; 1 with a problem list otherwise. Run from the
+repo root: ``python tools/check_docs.py`` (``src/`` is put on the path
+automatically).
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Markdown files whose relative links must resolve.
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+#: Packages whose public surface must be documented.
+DOC_PACKAGES = ("repro.engine", "repro.filters")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_links() -> list[str]:
+    problems = []
+    for md in DOC_FILES:
+        if not md.exists():
+            problems.append(f"{md.relative_to(REPO_ROOT)}: file missing")
+            continue
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            for target in _LINK.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (md.parent / path).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{md.relative_to(REPO_ROOT)}:{lineno}: broken link "
+                        f"-> {target}"
+                    )
+    return problems
+
+
+def check_docstrings() -> list[str]:
+    problems = []
+    for package_name in DOC_PACKAGES:
+        package = importlib.import_module(package_name)
+        # Every module in the package carries a module docstring.
+        for info in pkgutil.iter_modules(package.__path__):
+            module = importlib.import_module(f"{package_name}.{info.name}")
+            if not (module.__doc__ or "").strip():
+                problems.append(f"{module.__name__}: missing module docstring")
+        # Every exported symbol is documented.
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name, None)
+            if obj is None:
+                problems.append(f"{package_name}.{name}: in __all__ but missing")
+                continue
+            if isinstance(obj, (int, str, float, dict, list, tuple)):
+                continue  # constants document themselves at the definition
+            if not (getattr(obj, "__doc__", None) or "").strip():
+                problems.append(f"{package_name}.{name}: missing docstring")
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_docstrings()
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in DOC_FILES)
+    print(f"check_docs: OK ({checked}; {', '.join(DOC_PACKAGES)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
