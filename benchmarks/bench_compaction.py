@@ -1,0 +1,239 @@
+"""Compaction-policy write-amplification + probe-throughput bench.
+
+The question ISSUE 5 opened, held as a standing regression gate: does
+the sliced :class:`~repro.lsm.compaction.LeveledPolicy` actually buy the
+write-amplification reduction it exists for, without giving back batch
+probe throughput?
+
+The workload is a **sustained clustered ingest with interleaved probe
+batches** — the regime where slicing pays. Keys arrive in moving
+clusters (a time-series / log-structured pattern: each burst lands in a
+narrow, advancing key band), so a level-0 run's span covers a thin
+stripe of the keyspace. Full merge rewrites the entire accumulated
+store on every compaction; leveled rewrites only the slices the stripe
+overlaps. Probe batches are uncorrelated range-emptiness queries over
+the whole universe, issued between ingest bursts exactly like the
+serving path (each batch is also the deferred scheduler's drain slot —
+compaction work happens where it would in production).
+
+Gates enforced by the CI perf-smoke step (and recorded in
+``BENCH_compaction.json`` either way):
+
+* ``leveled entries_compacted < 0.6 x full-merge`` on the identical
+  ingest (measured via the new ``IoStats`` write counters — this is a
+  deterministic counter comparison, not a timing);
+* leveled batch range-empty throughput ``>= 0.9 x`` full-merge
+  (best-of-N timing on identical query batches; the sliced topology's
+  extra runs must be paid for by the vectorised bounds skip);
+* correctness: all three policies answer the full probe stream
+  identically (they share one oracle-checked result).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+import _common
+from _common import SEED, register_report, timing_stats, write_bench_json
+from repro.analysis.report import format_table
+from repro.engine import ShardedEngine
+from repro.lsm import LeveledPolicy
+
+UNIVERSE = 2**32
+# Floors are sized so the policies genuinely diverge even at the CI's
+# REPRO_SCALE=0.5: enough flushes per shard for several compaction
+# rounds, or the write-amp comparison degenerates to one shared merge.
+N_BURSTS = max(16, int(24 * _common.SCALE))
+BURST_KEYS = max(1_200, int(2_000 * _common.SCALE))
+PROBE_BATCH = max(500, int(4_000 * _common.SCALE))
+MEMTABLE = 512
+FANOUT = 4
+SLICE_TARGET = 1024
+RANGE = 64
+POLICIES = ("full", "tiered", "leveled")
+
+#: Floors/ceilings enforced by the CI perf-smoke step.
+WRITE_AMP_CEILING = 0.6   # leveled entries_compacted vs full-merge
+THROUGHPUT_FLOOR = 0.9    # leveled probe q/s vs full-merge
+
+
+def _policy(name: str):
+    return LeveledPolicy(slice_target=SLICE_TARGET) if name == "leveled" else name
+
+
+def _cluster_keys(rng: np.random.Generator, burst: int) -> np.ndarray:
+    """One ingest burst: keys clustered in a narrow advancing band.
+
+    The band walks the keyspace (think timestamps or log offsets with
+    jitter): burst ``b`` draws from a window ``~2^24`` wide positioned
+    at ``b``'s fraction of the universe, so consecutive level-0 runs
+    overlap only a thin stripe of any sliced level.
+    """
+    band = UNIVERSE // (N_BURSTS + 2)
+    base = band * burst
+    return base + rng.integers(0, band, BURST_KEYS, dtype=np.uint64)
+
+
+def _probe_bounds(rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+    los = rng.integers(0, UNIVERSE - RANGE, PROBE_BATCH, dtype=np.uint64)
+    return los, los + np.uint64(RANGE - 1)
+
+
+@functools.lru_cache(maxsize=None)
+def run_policy(policy: str) -> Dict[str, object]:
+    """Drive the sustained ingest+probe workload under one policy."""
+    engine = ShardedEngine(
+        UNIVERSE,
+        num_shards=2,
+        memtable_limit=MEMTABLE,
+        compaction_fanout=FANOUT,
+        filter_factory=None,   # write-amp is a storage property; filters
+        compaction=_policy(policy),  # only add timing noise here
+    )
+    rng = np.random.default_rng(SEED)
+    verdicts: List[np.ndarray] = []
+    for burst in range(N_BURSTS):
+        for key in _cluster_keys(rng, burst):
+            engine.put(int(key), b"v")
+        # The between-batches slot: probes drain deferred steps first.
+        los, his = _probe_bounds(rng)
+        verdicts.append(engine.batch_range_empty(los, his))
+    engine.flush_all()
+    engine.drain_compactions()
+    stats = engine.stats
+    # Steady-state probe timing on the settled store, identical batches.
+    t_rng = np.random.default_rng(SEED + 99)
+    t_lo, t_hi = _probe_bounds(t_rng)
+    timing = timing_stats(
+        lambda: engine.batch_range_empty(t_lo, t_hi), ops=PROBE_BATCH, repeat=5
+    )
+    return {
+        "policy": policy,
+        "entries_flushed": stats.entries_flushed,
+        "entries_compacted": stats.entries_compacted,
+        "bytes_compacted": stats.bytes_compacted,
+        "compaction_steps": stats.compactions,
+        "write_amplification": stats.write_amplification,
+        "probe_qps": timing["op_s"],
+        "probe_p50_s": timing["p50_s"],
+        "probe_p99_s": timing["p99_s"],
+        "runs_final": engine.run_count,
+        "live_keys": len(engine),
+        "verdicts": np.concatenate(verdicts),
+        "steady_verdicts": engine.batch_range_empty(t_lo, t_hi),
+    }
+
+
+@functools.lru_cache(maxsize=None)
+def _report() -> Dict[str, Dict[str, object]]:
+    cells = {policy: run_policy(policy) for policy in POLICIES}
+    reference = cells["full"]
+    for policy, cell in cells.items():
+        assert bool(
+            (cell["verdicts"] == reference["verdicts"]).all()
+        ), f"{policy} diverged from full-merge on the probe stream"
+        assert bool(
+            (cell["steady_verdicts"] == reference["steady_verdicts"]).all()
+        ), f"{policy} diverged on the settled store"
+    rows = []
+    for policy in POLICIES:
+        cell = cells[policy]
+        rows.append([
+            policy,
+            f"{cell['compaction_steps']}",
+            f"{cell['entries_compacted']:,}",
+            f"{cell['entries_compacted'] / max(1, reference['entries_compacted']):.2f}x",
+            f"{cell['write_amplification']:.2f}",
+            f"{cell['probe_qps']:,.0f}",
+            f"{cell['runs_final']}",
+        ])
+    register_report(
+        "compaction",
+        format_table(
+            ["policy", "steps", "entries compacted", "vs full", "write amp",
+             "probe q/s", "runs"],
+            rows,
+            title=(
+                f"Compaction policies on clustered sustained ingest "
+                f"({N_BURSTS} bursts x {BURST_KEYS:,} keys, memtable "
+                f"{MEMTABLE}, fanout {FANOUT}, slice {SLICE_TARGET}, "
+                f"{PROBE_BATCH:,}-query batches)"
+            ),
+        ),
+    )
+    write_bench_json(
+        "compaction",
+        results={
+            policy: {k: v for k, v in cell.items()
+                     if not isinstance(v, np.ndarray)}
+            for policy, cell in cells.items()
+        },
+        config={
+            "n_bursts": N_BURSTS,
+            "burst_keys": BURST_KEYS,
+            "probe_batch": PROBE_BATCH,
+            "memtable_limit": MEMTABLE,
+            "fanout": FANOUT,
+            "slice_target": SLICE_TARGET,
+            "range_size": RANGE,
+            "write_amp_ceiling": WRITE_AMP_CEILING,
+            "throughput_floor": THROUGHPUT_FLOOR,
+        },
+    )
+    return cells
+
+
+def test_leveled_write_amp_beats_full_merge():
+    """ISSUE 5 acceptance bar: on the sustained clustered ingest the
+    sliced leveled policy must rewrite < 0.6x the entries full merge
+    does — a deterministic counter gate, no timing involved."""
+    cells = _report()
+    ratio = (
+        cells["leveled"]["entries_compacted"]
+        / max(1, cells["full"]["entries_compacted"])
+    )
+    assert ratio < WRITE_AMP_CEILING, (
+        f"leveled compacted {ratio:.2f}x of full-merge's entries "
+        f"(ceiling {WRITE_AMP_CEILING}) — slicing is not bounding rewrites"
+    )
+
+
+def test_tiered_write_amp_beats_full_merge():
+    """Tiered merges one level per step; it must also rewrite less than
+    the monolithic full merge on sustained ingest (looser, sanity bar)."""
+    cells = _report()
+    assert (
+        cells["tiered"]["entries_compacted"]
+        < cells["full"]["entries_compacted"]
+    )
+
+
+def test_leveled_probe_throughput_within_10pct():
+    """The other half of the acceptance bar: the sliced topology's extra
+    runs must not cost batch probe throughput — the vectorised bounds
+    skip keeps non-overlapping slices free. Best-of-5 on identical
+    batches against the settled stores."""
+    cells = _report()
+    ratio = cells["leveled"]["probe_qps"] / cells["full"]["probe_qps"]
+    assert ratio >= THROUGHPUT_FLOOR, (
+        f"leveled probes at {ratio:.2f}x of full-merge throughput "
+        f"(floor {THROUGHPUT_FLOOR}x)"
+    )
+
+
+def test_write_amp_is_measured_first_class():
+    """The IoStats write counters behind the gate are self-consistent:
+    every policy flushed the same user entries, and write_amplification
+    is exactly (flushed + compacted) / flushed."""
+    cells = _report()
+    flushed = {cell["entries_flushed"] for cell in cells.values()}
+    assert len(flushed) == 1, cells
+    for cell in cells.values():
+        expected = (
+            (cell["entries_flushed"] + cell["entries_compacted"])
+            / cell["entries_flushed"]
+        )
+        assert abs(cell["write_amplification"] - expected) < 1e-9

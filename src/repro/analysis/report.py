@@ -63,6 +63,27 @@ def format_speed_table(entries: Sequence[tuple[str, float]], title: str) -> str:
     return format_table(["Range filter", "Avg ns/query", "vs fastest"], rows, title=title)
 
 
+def format_write_amp(
+    entries_flushed: int, entries_compacted: int, bytes_compacted: int = 0
+) -> str:
+    """One-cell summary of an LSM store's write amplification.
+
+    ``entries_flushed`` / ``entries_compacted`` / ``bytes_compacted``
+    come from :class:`repro.lsm.store.IoStats`; the headline number is
+    the classic ratio of total entries written (flush + compaction
+    rewrites) to user entries flushed. The compaction policy is what
+    moves it: full merges rewrite the store per compaction, leveled
+    slicing rewrites only the touched slices.
+    """
+    if not entries_flushed:
+        return "- (nothing flushed)"
+    amp = (entries_flushed + entries_compacted) / entries_flushed
+    detail = f"{entries_compacted:,} compacted / {entries_flushed:,} flushed entries"
+    if bytes_compacted:
+        detail += f", {bytes_compacted:,} bytes rewritten"
+    return f"{amp:.2f}x ({detail})"
+
+
 def format_series(
     x_label: str,
     xs: Sequence[object],

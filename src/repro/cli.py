@@ -14,8 +14,11 @@ Six commands, mirroring how the library is typically exercised:
   :class:`~repro.engine.ShardedEngine` and report throughput and the
   I/O the filters saved. ``--filter`` mounts any registered backend
   (``grafite``, ``bucketing``, ``surf``, ``rosetta``, ``proteus``,
-  ``snarf``, ``rencoder``) and ``--autotune`` lets the per-shard tuner
-  re-pick the backend from observed traffic;
+  ``snarf``, ``rencoder``), ``--autotune`` lets the per-shard tuner
+  re-pick the backend from observed traffic, and ``--compaction``
+  selects the shard compaction policy (``full``/``tiered``/``leveled``);
+  the report ends with one ``[engine] ...`` line carrying compaction
+  step counts and measured write amplification;
 * ``serve`` — the same workload through the concurrent
   :class:`~repro.engine.RangeQueryService`: thread-pool batch fan-out,
   background compaction, the block cache's hit ratio, and (with
@@ -39,7 +42,7 @@ import numpy as np
 
 from repro.analysis.fpr import measure_fpr
 from repro.analysis.harness import FILTERS, FilterConfig, build_filter
-from repro.analysis.report import format_table
+from repro.analysis.report import format_table, format_write_amp
 from repro.analysis.theory import table1
 from repro.analysis.timing import time_queries
 from repro.workloads.adversary import AdaptiveAdversary
@@ -127,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     """Workload knobs shared by the ``engine`` and ``serve`` commands."""
     from repro.filters.registry import backend_names
+    from repro.lsm.compaction import policy_names
 
     _add_common(parser)
     parser.add_argument("--shards", type=int, default=4)
@@ -135,6 +139,12 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         default="grafite",
         help="per-run filter backend from the registry (case-insensitive; "
         "'none' disables filtering)",
+    )
+    parser.add_argument(
+        "--compaction", type=str.lower, choices=policy_names(), default="full",
+        help="per-shard compaction policy: 'full' (seed behaviour, one "
+        "bottom run), 'tiered' (size-tiered level merges), or 'leveled' "
+        "(non-overlapping key-range slices, partial rewrites)",
     )
     parser.add_argument(
         "--autotune", action="store_true",
@@ -371,7 +381,11 @@ def _workload_rows(engine, args: argparse.Namespace, keys, m: dict) -> list:
         ["empty ranges", f"{m['empties']:,} / {m['probes']:,}"],
         ["reads performed / avoided", f"{stats.reads_performed:,} / {stats.reads_avoided:,}"],
         ["wasted reads (filter FPs)", f"{stats.wasted_reads:,}"],
-        ["flushes / compactions", f"{stats.flushes} / {stats.compactions}"],
+        ["flushes / compaction steps",
+         f"{stats.flushes} / {stats.compactions} ({args.compaction})"],
+        ["write amplification",
+         format_write_amp(stats.entries_flushed, stats.entries_compacted,
+                          stats.bytes_compacted)],
         ["durability", str(engine.directory) if engine.directory else "in-memory"],
     ]
 
@@ -387,6 +401,7 @@ def _build_engine(args: argparse.Namespace):
         compaction_fanout=args.fanout,
         filter_spec=_engine_filter_spec(args),
         directory=args.dir,
+        compaction=args.compaction,
     )
     if args.autotune:
         engine.attach_autotuner(AutoTuner())
@@ -401,6 +416,20 @@ def cmd_engine(args: argparse.Namespace) -> int:
     metrics = _drive_workload(engine, args, keys)
     rows = _workload_rows(engine, args, keys, metrics)
     print(format_table(["metric", "value"], rows, title="sharded engine workload"))
+    # Machine-grepable summary mirroring what bench_compaction.py records,
+    # so manual runs and the write-amp gate read the same quantities.
+    stats = engine.stats
+    probe_qps = (
+        metrics["probes"] / metrics["probe_seconds"]
+        if metrics["probe_seconds"] else 0.0
+    )
+    print(
+        f"[engine] compaction={args.compaction} probe_qps={probe_qps:,.0f} "
+        f"compaction_steps={stats.compactions} "
+        f"entries_compacted={stats.entries_compacted} "
+        f"bytes_compacted={stats.bytes_compacted} "
+        f"write_amp={stats.write_amplification:.2f}"
+    )
     if engine.directory is not None:
         engine.close()
     return 0
@@ -468,7 +497,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"workers={service.num_workers} probe_qps={probe_qps:,.0f} "
             f"cache_hit_rate={stats.cache_hit_ratio:.3f} "
             f"worker_queries={service.worker_queries} "
-            f"local_queries={service.local_queries}"
+            f"local_queries={service.local_queries} "
+            f"compaction={args.compaction} "
+            f"compaction_steps={stats.compactions} "
+            f"entries_compacted={stats.entries_compacted} "
+            f"write_amp={stats.write_amplification:.2f}"
         )
     finally:
         service.close()

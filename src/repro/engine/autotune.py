@@ -35,10 +35,16 @@ already owns) the tuner may retarget a shard:
   (``bits_step`` more per key, up to ``max_bits``).
 
 A retarget swaps the shard's filter factory (new flushes use it
-immediately) and requests a compaction, so the deferred/background
-compaction machinery rebuilds the whole shard under the new backend at
-the next opportunity. Nothing here can change a query answer: filters
-only prune, and every backend is false-negative-free by contract.
+immediately) and queues a filter rebuild
+(:meth:`~repro.lsm.store.LSMStore.request_filter_rebuild`), so the
+deferred/background compaction machinery converges existing runs to the
+new backend at the next opportunity. How much work that costs is the
+compaction policy's business: the default full-merge policy rebuilds
+the shard in one monolithic merge (the seed behaviour), while a leveled
+shard is rebuilt one slice per bounded step — the switch touches only
+the slices it tags, never the whole shard at once. Nothing here can
+change a query answer: filters only prune, and every backend is
+false-negative-free by contract.
 """
 
 from __future__ import annotations
@@ -220,10 +226,11 @@ class AutoTuner:
         """Decide per shard whose window is full; returns new decisions.
 
         Called by the engine/service between batches. A decision swaps
-        the shard's filter factory and requests a compaction so the
-        existing runs are rebuilt under the chosen backend by the
-        deferred scheduler (single-threaded engine) or the background
-        compaction worker (serving layer) — never inside a query.
+        the shard's filter factory and tags the existing runs for a
+        filter rebuild, which the deferred scheduler (single-threaded
+        engine) or the background compaction worker (serving layer)
+        executes in policy-sized steps — per slice on a leveled shard,
+        one full merge under the default policy — never inside a query.
         """
         if self._engine is None:
             return []
@@ -272,12 +279,12 @@ class AutoTuner:
                 # Apply while still holding the tuner lock, so two racing
                 # retunes cannot commit decisions in one order and mount
                 # factories in the other. Everything applied here is
-                # non-blocking — the factory swap and rebuild flag are
-                # atomic stores, the scheduler notify takes only its own
-                # short queue lock — so query observers queued on this
-                # lock are never made to wait on storage work.
+                # non-blocking — the factory swap and stale tags are
+                # atomic-enough stores, the scheduler notify takes only
+                # its own short queue lock — so query observers queued on
+                # this lock are never made to wait on storage work.
                 store.set_filter_factory(chosen.factory())
-                store.request_compaction()
+                store.request_filter_rebuild()
                 self._engine.scheduler.notify(sid, store)
             made.append(decision)
         return made

@@ -206,10 +206,15 @@ def shard_batch_empty(
 ) -> np.ndarray:
     """The per-shard batch kernel: emptiness of each ``[q_lo[j], q_hi[j]]``.
 
-    Probes the memtable with one vectorised ``searchsorted``, consults
-    every run's filter once for the whole sub-batch, then verifies only
-    the "maybe" minority with the exact early-exit
-    :meth:`~repro.lsm.store.LSMStore.range_empty`. Returns a boolean
+    Probes the memtable with one vectorised ``searchsorted``, walks the
+    level topology in recency order consulting each run's filter once
+    for the whole sub-batch, then verifies only the "maybe" minority
+    with the exact early-exit
+    :meth:`~repro.lsm.store.LSMStore.range_empty`. Before any filter is
+    asked, each run's key bounds prune the sub-batch vectorially — under
+    leveled compaction a level is many key-disjoint slices, so most
+    queries skip most slices on this fence check alone and each slice's
+    filter sees only the queries that can touch it. Returns a boolean
     array aligned with the inputs (``True`` = provably empty). This is
     the unit the concurrent service fans out: one call per (shard,
     chunk), safe under that shard's read lock.
@@ -217,12 +222,20 @@ def shard_batch_empty(
     # The memtable is exact (no false positives): any entry in range —
     # live or tombstone — sends the query to the verification path.
     maybe = memtable_overlaps(store, q_lo, q_hi)
-    runs = store._runs()
+    runs = [run for run in store._runs() if run.key_bounds is not None]
     for run in runs:
+        lo_bound, hi_bound = run.key_bounds
+        hits = (q_lo <= np.uint64(hi_bound)) & (q_hi >= np.uint64(lo_bound))
+        if not hits.any():
+            continue  # the whole sub-batch misses this run/slice
         if run.filter is None:
-            maybe[:] = True  # unfiltered run: every probe must read it
-        else:
+            maybe |= hits  # unfiltered run: every overlapping probe reads it
+        elif bool(hits.all()):
             maybe |= run.filter.may_contain_range_batch(q_lo, q_hi)
+        else:
+            idx = np.flatnonzero(hits)
+            sub = run.filter.may_contain_range_batch(q_lo[idx], q_hi[idx])
+            maybe[idx[sub]] = True
     # Queries every filter pruned are empty with zero I/O performed:
     # one avoided read per (query, run) pair, as in the scalar path.
     clean = int((~maybe).sum())

@@ -38,6 +38,7 @@ from repro.engine.sharding import ShardRouter
 from repro.engine.wal import OP_DELETE, OP_PUT, WriteAheadLog
 from repro.errors import InvalidParameterError
 from repro.filters.registry import FilterSpec
+from repro.lsm.compaction import CompactionPolicy, resolve_policy
 from repro.lsm.memtable import TOMBSTONE
 from repro.lsm.sstable import FilterFactory
 from repro.lsm.store import IoStats, LSMStore
@@ -76,6 +77,13 @@ class ShardedEngine:
         ``True`` (default) queues compactions on the scheduler and runs
         them between batches; ``False`` compacts inline like a bare
         :class:`LSMStore`.
+    compaction:
+        The per-shard compaction policy: a registered name (``"full"``,
+        ``"tiered"``, ``"leveled"``), a
+        :class:`~repro.lsm.compaction.CompactionPolicy` instance shared
+        by every shard, or ``None`` for the backward-compatible
+        full-merge default. Recorded in the manifest, so :meth:`open`
+        mounts the same policy without the caller re-supplying it.
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class ShardedEngine:
         directory: Optional[str | Path] = None,
         sync_wal: bool = False,
         defer_compaction: bool = True,
+        compaction: "str | CompactionPolicy | None" = None,
     ) -> None:
         if universe > 2**64:
             raise InvalidParameterError(
@@ -110,6 +119,7 @@ class ShardedEngine:
         self._defer = bool(defer_compaction)
         self._block_cache: Optional["BlockCache"] = None
         self._scheduler = CompactionScheduler()
+        self._policy = resolve_policy(compaction)
         self._shards: List[LSMStore] = [
             LSMStore(
                 universe,
@@ -117,9 +127,11 @@ class ShardedEngine:
                 compaction_fanout=compaction_fanout,
                 filter_factory=filter_factory,
                 auto_compact=not self._defer,
+                compaction_policy=self._policy,
             )
             for _ in range(num_shards)
         ]
+        self._wire_compaction_hooks()
         self._wal: Optional[WriteAheadLog] = None
         self._directory: Optional[Path] = None
         if directory is not None:
@@ -136,6 +148,22 @@ class ShardedEngine:
             for op, key, value in self._wal.recovered:
                 # A stray pre-manifest log (crash during __init__): replay.
                 self._apply(op, key, value)
+
+    def _wire_compaction_hooks(self) -> None:
+        """Point every shard's flush hook at the deferred scheduler.
+
+        With ``defer_compaction`` a flush that leaves a shard needing
+        work enqueues it even when the flush was not driven through an
+        engine mutation (e.g. a memtable-limit flush inside a replayed
+        WAL batch, or a caller poking the store directly) — the seam
+        :attr:`~repro.lsm.store.LSMStore.compaction_hook` exists for.
+        """
+        if not self._defer:
+            return
+        for sid, store in enumerate(self._shards):
+            store.compaction_hook = (
+                lambda s, sid=sid: self._scheduler.notify(sid, s)
+            )
 
     # ------------------------------------------------------------------
     # Recovery
@@ -178,6 +206,9 @@ class ShardedEngine:
             filter_factory=filter_factory,
             filter_spec=filter_spec,
             defer_compaction=defer_compaction,
+            # v1 manifests predate the policy subsystem: they reopen
+            # under the default full-merge policy, exactly as written.
+            compaction=resolve_policy(manifest.get("compaction")),
         )
         if filter_factory is not None and manifest.get("filter_spec") is not None:
             # A caller-supplied factory overrides what gets *mounted*, but
@@ -193,7 +224,9 @@ class ShardedEngine:
             filter_factory=engine._factory,
             auto_compact=not engine._defer,
             missing_filter=missing_filter,
+            compaction_policy=engine._policy,
         )
+        engine._wire_compaction_hooks()
         engine._directory = directory
         engine._wal = WriteAheadLog(directory / "wal.log", sync=sync_wal)
         for op, key, value in engine._wal.recovered:
@@ -288,9 +321,9 @@ class ShardedEngine:
             if self._defer:
                 self._scheduler.notify(sid, store)
 
-    def drain_compactions(self, max_compactions: Optional[int] = None) -> int:
-        """Run deferred compactions now; returns how many ran."""
-        return self._scheduler.drain(max_compactions)
+    def drain_compactions(self, max_steps: Optional[int] = None) -> int:
+        """Run deferred compaction steps now; returns how many ran."""
+        return self._scheduler.drain(max_steps)
 
     def attach_block_cache(self, cache: Optional["BlockCache"]) -> None:
         """Put a shared block cache in front of every shard's run reads.
@@ -348,6 +381,7 @@ class ShardedEngine:
             "num_shards": self._router.num_shards,
             "memtable_limit": self._memtable_limit,
             "compaction_fanout": self._fanout,
+            "compaction": self._policy.to_params(),
             "filter_spec": (
                 self._filter_spec.to_params() if self._filter_spec else None
             ),
@@ -367,6 +401,11 @@ class ShardedEngine:
     @property
     def scheduler(self) -> CompactionScheduler:
         return self._scheduler
+
+    @property
+    def compaction_policy(self) -> CompactionPolicy:
+        """The policy every shard's compaction follows."""
+        return self._policy
 
     @property
     def block_cache(self) -> Optional["BlockCache"]:

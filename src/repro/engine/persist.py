@@ -3,9 +3,19 @@
 A checkpoint writes one directory:
 
 ``MANIFEST.json`` — engine parameters plus, per shard, the run file
-names (level 0 newest first, then the bottom run); ``shard-<i>/*.sst`` —
-one file per run; ``wal.log`` — the write-ahead log, reset by the
-checkpoint and replayed over the snapshot on reopen.
+names describing the level topology: level 0 newest first, then every
+deep level (L1 first, each level's runs in storage order — slices
+key-sorted under leveled compaction, age-sorted under tiered);
+``shard-<i>/*.sst`` — one file per run; ``wal.log`` — the write-ahead
+log, reset by the checkpoint and replayed over the snapshot on reopen.
+
+Both formats are versioned. Manifest version 1 (pre-slicing: per shard a
+``level0`` list plus a single ``bottom`` run) still loads — the bottom
+becomes a one-run L1 — so checkpoints taken before the compaction-policy
+subsystem reopen with answers bit-for-bit identical under the default
+full-merge policy. Run-file version 1 (no slice metadata) likewise
+loads; version 2 appends the slice's owning bounds so leveled topology
+survives a restart.
 
 A run file reuses the primitive layout of :mod:`repro.core.serialization`
 (``pack_int`` / ``pack_words``) and embeds the run's *filter bytes* —
@@ -44,10 +54,10 @@ from repro.lsm.sstable import FilterFactory, SSTable
 from repro.lsm.store import LSMStore
 
 _RUN_MAGIC = b"RSST"
-_RUN_VERSION = 1
+_RUN_VERSION = 2          # v2 appends slice-bounds metadata; v1 still loads
 
 MANIFEST_NAME = "MANIFEST.json"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2      # v2 records deep levels; v1 (level0+bottom) loads
 
 #: Filter persistence modes recorded in a run file.
 _FILTER_NONE = 0       # the run never had a filter
@@ -78,6 +88,11 @@ def run_to_bytes(run: SSTable) -> bytes:
             filter_mode, filter_blob = _FILTER_BLOB, filter_to_bytes(filt)
         except InvalidParameterError:
             filter_mode, filter_blob = _FILTER_REBUILD, b""
+    bounds = run.slice_bounds
+    if bounds is None:
+        bounds_part = struct.pack("<B", 0)
+    else:
+        bounds_part = struct.pack("<B", 1) + pack_int(bounds[0]) + pack_int(bounds[1])
     parts = [
         _RUN_MAGIC,
         struct.pack("<H", _RUN_VERSION),
@@ -88,6 +103,7 @@ def run_to_bytes(run: SSTable) -> bytes:
         bytes(tombstone_mask),
         struct.pack("<Q", len(values_blob)),
         values_blob,
+        bounds_part,
         struct.pack("<BQ", filter_mode, len(filter_blob)),
         filter_blob,
     ]
@@ -120,7 +136,7 @@ def run_from_bytes(
     if buf[:4] != _RUN_MAGIC:
         raise InvalidParameterError("not a serialised SSTable run")
     (version,) = struct.unpack_from("<H", buf, 4)
-    if version != _RUN_VERSION:
+    if version not in (1, _RUN_VERSION):
         raise InvalidParameterError(f"unsupported run format version {version}")
     offset = 6
     (n,) = struct.unpack_from("<Q", buf, offset)
@@ -137,6 +153,14 @@ def run_from_bytes(
     offset += 8
     live_values = pickle.loads(buf[offset:offset + values_len])
     offset += values_len
+    slice_bounds = None
+    if version >= 2:
+        (has_bounds,) = struct.unpack_from("<B", buf, offset)
+        offset += 1
+        if has_bounds:
+            bounds_lo, offset = unpack_int(buf, offset)
+            bounds_hi, offset = unpack_int(buf, offset)
+            slice_bounds = (int(bounds_lo), int(bounds_hi))
     filter_mode, filter_len = struct.unpack_from("<BQ", buf, offset)
     offset += 9
     filter_blob = buf[offset:offset + filter_len]
@@ -166,22 +190,33 @@ def run_from_bytes(
         )
     else:
         filt = None
-    return SSTable.from_parts(keys, values, int(universe), filt)
+    return SSTable.from_parts(
+        keys, values, int(universe), filt, slice_bounds=slice_bounds
+    )
 
 
 # ----------------------------------------------------------------------
 # Manifest + whole-engine snapshots
 # ----------------------------------------------------------------------
 def load_manifest(directory: str | Path) -> Optional[Dict[str, Any]]:
-    """Read ``MANIFEST.json`` or return ``None`` when the dir has none."""
+    """Read ``MANIFEST.json`` or return ``None`` when the dir has none.
+
+    Accepts both manifest versions. A version-1 manifest (pre-slicing:
+    per shard ``{"level0": [...], "bottom": name}``) is normalised in
+    memory to the version-2 shape — the single bottom run becomes a
+    one-run L1 — so every caller sees one topology format.
+    """
     path = Path(directory) / MANIFEST_NAME
     if not path.exists():
         return None
     manifest = json.loads(path.read_text())
-    if manifest.get("manifest_version") != MANIFEST_VERSION:
-        raise InvalidParameterError(
-            f"unsupported manifest version {manifest.get('manifest_version')}"
-        )
+    version = manifest.get("manifest_version")
+    if version not in (1, MANIFEST_VERSION):
+        raise InvalidParameterError(f"unsupported manifest version {version}")
+    if version == 1:
+        for entry in manifest.get("shards", []):
+            bottom = entry.pop("bottom", None)
+            entry["levels"] = [[bottom]] if bottom is not None else []
     return manifest
 
 
@@ -215,11 +250,15 @@ def save_snapshot(
             name = f"run-{generation:06d}-{j:04d}.sst"
             (shard_dir / name).write_bytes(run_to_bytes(run))
             level0_names.append(name)
-        bottom_name = None
-        if store.bottom_run is not None:
-            bottom_name = f"bottom-{generation:06d}.sst"
-            (shard_dir / bottom_name).write_bytes(run_to_bytes(store.bottom_run))
-        shard_entries.append({"level0": level0_names, "bottom": bottom_name})
+        level_names: List[List[str]] = []
+        for li, level in enumerate(store.levels, start=1):
+            names = []
+            for j, run in enumerate(level):
+                name = f"l{li}-{generation:06d}-{j:04d}.sst"
+                (shard_dir / name).write_bytes(run_to_bytes(run))
+                names.append(name)
+            level_names.append(names)
+        shard_entries.append({"level0": level0_names, "levels": level_names})
     manifest = {
         "manifest_version": MANIFEST_VERSION,
         "generation": generation,
@@ -234,8 +273,8 @@ def save_snapshot(
     for sid, entry in enumerate(shard_entries):
         shard_dir = root / f"shard-{sid:04d}"
         live = set(entry["level0"])
-        if entry["bottom"] is not None:
-            live.add(entry["bottom"])
+        for names in entry["levels"]:
+            live.update(names)
         for candidate in shard_dir.glob("*.sst"):
             if candidate.name not in live:
                 candidate.unlink()
@@ -250,6 +289,7 @@ def load_shard(
     filter_factory: Optional[FilterFactory] = None,
     auto_compact: bool = True,
     missing_filter: str = "raise",
+    compaction_policy=None,
 ) -> LSMStore:
     """Rebuild one shard's :class:`LSMStore` from a snapshot manifest.
 
@@ -265,27 +305,24 @@ def load_shard(
     root = Path(directory)
     entry = manifest["shards"][shard_id]
     shard_dir = root / f"shard-{shard_id:04d}"
-    level0 = [
-        run_from_bytes(
+
+    def load_run(name: str) -> SSTable:
+        return run_from_bytes(
             (shard_dir / name).read_bytes(), filter_factory,
             missing_filter=missing_filter,
         )
-        for name in entry["level0"]
-    ]
-    bottom = None
-    if entry["bottom"] is not None:
-        bottom = run_from_bytes(
-            (shard_dir / entry["bottom"]).read_bytes(), filter_factory,
-            missing_filter=missing_filter,
-        )
+
+    level0 = [load_run(name) for name in entry["level0"]]
+    levels = [[load_run(name) for name in names] for names in entry["levels"]]
     return LSMStore.from_runs(
         manifest["universe"],
         level0=level0,
-        bottom=bottom,
+        levels=levels,
         memtable_limit=manifest["memtable_limit"],
         compaction_fanout=manifest["compaction_fanout"],
         filter_factory=filter_factory,
         auto_compact=auto_compact,
+        compaction_policy=compaction_policy,
     )
 
 
@@ -296,6 +333,7 @@ def load_shards(
     filter_factory: Optional[FilterFactory] = None,
     auto_compact: bool = True,
     missing_filter: str = "raise",
+    compaction_policy=None,
 ) -> List[LSMStore]:
     """Rebuild every shard's :class:`LSMStore` from a snapshot manifest."""
     return [
@@ -306,6 +344,7 @@ def load_shards(
             filter_factory=filter_factory,
             auto_compact=auto_compact,
             missing_filter=missing_filter,
+            compaction_policy=compaction_policy,
         )
         for sid in range(len(manifest["shards"]))
     ]

@@ -1,22 +1,27 @@
-"""Deferred ("background") compaction scheduling.
+"""Deferred ("background") compaction scheduling, in bounded steps.
 
 With ``auto_compact=False`` an :class:`~repro.lsm.store.LSMStore` never
 compacts inline: a flush that fills level 0 only raises
-:attr:`~repro.lsm.store.LSMStore.needs_compaction`. The engine notifies
-this scheduler on every write; the queued work is drained either
-*between* query batches (the single-threaded
-:meth:`~repro.engine.engine.ShardedEngine.batch_range_empty` path) or by
-the background compaction worker of
-:class:`~repro.engine.service.RangeQueryService`, which polls
-:meth:`pop` and compacts each shard under that shard's write lock — the
-same reason real engines run compaction on background threads: a
-compaction in the middle of a latency-sensitive batch would stall it.
+:attr:`~repro.lsm.store.LSMStore.needs_compaction` (and fires the
+store's ``compaction_hook``, which the engine wires to :meth:`notify` so
+even flushes the engine did not itself drive land in the queue). The
+queued work is drained either *between* query batches (the
+single-threaded :meth:`~repro.engine.engine.ShardedEngine.batch_range_empty`
+path) or by the background compaction worker of
+:class:`~repro.engine.service.RangeQueryService`.
+
+The unit of work is one :meth:`~repro.lsm.store.LSMStore.compact_step` —
+a single policy-planned rewrite (one merge, one slice rebuild), never a
+whole-store merge. That is what lets the service's worker compact a
+shard under its write lock without stalling queries for the duration of
+a full rebuild: it takes the lock, runs one step, releases, and re-queues
+the shard if the policy still sees pressure.
 
 The queue is thread-safe: writers :meth:`notify` from pool threads while
 the worker :meth:`pop`-s, so every ``_pending`` access happens under one
 lock. Running the compaction itself is *not* this class's
 job under concurrency — the caller must hold whatever lock makes
-``store.compact()`` safe (:meth:`drain` is the single-threaded
+``store.compact_step()`` safe (:meth:`drain` is the single-threaded
 convenience that skips that ceremony).
 """
 
@@ -61,28 +66,37 @@ class CompactionScheduler:
             return shard_id, self._pending.pop(shard_id)
 
     def record_compactions(self, count: int = 1) -> None:
-        """Fold compactions an external worker ran into the ledger."""
+        """Fold compaction steps an external worker ran into the ledger."""
         with self._lock:
             self._drained_total += count
 
-    def drain(self, max_compactions: Optional[int] = None) -> int:
-        """Run pending compactions (all of them, or at most ``max_compactions``).
+    def drain(self, max_steps: Optional[int] = None) -> int:
+        """Run pending compaction steps (all, or at most ``max_steps``).
 
-        Returns the number performed. A shard that shrank below the
-        fanout since it was queued (e.g. an explicit :meth:`LSMStore.compact`)
-        is skipped for free. This is the single-threaded path: the queue
-        pops are synchronized, but the compactions run on the calling
-        thread with no shard locking.
+        Returns the number of bounded steps performed. A shard that
+        settled since it was queued (e.g. an explicit
+        :meth:`LSMStore.compact`) is skipped for free; a shard whose
+        policy needs several steps runs them back to back until it
+        settles or the step budget runs out — in which case it is
+        re-queued so the next drain resumes it. This is the
+        single-threaded path: the queue pops are synchronized, but the
+        steps run on the calling thread with no shard locking.
         """
         done = 0
-        while max_compactions is None or done < max_compactions:
+        while max_steps is None or done < max_steps:
             item = self.pop()
             if item is None:
                 break
-            _, store = item
-            if store.needs_compaction:
-                store.compact()
+            shard_id, store = item
+            while store.needs_compaction and (
+                max_steps is None or done < max_steps
+            ):
+                if not store.compact_step():
+                    break
                 done += 1
+            if store.needs_compaction:  # step budget ran out mid-shard
+                self.notify(shard_id, store)
+                break
         self.record_compactions(done)
         return done
 
@@ -94,8 +108,8 @@ class CompactionScheduler:
 
     @property
     def compactions_run(self) -> int:
-        """Total compactions performed through :meth:`drain` or recorded
-        by a background worker via :meth:`record_compactions`."""
+        """Total compaction steps performed through :meth:`drain` or
+        recorded by a background worker via :meth:`record_compactions`."""
         with self._lock:
             return self._drained_total
 

@@ -14,9 +14,12 @@ with the three pieces a serving tier adds:
   the pool, one task per (shard, chunk), and re-merge on the calling
   thread;
 * **a background compaction worker** — a daemon thread that pops shards
-  off the engine's :class:`CompactionScheduler` and compacts each under
-  its write lock, keeping compaction latency off the query path (the
-  single-threaded engine drains the queue *between* batches instead);
+  off the engine's :class:`CompactionScheduler` and runs one bounded
+  policy-planned compaction *step* per write-lock acquisition (the
+  single-threaded engine drains the queue *between* batches instead),
+  keeping compaction latency off the query path — and, under the sliced
+  leveled policy, keeping any single lock hold proportional to one
+  step's rewrite rather than a whole-shard merge;
 * **a sharded block cache** (:class:`~repro.lsm.cache.BlockCache`) in
   front of the simulated SSTable disk, attached to every shard, with
   hit/miss counters folded into the engine's
@@ -502,6 +505,16 @@ class RangeQueryService:
             time.sleep(min(self._poll / 2, remaining))
 
     def _compaction_loop(self) -> None:
+        """Drain the scheduler one bounded step per lock acquisition.
+
+        The worker takes a shard's write lock for a *single*
+        policy-planned compaction step — one merge unit set, one slice
+        rebuild — then releases it and re-queues the shard if its policy
+        still sees pressure. Queries blocked behind the writer therefore
+        wait for one step's rewrite, never for a whole-shard rebuild
+        (the full-merge policy's single step *is* the whole merge; the
+        tiered/leveled policies exist to make the steps small).
+        """
         scheduler = self._engine.scheduler
         while not self._stop.is_set():
             with self._work_mutex:
@@ -514,12 +527,16 @@ class RangeQueryService:
             sid, store = item
             try:
                 with self._locks[sid].write_locked():
-                    if store.needs_compaction:
-                        store.compact()
+                    if store.needs_compaction and store.compact_step():
                         scheduler.record_compactions(1)
                         self._background_compactions += 1
             finally:
                 with self._work_mutex:
+                    # Re-queue *before* dropping the in-flight flag so
+                    # wait_for_compactions can never observe "queue empty,
+                    # nothing in flight" while steps remain.
+                    if store.needs_compaction:
+                        scheduler.notify(sid, store)
                     self._inflight = False
 
     # ------------------------------------------------------------------

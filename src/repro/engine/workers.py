@@ -22,10 +22,14 @@ back end that sidesteps the GIL entirely:
 * a **checkpoint-epoch handshake** keeps workers honest: the parent
   only routes a query to a worker while the owning shard's
   :attr:`~repro.lsm.store.LSMStore.runs_version` still equals the
-  version recorded when the snapshot was taken. Any flush or compaction
-  bumps the version and silently sends that shard's traffic back to the
-  locked in-process path until the next checkpoint re-syncs the workers
-  (:meth:`ShardWorkerPool.reload`).
+  version recorded when the snapshot was taken. The version keys off
+  the shard's whole level topology — a flush, a tiered cascade or a
+  single leveled slice rewrite all bump it — so any compaction *step*
+  silently sends that shard's traffic back to the locked in-process
+  path until the next checkpoint re-syncs the workers
+  (:meth:`ShardWorkerPool.reload`). Workers load whatever topology the
+  manifest records (old single-bottom checkpoints included) and never
+  compact it: they own no policy, only read-only runs.
 
 Workers answer *run-set* emptiness. That equals full emptiness exactly
 when the shard's memtable has no entry (live or tombstone) inside the

@@ -1,17 +1,41 @@
 """Mini LSM key-value store with pluggable range filters (§1's motivation)."""
 
 from repro.lsm.cache import BlockCache
+from repro.lsm.compaction import (
+    CompactionPolicy,
+    CompactionStep,
+    FullMergePolicy,
+    LeveledPolicy,
+    MergeUnit,
+    TieredPolicy,
+    policy_names,
+    resolve_policy,
+)
 from repro.lsm.memtable import TOMBSTONE, MemTable
-from repro.lsm.sstable import BLOCK_ENTRIES, SSTable, merge_runs
+from repro.lsm.sstable import (
+    BLOCK_ENTRIES,
+    SSTable,
+    merge_entries_iter,
+    merge_runs,
+)
 from repro.lsm.store import IoStats, LSMStore
 
 __all__ = [
     "BLOCK_ENTRIES",
     "BlockCache",
+    "CompactionPolicy",
+    "CompactionStep",
+    "FullMergePolicy",
     "IoStats",
     "LSMStore",
+    "LeveledPolicy",
     "MemTable",
+    "MergeUnit",
     "SSTable",
     "TOMBSTONE",
+    "TieredPolicy",
+    "merge_entries_iter",
     "merge_runs",
+    "policy_names",
+    "resolve_policy",
 ]

@@ -10,8 +10,9 @@ unnecessary reads of on-disk runs.
 
 from __future__ import annotations
 
+import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,15 +34,28 @@ _RUN_IDS = itertools.count()
 
 
 class SSTable:
-    """An immutable sorted run of ``(key, value)`` entries."""
+    """An immutable sorted run of ``(key, value)`` entries.
 
-    __slots__ = ("_keys", "_values", "_filter", "io_reads", "universe", "uid")
+    A run may additionally be a leveled *slice*: ``slice_bounds`` then
+    records the key span the slice owns inside its level. Owning spans
+    of a level's slices partition the universe — they are the routing
+    metadata leveled compaction uses to merge a level-0 run into only
+    the slices it overlaps — and may be wider than the slice's actual
+    :attr:`key_bounds` (a slice can own a span no key currently sits in).
+    """
+
+    __slots__ = (
+        "_keys", "_values", "_filter", "io_reads", "universe", "uid",
+        "slice_bounds",
+    )
 
     def __init__(
         self,
         entries: Sequence[Tuple[int, Any]],
         universe: int,
         filter_factory: Optional[FilterFactory] = None,
+        *,
+        slice_bounds: Optional[Tuple[int, int]] = None,
     ) -> None:
         keys = [k for k, _ in entries]
         self._keys = np.asarray(keys, dtype=np.uint64)
@@ -51,6 +65,7 @@ class SSTable:
         self.universe = int(universe)
         self.io_reads = 0
         self.uid = next(_RUN_IDS)
+        self.slice_bounds = slice_bounds
         self._filter = (
             filter_factory(self._keys, self.universe) if filter_factory else None
         )
@@ -62,6 +77,8 @@ class SSTable:
         values: List[Any],
         universe: int,
         filt: Optional[RangeFilter] = None,
+        *,
+        slice_bounds: Optional[Tuple[int, int]] = None,
     ) -> "SSTable":
         """Rebuild a run around an existing filter instance.
 
@@ -80,6 +97,7 @@ class SSTable:
         run.universe = int(universe)
         run.io_reads = 0
         run.uid = next(_RUN_IDS)
+        run.slice_bounds = slice_bounds
         run._filter = filt
         return run
 
@@ -102,6 +120,32 @@ class SSTable:
     @property
     def filter_bits(self) -> int:
         return self._filter.size_in_bits if self._filter else 0
+
+    @property
+    def nbytes(self) -> int:
+        """Simulated on-disk size: 8 key bytes + 8 value-slot bytes per
+        entry (the unit :attr:`IoStats.bytes_compacted` accounts in)."""
+        return int(self._keys.size) * 16
+
+    def keys_view(self) -> np.ndarray:
+        """The sorted key column, zero-copy and free of simulated I/O.
+
+        Compaction *planning* reads this to route keys to overlapping
+        slices without charging a run read — only merges that actually
+        rewrite data touch the simulated disk.
+        """
+        return self._keys
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """Whether ``[lo, hi]`` intersects this run's actual key bounds.
+
+        A pure fence-pointer check (no filter, no simulated I/O): exact
+        pruning for runs — notably leveled slices — whose key range lies
+        entirely outside the probe.
+        """
+        if self._keys.size == 0:
+            return False
+        return int(self._keys[0]) <= hi and lo <= int(self._keys[-1])
 
     # ------------------------------------------------------------------
     # Filter consultation
@@ -138,6 +182,28 @@ class SSTable:
         """Full dump (compaction input); counts one I/O."""
         self.io_reads += 1
         return [(int(k), v) for k, v in zip(self._keys, self._values)]
+
+    def iter_entries(
+        self, lo: Optional[int] = None, hi: Optional[int] = None
+    ) -> Iterator[Tuple[int, Any]]:
+        """Stream ``(key, value)`` pairs in key order; counts one I/O.
+
+        ``lo``/``hi`` restrict the stream to ``[lo, hi]`` (both
+        inclusive) — the span clipping leveled merges use so a level-0
+        run contributes each key to exactly one merge unit. Unlike
+        :meth:`entries` nothing is materialised: the k-way merge of
+        compaction pulls entries lazily and writes output slices as it
+        goes.
+        """
+        self.io_reads += 1
+        start = 0 if lo is None else int(np.searchsorted(self._keys, lo, side="left"))
+        stop = (
+            self._keys.size
+            if hi is None
+            else int(np.searchsorted(self._keys, hi, side="right"))
+        )
+        for i in range(start, stop):
+            yield int(self._keys[i]), self._values[i]
 
     # ------------------------------------------------------------------
     # Block-granular access (the unit the block cache works in)
@@ -179,6 +245,39 @@ class SSTable:
         ]
 
 
+def merge_entries_iter(
+    runs: Sequence[SSTable],
+    *,
+    drop_tombstones: bool,
+    span: Optional[Tuple[int, int]] = None,
+) -> Iterator[Tuple[int, Any]]:
+    """Streaming heapq k-way merge, newest first, last-write-wins per key.
+
+    ``runs`` must be ordered newest to oldest. Each run streams its
+    already-sorted entries (no intermediate dict, no re-sort); the heap
+    tie-breaks equal keys by run age, so the newest version is emitted
+    and older ones are skipped. ``span`` restricts every input to
+    ``[lo, hi]`` — the clipping leveled merge units rely on. Tombstones
+    are dropped only when merging into the bottom level
+    (``drop_tombstones=True``), as in real leveled compaction.
+    """
+    lo, hi = span if span is not None else (None, None)
+
+    def tagged(run: SSTable, age: int) -> Iterator[Tuple[int, int, Any]]:
+        for key, value in run.iter_entries(lo, hi):
+            yield key, age, value
+
+    streams = [tagged(run, age) for age, run in enumerate(runs)]  # age 0 = newest
+    previous: Optional[int] = None
+    for key, _, value in heapq.merge(*streams):
+        if key == previous:
+            continue  # an older version of an already-emitted key
+        previous = key
+        if drop_tombstones and value is TOMBSTONE:
+            continue
+        yield key, value
+
+
 def merge_runs(
     runs: Sequence[SSTable],
     *,
@@ -186,16 +285,8 @@ def merge_runs(
 ) -> List[Tuple[int, Any]]:
     """K-way merge of runs, newest first, last-write-wins per key.
 
-    ``runs`` must be ordered newest to oldest; the newest occurrence of a
-    key wins. Tombstones are dropped only when merging into the bottom
-    level (``drop_tombstones=True``), as in real leveled compaction.
+    The materialising wrapper around :func:`merge_entries_iter` —
+    compaction itself streams through the iterator and never builds
+    this list.
     """
-    merged: dict[int, Any] = {}
-    for run in runs:  # newest first: first writer wins
-        for key, value in run.entries():
-            if key not in merged:
-                merged[key] = value
-    items = sorted(merged.items())
-    if drop_tombstones:
-        items = [(k, v) for k, v in items if v is not TOMBSTONE]
-    return items
+    return list(merge_entries_iter(runs, drop_tombstones=drop_tombstones))

@@ -6,26 +6,39 @@ and consult an in-memory filter per run before reading it. The store
 implements:
 
 * a memtable flushed into level-0 runs at a size threshold;
-* tiered level-0 with compaction into a single bottom run when level-0
-  grows past ``compaction_fanout`` runs (tombstones dropped at the
-  bottom);
+* a pluggable compaction axis (:mod:`repro.lsm.compaction`): level 0
+  plus a stack of deeper levels, maintained by a
+  :class:`~repro.lsm.compaction.CompactionPolicy` in bounded *steps* —
+  the default :class:`~repro.lsm.compaction.FullMergePolicy` reproduces
+  the seed behaviour (one bottom run, tombstones dropped there), while
+  tiered and leveled policies bound how much data a single step
+  rewrites;
 * point gets, range scans and emptiness probes that consult each run's
   range filter first;
 * an I/O ledger (:class:`IoStats`) separating necessary reads, reads
   saved by filters, and wasted reads caused by filter false positives —
   the quantity an adversary inflates when the filter is not robust
-  (§1, §6.7).
+  (§1, §6.7) — plus flush/compaction write volumes, which make write
+  amplification a first-class measured quantity.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING, Any, Callable, Iterable, List, Optional, Sequence, Tuple,
+)
 
 from repro.errors import InvalidParameterError, InvalidQueryError
+from repro.lsm.compaction import (
+    CompactionPolicy,
+    CompactionStep,
+    MergeUnit,
+    resolve_policy,
+)
 from repro.lsm.memtable import TOMBSTONE, MemTable
-from repro.lsm.sstable import FilterFactory, SSTable, merge_runs
+from repro.lsm.sstable import FilterFactory, SSTable, merge_entries_iter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.lsm.cache import BlockCache
@@ -44,9 +57,12 @@ class IoStats:
     reads_avoided: int = 0
     wasted_reads: int = 0  # filter said "maybe", run had nothing in range
     flushes: int = 0
-    compactions: int = 0
+    compactions: int = 0   # bounded compaction *steps* executed
     cache_hits: int = 0    # block reads served by the block cache
     cache_misses: int = 0  # block reads that went to the simulated disk
+    entries_flushed: int = 0    # entries written by memtable flushes
+    entries_compacted: int = 0  # entries (re)written by compaction steps
+    bytes_compacted: int = 0    # simulated bytes those rewrites cost
 
     @property
     def total_filter_decisions(self) -> int:
@@ -63,6 +79,20 @@ class IoStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def write_amplification(self) -> float:
+        """Total entries written per user entry flushed.
+
+        ``(entries_flushed + entries_compacted) / entries_flushed`` —
+        the classic LSM write-amp ratio at simulation granularity. 0
+        before the first flush. Leveled compaction exists to keep this
+        number's compaction term proportional to the data actually
+        touched instead of the whole store.
+        """
+        if not self.entries_flushed:
+            return 0.0
+        return (self.entries_flushed + self.entries_compacted) / self.entries_flushed
+
     def merge(self, other: "IoStats") -> "IoStats":
         """Component-wise sum with ``other``; returns a new ledger."""
         return IoStats(
@@ -73,6 +103,9 @@ class IoStats:
             compactions=self.compactions + other.compactions,
             cache_hits=self.cache_hits + other.cache_hits,
             cache_misses=self.cache_misses + other.cache_misses,
+            entries_flushed=self.entries_flushed + other.entries_flushed,
+            entries_compacted=self.entries_compacted + other.entries_compacted,
+            bytes_compacted=self.bytes_compacted + other.bytes_compacted,
         )
 
     @classmethod
@@ -94,17 +127,23 @@ class LSMStore:
     memtable_limit:
         Flush the memtable into a level-0 run at this many entries.
     compaction_fanout:
-        Compact level 0 into the bottom run when it holds this many runs.
+        A level that accumulates this many runs is compaction pressure
+        (level 0 for every policy; deeper levels too under tiered).
     filter_factory:
         Per-run range-filter builder ``(keys, universe) -> RangeFilter``;
         ``None`` disables filtering (every probe reads the run).
     auto_compact:
-        When ``True`` (default) a flush that leaves level 0 at
-        ``compaction_fanout`` runs compacts immediately. ``False`` defers:
-        the store only records that compaction is due
-        (:attr:`needs_compaction`) and an external scheduler — e.g.
-        :class:`repro.engine.scheduler.CompactionScheduler` — calls
-        :meth:`compact` at a convenient point (between query batches).
+        When ``True`` (default) a flush that leaves the store needing
+        compaction compacts immediately (all steps, inline). ``False``
+        defers: the store only records that compaction is due
+        (:attr:`needs_compaction`), fires :attr:`compaction_hook` if one
+        is set, and an external scheduler — e.g.
+        :class:`repro.engine.scheduler.CompactionScheduler` — runs
+        bounded :meth:`compact_step` calls at convenient points.
+    compaction_policy:
+        A :class:`~repro.lsm.compaction.CompactionPolicy` instance, a
+        registered policy name (``"full"``/``"tiered"``/``"leveled"``),
+        or ``None`` for the backward-compatible full-merge default.
     """
 
     def __init__(
@@ -115,6 +154,7 @@ class LSMStore:
         compaction_fanout: int = 4,
         filter_factory: Optional[FilterFactory] = None,
         auto_compact: bool = True,
+        compaction_policy: "str | CompactionPolicy | None" = None,
     ) -> None:
         if universe <= 0:
             raise InvalidParameterError("universe must be positive")
@@ -127,15 +167,24 @@ class LSMStore:
         self._fanout = int(compaction_fanout)
         self._factory = filter_factory
         self._auto_compact = bool(auto_compact)
+        self._policy = resolve_policy(compaction_policy)
         self._memtable = MemTable()
         self._level0: List[SSTable] = []  # newest first
-        self._bottom: Optional[SSTable] = None
+        self._levels: List[List[SSTable]] = []  # L1, L2, ... (older, deeper)
         self._runs_version = 0
         self._compaction_requested = False
+        self._stale_filter_uids: set[int] = set()
         self._cache: Optional["BlockCache"] = None
         #: Optional ``(q_lo, q_hi, empty) -> None`` hook the batch kernel
         #: calls after answering a sub-batch (see repro.engine.autotune).
         self.query_observer: Optional[Any] = None
+        #: Optional ``(store) -> None`` hook fired by :meth:`flush` when
+        #: the store is left needing compaction under
+        #: ``auto_compact=False`` — the seam an external scheduler plugs
+        #: into so a deferred-compaction store can never strand a
+        #: pending :meth:`request_compaction` behind a flush nobody
+        #: observed (see repro.engine.scheduler).
+        self.compaction_hook: Optional[Callable[["LSMStore"], None]] = None
         # Serialises mutations (put/delete/flush/compact) so a flush can
         # never tear the memtable swap out from under another writer.
         # Reader-vs-writer isolation is the *caller's* job — the service
@@ -150,27 +199,38 @@ class LSMStore:
         universe: int,
         *,
         level0: Sequence[SSTable],
-        bottom: Optional[SSTable],
+        bottom: Optional[SSTable] = None,
+        levels: Optional[Sequence[Sequence[SSTable]]] = None,
         memtable_limit: int = 1024,
         compaction_fanout: int = 4,
         filter_factory: Optional[FilterFactory] = None,
         auto_compact: bool = True,
+        compaction_policy: "str | CompactionPolicy | None" = None,
     ) -> "LSMStore":
         """Rebuild a store around already-constructed runs.
 
         This is the recovery path of :mod:`repro.engine.persist`: runs
         (and their filters) come back from disk exactly as snapshotted,
         so queries after a reopen behave identically to before it.
+        ``levels`` is the full deep-level topology (L1 first);
+        ``bottom`` is the pre-slicing single-bottom shorthand kept for
+        old callers and old manifests — passing both is an error.
         """
+        if bottom is not None and levels is not None:
+            raise InvalidParameterError("pass bottom or levels, not both")
         store = cls(
             universe,
             memtable_limit=memtable_limit,
             compaction_fanout=compaction_fanout,
             filter_factory=filter_factory,
             auto_compact=auto_compact,
+            compaction_policy=compaction_policy,
         )
         store._level0 = list(level0)
-        store._bottom = bottom
+        if levels is not None:
+            store._levels = [list(level) for level in levels if level]
+        elif bottom is not None:
+            store._levels = [[bottom]]
         return store
 
     # ------------------------------------------------------------------
@@ -206,7 +266,11 @@ class LSMStore:
         The whole transition — drain the memtable, install the run —
         happens under the write lock, so a concurrent writer can never
         slip an entry into the memtable between the snapshot and the
-        clear (the lost-write window the unguarded version had).
+        clear (the lost-write window the unguarded version had). A flush
+        that leaves the store needing compaction either compacts inline
+        (``auto_compact=True``) or fires :attr:`compaction_hook`, so a
+        deferred store with no engine watching it still surfaces the
+        pending work.
         """
         with self._write_lock:
             entries = self._memtable.items_sorted()
@@ -217,28 +281,191 @@ class LSMStore:
             self._memtable = MemTable()
             self._runs_version += 1
             self.stats.flushes += 1
-            if self._auto_compact and self.needs_compaction:
-                self.compact()
+            self.stats.entries_flushed += len(entries)
+            if self.needs_compaction:
+                if self._auto_compact:
+                    self.compact()
+                elif self.compaction_hook is not None:
+                    self.compaction_hook(self)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def _plan_step(self) -> Optional[CompactionStep]:
+        """Ask the policy for the next step; prune dangling stale uids."""
+        if self._stale_filter_uids:
+            live = {run.uid for run in self._runs()}
+            self._stale_filter_uids &= live
+        return self._policy.plan(
+            self._level0,
+            self._levels,
+            fanout=self._fanout,
+            universe=self.universe,
+            requested=self._compaction_requested,
+            stale_uids=self._stale_filter_uids,
+        )
 
     def compact(self) -> None:
-        """Merge all runs into a single bottom run, dropping tombstones.
+        """Run compaction steps until the policy reports the store settled.
 
-        The merged run is (re)built with the *current* filter factory,
-        so a factory swapped in by :meth:`set_filter_factory` takes over
-        every key of the store here, not just future flushes.
+        Under the default :class:`~repro.lsm.compaction.FullMergePolicy`
+        this is exactly the seed behaviour — one step merges every run
+        into a single tombstone-free bottom run, (re)built with the
+        *current* filter factory, so a factory swapped in by
+        :meth:`set_filter_factory` takes over every key of the store
+        here, not just future flushes. Under tiered/leveled policies the
+        loop may run several bounded steps back to back; callers that
+        must not hold the store that long use :meth:`compact_step`.
         """
         with self._write_lock:
+            while True:
+                step = self._plan_step()
+                if step is None:
+                    self._compaction_requested = False
+                    return
+                self._apply_step(step)
+
+    def compact_step(self) -> bool:
+        """Execute exactly one bounded compaction step, if one is due.
+
+        Returns ``True`` when a step ran. This is the unit the deferred
+        scheduler and the serving layer's background worker drain — a
+        shard write lock is held for one step's rewrite, never for a
+        whole-store merge.
+        """
+        with self._write_lock:
+            step = self._plan_step()
+            if step is None:
+                self._compaction_requested = False
+                return False
+            self._apply_step(step)
+            return True
+
+    def _apply_step(self, step: CompactionStep) -> None:
+        """Execute one planned step; caller holds the write lock."""
+        consumed: set[int] = set()
+        outputs_by_unit: List[Tuple[MergeUnit, List[SSTable]]] = []
+        written_entries = 0
+        written_bytes = 0
+        for unit in step.units:
+            consumed.update(run.uid for run in unit.inputs)
+            if step.kind == "rebuild":
+                source = unit.inputs[0]
+                entries = source.entries()
+                rebuilt = SSTable(
+                    entries,
+                    self.universe,
+                    self._factory if entries else None,
+                    slice_bounds=source.slice_bounds,
+                )
+                outputs = [rebuilt]
+            else:
+                merged = merge_entries_iter(
+                    unit.inputs,
+                    drop_tombstones=step.drop_tombstones,
+                    span=unit.span,
+                )
+                outputs = self._build_outputs(merged, unit)
+            for out in outputs:
+                written_entries += len(out)
+                written_bytes += out.nbytes
+            outputs_by_unit.append((unit, outputs))
+        if step.kind == "rebuild":
+            self._replace_in_place(outputs_by_unit)
+        else:
+            self._install_merge(step, consumed, outputs_by_unit)
+        self._stale_filter_uids -= consumed
+        if step.clears_request:
             self._compaction_requested = False
-            runs = list(self._level0)
-            if self._bottom is not None:
-                runs.append(self._bottom)  # oldest last
-            if not runs:
-                return
-            merged = merge_runs(runs, drop_tombstones=True)
-            self._bottom = SSTable(merged, self.universe, self._factory)
-            self._level0.clear()
-            self._runs_version += 1
-            self.stats.compactions += 1
+        self._runs_version += 1
+        self.stats.compactions += 1
+        self.stats.entries_compacted += written_entries
+        self.stats.bytes_compacted += written_bytes
+
+    def _build_outputs(self, merged, unit: MergeUnit) -> List[SSTable]:
+        """Materialise a unit's merged stream into output run(s).
+
+        With a ``slice_target`` the stream is chunked into slices of
+        roughly that many entries whose owning bounds partition
+        ``unit.span`` — the boundary between two consecutive slices cuts
+        at the later slice's first key, the first/last slice inherit the
+        span's edges, so the level's spans stay a gap-free tiling no
+        matter how the data skews.
+        """
+        target = unit.slice_target
+        if target is None:
+            entries = list(merged)
+            if not entries:
+                return []
+            return [SSTable(entries, self.universe, self._factory,
+                            slice_bounds=unit.span)]
+        chunks: List[List[Tuple[int, Any]]] = []
+        current: List[Tuple[int, Any]] = []
+        for entry in merged:
+            current.append(entry)
+            if len(current) >= target:
+                chunks.append(current)
+                current = []
+        if current:
+            chunks.append(current)
+        if not chunks:
+            # Everything in the span was tombstoned away. The span must
+            # stay owned (slice spans tile the universe — the routing
+            # invariant), so leave one empty, filterless slice holding
+            # it; a later merge into the span consumes it for free.
+            return [SSTable([], self.universe, None, slice_bounds=unit.span)]
+        span_lo, span_hi = unit.span if unit.span is not None else (
+            0, self.universe - 1
+        )
+        outputs: List[SSTable] = []
+        for i, chunk in enumerate(chunks):
+            lo = span_lo if i == 0 else chunk[0][0]
+            hi = span_hi if i == len(chunks) - 1 else chunks[i + 1][0][0] - 1
+            outputs.append(
+                SSTable(chunk, self.universe, self._factory, slice_bounds=(lo, hi))
+            )
+        return outputs
+
+    def _replace_in_place(self, outputs_by_unit) -> None:
+        """Swap rebuilt runs into the positions their sources held."""
+        for unit, outputs in outputs_by_unit:
+            source = unit.inputs[0]
+            replacement = outputs[0]
+            for level in [self._level0] + self._levels:
+                for i, run in enumerate(level):
+                    if run.uid == source.uid:
+                        level[i] = replacement
+                        break
+
+    def _install_merge(self, step, consumed: set, outputs_by_unit) -> None:
+        """Remove a merge step's inputs and splice in its outputs."""
+        self._level0 = [r for r in self._level0 if r.uid not in consumed]
+        for li in range(len(self._levels)):
+            self._levels[li] = [
+                r for r in self._levels[li] if r.uid not in consumed
+            ]
+        while len(self._levels) < step.output_level:
+            self._levels.append([])
+        target = self._levels[step.output_level - 1]
+        sliced = any(
+            out.slice_bounds is not None
+            for _, outputs in outputs_by_unit
+            for out in outputs
+        )
+        for _, outputs in outputs_by_unit:
+            if sliced:
+                target.extend(outputs)
+            else:
+                # Age-ordered level (tiered): the merged run is newer
+                # than everything already below, so it goes in front.
+                target[:0] = outputs
+        if sliced:
+            target.sort(key=lambda run: (
+                run.slice_bounds[0] if run.slice_bounds else 0
+            ))
+        # Drop empty trailing levels so topology introspection stays tidy.
+        while self._levels and not self._levels[-1]:
+            self._levels.pop()
 
     def set_filter_factory(self, factory: Optional[FilterFactory]) -> None:
         """Swap the per-run filter builder for *future* runs.
@@ -246,17 +473,17 @@ class LSMStore:
         Existing runs keep the filters they were built with (they are
         immutable); the next flush or compaction uses ``factory``. This
         is the mechanism :mod:`repro.engine.autotune` uses to retarget a
-        shard — typically paired with :meth:`request_compaction` so the
-        whole shard converges to the new backend at the next compaction.
-        Never changes any query result: filters only prune.
+        shard — typically paired with :meth:`request_filter_rebuild` so
+        existing runs converge to the new backend step by step. Never
+        changes any query result: filters only prune.
 
         Deliberately lock-free: a single attribute store is atomic under
         the GIL, and taking the write lock here would stall the caller
         (the auto-tuner, holding its own lock with query observers
         queued behind it) for the full duration of any in-flight
         compaction. A swap landing mid-compaction simply means that
-        compaction finishes under the old factory — the paired
-        :meth:`request_compaction` queues the rebuild that converges it.
+        compaction finishes under the old factory — the paired rebuild
+        request queues the work that converges it.
         """
         self._factory = factory
 
@@ -268,16 +495,37 @@ class LSMStore:
     def request_compaction(self) -> None:
         """Force :attr:`needs_compaction` on even below the fanout.
 
-        Used after a filter-factory swap to have the (deferred or
-        background) compaction machinery rebuild every run under the new
-        backend. A no-op once :meth:`compact` runs. Lock-free like
-        :meth:`set_filter_factory` (same stall concern); the unlocked
-        emptiness peek can at worst set the flag for a store that just
-        compacted to nothing, which the next :meth:`compact` clears for
-        free.
+        The converge-everything escape hatch: the policy satisfies it
+        with whatever "settle the store" means under its topology (a
+        full merge for the default and tiered policies, an L0 push-down
+        for leveled). A no-op once the compaction machinery drains the
+        store. Lock-free like :meth:`set_filter_factory` (same stall
+        concern); the unlocked emptiness peek can at worst set the flag
+        for a store that just compacted to nothing, which the next
+        :meth:`compact` clears for free.
         """
-        if self._level0 or self._bottom is not None:
+        if self._level0 or self._levels:
             self._compaction_requested = True
+
+    def request_filter_rebuild(self) -> None:
+        """Tag every current run's filter as stale.
+
+        The compaction machinery then rewrites the tagged runs under the
+        *current* filter factory — as one full merge under the default
+        policy (the seed behaviour a backend switch used to trigger), or
+        as bounded per-run/per-slice rebuild steps under tiered/leveled,
+        so a backend switch on a big sliced shard costs one slice per
+        step instead of a monolithic whole-shard merge. Runs rewritten
+        by ordinary merges shed their stale tag for free. Lock-free for
+        the same reason as :meth:`set_filter_factory`; a run installed
+        by an in-flight compaction racing this call may miss its tag
+        (and keep a previous backend's filter), which is self-healing —
+        filters only prune, and the auto-tuner's next decision on a
+        still-misbehaving shard tags the survivors again.
+        """
+        uids = {run.uid for run in self._runs()}
+        if uids:
+            self._stale_filter_uids |= uids
 
     # ------------------------------------------------------------------
     # Reads
@@ -306,11 +554,25 @@ class LSMStore:
         return matches
 
     def _runs(self) -> List[SSTable]:
-        """All runs, newest first."""
+        """All runs, in recency order: level 0 newest first, then each
+        deeper level (slices within a leveled level are key-disjoint, so
+        their relative order carries no recency meaning)."""
         runs = list(self._level0)
-        if self._bottom is not None:
-            runs.append(self._bottom)
+        for level in self._levels:
+            runs.extend(level)
         return runs
+
+    def _prune(self, run: SSTable, lo: int, hi: int) -> bool:
+        """Can ``run`` be skipped for ``[lo, hi]`` without reading it?
+
+        Two exact-or-conservative gates: the run's key bounds (a fence
+        check — decisive for leveled slices, whose spans tile the
+        keyspace) and then its range filter. Both count as an avoided
+        read when they prune.
+        """
+        if not run.overlaps(lo, hi):
+            return True
+        return not run.may_contain_range(lo, hi)
 
     def get(self, key: int) -> Optional[Any]:
         """Point lookup through memtable then runs (newest wins)."""
@@ -319,7 +581,7 @@ class LSMStore:
         if found:
             return None if value is TOMBSTONE else value
         for run in self._runs():
-            if not run.may_contain_range(key, key):
+            if self._prune(run, key, key):
                 self.stats.reads_avoided += 1
                 continue
             self.stats.reads_performed += 1
@@ -343,8 +605,8 @@ class LSMStore:
         merged: dict[int, Any] = {}
         for key, value in self._memtable.scan(lo, hi):
             merged.setdefault(key, value)
-        for run in self._runs():  # newest first: setdefault keeps newest
-            if not run.may_contain_range(lo, hi):
+        for run in self._runs():  # recency order: setdefault keeps newest
+            if self._prune(run, lo, hi):
                 self.stats.reads_avoided += 1
                 continue
             self.stats.reads_performed += 1
@@ -374,8 +636,8 @@ class LSMStore:
             if value is not TOMBSTONE:
                 return False  # newest version of this key, and it is live
             shadowed.add(key)
-        for run in self._runs():  # newest first
-            if not run.may_contain_range(lo, hi):
+        for run in self._runs():  # recency order
+            if self._prune(run, lo, hi):
                 self.stats.reads_avoided += 1
                 continue
             self.stats.reads_performed += 1
@@ -399,19 +661,30 @@ class LSMStore:
         return len(self._runs())
 
     @property
+    def compaction_policy(self) -> CompactionPolicy:
+        """The policy steering this store's compaction."""
+        return self._policy
+
+    @property
     def needs_compaction(self) -> bool:
-        """True when level 0 reached the fanout — or a rebuild was
-        explicitly requested via :meth:`request_compaction`."""
-        return len(self._level0) >= self._fanout or self._compaction_requested
+        """True when the policy sees structural pressure — or a rebuild
+        was explicitly requested via :meth:`request_compaction` /
+        :meth:`request_filter_rebuild`."""
+        return (
+            self._compaction_requested
+            or bool(self._stale_filter_uids)
+            or self._policy.needs_work(self._level0, self._levels, self._fanout)
+        )
 
     @property
     def runs_version(self) -> int:
         """Monotone counter bumped whenever the run set changes.
 
-        Flushes and compactions increment it; memtable writes do not.
-        The process-mode serving layer compares it against the version
-        recorded at the last checkpoint to decide whether a read-only
-        snapshot worker still sees this store's exact run set.
+        Flushes and compaction steps increment it; memtable writes do
+        not. The process-mode serving layer compares it against the
+        version recorded at the last checkpoint to decide whether a
+        read-only snapshot worker still sees this store's exact level
+        topology.
         """
         return self._runs_version
 
@@ -426,9 +699,27 @@ class LSMStore:
         return tuple(self._level0)
 
     @property
+    def levels(self) -> Tuple[Tuple[SSTable, ...], ...]:
+        """The deep levels (L1 first), as read-only views."""
+        return tuple(tuple(level) for level in self._levels)
+
+    @property
     def bottom_run(self) -> Optional[SSTable]:
-        """The bottom run, or ``None`` before the first compaction."""
-        return self._bottom
+        """The single bottom run, when the topology has one.
+
+        Exact under the default full-merge policy (the seed's
+        ``bottom``); ``None`` whenever the deep topology holds anything
+        other than exactly one run — sliced or tiered stores have no
+        single bottom to name.
+        """
+        if len(self._levels) == 1 and len(self._levels[0]) == 1:
+            return self._levels[0][0]
+        return None
+
+    @property
+    def stale_filter_uids(self) -> frozenset:
+        """Uids of runs tagged for a filter rebuild (diagnostic view)."""
+        return frozenset(self._stale_filter_uids)
 
     @property
     def filter_bits_total(self) -> int:

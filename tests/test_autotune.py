@@ -165,6 +165,61 @@ def test_robust_engine_buys_bits_when_wasteful():
     assert tuner.current_spec(0).backend == "grafite"
 
 
+def test_retarget_on_leveled_shard_rebuilds_slice_by_slice():
+    """ISSUE 5 acceptance: an AutoTuner backend switch on a leveled shard
+    must converge through bounded per-slice rebuild steps — each step's
+    write volume (IoStats.entries_compacted delta) is one slice, never
+    the shard — and slices already under the new backend are not
+    rebuilt again."""
+    from repro.lsm import LeveledPolicy
+
+    keys = _keys(9000)
+    engine = ShardedEngine(
+        UNIVERSE, num_shards=1, memtable_limit=4096,
+        filter_spec=FilterSpec(backend="snarf", bits_per_key=16, seed=SEED),
+        compaction=LeveledPolicy(slice_target=512),
+    )
+    tuner = AutoTuner(AutoTunePolicy(min_window=128))
+    engine.attach_autotuner(tuner)
+    for key in keys:
+        engine.put(int(key), b"v")
+    engine.flush_all()
+    store = engine.shards[0]
+    store.request_compaction()
+    store.compact()  # settle the sliced level before the attack
+    slices = store.levels[0]
+    assert len(slices) > 4, "need a genuinely sliced shard"
+    max_slice = max(len(s) for s in slices)
+    # Adversarial traffic: the tuner evicts SNARF for the robust default
+    # and tags the existing slices for rebuild.
+    los, his = _empty_ranges_near_keys(keys, 2000, 16, SEED + 40)
+    assert engine.batch_range_empty(los, his).all()
+    assert tuner.backend_counts() == {"grafite": 1}
+    tagged = store.stale_filter_uids
+    assert tagged, "the switch should tag the live slices as stale"
+    # Drain one bounded step at a time, measuring each step's rewrite.
+    deltas = []
+    while store.needs_compaction:
+        before = store.stats.entries_compacted
+        if engine.drain_compactions(max_steps=1) == 0:
+            break
+        deltas.append(store.stats.entries_compacted - before)
+    assert len(deltas) >= len(tagged) > 1
+    assert max(deltas) <= max_slice, (
+        f"a rebuild step rewrote {max(deltas)} entries — more than one "
+        f"slice ({max_slice}); the switch must not merge the whole shard"
+    )
+    assert sum(deltas) <= 2 * len(store), deltas
+    for run in store.levels[0]:
+        if run.filter is not None:
+            assert run.filter.name == "Grafite"
+    # Converged: nothing further to rebuild, and a fresh drain is a no-op.
+    assert not store.stale_filter_uids
+    before_total = store.stats.entries_compacted
+    engine.drain_compactions()
+    assert store.stats.entries_compacted == before_total
+
+
 # ----------------------------------------------------------------------
 # Churn exactness
 # ----------------------------------------------------------------------

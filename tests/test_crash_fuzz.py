@@ -43,9 +43,13 @@ def record_run(
     n_ops: int = 60,
     checkpoint_every: Optional[int] = 25,
     filter_factory=None,
+    compaction=None,
+    drain_every: Optional[int] = None,
 ) -> Tuple[List[Dict[int, Any]], int, bytes]:
     """Drive a persistent engine; return per-op oracle states, the op
-    index of the last checkpoint, and the final WAL bytes."""
+    index of the last checkpoint, and the final WAL bytes.
+    ``drain_every`` runs deferred compaction steps mid-stream so
+    non-default policies build real level topologies before the crash."""
     import numpy as np
 
     rng = np.random.default_rng(SEED)
@@ -56,6 +60,7 @@ def record_run(
         compaction_fanout=3,
         filter_factory=filter_factory,
         directory=directory,
+        compaction=compaction,
     )
     states: List[Dict[int, Any]] = [{}]
     last_checkpoint = 0
@@ -75,6 +80,8 @@ def record_run(
             engine.delete(key)
             state.pop(key, None)
         states.append(state)
+        if drain_every and index % drain_every == 0:
+            engine.drain_compactions()
         if checkpoint_every and index % checkpoint_every == 0:
             engine.checkpoint()
             last_checkpoint = index
@@ -107,11 +114,13 @@ def truncation_offsets(wal_bytes: bytes, stride: int):
 
 
 def run_truncation_sweep(
-    tmp_path: Path, *, filter_factory, stride: int, checkpoint_every=25
+    tmp_path: Path, *, filter_factory, stride: int, checkpoint_every=25,
+    compaction=None, drain_every=None,
 ):
     db = tmp_path / "db"
     states, last_checkpoint, wal_bytes = record_run(
-        db, filter_factory=filter_factory, checkpoint_every=checkpoint_every
+        db, filter_factory=filter_factory, checkpoint_every=checkpoint_every,
+        compaction=compaction, drain_every=drain_every,
     )
     scratch = tmp_path / "scratch"
     shutil.copytree(db, scratch)
@@ -230,6 +239,142 @@ def test_orphan_run_files_are_ignored(tmp_path):
     db, states, _ = checkpointed_engine(tmp_path)
     (db / "shard-0000" / "run-999999-0000.sst").write_bytes(b"\x00garbage")
     assert recovered_state(db) == states[-1]
+
+
+def test_wal_truncation_leveled_topology(tmp_path):
+    """Strided sweep with leveled compaction live mid-stream: checkpoints
+    snapshot a real sliced topology (manifest v2), deferred steps churn
+    it between checkpoints, and every truncation offset must still
+    recover exactly the oracle state on the restored slices."""
+    from repro.lsm import LeveledPolicy
+
+    run_truncation_sweep(
+        tmp_path,
+        filter_factory=grafite_factory,
+        stride=11,
+        checkpoint_every=20,
+        compaction=LeveledPolicy(slice_target=8),
+        drain_every=7,
+    )
+
+
+def test_wal_truncation_tiered_topology(tmp_path):
+    """Same sweep under tiered compaction: cascaded levels in the
+    checkpoint, recovery replays the tail onto them."""
+    run_truncation_sweep(
+        tmp_path,
+        filter_factory=None,
+        stride=13,
+        checkpoint_every=20,
+        compaction="tiered",
+        drain_every=5,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pre-slicing (version 1) checkpoints
+# ----------------------------------------------------------------------
+def _v2_run_to_v1(buf: bytes) -> bytes:
+    """Rewrite a version-2 run file in the pre-slicing version-1 layout.
+
+    Byte surgery, not re-serialisation: everything except the version
+    stamp and the slice-bounds section is kept bit-identical — exactly
+    what a run file written before this PR looks like."""
+    import struct
+
+    from repro.core.serialization import unpack_int, unpack_words
+
+    assert buf[:4] == b"RSST"
+    (version,) = struct.unpack_from("<H", buf, 4)
+    assert version == 2
+    offset = 6 + 8  # header + entry count
+    _, offset = unpack_int(buf, offset)     # universe
+    _, offset = unpack_words(buf, offset)   # keys
+    (mask_len,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8 + mask_len
+    (values_len,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8 + values_len
+    bounds_start = offset
+    (has_bounds,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    if has_bounds:
+        _, offset = unpack_int(buf, offset)
+        _, offset = unpack_int(buf, offset)
+    return buf[:4] + struct.pack("<H", 1) + buf[6:bounds_start] + buf[offset:]
+
+
+def _downgrade_snapshot_to_v1(db: Path) -> None:
+    """Rewrite an on-disk checkpoint as the seed (pre-PR) format wrote it:
+    manifest version 1 with per-shard ``level0`` + single ``bottom``, no
+    ``compaction`` record, and version-1 run files."""
+    import json
+
+    manifest = json.loads((db / persist.MANIFEST_NAME).read_text())
+    assert manifest["manifest_version"] == 2
+    manifest["manifest_version"] = 1
+    manifest.pop("compaction", None)
+    for sid, entry in enumerate(manifest["shards"]):
+        levels = entry.pop("levels")
+        assert len(levels) <= 1 and all(len(names) <= 1 for names in levels), (
+            "the v1 format can only express a single bottom run"
+        )
+        entry["bottom"] = levels[0][0] if levels and levels[0] else None
+        shard_dir = db / f"shard-{sid:04d}"
+        for sst in shard_dir.glob("*.sst"):
+            sst.write_bytes(_v2_run_to_v1(sst.read_bytes()))
+    (db / persist.MANIFEST_NAME).write_text(json.dumps(manifest, indent=1))
+
+
+def test_v1_single_bottom_checkpoint_reopens_byte_for_byte(tmp_path):
+    """A pre-PR checkpoint (v1 manifest, v1 run files, single bottom run)
+    must reopen under the default FullMergePolicy with the exact state
+    and the exact filter bytes it was written with."""
+    from repro.core.serialization import filter_to_bytes
+
+    db = tmp_path / "db"
+    states, _, _ = record_run(
+        db, n_ops=50, checkpoint_every=25, filter_factory=grafite_factory
+    )
+    # Settle every shard to the single-bottom topology v1 can express,
+    # then checkpoint cleanly.
+    engine = ShardedEngine.open(db, filter_factory=grafite_factory)
+    for store in engine.shards:
+        store.request_compaction()
+    engine.drain_compactions()
+    engine.close()  # checkpoints
+    reference = recovered_state(db, grafite_factory)
+    assert reference == states[-1]
+    def filter_blobs(engine):
+        return [
+            [filter_to_bytes(run.filter) for run in store.level0_runs]
+            + ([filter_to_bytes(store.bottom_run.filter)]
+               if store.bottom_run else [])
+            for store in engine.shards
+        ]
+
+    engine = ShardedEngine.open(db, filter_factory=grafite_factory)
+    before = filter_blobs(engine)
+    engine.close(checkpoint=False)
+
+    _downgrade_snapshot_to_v1(db)
+
+    engine = ShardedEngine.open(db, filter_factory=grafite_factory)
+    try:
+        assert engine.compaction_policy.name == "full"
+        assert filter_blobs(engine) == before, (
+            "filters did not restore byte-for-byte from v1"
+        )
+        assert {k: v for k, v in engine.range_scan(0, UNIVERSE - 1)} == reference
+        # The reopened engine keeps working: write, compact, re-checkpoint
+        # — and the next checkpoint is written in the current format.
+        engine.put(123, "post-upgrade")
+        engine.checkpoint()
+    finally:
+        engine.close(checkpoint=False)
+    manifest = persist.load_manifest(db)
+    assert manifest["generation"] >= 2
+    upgraded = recovered_state(db, grafite_factory)
+    assert upgraded == {**reference, 123: "post-upgrade"}
 
 
 def test_truncation_inside_header(tmp_path):

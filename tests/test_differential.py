@@ -189,12 +189,13 @@ class Target:
 
 class EngineTarget(Target):
     def __init__(
-        self, *, directory=None, cache=False, num_shards=4, spec=None, autotune=False
+        self, *, directory=None, cache=False, num_shards=4, spec=None,
+        autotune=False, compaction=None,
     ):
         self.name = (
             f"engine(persistent={directory is not None}, cache={cache}, "
             f"spec={spec.backend if spec else 'grafite-factory'}, "
-            f"autotune={autotune})"
+            f"autotune={autotune}, compaction={compaction or 'full'})"
         )
         self._directory = directory
         self._spec = spec
@@ -207,6 +208,7 @@ class EngineTarget(Target):
             filter_factory=None if spec is not None else grafite_factory,
             filter_spec=spec,
             directory=directory,
+            compaction=compaction,
         )
         self._maybe_attach_tuner()
         if cache:
@@ -263,12 +265,12 @@ class EngineTarget(Target):
 class ServiceTarget(Target):
     def __init__(
         self, num_threads: int, *, directory=None, mode="thread", workers=None,
-        spec=None, autotune=False,
+        spec=None, autotune=False, compaction=None,
     ):
         self.name = (
             f"service(threads={num_threads}, mode={mode}, workers={workers}, "
             f"spec={spec.backend if spec else 'grafite-factory'}, "
-            f"autotune={autotune})"
+            f"autotune={autotune}, compaction={compaction or 'full'})"
         )
         self._threads = num_threads
         self._directory = directory
@@ -284,6 +286,7 @@ class ServiceTarget(Target):
             filter_factory=None if spec is not None else grafite_factory,
             filter_spec=spec,
             directory=directory,
+            compaction=compaction,
         )
         if autotune:
             self.engine.attach_autotuner(AutoTuner(AutoTunePolicy(min_window=128)))
@@ -492,6 +495,50 @@ def test_differential_service_autotune():
     rng = np.random.default_rng(SEED + 17)
     replay(
         ServiceTarget(2, spec=HEURISTIC_SPECS["snarf"], autotune=True),
+        gen_ops(rng, N_OPS // 2, persistent=False),
+    )
+
+
+def _policy(kind):
+    """Differential-sized policy instances: tiny slices so the leveled
+    topology is real (many slices, partial rewrites) at 96-entry
+    memtables instead of degenerating to one slice."""
+    from repro.lsm import LeveledPolicy
+
+    return LeveledPolicy(slice_target=64) if kind == "leveled" else kind
+
+
+@pytest.mark.parametrize("kind", ["tiered", "leveled"])
+def test_differential_engine_compaction_policies(kind):
+    """The non-default compaction policies answer the identical op mix:
+    tiered cascades and leveled slice rewrites never change a result."""
+    rng = np.random.default_rng(SEED + 23)
+    replay(
+        EngineTarget(compaction=_policy(kind)),
+        gen_ops(rng, N_OPS // 2, persistent=False),
+    )
+
+
+@pytest.mark.parametrize("kind", ["tiered", "leveled"])
+def test_differential_engine_compaction_policies_persistent(tmp_path, kind):
+    """Persistent streams under tiered/leveled: checkpoints snapshot the
+    level/slice topology (manifest v2), reopens restore it (the policy
+    itself comes back from the manifest — reopen passes no policy), and
+    WAL replay lands on the restored levels."""
+    rng = np.random.default_rng(SEED + 29)
+    replay(
+        EngineTarget(directory=tmp_path / "db", compaction=_policy(kind)),
+        gen_ops(rng, N_OPS // 2, persistent=True),
+    )
+
+
+@pytest.mark.parametrize("kind", ["tiered", "leveled"])
+def test_differential_service_compaction_policies(kind):
+    """The concurrent service's background worker drains bounded steps
+    under shard write locks while queries fan out — per-policy."""
+    rng = np.random.default_rng(SEED + 31)
+    replay(
+        ServiceTarget(2, compaction=_policy(kind)),
         gen_ops(rng, N_OPS // 2, persistent=False),
     )
 

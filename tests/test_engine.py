@@ -202,7 +202,7 @@ class TestCompactionScheduler:
             store.put(k, "v")
         scheduler.notify(0, store)
         store.compact()  # someone compacted behind the scheduler's back
-        assert scheduler.drain(max_compactions=5) == 0  # stale entry skipped
+        assert scheduler.drain(max_steps=5) == 0  # stale entry skipped
         assert scheduler.compactions_run == 0
 
 
