@@ -84,6 +84,48 @@ def format_write_amp(
     return f"{amp:.2f}x ({detail})"
 
 
+def format_latency_histogram(
+    latencies_s: Sequence[float],
+    *,
+    title: Optional[str] = None,
+    percentiles: Sequence[float] = (50, 90, 99, 99.9),
+    buckets: int = 12,
+    width: int = 40,
+) -> str:
+    """Text histogram of request latencies plus the percentile ladder.
+
+    Buckets are log-spaced between the observed min and max (latency
+    distributions are heavy-tailed; linear buckets would dump everything
+    into the first row), each row showing the bucket's upper edge in
+    milliseconds, a proportional bar, and the count. The percentile rows
+    underneath are what the SLO gates read.
+    """
+    import numpy as np
+
+    lat = np.asarray(latencies_s, dtype=np.float64)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if lat.size == 0:
+        lines.append("(no completed requests)")
+        return "\n".join(lines)
+    lo = max(float(lat.min()), 1e-7)
+    hi = max(float(lat.max()), lo * 1.0001)
+    edges = np.geomspace(lo, hi, buckets + 1)
+    edges[0] = 0.0  # the first bucket catches everything below lo
+    counts, _ = np.histogram(lat, bins=edges)
+    peak = max(1, int(counts.max()))
+    for i, count in enumerate(counts):
+        bar = "#" * max(int(round(width * count / peak)), 1 if count else 0)
+        lines.append(
+            f"  <= {edges[i + 1] * 1e3:9.3f} ms | {bar:<{width}} | {count:,}"
+        )
+    for q in percentiles:
+        lines.append(f"  p{q:<5} {float(np.percentile(lat, q)) * 1e3:9.3f} ms")
+    lines.append(f"  max   {float(lat.max()) * 1e3:9.3f} ms  ({lat.size:,} samples)")
+    return "\n".join(lines)
+
+
 def format_series(
     x_label: str,
     xs: Sequence[object],

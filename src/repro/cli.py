@@ -24,8 +24,18 @@ Six commands, mirroring how the library is typically exercised:
   background compaction, the block cache's hit ratio, and (with
   ``--mode process``) per-shard snapshot worker processes answering the
   CPU-bound batches outside the GIL. Ends with one ``[serve] ...``
-  summary line carrying the probe throughput and cache hit rate in the
-  exact form the benchmarks record.
+  summary line (rendered from the service's structured
+  ``stats_snapshot()``) carrying the probe throughput and cache hit
+  rate in the exact form the benchmarks record. With ``--listen
+  HOST:PORT`` the command instead bulk-loads the dataset and opens the
+  :mod:`repro.net` front door — framed binary protocol, per-connection
+  batching windows, admission control — until SIGINT/SIGTERM triggers
+  the graceful drain → checkpoint → close sequence;
+* ``loadgen`` — the open-loop load generator of
+  :mod:`repro.net.loadgen` against a running ``serve --listen``
+  server: simulated clients, Zipfian key popularity, Poisson or bursty
+  arrivals, a latency histogram with the p50/p99 ladder, and one
+  ``[loadgen] ...`` summary line.
 
 Every command is deterministic given ``--seed`` (``serve`` interleaves
 threads, so timings vary but results do not).
@@ -124,6 +134,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--miss-latency-us", type=float, default=0.0,
         help="simulated disk latency per cache miss, microseconds",
     )
+    p_serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="instead of the canned workload: bulk-load the dataset and "
+        "open the repro.net front door until SIGINT/SIGTERM (port 0 picks "
+        "a free port; the bound address is printed)",
+    )
+    p_serve.add_argument(
+        "--batch-window-us", type=float, default=300.0,
+        help="per-connection batching window for single-range queries, "
+        "microseconds (0 disables coalescing)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=512,
+        help="flush a batching window early at this many queries",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=4096,
+        help="admission control: shed queries beyond this many in flight",
+    )
+    p_serve.add_argument(
+        "--max-compaction-backlog", type=int, default=None,
+        help="shed queries while more shards than this await compaction",
+    )
+    p_serve.add_argument(
+        "--max-cache-miss-rate", type=float, default=None,
+        help="shed queries while the windowed cache miss rate exceeds this",
+    )
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop load generator against a running serve --listen",
+    )
+    _add_common(p_loadgen)
+    p_loadgen.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="address printed by `repro serve --listen`",
+    )
+    p_loadgen.add_argument(
+        "--clients", type=int, default=256,
+        help="simulated open-loop client streams",
+    )
+    p_loadgen.add_argument(
+        "--connections", type=int, default=8,
+        help="pipelined sockets the clients multiplex over",
+    )
+    p_loadgen.add_argument(
+        "--rate", type=float, default=2000.0,
+        help="total offered load, queries/second",
+    )
+    p_loadgen.add_argument(
+        "--requests", type=int, default=5000, help="total requests to send"
+    )
+    p_loadgen.add_argument("--range-size", type=int, default=32)
+    p_loadgen.add_argument(
+        "--distribution", choices=("zipf", "uniform"), default="zipf",
+        help="zipf regenerates the server's dataset locally (same "
+        "--dataset/--n/--seed) to aim at hot keys",
+    )
+    p_loadgen.add_argument(
+        "--skew", type=float, default=1.1, help="Zipf exponent"
+    )
+    p_loadgen.add_argument(
+        "--hot", type=int, default=1024, help="hot-key set size for zipf"
+    )
+    p_loadgen.add_argument(
+        "--arrivals", choices=("poisson", "bursty"), default="poisson"
+    )
+    p_loadgen.add_argument("--burst-factor", type=float, default=8.0)
+    p_loadgen.add_argument("--burst-period", type=float, default=0.25)
     return parser
 
 
@@ -435,10 +514,124 @@ def cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(spec: str) -> tuple:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.lstrip("-").isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {spec!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _serve_summary_line(
+    snapshot: dict, *, probe_qps: float, compaction: str
+) -> str:
+    """The machine-grepable ``[serve]`` line, rendered from the
+    service's structured :meth:`RangeQueryService.stats_snapshot` so the
+    CLI, the protocol ``stats`` op, and the benchmarks agree on every
+    number."""
+    cache = snapshot["cache"] or {}
+    io = snapshot["io"]
+    return (
+        f"[serve] mode={snapshot['mode']} threads={snapshot['threads']} "
+        f"workers={snapshot['workers']} probe_qps={probe_qps:,.0f} "
+        f"cache_hit_rate={cache.get('hit_ratio', 0.0):.3f} "
+        f"worker_queries={snapshot['queries']['worker']} "
+        f"local_queries={snapshot['queries']['local']} "
+        f"compaction={compaction} "
+        f"compaction_steps={snapshot['compaction']['total_steps']} "
+        f"entries_compacted={io['entries_compacted']} "
+        f"write_amp={io['write_amplification']:.2f}"
+    )
+
+
+def _serve_listen(args: argparse.Namespace) -> int:
+    """``serve --listen``: bulk-load, then run the network front door.
+
+    SIGINT/SIGTERM triggers the graceful sequence — stop accepting,
+    flush every batching window, drain in-flight work and compactions,
+    checkpoint (persistent engines), close — instead of a
+    KeyboardInterrupt traceback.
+    """
+    import asyncio
+    import signal
+
+    from repro.engine import RangeQueryService
+    from repro.net import NetServer, ServerConfig
+
+    host, port = _parse_hostport(args.listen)
+    universe = _universe(args)
+    keys = load_dataset(args.dataset, args.n, universe=universe, seed=args.seed)
+    engine = _build_engine(args)
+    rng = np.random.default_rng(args.seed + 1)
+    for key in keys[rng.permutation(keys.size)]:
+        engine.put(int(key), b"v")
+    engine.flush_all()
+    if engine.directory is not None:
+        engine.checkpoint()
+    service = RangeQueryService(
+        engine,
+        num_threads=args.threads,
+        cache_blocks=args.cache_blocks,
+        miss_latency=args.miss_latency_us * 1e-6,
+        mode=args.mode,
+        num_workers=args.workers,
+    )
+    config = ServerConfig(
+        batch_window=args.batch_window_us * 1e-6,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        max_compaction_backlog=args.max_compaction_backlog,
+        max_cache_miss_rate=args.max_cache_miss_rate,
+    )
+
+    async def main() -> dict:
+        server = NetServer(service, host=host, port=port, config=config)
+        await server.start()
+        bound_host, bound_port = server.address
+        print(
+            f"[serve] listening on {bound_host}:{bound_port} "
+            f"(keys={keys.size:,}, window={args.batch_window_us:.0f}us, "
+            f"max_inflight={args.max_inflight})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("[serve] signal received: draining", flush=True)
+        await server.stop()
+        return server.stats()
+
+    server_stats = asyncio.run(main())
+    service.wait_for_compactions(timeout=30.0)
+    snapshot = service.stats_snapshot()
+    service.close(checkpoint=engine.directory is not None)
+    if engine.directory is not None:
+        engine.close(checkpoint=False)
+    print(_serve_summary_line(snapshot, probe_qps=0.0,
+                              compaction=args.compaction))
+    print(
+        f"[serve] shutdown clean: connections={server_stats['connections_total']} "
+        f"queries={server_stats['queries_answered']} "
+        f"shed={server_stats['shed_inflight'] + server_stats['shed_overload'] + server_stats['shed_shutdown']} "
+        f"protocol_errors={server_stats['protocol_errors']}"
+    )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """The same workload, served concurrently by a RangeQueryService."""
     from repro.engine import RangeQueryService
 
+    if args.listen is not None:
+        if args.mode == "process" and args.dir is None:
+            print(
+                "serve: --mode process needs --dir (snapshot workers open "
+                "the shards from the engine's checkpoint directory)",
+                file=sys.stderr,
+            )
+            return 2
+        return _serve_listen(args)
     if args.mode == "process" and args.dir is None:
         print(
             "serve: --mode process needs --dir (snapshot workers open the "
@@ -493,21 +686,77 @@ def cmd_serve(args: argparse.Namespace) -> int:
             else 0.0
         )
         print(
-            f"[serve] mode={service.mode} threads={args.threads} "
-            f"workers={service.num_workers} probe_qps={probe_qps:,.0f} "
-            f"cache_hit_rate={stats.cache_hit_ratio:.3f} "
-            f"worker_queries={service.worker_queries} "
-            f"local_queries={service.local_queries} "
-            f"compaction={args.compaction} "
-            f"compaction_steps={stats.compactions} "
-            f"entries_compacted={stats.entries_compacted} "
-            f"write_amp={stats.write_amplification:.2f}"
+            _serve_summary_line(
+                service.stats_snapshot(),
+                probe_qps=probe_qps,
+                compaction=args.compaction,
+            )
         )
     finally:
         service.close()
         if engine.directory is not None:
             engine.close()
     return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Open-loop load generation against a running ``serve --listen``."""
+    from repro.analysis.report import format_latency_histogram
+    from repro.net import LoadConfig, run_loadgen
+
+    host, port = _parse_hostport(args.connect)
+    universe = _universe(args)
+    keys = None
+    if args.distribution == "zipf":
+        # The generator aims at hot keys, so it regenerates the server's
+        # dataset locally — same --dataset/--n/--seed on both sides.
+        keys = load_dataset(
+            args.dataset, args.n, universe=universe, seed=args.seed
+        )
+    cfg = LoadConfig(
+        clients=args.clients,
+        connections=args.connections,
+        rate=args.rate,
+        n_requests=args.requests,
+        range_size=args.range_size,
+        distribution=args.distribution,
+        skew=args.skew,
+        n_hot=args.hot,
+        arrivals=args.arrivals,
+        burst_factor=args.burst_factor,
+        burst_period=args.burst_period,
+        seed=args.seed,
+    )
+    report = run_loadgen(host, port, cfg, universe=universe, keys=keys)
+    rows = [
+        ["target", f"{host}:{port}"],
+        ["clients / connections", f"{cfg.clients} / {cfg.connections}"],
+        ["distribution", f"{cfg.distribution}"
+         + (f" (skew={cfg.skew}, hot={cfg.n_hot})"
+            if cfg.distribution == "zipf" else "")],
+        ["arrivals", f"{cfg.arrivals}"
+         + (f" (x{cfg.burst_factor} bursts every {cfg.burst_period}s)"
+            if cfg.arrivals == "bursty" else "")],
+        ["offered load", f"{report.offered_qps:,.0f} q/s"],
+        ["achieved", f"{report.achieved_qps:,.0f} q/s "
+         f"({report.completed:,} of {report.sent:,} in {report.elapsed:.2f}s)"],
+        ["shed", f"{report.shed:,} ({report.shed_rate:.1%})"],
+        ["errors", f"{report.errors:,}"],
+        ["empty ranges", f"{report.empties:,}"],
+    ]
+    print(format_table(["metric", "value"], rows, title="open-loop load test"))
+    print(
+        format_latency_histogram(
+            report.latencies, title="request latency (open-loop)"
+        )
+    )
+    print(
+        f"[loadgen] offered_qps={report.offered_qps:,.0f} "
+        f"achieved_qps={report.achieved_qps:,.0f} "
+        f"p50_ms={report.p50 * 1e3:.3f} p99_ms={report.p99 * 1e3:.3f} "
+        f"shed_rate={report.shed_rate:.4f} errors={report.errors}"
+    )
+    return 1 if report.errors else 0
 
 
 _COMMANDS = {
@@ -517,6 +766,7 @@ _COMMANDS = {
     "table1": cmd_table1,
     "engine": cmd_engine,
     "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
 }
 
 

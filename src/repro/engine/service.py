@@ -613,6 +613,64 @@ class RangeQueryService:
         """The engine's aggregate I/O ledger (incl. cache hits/misses)."""
         return self._engine.stats
 
+    def stats_snapshot(self) -> dict:
+        """One structured, JSON-serialisable view of the serving tier.
+
+        Everything the ``[serve]`` summary line, the network protocol's
+        ``stats`` op, and the front door's admission control read comes
+        from here — queue depth and compaction backlog (the
+        backpressure signals), cache hit rate, the worker/local split,
+        and the engine's I/O ledger — so operators and machines see the
+        same numbers. Counters are best-effort under concurrency,
+        exactly like :attr:`stats`.
+        """
+        stats = self._engine.stats
+        with self._work_mutex:
+            backlog = len(self._engine.scheduler)
+            inflight = self._inflight
+        snapshot = {
+            "mode": self._mode,
+            "threads": self._num_threads,
+            "workers": self.num_workers,
+            "closed": self._closed,
+            "compaction": {
+                "queue_depth": backlog,
+                "inflight": inflight,
+                "backlog": backlog + int(inflight),
+                "background_steps": self._background_compactions,
+                "total_steps": stats.compactions,
+            },
+            "queries": {
+                "worker": self._worker_queries,
+                "local": self._local_queries,
+            },
+            "cache": None,
+            "io": {
+                "reads_performed": stats.reads_performed,
+                "reads_avoided": stats.reads_avoided,
+                "wasted_reads": stats.wasted_reads,
+                "flushes": stats.flushes,
+                "entries_flushed": stats.entries_flushed,
+                "entries_compacted": stats.entries_compacted,
+                "bytes_compacted": stats.bytes_compacted,
+                "write_amplification": stats.write_amplification,
+            },
+            "engine": {
+                "shards": self._engine.num_shards,
+                "runs": self._engine.run_count,
+                "filter_bits": self._engine.filter_bits_total,
+            },
+        }
+        if self._cache is not None:
+            snapshot["cache"] = {
+                "hits": stats.cache_hits,
+                "misses": stats.cache_misses,
+                "hit_ratio": stats.cache_hit_ratio,
+                "resident_blocks": len(self._cache),
+                "capacity_blocks": self._cache.capacity_blocks,
+            }
+        return snapshot
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"RangeQueryService(mode={self._mode!r}, "

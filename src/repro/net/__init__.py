@@ -1,0 +1,76 @@
+"""repro.net — the asyncio network front door over the serving layer.
+
+This package puts a real wire on :class:`~repro.engine.service.RangeQueryService`
+— the "millions of users" scenario of the roadmap made concrete:
+
+* :mod:`~repro.net.protocol` — length-prefixed binary frames with
+  numpy-packed query columns (decoded zero-copy into the columnar batch
+  pipeline), request-id multiplexing, and hello-based version
+  negotiation;
+* :mod:`~repro.net.server` — :class:`NetServer`, the asyncio front
+  door: pipelined out-of-order responses, per-connection **batching
+  windows** that coalesce small queries into one columnar batch, and
+  **admission control** that sheds (429-style) on a bounded in-flight
+  budget or when the engine's compaction backlog / cache miss rate
+  crosses its ceiling; :func:`serve_in_thread` wraps it for
+  synchronous callers;
+* :mod:`~repro.net.client` — :class:`SyncClient` (tests/CLI) and the
+  pipelined :class:`AsyncClient`;
+* :mod:`~repro.net.loadgen` — an **open-loop** load generator
+  (simulated clients with Zipfian popularity, Poisson/bursty arrivals,
+  coordinated-omission-safe latency recording) behind
+  :func:`~repro.net.loadgen.run`.
+
+``repro serve --listen HOST:PORT`` and ``repro loadgen`` expose the two
+halves on the command line; ``benchmarks/bench_network.py`` holds the
+p50/p99 SLO and shed-rate gates.
+"""
+
+from repro.net.client import (
+    AsyncClient,
+    ProtocolErrorClosed,
+    RemoteError,
+    ShedError,
+    SyncClient,
+)
+from repro.net.loadgen import (
+    LoadConfig,
+    LoadReport,
+    generate_arrivals,
+    generate_queries,
+    run_async,
+)
+from repro.net.loadgen import run as run_loadgen
+from repro.net.protocol import (
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+)
+from repro.net.server import NetServer, ServerConfig, ServerHandle, serve_in_thread
+
+__all__ = [
+    "AsyncClient",
+    "Frame",
+    "FrameDecoder",
+    "LoadConfig",
+    "LoadReport",
+    "MAX_FRAME",
+    "NetServer",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ProtocolErrorClosed",
+    "RemoteError",
+    "ServerConfig",
+    "ServerHandle",
+    "ShedError",
+    "SyncClient",
+    "encode_frame",
+    "generate_arrivals",
+    "generate_queries",
+    "run_async",
+    "run_loadgen",
+    "serve_in_thread",
+]

@@ -1,0 +1,286 @@
+"""Clients for the network front door.
+
+Two clients over the same frames:
+
+* :class:`SyncClient` — a plain-socket, one-request-at-a-time client
+  for tests, the CLI, and anything that wants the simplest possible
+  call-and-wait surface. Responses are matched by request id, so it
+  tolerates a server that interleaves other work;
+* :class:`AsyncClient` — an asyncio client built for *pipelining*: each
+  request returns immediately with an awaitable resolved by a
+  background reader task when its response frame lands. The open-loop
+  load generator keeps hundreds of requests in flight per connection
+  through this class — which is also what gives the server's
+  per-connection batching window something to coalesce.
+
+Both clients perform the hello/version negotiation on connect and raise
+:class:`ShedError` when the server's admission control rejects a
+request (the client-visible half of backpressure: back off and retry,
+the server is healthy), :class:`RemoteError` when the server reports a
+failure, and :class:`~repro.net.protocol.ProtocolError` on malformed
+frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.net import protocol as proto
+
+
+class ShedError(ReproError):
+    """The server's admission control rejected the request (back off)."""
+
+
+class RemoteError(ReproError):
+    """The server answered with an error status."""
+
+
+def _check_status(frame: proto.Frame) -> proto.Frame:
+    if frame.status == proto.STATUS_SHED:
+        raise ShedError("request shed by server admission control")
+    if frame.status == proto.STATUS_ERROR:
+        raise RemoteError(frame.body.decode("utf-8", "replace"))
+    return frame
+
+
+class SyncClient:
+    """Blocking client: connect, negotiate, then call-and-wait.
+
+    Usable as a context manager. One request is outstanding at a time;
+    the request-id counter still increments per call so server logs and
+    packet captures stay unambiguous.
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._decoder = proto.FrameDecoder()
+        self._next_rid = 1
+        self._version: Optional[int] = None
+        rid = self._rid()
+        self._sock.sendall(proto.encode_hello(rid))
+        frame = _check_status(self._recv(rid))
+        self._version = proto.decode_hello_response(frame.body)
+
+    def _rid(self) -> int:
+        rid = self._next_rid
+        self._next_rid = (self._next_rid + 1) & 0xFFFFFFFF or 1
+        return rid
+
+    def _recv(self, rid: int) -> proto.Frame:
+        while True:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ProtocolErrorClosed()
+            for frame in self._decoder.feed(data):
+                if frame.request_id == rid:
+                    return frame
+                # A frame for a request we no longer wait on (cannot
+                # happen with the one-at-a-time discipline) is dropped.
+
+    def _roundtrip(self, encode, *args) -> proto.Frame:
+        rid = self._rid()
+        self._sock.sendall(encode(rid, *args))
+        return _check_status(self._recv(rid))
+
+    @property
+    def version(self) -> int:
+        """The negotiated protocol version."""
+        assert self._version is not None
+        return self._version
+
+    def ping(self) -> None:
+        """Round-trip an empty frame (liveness check)."""
+        self._roundtrip(lambda rid: proto.encode_frame(proto.OP_PING, rid))
+
+    def get(self, key: int) -> Optional[bytes]:
+        """Point lookup; returns the stored bytes or ``None``."""
+        frame = self._roundtrip(proto.encode_point, key)
+        return proto.decode_point_response(frame.body)
+
+    def range_empty(self, lo: int, hi: int) -> bool:
+        """Single range-emptiness query (joins the server's window)."""
+        frame = self._roundtrip(proto.encode_range, lo, hi)
+        return proto.decode_range_response(frame.body)
+
+    def batch_range_empty(self, los, his) -> np.ndarray:
+        """Columnar batch query; returns the verdict bool array."""
+        los = np.asarray(los, dtype=np.uint64)
+        his = np.asarray(his, dtype=np.uint64)
+        frame = self._roundtrip(proto.encode_batch, los, his)
+        return proto.decode_batch_response(frame.body)
+
+    def put(self, key: int, value: bytes) -> None:
+        """Insert or overwrite ``key`` (acknowledged when applied)."""
+        self._roundtrip(proto.encode_insert, key, value)
+
+    def delete(self, key: int) -> None:
+        """Delete ``key`` (acknowledged when applied)."""
+        self._roundtrip(proto.encode_delete, key)
+
+    def stats(self) -> dict:
+        """The service's structured stats snapshot + server counters."""
+        frame = self._roundtrip(
+            lambda rid: proto.encode_frame(proto.OP_STATS, rid)
+        )
+        return proto.decode_stats_response(frame.body)
+
+    def send_raw(self, payload: bytes) -> None:
+        """Ship arbitrary bytes (the fuzz tests' way in)."""
+        self._sock.sendall(payload)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort close
+            pass
+
+    def __enter__(self) -> "SyncClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ProtocolErrorClosed(proto.ProtocolError):
+    """The server closed the connection mid-conversation."""
+
+    def __init__(self) -> None:
+        super().__init__("connection closed by server")
+
+
+class AsyncClient:
+    """Pipelined asyncio client: many requests in flight per connection.
+
+    Create with :meth:`connect` inside a running event loop. Every
+    request coroutine resolves when its response frame arrives, in
+    whatever order the server answers — the connection never blocks on
+    an individual request, which is what open-loop load needs.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = proto.FrameDecoder()
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_rid = 1
+        self._version: Optional[int] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, timeout: float = 30.0
+    ) -> "AsyncClient":
+        """Open a connection, start the reader task, negotiate versions."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        client = cls(reader, writer)
+        client._reader_task = asyncio.get_running_loop().create_task(
+            client._read_loop()
+        )
+        rid = client._rid_peek()
+        frame = await client._request(rid, proto.encode_hello(rid))
+        client._version = proto.decode_hello_response(frame.body)
+        return client
+
+    def _rid_peek(self) -> int:
+        rid = self._next_rid
+        self._next_rid = (self._next_rid + 1) & 0xFFFFFFFF or 1
+        return rid
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    break
+                for frame in self._decoder.feed(data):
+                    future = self._pending.pop(frame.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+        except (ConnectionResetError, BrokenPipeError, proto.ProtocolError):
+            pass
+        finally:
+            self._closed = True
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ProtocolErrorClosed())
+            self._pending.clear()
+
+    async def _request(self, rid: int, payload: bytes) -> proto.Frame:
+        if self._closed:
+            raise ProtocolErrorClosed()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        self._writer.write(payload)
+        await self._writer.drain()
+        return _check_status(await future)
+
+    @property
+    def version(self) -> int:
+        """The negotiated protocol version."""
+        assert self._version is not None
+        return self._version
+
+    async def ping(self) -> None:
+        """Round-trip an empty frame (liveness check)."""
+        rid = self._rid_peek()
+        await self._request(rid, proto.encode_frame(proto.OP_PING, rid))
+
+    async def range_empty(self, lo: int, hi: int) -> bool:
+        """Single range-emptiness query; pipelines freely."""
+        rid = self._rid_peek()
+        frame = await self._request(rid, proto.encode_range(rid, lo, hi))
+        return proto.decode_range_response(frame.body)
+
+    async def batch_range_empty(self, los, his) -> np.ndarray:
+        """Columnar batch query; returns the verdict bool array."""
+        los = np.asarray(los, dtype=np.uint64)
+        his = np.asarray(his, dtype=np.uint64)
+        rid = self._rid_peek()
+        frame = await self._request(rid, proto.encode_batch(rid, los, his))
+        return proto.decode_batch_response(frame.body)
+
+    async def put(self, key: int, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        rid = self._rid_peek()
+        await self._request(rid, proto.encode_insert(rid, key, value))
+
+    async def get(self, key: int) -> Optional[bytes]:
+        """Point lookup; returns the stored bytes or ``None``."""
+        rid = self._rid_peek()
+        frame = await self._request(rid, proto.encode_point(rid, key))
+        return proto.decode_point_response(frame.body)
+
+    async def stats(self) -> dict:
+        """The service's structured stats snapshot + server counters."""
+        rid = self._rid_peek()
+        frame = await self._request(
+            rid, proto.encode_frame(proto.OP_STATS, rid)
+        )
+        return proto.decode_stats_response(frame.body)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

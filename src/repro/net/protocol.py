@@ -1,0 +1,384 @@
+"""The wire format of the network front door: length-prefixed binary frames.
+
+One frame is::
+
+    u32 length            # bytes that follow (header + body), little-endian
+    u8  op                # operation (request) or OP_RESP | op (response)
+    u8  status            # STATUS_OK / STATUS_SHED / STATUS_ERROR (responses)
+    u32 request_id        # chosen by the client; echoed verbatim in the
+                          # response, so pipelined responses may return
+                          # out of order
+    ...body               # op-specific payload
+
+Query columns travel as packed numpy arrays — a batch body is the two
+``u64`` columns ``los`` / ``his`` laid out back to back — so the server
+decodes them with ``np.frombuffer`` straight off the frame bytes (zero
+copy) and feeds them to the columnar batch pipeline unchanged. Batch
+verdicts come back as a ``np.packbits`` bitmap, eight verdicts per byte.
+
+Version negotiation: the first frame on a connection must be
+:data:`OP_HELLO` carrying the client's supported ``[min, max]`` version
+range; the server answers with the highest version both sides speak, or
+a :data:`STATUS_ERROR` response and a closed connection when the ranges
+do not overlap. Everything after the hello is versioned traffic.
+
+Robustness contract (held by the frame-fuzz tests): malformed input —
+truncated frames, oversized lengths, bodies that do not match their op —
+raises :class:`ProtocolError` out of the decode functions and **never**
+anything else. A server turns a :class:`ProtocolError` into an error
+response (when a request id is parseable) or a closed connection; it
+must not crash.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class ProtocolError(ReproError):
+    """A frame or body violated the wire format."""
+
+
+#: Highest (and currently only) protocol version this build speaks.
+PROTOCOL_VERSION = 1
+#: Lowest version this build still accepts in a hello.
+MIN_VERSION = 1
+
+#: Hard per-frame size cap; a length above this is a protocol error
+#: (protects both sides from a corrupt length prefix allocating memory).
+MAX_FRAME = 1 << 24
+
+_LEN = struct.Struct("<I")
+_HEADER = struct.Struct("<BBI")  # op, status, request_id
+_HELLO = struct.Struct("<BB")  # min_version, max_version
+_HELLO_RESP = struct.Struct("<B")  # chosen version
+_U64 = struct.Struct("<Q")
+_RANGE = struct.Struct("<QQ")
+_INSERT = struct.Struct("<QI")  # key, value length
+_COUNT = struct.Struct("<I")
+
+# Request opcodes.
+OP_HELLO = 0x01
+OP_PING = 0x02
+OP_POINT = 0x03  # point lookup (get)
+OP_RANGE = 0x04  # single range-emptiness query
+OP_BATCH = 0x05  # columnar batch of range-emptiness queries
+OP_INSERT = 0x06
+OP_DELETE = 0x07
+OP_STATS = 0x08
+#: Response bit: a response to op ``X`` carries opcode ``OP_RESP | X``.
+OP_RESP = 0x80
+
+REQUEST_OPS = frozenset(
+    (OP_HELLO, OP_PING, OP_POINT, OP_RANGE, OP_BATCH, OP_INSERT, OP_DELETE,
+     OP_STATS)
+)
+
+# Response status codes.
+STATUS_OK = 0
+#: Admission control rejected the request (the 429 of this protocol);
+#: the client should back off — the server is intact and still serving.
+STATUS_SHED = 1
+STATUS_ERROR = 2
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: header fields plus the raw body bytes."""
+
+    op: int
+    status: int
+    request_id: int
+    body: bytes
+
+    @property
+    def is_response(self) -> bool:
+        return bool(self.op & OP_RESP)
+
+    @property
+    def base_op(self) -> int:
+        """The request opcode this frame carries or answers."""
+        return self.op & ~OP_RESP
+
+
+def encode_frame(
+    op: int, request_id: int, body: bytes = b"", *, status: int = STATUS_OK
+) -> bytes:
+    """Assemble one length-prefixed frame."""
+    if len(body) + _HEADER.size > MAX_FRAME:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds MAX_FRAME"
+        )
+    return (
+        _LEN.pack(_HEADER.size + len(body))
+        + _HEADER.pack(op, status, request_id & 0xFFFFFFFF)
+        + body
+    )
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an arbitrary byte-chunk stream.
+
+    Feed it whatever the socket produced; it returns every complete
+    frame and buffers the tail. A structurally invalid prefix (length
+    shorter than a header, or above :data:`MAX_FRAME`) raises
+    :class:`ProtocolError` — the stream cannot be resynchronised after
+    that, so the caller should drop the connection.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME) -> None:
+        self._buf = bytearray()
+        self._max_frame = int(max_frame)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Absorb ``data``; return the frames it completed."""
+        self._buf += data
+        frames: List[Frame] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return frames
+            (length,) = _LEN.unpack_from(self._buf, 0)
+            if length < _HEADER.size:
+                raise ProtocolError(f"frame length {length} below header size")
+            if length > self._max_frame:
+                raise ProtocolError(f"frame length {length} exceeds cap")
+            if len(self._buf) < _LEN.size + length:
+                return frames
+            payload = bytes(self._buf[_LEN.size:_LEN.size + length])
+            del self._buf[:_LEN.size + length]
+            op, request_status, request_id = _HEADER.unpack_from(payload, 0)
+            frames.append(
+                Frame(op, request_status, request_id, payload[_HEADER.size:])
+            )
+
+    @property
+    def buffered(self) -> int:
+        """Bytes of incomplete trailing frame currently buffered."""
+        return len(self._buf)
+
+
+def _body_exactly(frame_body: bytes, size: int, what: str) -> None:
+    if len(frame_body) != size:
+        raise ProtocolError(
+            f"{what}: body of {len(frame_body)} bytes, expected {size}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Hello / version negotiation
+# ----------------------------------------------------------------------
+def encode_hello(request_id: int, *, min_version: int = MIN_VERSION,
+                 max_version: int = PROTOCOL_VERSION) -> bytes:
+    """Client hello advertising the supported version range."""
+    return encode_frame(
+        OP_HELLO, request_id, _HELLO.pack(min_version, max_version)
+    )
+
+
+def decode_hello(body: bytes) -> Tuple[int, int]:
+    """Return the client's ``(min_version, max_version)``."""
+    _body_exactly(body, _HELLO.size, "hello")
+    lo, hi = _HELLO.unpack(body)
+    if lo > hi:
+        raise ProtocolError(f"hello with empty version range [{lo}, {hi}]")
+    return lo, hi
+
+
+def negotiate_version(client_min: int, client_max: int) -> Optional[int]:
+    """The highest mutually supported version, or ``None``."""
+    best = min(client_max, PROTOCOL_VERSION)
+    if best < max(client_min, MIN_VERSION):
+        return None
+    return best
+
+
+def encode_hello_response(request_id: int, version: int) -> bytes:
+    return encode_frame(
+        OP_RESP | OP_HELLO, request_id, _HELLO_RESP.pack(version)
+    )
+
+
+def decode_hello_response(body: bytes) -> int:
+    _body_exactly(body, _HELLO_RESP.size, "hello response")
+    return _HELLO_RESP.unpack(body)[0]
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+def encode_point(request_id: int, key: int) -> bytes:
+    return encode_frame(OP_POINT, request_id, _U64.pack(key))
+
+
+def decode_point(body: bytes) -> int:
+    _body_exactly(body, _U64.size, "point query")
+    return _U64.unpack(body)[0]
+
+
+def encode_point_response(request_id: int, value: Optional[bytes]) -> bytes:
+    body = b"\x00" if value is None else b"\x01" + value
+    return encode_frame(OP_RESP | OP_POINT, request_id, body)
+
+
+def decode_point_response(body: bytes) -> Optional[bytes]:
+    if not body:
+        raise ProtocolError("point response: empty body")
+    if body[0] == 0:
+        return None
+    return body[1:]
+
+
+def encode_range(request_id: int, lo: int, hi: int) -> bytes:
+    return encode_frame(OP_RANGE, request_id, _RANGE.pack(lo, hi))
+
+
+def decode_range(body: bytes) -> Tuple[int, int]:
+    _body_exactly(body, _RANGE.size, "range query")
+    lo, hi = _RANGE.unpack(body)
+    if lo > hi:
+        raise ProtocolError(f"range query with lo {lo} > hi {hi}")
+    return lo, hi
+
+
+def encode_range_response(request_id: int, empty: bool) -> bytes:
+    return encode_frame(
+        OP_RESP | OP_RANGE, request_id, b"\x01" if empty else b"\x00"
+    )
+
+
+def decode_range_response(body: bytes) -> bool:
+    _body_exactly(body, 1, "range response")
+    return body[0] != 0
+
+
+def encode_batch(request_id: int, los: np.ndarray, his: np.ndarray) -> bytes:
+    """Pack the two query columns back to back after a ``u32`` count."""
+    los = np.ascontiguousarray(los, dtype="<u8")
+    his = np.ascontiguousarray(his, dtype="<u8")
+    if los.shape != his.shape or los.ndim != 1:
+        raise ProtocolError("batch columns must be equal-length 1-d arrays")
+    return encode_frame(
+        OP_BATCH, request_id,
+        _COUNT.pack(los.size) + los.tobytes() + his.tobytes(),
+    )
+
+
+def decode_batch(body: bytes) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode the query columns zero-copy off the frame body.
+
+    The returned arrays are read-only views over the frame's bytes —
+    exactly what the columnar router consumes.
+    """
+    if len(body) < _COUNT.size:
+        raise ProtocolError("batch query: missing count")
+    (n,) = _COUNT.unpack_from(body, 0)
+    expected = _COUNT.size + 16 * n
+    if len(body) != expected:
+        raise ProtocolError(
+            f"batch query: {len(body)} body bytes for {n} queries "
+            f"(expected {expected})"
+        )
+    los = np.frombuffer(body, dtype="<u8", count=n, offset=_COUNT.size)
+    his = np.frombuffer(body, dtype="<u8", count=n, offset=_COUNT.size + 8 * n)
+    if n and bool((los > his).any()):
+        raise ProtocolError("batch query with lo > hi")
+    return los, his
+
+
+def encode_batch_response(request_id: int, empty: np.ndarray) -> bytes:
+    """Verdict bitmap: ``u32`` count + ``np.packbits`` of the bools."""
+    empty = np.ascontiguousarray(empty, dtype=bool)
+    return encode_frame(
+        OP_RESP | OP_BATCH, request_id,
+        _COUNT.pack(empty.size) + np.packbits(empty).tobytes(),
+    )
+
+
+def decode_batch_response(body: bytes) -> np.ndarray:
+    if len(body) < _COUNT.size:
+        raise ProtocolError("batch response: missing count")
+    (n,) = _COUNT.unpack_from(body, 0)
+    expected = _COUNT.size + (n + 7) // 8
+    if len(body) != expected:
+        raise ProtocolError(
+            f"batch response: {len(body)} body bytes for {n} verdicts"
+        )
+    bits = np.frombuffer(body, dtype=np.uint8, offset=_COUNT.size)
+    return np.unpackbits(bits, count=n).astype(bool)
+
+
+# ----------------------------------------------------------------------
+# Mutations
+# ----------------------------------------------------------------------
+def encode_insert(request_id: int, key: int, value: bytes) -> bytes:
+    if not isinstance(value, (bytes, bytearray, memoryview)):
+        raise ProtocolError("insert value must be bytes on the wire")
+    value = bytes(value)
+    return encode_frame(
+        OP_INSERT, request_id, _INSERT.pack(key, len(value)) + value
+    )
+
+
+def decode_insert(body: bytes) -> Tuple[int, bytes]:
+    if len(body) < _INSERT.size:
+        raise ProtocolError("insert: truncated header")
+    key, vlen = _INSERT.unpack_from(body, 0)
+    value = body[_INSERT.size:]
+    if len(value) != vlen:
+        raise ProtocolError(
+            f"insert: value of {len(value)} bytes, header said {vlen}"
+        )
+    return key, value
+
+
+def encode_delete(request_id: int, key: int) -> bytes:
+    return encode_frame(OP_DELETE, request_id, _U64.pack(key))
+
+
+def decode_delete(body: bytes) -> int:
+    _body_exactly(body, _U64.size, "delete")
+    return _U64.unpack(body)[0]
+
+
+def encode_ack(request_id: int, op: int) -> bytes:
+    """Empty-body OK response for mutations and ping."""
+    return encode_frame(OP_RESP | op, request_id)
+
+
+# ----------------------------------------------------------------------
+# Stats / control
+# ----------------------------------------------------------------------
+def encode_stats_response(request_id: int, snapshot: dict) -> bytes:
+    return encode_frame(
+        OP_RESP | OP_STATS, request_id,
+        json.dumps(snapshot, sort_keys=True).encode("utf-8"),
+    )
+
+
+def decode_stats_response(body: bytes) -> dict:
+    try:
+        payload: Any = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"stats response: invalid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("stats response: payload is not an object")
+    return payload
+
+
+def encode_error(request_id: int, op: int, message: str) -> bytes:
+    return encode_frame(
+        OP_RESP | op, request_id, message.encode("utf-8"),
+        status=STATUS_ERROR,
+    )
+
+
+def encode_shed(request_id: int, op: int) -> bytes:
+    """Admission-control rejection for the given request."""
+    return encode_frame(OP_RESP | op, request_id, status=STATUS_SHED)

@@ -1,0 +1,571 @@
+"""The asyncio front door over :class:`~repro.engine.service.RangeQueryService`.
+
+:class:`NetServer` turns the in-process serving layer into a network
+service speaking the framed protocol of :mod:`repro.net.protocol`:
+
+* **connection multiplexing** — every request carries a client-chosen
+  id and responses return as they complete, so one connection carries
+  many pipelined requests out of order (the load generator multiplexes
+  hundreds of simulated clients over a handful of sockets this way);
+* **batching windows** — single-range queries that arrive on a
+  connection within ``batch_window`` seconds of each other coalesce
+  into one columnar batch for the service's vectorised pipeline. For
+  small skewed queries this is the difference between one engine
+  round-trip per query and one per few hundred queries; the columnar
+  router makes the coalesced call barely more expensive than a single
+  one. ``batch_window=0`` disables coalescing (each frame runs alone —
+  the baseline the network bench gates against);
+* **admission control / backpressure** — a bounded server-wide
+  in-flight budget (``max_inflight``): a query that would exceed it is
+  answered immediately with :data:`~repro.net.protocol.STATUS_SHED`
+  instead of queueing without bound. The same shed response fires when
+  the engine's health signals — compaction backlog and windowed
+  block-cache miss rate, both read from the service's structured
+  :meth:`~repro.engine.service.RangeQueryService.stats_snapshot` —
+  cross their configured ceilings, so an overloaded store rejects
+  early rather than melting;
+* **graceful shutdown** — :meth:`NetServer.stop` stops accepting,
+  flushes every open batching window, waits for in-flight work to
+  drain, and only then closes connections; the CLI's signal handlers
+  ride on it (drain → checkpoint → close, no traceback).
+
+Blocking service calls run on a private thread-pool executor so the
+event loop never waits on a shard lock. Call the server from one
+thread only (asyncio's rule); :func:`serve_in_thread` wraps a server
+in a daemon thread + event loop for synchronous callers (tests, the
+benchmarks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.engine.service import RangeQueryService
+from repro.errors import InvalidParameterError
+from repro.net import protocol as proto
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of the front door (all times in seconds).
+
+    ``max_compaction_backlog`` / ``max_cache_miss_rate`` default to
+    ``None`` — the corresponding overload signal is ignored. The
+    in-flight budget is always enforced.
+    """
+
+    batch_window: float = 300e-6
+    max_batch: int = 512
+    max_inflight: int = 4096
+    max_compaction_backlog: Optional[int] = None
+    max_cache_miss_rate: Optional[float] = None
+    stats_poll: float = 0.05
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.batch_window < 0:
+            raise InvalidParameterError("batch_window must be >= 0")
+        if self.max_batch < 1:
+            raise InvalidParameterError("max_batch must be >= 1")
+        if self.max_inflight < 1:
+            raise InvalidParameterError("max_inflight must be >= 1")
+        if self.stats_poll <= 0:
+            raise InvalidParameterError("stats_poll must be positive")
+
+
+@dataclass(eq=False)
+class _Connection:
+    """Per-connection state: the decoder, the open batching window."""
+
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    decoder: proto.FrameDecoder = field(default_factory=proto.FrameDecoder)
+    version: Optional[int] = None
+    pending_rids: List[int] = field(default_factory=list)
+    pending_los: List[int] = field(default_factory=list)
+    pending_his: List[int] = field(default_factory=list)
+    window_handle: Optional[asyncio.TimerHandle] = None
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    closed: bool = False
+
+
+class NetServer:
+    """Asyncio protocol server over a :class:`RangeQueryService`.
+
+    Construct, then ``await start()`` inside a running loop;
+    ``await stop()`` shuts down gracefully. The service is *not* closed
+    by the server — the caller owns its lifecycle (the CLI closes it
+    after the post-drain checkpoint).
+    """
+
+    def __init__(
+        self,
+        service: RangeQueryService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self._service = service
+        self._requested_host = host
+        self._requested_port = port
+        self._cfg = config or ServerConfig()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2, service.num_threads),
+            thread_name_prefix="repro-net",
+        )
+        self._conns: Set[_Connection] = set()
+        self._stopping = False
+        self._inflight = 0
+        self._miss_rate = 0.0
+        self._sampler: Optional[asyncio.Task] = None
+        self._counters: Dict[str, int] = {
+            "connections_total": 0,
+            "queries_admitted": 0,
+            "queries_answered": 0,
+            "batches_executed": 0,
+            "shed_inflight": 0,
+            "shed_overload": 0,
+            "shed_shutdown": 0,
+            "protocol_errors": 0,
+            "peak_inflight": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._requested_host, self._requested_port
+        )
+        self._sampler = self._loop.create_task(self._sample_overload())
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0``)."""
+        assert self._server is not None and self._server.sockets
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, flush windows, drain, close."""
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Flush every open batching window so admitted queries are
+        # answered, then wait for the executor round-trips to land.
+        for conn in list(self._conns):
+            self._flush_window(conn)
+        deadline = time.monotonic() + self._cfg.drain_timeout
+        while self._inflight and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        if self._sampler is not None:
+            self._sampler.cancel()
+            try:
+                await self._sampler
+            except asyncio.CancelledError:
+                pass
+        for conn in list(self._conns):
+            conn.closed = True
+            conn.writer.close()
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Overload signals
+    # ------------------------------------------------------------------
+    async def _sample_overload(self) -> None:
+        """Maintain the windowed cache miss rate from stats deltas."""
+        prev_hits = prev_misses = 0
+        while True:
+            await asyncio.sleep(self._cfg.stats_poll)
+            stats = self._service.stats
+            d_hits = stats.cache_hits - prev_hits
+            d_misses = stats.cache_misses - prev_misses
+            prev_hits, prev_misses = stats.cache_hits, stats.cache_misses
+            total = d_hits + d_misses
+            self._miss_rate = d_misses / total if total else 0.0
+
+    def _shed_reason(self, extra: int) -> Optional[str]:
+        """Why a request asking for ``extra`` query slots must be shed."""
+        if self._stopping:
+            return "shutdown"
+        if self._inflight + extra > self._cfg.max_inflight:
+            return "inflight"
+        cfg = self._cfg
+        if (
+            cfg.max_compaction_backlog is not None
+            and len(self._service.engine.scheduler) > cfg.max_compaction_backlog
+        ):
+            return "overload"
+        if (
+            cfg.max_cache_miss_rate is not None
+            and self._miss_rate > cfg.max_cache_miss_rate
+        ):
+            return "overload"
+        return None
+
+    def _admit(self, n: int) -> Optional[str]:
+        """Admit ``n`` queries into the in-flight budget, or say why not."""
+        reason = self._shed_reason(n)
+        if reason is not None:
+            self._counters[f"shed_{reason}"] += n
+            return reason
+        self._inflight += n
+        self._counters["queries_admitted"] += n
+        if self._inflight > self._counters["peak_inflight"]:
+            self._counters["peak_inflight"] = self._inflight
+        return None
+
+    def _release(self, n: int) -> None:
+        self._inflight -= n
+        self._counters["queries_answered"] += n
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(reader, writer)
+        self._conns.add(conn)
+        self._counters["connections_total"] += 1
+        try:
+            while not conn.closed:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    frames = conn.decoder.feed(data)
+                except proto.ProtocolError:
+                    # The byte stream cannot be resynchronised: drop the
+                    # connection, keep the server (and every other
+                    # client) running.
+                    self._counters["protocol_errors"] += 1
+                    break
+                for frame in frames:
+                    await self._dispatch(conn, frame)
+                    if conn.closed:
+                        break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            # Queries already admitted to this connection's window still
+            # complete (their tasks hold references); new ones cannot
+            # arrive. Flush so admitted-but-unflushed work is not stuck.
+            self._flush_window(conn)
+            self._conns.discard(conn)
+            conn.closed = True
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(self, conn: _Connection, *frames: bytes) -> None:
+        if conn.closed:
+            return
+        async with conn.write_lock:
+            try:
+                for frame in frames:
+                    conn.writer.write(frame)
+                await conn.writer.drain()
+            except (ConnectionResetError, BrokenPipeError, RuntimeError):
+                conn.closed = True
+
+    async def _dispatch(self, conn: _Connection, frame: proto.Frame) -> None:
+        op, rid = frame.op, frame.request_id
+        if conn.version is None:
+            # Version negotiation gates everything else on the stream.
+            if op != proto.OP_HELLO:
+                await self._send(
+                    conn, proto.encode_error(rid, op & ~proto.OP_RESP,
+                                             "hello required first")
+                )
+                conn.closed = True
+                return
+            try:
+                lo, hi = proto.decode_hello(frame.body)
+            except proto.ProtocolError as exc:
+                self._counters["protocol_errors"] += 1
+                await self._send(conn, proto.encode_error(rid, proto.OP_HELLO,
+                                                          str(exc)))
+                conn.closed = True
+                return
+            version = proto.negotiate_version(lo, hi)
+            if version is None:
+                await self._send(
+                    conn,
+                    proto.encode_error(
+                        rid, proto.OP_HELLO,
+                        f"no common version: server speaks "
+                        f"[{proto.MIN_VERSION}, {proto.PROTOCOL_VERSION}]",
+                    ),
+                )
+                conn.closed = True
+                return
+            conn.version = version
+            await self._send(conn, proto.encode_hello_response(rid, version))
+            return
+        try:
+            await self._dispatch_versioned(conn, frame)
+        except proto.ProtocolError as exc:
+            # A well-framed request with a malformed body: answer with
+            # an error, keep the connection.
+            self._counters["protocol_errors"] += 1
+            await self._send(
+                conn, proto.encode_error(rid, op & ~proto.OP_RESP, str(exc))
+            )
+
+    async def _dispatch_versioned(
+        self, conn: _Connection, frame: proto.Frame
+    ) -> None:
+        op, rid = frame.op, frame.request_id
+        if op == proto.OP_PING:
+            await self._send(conn, proto.encode_ack(rid, proto.OP_PING))
+        elif op == proto.OP_RANGE:
+            lo, hi = proto.decode_range(frame.body)
+            self._enqueue_range(conn, rid, lo, hi)
+        elif op == proto.OP_BATCH:
+            los, his = proto.decode_batch(frame.body)
+            reason = self._admit(los.size)
+            if reason is not None:
+                await self._send(conn, proto.encode_shed(rid, proto.OP_BATCH))
+                return
+            assert self._loop is not None
+            self._loop.create_task(self._run_batch_frame(conn, rid, los, his))
+        elif op == proto.OP_POINT:
+            key = proto.decode_point(frame.body)
+            value = await self._call(self._service.get, key)
+            await self._send(
+                conn, proto.encode_point_response(rid, _wire_value(value))
+            )
+        elif op == proto.OP_INSERT:
+            key, value = proto.decode_insert(frame.body)
+            await self._call(self._service.put, key, value)
+            await self._send(conn, proto.encode_ack(rid, proto.OP_INSERT))
+        elif op == proto.OP_DELETE:
+            key = proto.decode_delete(frame.body)
+            await self._call(self._service.delete, key)
+            await self._send(conn, proto.encode_ack(rid, proto.OP_DELETE))
+        elif op == proto.OP_STATS:
+            snapshot = self._service.stats_snapshot()
+            snapshot["server"] = self.stats()
+            await self._send(conn, proto.encode_stats_response(rid, snapshot))
+        elif op == proto.OP_HELLO:
+            await self._send(
+                conn, proto.encode_hello_response(rid, conn.version)
+            )
+        else:
+            raise proto.ProtocolError(f"unknown opcode 0x{op:02x}")
+
+    def _call(self, fn, *args):
+        """Run a blocking service call on the executor."""
+        assert self._loop is not None
+        return self._loop.run_in_executor(self._executor, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Batching windows
+    # ------------------------------------------------------------------
+    def _enqueue_range(
+        self, conn: _Connection, rid: int, lo: int, hi: int
+    ) -> None:
+        reason = self._admit(1)
+        if reason is not None:
+            assert self._loop is not None
+            self._loop.create_task(
+                self._send(conn, proto.encode_shed(rid, proto.OP_RANGE))
+            )
+            return
+        conn.pending_rids.append(rid)
+        conn.pending_los.append(lo)
+        conn.pending_his.append(hi)
+        if (
+            self._cfg.batch_window == 0
+            or len(conn.pending_rids) >= self._cfg.max_batch
+        ):
+            self._flush_window(conn)
+        elif conn.window_handle is None:
+            assert self._loop is not None
+            conn.window_handle = self._loop.call_later(
+                self._cfg.batch_window, self._flush_window, conn
+            )
+
+    def _flush_window(self, conn: _Connection) -> None:
+        """Close the connection's batching window and run the batch."""
+        if conn.window_handle is not None:
+            conn.window_handle.cancel()
+            conn.window_handle = None
+        if not conn.pending_rids:
+            return
+        rids = conn.pending_rids
+        los = np.asarray(conn.pending_los, dtype=np.uint64)
+        his = np.asarray(conn.pending_his, dtype=np.uint64)
+        conn.pending_rids = []
+        conn.pending_los = []
+        conn.pending_his = []
+        assert self._loop is not None
+        self._loop.create_task(self._run_window(conn, rids, los, his))
+
+    async def _run_window(
+        self, conn: _Connection, rids: List[int],
+        los: np.ndarray, his: np.ndarray,
+    ) -> None:
+        try:
+            empty = await self._call(
+                self._service.batch_range_empty, los, his
+            )
+            self._counters["batches_executed"] += 1
+            await self._send(
+                conn,
+                *(proto.encode_range_response(rid, bool(empty[i]))
+                  for i, rid in enumerate(rids)),
+            )
+        except Exception as exc:  # noqa: BLE001 - every failure must answer
+            await self._send(
+                conn,
+                *(proto.encode_error(rid, proto.OP_RANGE, str(exc))
+                  for rid in rids),
+            )
+        finally:
+            self._release(len(rids))
+
+    async def _run_batch_frame(
+        self, conn: _Connection, rid: int, los: np.ndarray, his: np.ndarray
+    ) -> None:
+        try:
+            empty = await self._call(
+                self._service.batch_range_empty, los, his
+            )
+            self._counters["batches_executed"] += 1
+            await self._send(conn, proto.encode_batch_response(rid, empty))
+        except Exception as exc:  # noqa: BLE001
+            await self._send(conn, proto.encode_error(rid, proto.OP_BATCH,
+                                                      str(exc)))
+        finally:
+            self._release(int(los.size))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Server-side counters (admission, sheds, batching, errors)."""
+        out = dict(self._counters)
+        out["inflight"] = self._inflight
+        out["open_connections"] = len(self._conns)
+        out["cache_miss_rate_window"] = self._miss_rate
+        out["batch_window_us"] = self._cfg.batch_window * 1e6
+        out["max_inflight"] = self._cfg.max_inflight
+        return out
+
+    @property
+    def service(self) -> RangeQueryService:
+        return self._service
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._cfg
+
+
+def _wire_value(value) -> Optional[bytes]:
+    """Best-effort bytes form of a stored value for the point response."""
+    if value is None or isinstance(value, bytes):
+        return value
+    if isinstance(value, (bytearray, memoryview)):
+        return bytes(value)
+    return repr(value).encode("utf-8")
+
+
+class ServerHandle:
+    """A running :class:`NetServer` on a daemon thread, for sync callers.
+
+    Produced by :func:`serve_in_thread`; exposes the bound address and a
+    blocking :meth:`stop` that performs the server's graceful shutdown
+    and joins the thread.
+    """
+
+    def __init__(
+        self,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+        server: NetServer,
+        stop_event: asyncio.Event,
+    ) -> None:
+        self._thread = thread
+        self._loop = loop
+        self._server = server
+        self._stop_event = stop_event
+        self.host, self.port = server.address
+
+    @property
+    def server(self) -> NetServer:
+        return self._server
+
+    def stats(self) -> dict:
+        """The server's counters (safe to read from any thread)."""
+        return self._server.stats()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Trigger graceful shutdown and wait for the loop thread."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    service: RangeQueryService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: Optional[ServerConfig] = None,
+) -> ServerHandle:
+    """Start a :class:`NetServer` in a daemon thread; return its handle.
+
+    The caller still owns the service (close it after :meth:`ServerHandle.stop`).
+    """
+    started = threading.Event()
+    box: dict = {}
+
+    def runner() -> None:
+        async def main() -> None:
+            server = NetServer(service, host=host, port=port, config=config)
+            await server.start()
+            box["loop"] = asyncio.get_running_loop()
+            box["server"] = server
+            box["stop_event"] = asyncio.Event()
+            started.set()
+            await box["stop_event"].wait()
+            await server.stop()
+
+        try:
+            asyncio.run(main())
+        except Exception as exc:  # pragma: no cover - surfaced via handle
+            box["error"] = exc
+            started.set()
+
+    thread = threading.Thread(target=runner, name="repro-net-loop", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0) or "error" in box:
+        raise InvalidParameterError(
+            f"network server failed to start: {box.get('error')}"
+        )
+    return ServerHandle(thread, box["loop"], box["server"], box["stop_event"])

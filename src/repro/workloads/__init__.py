@@ -21,6 +21,7 @@ from repro.workloads.queries import (
     nonempty_queries,
     real_extracted_queries,
     uncorrelated_queries,
+    zipfian_queries,
 )
 
 __all__ = [
@@ -40,4 +41,5 @@ __all__ = [
     "real_extracted_queries",
     "uncorrelated_queries",
     "uniform",
+    "zipfian_queries",
 ]

@@ -118,6 +118,52 @@ def correlated_queries(
     return out
 
 
+def zipfian_queries(
+    keys: np.ndarray,
+    n_queries: int,
+    range_size: int,
+    universe: int,
+    *,
+    skew: float = 1.1,
+    n_hot: int = 1024,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Skewed serving traffic: Zipfian popularity over a hot key set.
+
+    Models what a front door sees from "millions of users": a seeded
+    subset of ``n_hot`` keys becomes the popularity universe, every
+    query picks a hot key with probability proportional to
+    ``1 / rank^skew`` (rank assignment is a seeded permutation, so the
+    hottest key is an arbitrary one, not the smallest), and the range
+    ``[lo, lo + range_size - 1]`` is jittered around the chosen key so
+    repeats are near- but not always exact duplicates.
+
+    Unlike the §6.1 generators this does **not** enforce emptiness —
+    serving benchmarks want the realistic mix of empty and non-empty
+    ranges — and it returns the two columnar arrays ``(los, his)``
+    directly (``dtype=uint64``), ready for ``batch_range_empty`` or the
+    wire protocol's packed batch frames. Fully vectorised and
+    deterministic given ``seed``.
+    """
+    _check(n_queries, range_size, universe)
+    if skew <= 0:
+        raise InvalidParameterError("skew must be positive")
+    if n_hot < 1:
+        raise InvalidParameterError("n_hot must be >= 1")
+    sorted_keys = np.sort(np.asarray(keys, dtype=np.uint64))
+    if sorted_keys.size == 0:
+        raise InvalidParameterError("zipfian workload needs a non-empty key set")
+    rng = np.random.default_rng(seed)
+    m = min(int(n_hot), sorted_keys.size)
+    hot = sorted_keys[rng.permutation(sorted_keys.size)[:m]]
+    weights = 1.0 / np.arange(1, m + 1, dtype=np.float64) ** skew
+    ranks = rng.choice(m, size=n_queries, p=weights / weights.sum())
+    anchors = hot[ranks].astype(np.int64)
+    jitter = rng.integers(0, range_size, n_queries, dtype=np.int64)
+    los = np.clip(anchors - jitter, 0, universe - range_size).astype(np.uint64)
+    return los, los + np.uint64(range_size - 1)
+
+
 def real_extracted_queries(
     keys: np.ndarray,
     n_queries: int,

@@ -567,3 +567,53 @@ class TestProcessMode:
             after = engine.stats.cache_hits + engine.stats.cache_misses
             assert after > before, "worker cache traffic must fold into IoStats"
         engine.close()
+
+# ----------------------------------------------------------------------
+# Structured stats snapshot (what the CLI summary, the network stats op,
+# and the front door's admission control all read)
+# ----------------------------------------------------------------------
+class TestStatsSnapshot:
+    def test_snapshot_is_json_serialisable_and_complete(self):
+        import json
+
+        engine = build_engine()
+        load_keys(engine, n=1500, seed=20)
+        engine.flush_all()
+        with RangeQueryService(engine, num_threads=2, cache_blocks=256) as service:
+            los = np.arange(100, dtype=np.uint64) * np.uint64(1000)
+            service.batch_range_empty(los, los + np.uint64(50))
+            snap = service.stats_snapshot()
+        json.dumps(snap)  # must round-trip the wire's JSON stats op
+        assert snap["mode"] == "thread"
+        assert snap["threads"] == 2
+        for section in ("compaction", "queries", "cache", "io", "engine"):
+            assert section in snap
+        comp = snap["compaction"]
+        assert comp["backlog"] == comp["queue_depth"] + comp["inflight"]
+        assert comp["total_steps"] >= comp["background_steps"] >= 0
+        assert snap["io"]["flushes"] == engine.stats.flushes
+        assert snap["engine"]["shards"] == 4
+
+    def test_snapshot_cache_section_tracks_cache(self):
+        engine = build_engine()
+        keys = load_keys(engine, n=1500, seed=21)
+        engine.flush_all()
+        with RangeQueryService(engine, num_threads=2, cache_blocks=256) as service:
+            los = keys[:200]
+            his = np.minimum(los + np.uint64(2), np.uint64(UNIVERSE - 1))
+            service.batch_range_empty(los, his)
+            service.batch_range_empty(los, his)  # second pass hits
+            snap = service.stats_snapshot()
+        cache = snap["cache"]
+        assert cache["hits"] + cache["misses"] > 0
+        assert 0.0 <= cache["hit_ratio"] <= 1.0
+        assert cache["resident_blocks"] <= cache["capacity_blocks"] == 256
+
+    def test_snapshot_without_cache_is_none_and_closed_flag(self):
+        engine = build_engine()
+        load_keys(engine, n=500, seed=22)
+        service = RangeQueryService(engine, num_threads=1, cache_blocks=0)
+        assert service.stats_snapshot()["cache"] is None
+        assert service.stats_snapshot()["closed"] is False
+        service.close()
+        assert service.stats_snapshot()["closed"] is True

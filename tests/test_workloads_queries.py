@@ -11,6 +11,7 @@ from repro.workloads.queries import (
     nonempty_queries,
     real_extracted_queries,
     uncorrelated_queries,
+    zipfian_queries,
 )
 
 UNIVERSE = 2**40
@@ -114,6 +115,67 @@ class TestRealExtracted:
         tiny = np.array([5], dtype=np.uint64)
         with pytest.raises(InvalidParameterError):
             real_extracted_queries(tiny, 10, 4, UNIVERSE, seed=0)
+
+
+class TestZipfian:
+    def test_shape_bounds_and_dtype(self):
+        los, his = zipfian_queries(KEYS, 500, 32, UNIVERSE, seed=1)
+        assert los.shape == his.shape == (500,)
+        assert los.dtype == np.uint64 and his.dtype == np.uint64
+        assert bool((his - los + 1 == 32).all())
+        assert bool((his < UNIVERSE).all())
+
+    def test_deterministic(self):
+        a = zipfian_queries(KEYS, 200, 16, UNIVERSE, skew=1.2, seed=9)
+        b = zipfian_queries(KEYS, 200, 16, UNIVERSE, skew=1.2, seed=9)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+        c = zipfian_queries(KEYS, 200, 16, UNIVERSE, skew=1.2, seed=10)
+        assert not np.array_equal(a[0], c[0])
+
+    def test_skew_concentrates_on_hot_keys(self):
+        n = 4000
+        los, _ = zipfian_queries(
+            KEYS, n, 8, UNIVERSE, skew=1.3, n_hot=256, seed=4
+        )
+        _, counts = np.unique(los, return_counts=True)
+        top = np.sort(counts)[::-1]
+        # Zipf(1.3) over 256 ranks: the top 10 anchors carry a large
+        # multiple of the uniform 10/256 share.
+        assert top[:10].sum() > 4 * (10 / 256) * n
+        # ... and a uniform draw over the same hot set does not.
+        uni = np.random.default_rng(4).integers(0, 256, n)
+        _, ucounts = np.unique(uni, return_counts=True)
+        assert top[:10].sum() > 2 * np.sort(ucounts)[::-1][:10].sum()
+
+    def test_hot_set_capped_by_key_count(self):
+        few = np.sort(
+            np.random.default_rng(0).integers(0, UNIVERSE, 50, dtype=np.uint64)
+        )
+        los, his = zipfian_queries(
+            few, 300, 4, UNIVERSE, n_hot=10_000, seed=0
+        )
+        # Every range still contains its anchor key (jitter < range size),
+        # so a 50-key hot set yields at most 50 distinct anchored ranges.
+        assert all(
+            intersects(few, int(lo), int(hi)) for lo, hi in zip(los, his)
+        )
+
+    def test_ranges_hit_keys(self):
+        """Zipfian queries aim *at* keys — most ranges are non-empty."""
+        los, his = zipfian_queries(KEYS, 300, 16, UNIVERSE, seed=6)
+        hits = sum(
+            intersects(KEYS, int(lo), int(hi)) for lo, hi in zip(los, his)
+        )
+        assert hits > 250
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            zipfian_queries(KEYS, 0, 8, UNIVERSE)
+        with pytest.raises(InvalidParameterError):
+            zipfian_queries(KEYS, 10, 0, UNIVERSE)
+        with pytest.raises(InvalidParameterError):
+            zipfian_queries(np.zeros(0, dtype=np.uint64), 10, 8, UNIVERSE)
 
 
 class TestNonEmpty:
