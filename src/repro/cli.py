@@ -52,7 +52,11 @@ import numpy as np
 
 from repro.analysis.fpr import measure_fpr
 from repro.analysis.harness import FILTERS, FilterConfig, build_filter
-from repro.analysis.report import format_table, format_write_amp
+from repro.analysis.report import (
+    format_planner_summary,
+    format_table,
+    format_write_amp,
+)
 from repro.analysis.theory import table1
 from repro.analysis.timing import time_queries
 from repro.workloads.adversary import AdaptiveAdversary
@@ -230,6 +234,12 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="let the per-shard auto-tuner switch filter backends and "
         "bits/key from observed traffic (--filter sets the starting "
         "backend)",
+    )
+    parser.add_argument(
+        "--plan", action=argparse.BooleanOptionalAction, default=True,
+        help="run probe batches through the query planner — dedup/merge "
+        "rewrite, negative-result cache, cost-model dispatch "
+        "(--no-plan executes batches verbatim)",
     )
     parser.add_argument("--bits-per-key", type=float, default=16.0)
     parser.add_argument("--range-size", type=int, default=32)
@@ -444,9 +454,12 @@ def _workload_rows(engine, args: argparse.Namespace, keys, m: dict) -> list:
             f"{args.filter} + autotune ({counts}; "
             f"{len(tuner.decisions)} decisions)"
         )
+    planner = engine.planner
     return [
         ["universe / shards", f"2^{args.universe_bits} / {args.shards}"],
         ["filter", filter_cell],
+        ["planner", format_planner_summary(
+            planner.stats_snapshot() if planner is not None else None)],
         ["live keys", f"{len(engine):,}"],
         ["runs (filter bits)", f"{engine.run_count} ({engine.filter_bits_total:,})"],
         ["bulk load", f"{keys.size:,} puts, "
@@ -471,7 +484,7 @@ def _workload_rows(engine, args: argparse.Namespace, keys, m: dict) -> list:
 
 def _build_engine(args: argparse.Namespace):
     """Construct the ShardedEngine both workload commands share."""
-    from repro.engine import AutoTuner, ShardedEngine
+    from repro.engine import AutoTuner, BatchPlanner, ShardedEngine
 
     engine = ShardedEngine(
         _universe(args),
@@ -484,6 +497,8 @@ def _build_engine(args: argparse.Namespace):
     )
     if args.autotune:
         engine.attach_autotuner(AutoTuner())
+    if args.plan:
+        engine.attach_planner(BatchPlanner())
     return engine
 
 
@@ -530,10 +545,12 @@ def _serve_summary_line(
     number."""
     cache = snapshot["cache"] or {}
     io = snapshot["io"]
+    negcache = (snapshot.get("planner") or {}).get("negative_cache") or {}
     return (
         f"[serve] mode={snapshot['mode']} threads={snapshot['threads']} "
         f"workers={snapshot['workers']} probe_qps={probe_qps:,.0f} "
         f"cache_hit_rate={cache.get('hit_ratio', 0.0):.3f} "
+        f"negcache_hit_rate={negcache.get('hit_rate', 0.0):.3f} "
         f"worker_queries={snapshot['queries']['worker']} "
         f"local_queries={snapshot['queries']['local']} "
         f"compaction={compaction} "

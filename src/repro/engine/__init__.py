@@ -28,7 +28,12 @@ serving heavy range-query traffic behind in-memory filters.
   auto-tuning from live workload telemetry (range lengths + windowed
   false-positive rate), switching between the robust Grafite default
   and the heuristic backends of :mod:`repro.filters.registry` where
-  they win.
+  they win;
+* :class:`~repro.engine.planner.BatchPlanner` — the batch query
+  planner: a dedup/cover-merge rewrite pass, an epoch-tagged
+  negative-result cache keyed by ``runs_version``, and a cost model
+  choosing scalar/columnar/process execution per sub-batch
+  (``attach_planner`` on the engine; ``--plan`` on the CLI).
 """
 
 from repro.engine.autotune import AutoTunePolicy, AutoTuner, Decision
@@ -46,6 +51,13 @@ from repro.engine.persist import (
     run_to_bytes,
     save_snapshot,
 )
+from repro.engine.planner import (
+    BatchPlan,
+    BatchPlanner,
+    CostModel,
+    NegativeRangeCache,
+    plan_batch,
+)
 from repro.engine.scheduler import CompactionScheduler
 from repro.engine.service import RangeQueryService, RWLock
 from repro.engine.sharding import ShardRouter
@@ -55,9 +67,13 @@ from repro.engine.workers import ShardWorkerPool, WorkerError
 __all__ = [
     "AutoTunePolicy",
     "AutoTuner",
+    "BatchPlan",
+    "BatchPlanner",
     "ColumnarPlan",
     "CompactionScheduler",
+    "CostModel",
     "Decision",
+    "NegativeRangeCache",
     "OP_DELETE",
     "OP_PUT",
     "RWLock",
@@ -70,6 +86,7 @@ __all__ = [
     "batch_range_empty",
     "load_manifest",
     "load_shards",
+    "plan_batch",
     "route_columnar",
     "run_from_bytes",
     "run_to_bytes",

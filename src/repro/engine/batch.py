@@ -164,12 +164,58 @@ def route_single_shard(
     return groups, straddler_set
 
 
+def _as_uint64_bounds(values, name: str) -> np.ndarray:
+    """Coerce one bound column to ``uint64``, rejecting lossy casts.
+
+    A bare ``np.asarray(..., dtype=np.uint64)`` silently wraps negative
+    integers modulo 2^64 (``lo = -1`` becomes ``2**64 - 1``) and
+    truncates floats — both turn caller bugs into well-formed queries
+    over the wrong range. Negative and non-integer inputs raise
+    :class:`InvalidQueryError` instead.
+    """
+    arr = np.asarray(values)
+    if arr.dtype.kind == "u":
+        return arr.astype(np.uint64, copy=False)
+    if arr.dtype.kind == "i":
+        if arr.size and bool((arr < 0).any()):
+            raise InvalidQueryError(f"negative bound in batch {name} column")
+        return arr.astype(np.uint64)
+    if arr.size == 0:
+        # np.asarray([]) defaults to float64; an empty column is fine.
+        return arr.astype(np.uint64)
+    if arr.dtype.kind == "O":
+        # Python ints too large/mixed for a fixed-width dtype: insist on
+        # integral elements (astype would happily *parse* numeric
+        # strings), then let numpy range-check the per-element cast
+        # instead of wrapping.
+        integral = all(
+            isinstance(v, (int, np.integer)) and not isinstance(v, bool)
+            for v in arr.flat
+        )
+        try:
+            if not integral:
+                raise TypeError("non-integer element in object column")
+            return arr.astype(np.uint64)
+        except (OverflowError, TypeError, ValueError) as exc:
+            raise InvalidQueryError(
+                f"batch {name} column must hold non-negative integers < 2**64"
+            ) from exc
+    raise InvalidQueryError(
+        f"batch {name} column must be integer, got dtype {arr.dtype}"
+    )
+
+
 def validate_batch_bounds(
     universe: int, los: np.ndarray, his: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Normalise and validate batch bound arrays; returns uint64 copies."""
-    los = np.asarray(los, dtype=np.uint64)
-    his = np.asarray(his, dtype=np.uint64)
+    """Normalise and validate batch bound arrays; returns uint64 copies.
+
+    Rejects mismatched shapes, ``lo > hi``, bounds at or past the
+    universe, and — via :func:`_as_uint64_bounds` — negative or
+    non-integer inputs that a raw uint64 cast would silently mangle.
+    """
+    los = _as_uint64_bounds(los, "lo")
+    his = _as_uint64_bounds(his, "hi")
     if los.shape != his.shape or los.ndim != 1:
         raise InvalidQueryError(
             "batch queries need equal-length one-dimensional lo/hi arrays"
@@ -222,7 +268,8 @@ def shard_batch_empty(
     # The memtable is exact (no false positives): any entry in range —
     # live or tombstone — sends the query to the verification path.
     maybe = memtable_overlaps(store, q_lo, q_hi)
-    runs = [run for run in store._runs() if run.key_bounds is not None]
+    all_runs = store._runs()
+    runs = [run for run in all_runs if run.key_bounds is not None]
     for run in runs:
         lo_bound, hi_bound = run.key_bounds
         hits = (q_lo <= np.uint64(hi_bound)) & (q_hi >= np.uint64(lo_bound))
@@ -237,9 +284,11 @@ def shard_batch_empty(
             sub = run.filter.may_contain_range_batch(q_lo[idx], q_hi[idx])
             maybe[idx[sub]] = True
     # Queries every filter pruned are empty with zero I/O performed:
-    # one avoided read per (query, run) pair, as in the scalar path.
+    # one avoided read per (query, run) pair, as in the scalar path —
+    # which also credits keyless (empty) runs its fence check skips, so
+    # the ledger the auto-tuner diffs must count *all* runs here too.
     clean = int((~maybe).sum())
-    store.stats.reads_avoided += clean * len(runs)
+    store.stats.reads_avoided += clean * len(all_runs)
     empty = np.ones(q_lo.size, dtype=bool)
     for j in np.flatnonzero(maybe):
         if not store.range_empty(int(q_lo[j]), int(q_hi[j])):

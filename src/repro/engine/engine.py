@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 import numpy as np
 
 from repro.engine import persist
-from repro.engine.batch import batch_range_empty
+from repro.engine.batch import batch_range_empty, validate_batch_bounds
 from repro.engine.scheduler import CompactionScheduler
 from repro.engine.sharding import ShardRouter
 from repro.engine.wal import OP_DELETE, OP_PUT, WriteAheadLog
@@ -45,6 +45,7 @@ from repro.lsm.store import IoStats, LSMStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.autotune import AutoTuner
+    from repro.engine.planner import BatchPlanner
     from repro.lsm.cache import BlockCache
 
 
@@ -116,6 +117,7 @@ class ShardedEngine:
         self._factory = filter_factory
         self._filter_spec = filter_spec
         self._autotuner: Optional["AutoTuner"] = None
+        self._planner: Optional["BatchPlanner"] = None
         self._defer = bool(defer_compaction)
         self._block_cache: Optional["BlockCache"] = None
         self._scheduler = CompactionScheduler()
@@ -306,7 +308,13 @@ class ShardedEngine:
         between-batches slot, never inside this one.
         """
         self.drain_compactions()
-        result = batch_range_empty(self, los, his)
+        if self._planner is not None:
+            los, his = validate_batch_bounds(self.universe, los, his)
+            result = self._planner.execute(
+                los, his, lambda q_lo, q_hi: batch_range_empty(self, q_lo, q_hi)
+            )
+        else:
+            result = batch_range_empty(self, los, his)
         if self._autotuner is not None:
             self._autotuner.maybe_retune()
         return result
@@ -351,6 +359,23 @@ class ShardedEngine:
         self._autotuner = tuner
         if tuner is not None:
             tuner.attach(self)
+
+    def attach_planner(self, planner: Optional["BatchPlanner"]) -> None:
+        """Install (or remove, with ``None``) a batch query planner.
+
+        With one attached, :meth:`batch_range_empty` — here and in the
+        serving layer — runs every batch through the planner's rewrite
+        pass, negative-result cache, and cost model
+        (:mod:`repro.engine.planner`). Attaching never changes query
+        results: the planner only reuses verdicts whose validity
+        conditions (``runs_version`` tag + memtable-overlap check) hold
+        at consult time.
+        """
+        if self._planner is not None:
+            self._planner.detach()
+        self._planner = planner
+        if planner is not None:
+            planner.attach(self)
 
     def checkpoint(self) -> None:
         """Flush, snapshot all runs + filters to disk, reset the WAL."""
@@ -420,6 +445,11 @@ class ShardedEngine:
     @property
     def autotuner(self) -> Optional["AutoTuner"]:
         return self._autotuner
+
+    @property
+    def planner(self) -> Optional["BatchPlanner"]:
+        """The attached batch query planner, or ``None``."""
+        return self._planner
 
     @property
     def universe(self) -> int:

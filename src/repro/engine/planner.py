@@ -1,0 +1,606 @@
+"""Batch query planner: rewrite passes, negative-result cache, cost model.
+
+The columnar batch path (:mod:`repro.engine.batch`) executes whatever
+the caller hands it, verbatim. Skewed serving traffic — the Zipfian
+batches the net front door's batching windows coalesce — is full of
+exact duplicates and overlapping near-duplicates, and a range-emptiness
+workload has a property no key-value cache enjoys: emptiness verdicts
+*compose*. An empty covering range proves every contained range empty,
+and "``[a, b]`` was empty" stays true for as long as the shard's run
+set is unchanged and no memtable write landed inside ``[a, b]``. The
+planner exploits both, as a pipeline of discrete passes in front of
+the executor (the staged rewrite/optimize shape of a SQL planner,
+applied to range-emptiness batches):
+
+1. **rewrite** — :func:`plan_batch` lexsorts the batch, folds exact
+   duplicates, and merges overlapping/*adjacent* unique ranges into
+   disjoint covering segments. The executor is asked about covers; an
+   empty cover's verdict scatters to every member for free, a
+   non-empty cover triggers a second round that re-asks only its
+   members (sole-member covers are already exact). All numpy, no
+   per-query python objects.
+2. **negative cache** — :class:`NegativeRangeCache`, a per-shard
+   sorted-disjoint-interval structure of ranges proven empty, tagged
+   with the shard's :attr:`~repro.lsm.store.LSMStore.runs_version` at
+   the time of proof. A hit requires the tag to match the shard's
+   *current* version (flush/compaction bump it, evicting wholesale)
+   and the current memtable to have no entry — live or tombstone —
+   inside the queried range (writes do not bump the version; the
+   overlap check is what makes replaying a cached verdict exact).
+   Containment counts: a cached ``[0, 100]`` answers ``[10, 20]``.
+3. **cost model** — :class:`CostModel` picks scalar / columnar /
+   process-mode execution for each per-shard sub-batch from its size,
+   duplicate ratio, and memtable-overlap fraction, replacing the
+   service's hardcoded "process iff workers exist" dispatch.
+
+Exactness is preserved end to end: every verdict the planner emits is
+either the executor's own answer or a cached/covering verdict whose
+validity conditions are checked at hit time. The hypothesis
+equivalence suite and the planner-enabled differential streams hold it
+to that.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, ContextManager, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.batch import memtable_overlaps
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.engine import ShardedEngine
+
+#: Answers a (lo, hi) column pair with an exact emptiness column.
+Executor = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+#: Yields a held read guard for one shard (the service's RWLock).
+LockProvider = Callable[[int], ContextManager[None]]
+
+
+def _merge_intervals(
+    los: np.ndarray, his: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge inclusive uint64 intervals into sorted disjoint covers.
+
+    Overlapping *and adjacent* intervals coalesce (``[0, 5]`` and
+    ``[6, 10]`` become ``[0, 10]``): for emptiness semantics the union
+    of empty ranges is empty, and a denser cover answers more
+    containment probes. The adjacency test is uint64-overflow-safe —
+    the subtraction only runs where ``lo > prev_hi`` already holds.
+    """
+    m = int(los.size)
+    if m == 0:
+        return los.astype(np.uint64), his.astype(np.uint64)
+    order = np.argsort(los, kind="stable")
+    los, his = los[order], his[order]
+    cummax = np.maximum.accumulate(his)
+    starts = np.ones(m, dtype=bool)
+    if m > 1:
+        prev = cummax[:-1]
+        gt = los[1:] > prev
+        gap = np.zeros(m - 1, dtype=bool)
+        gap[gt] = (los[1:][gt] - prev[gt]) > np.uint64(1)
+        starts[1:] = gap
+    idx = np.flatnonzero(starts)
+    ends = np.concatenate((idx[1:], [m])) - 1
+    return los[idx], cummax[ends]
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The rewrite pass's output: dedup map plus covering segments.
+
+    ``uniq_lo`` / ``uniq_hi`` are the distinct (lo, hi) pairs of the
+    batch in lexicographic order; ``inverse`` scatters unique verdicts
+    back to original positions. ``cover_of[u]`` names the disjoint
+    covering segment (``cover_lo`` / ``cover_hi``) containing unique
+    pair ``u``; covers merge overlapping *and adjacent* uniques, so an
+    empty cover proves every member empty while a non-empty cover only
+    means "some member *might* be non-empty" — the planner re-asks
+    those members individually.
+    """
+
+    uniq_lo: np.ndarray   # uint64 distinct lower bounds, lexsorted
+    uniq_hi: np.ndarray   # uint64 distinct upper bounds
+    inverse: np.ndarray   # int64, original position -> unique index
+    cover_of: np.ndarray  # int64, unique index -> cover index
+    cover_lo: np.ndarray  # uint64 disjoint cover lower bounds, sorted
+    cover_hi: np.ndarray  # uint64 disjoint cover upper bounds
+    n_queries: int
+
+    @property
+    def n_unique(self) -> int:
+        """Distinct (lo, hi) pairs in the batch."""
+        return int(self.uniq_lo.size)
+
+    @property
+    def n_covers(self) -> int:
+        """Disjoint covering segments after the merge pass."""
+        return int(self.cover_lo.size)
+
+    @property
+    def duplicate_ratio(self) -> float:
+        """Fraction of the batch that is an exact duplicate."""
+        if self.n_queries == 0:
+            return 0.0
+        return 1.0 - self.n_unique / self.n_queries
+
+
+def plan_batch(los: np.ndarray, his: np.ndarray) -> BatchPlan:
+    """The rewrite pass: dedup + cover-merge one validated batch.
+
+    Pure and allocation-lean: one ``lexsort`` for the dedup, one
+    ``cummax`` sweep for the merge. Inputs must already be uint64
+    columns with ``lo <= hi`` (the caller runs
+    :func:`~repro.engine.batch.validate_batch_bounds` first).
+    """
+    n = int(los.size)
+    if n == 0:
+        empty_u = np.zeros(0, dtype=np.uint64)
+        empty_i = np.zeros(0, dtype=np.int64)
+        return BatchPlan(empty_u, empty_u, empty_i, empty_i, empty_u,
+                         empty_u, 0)
+    order = np.lexsort((his, los))
+    slo, shi = los[order], his[order]
+    new = np.ones(n, dtype=bool)
+    if n > 1:
+        new[1:] = (slo[1:] != slo[:-1]) | (shi[1:] != shi[:-1])
+    uidx = np.flatnonzero(new)
+    uniq_lo, uniq_hi = slo[uidx], shi[uidx]
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = np.cumsum(new) - 1
+    # Covers over the (already sorted, distinct) unique pairs: the same
+    # cummax sweep as _merge_intervals, but keeping the member map.
+    m = int(uniq_lo.size)
+    cummax = np.maximum.accumulate(uniq_hi)
+    starts = np.ones(m, dtype=bool)
+    if m > 1:
+        prev = cummax[:-1]
+        gt = uniq_lo[1:] > prev
+        gap = np.zeros(m - 1, dtype=bool)
+        gap[gt] = (uniq_lo[1:][gt] - prev[gt]) > np.uint64(1)
+        starts[1:] = gap
+    cover_of = (np.cumsum(starts) - 1).astype(np.int64)
+    sidx = np.flatnonzero(starts)
+    ends = np.concatenate((sidx[1:], [m])) - 1
+    return BatchPlan(
+        uniq_lo=uniq_lo,
+        uniq_hi=uniq_hi,
+        inverse=inverse,
+        cover_of=cover_of,
+        cover_lo=uniq_lo[sidx],
+        cover_hi=cummax[ends],
+        n_queries=n,
+    )
+
+
+class NegativeRangeCache:
+    """Per-shard intervals proven empty at a pinned ``runs_version``.
+
+    Each shard's entry is ``(version, los, his)`` — sorted disjoint
+    inclusive intervals, every one proven empty while the shard's run
+    set was at ``version``. Lookup is a single ``searchsorted``
+    containment probe per column. The structure is deliberately
+    version-monotone: recording at an older version than the stored
+    entry is dropped (stale proof), recording at a newer version
+    replaces the entry wholesale (the old proofs died with the old run
+    set). ``capacity`` bounds per-shard interval count; on overflow the
+    widest intervals survive (they answer the most containment probes).
+
+    Thread safety: mutation is serialised by an internal mutex and
+    entries are replaced atomically (tuples are never mutated in
+    place), so lock-free readers see either the old or the new entry.
+    Counters are best-effort under races, like
+    :class:`~repro.lsm.store.IoStats`.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._capacity = int(capacity)
+        self._mutex = threading.Lock()
+        self._shards: Dict[int, Tuple[int, np.ndarray, np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.invalidations = 0
+
+    def lookup(
+        self, sid: int, version: int, q_lo: np.ndarray, q_hi: np.ndarray
+    ) -> np.ndarray:
+        """Containment mask: which queries a current-version interval covers.
+
+        Callers must hold the shard steady (the service's read lock)
+        and still apply the memtable-overlap check before trusting a
+        hit — the cache knows nothing about unflushed writes.
+        """
+        out = np.zeros(int(q_lo.size), dtype=bool)
+        entry = self._shards.get(sid)
+        if entry is None or entry[0] != version:
+            self.misses += int(q_lo.size)
+            return out
+        _, clos, chis = entry
+        idx = np.searchsorted(clos, q_lo, side="right") - 1
+        ok = idx >= 0
+        out[ok] = chis[idx[ok]] >= q_hi[ok]
+        n_hit = int(out.sum())
+        self.hits += n_hit
+        self.misses += int(q_lo.size) - n_hit
+        return out
+
+    def record(
+        self, sid: int, version: int, q_lo: np.ndarray, q_hi: np.ndarray
+    ) -> None:
+        """Fold freshly proven-empty intervals into the shard's entry.
+
+        ``version`` is the shard's ``runs_version`` captured *before*
+        the proving execution started: if a flush raced the execution
+        the entry is tagged older than the live version and can never
+        hit — conservative, never wrong.
+        """
+        if q_lo.size == 0 or self._capacity <= 0:
+            return
+        with self._mutex:
+            entry = self._shards.get(sid)
+            if entry is not None and entry[0] > version:
+                return  # proofs predate the stored run set: stale
+            if entry is not None and entry[0] == version:
+                clos = np.concatenate((entry[1], q_lo))
+                chis = np.concatenate((entry[2], q_hi))
+            else:
+                if entry is not None:
+                    self.invalidations += 1
+                clos, chis = q_lo, q_hi
+            mlos, mhis = _merge_intervals(clos, chis)
+            if mlos.size > self._capacity:
+                widths = mhis - mlos  # uint64 widths, inclusive - 1
+                keep = np.sort(
+                    np.argsort(widths, kind="stable")[-self._capacity:]
+                )
+                mlos, mhis = mlos[keep], mhis[keep]
+            self._shards[sid] = (int(version), mlos, mhis)
+            self.insertions += int(q_lo.size)
+
+    def drop_shard(self, sid: int) -> None:
+        """Forget one shard's intervals (manual invalidation hook)."""
+        with self._mutex:
+            if self._shards.pop(sid, None) is not None:
+                self.invalidations += 1
+
+    def clear(self) -> None:
+        """Forget everything; counters keep accumulating."""
+        with self._mutex:
+            self._shards.clear()
+
+    @property
+    def n_intervals(self) -> int:
+        """Total intervals held across shards right now."""
+        return sum(entry[1].size for entry in self._shards.values())
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hits / lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Chooses how a per-shard sub-batch executes.
+
+    ``scalar_cutoff``: at or below this many *distinct* queries the
+    python loop beats the columnar kernel's setup cost (a handful of
+    searchsorteds loses to numpy dispatch overhead).
+    ``process_floor``: below this many distinct queries the process
+    pool's per-batch marshalling round-trip is not amortised.
+    ``overlap_ceiling``: above this memtable-overlap fraction a process
+    worker would bounce most queries back to the local exact path
+    anyway (snapshot workers cannot see unflushed writes), so the
+    round-trip buys nothing.
+    """
+
+    scalar_cutoff: int = 8
+    process_floor: int = 64
+    overlap_ceiling: float = 0.5
+
+    def choose(
+        self,
+        *,
+        batch_size: int,
+        duplicate_ratio: float = 0.0,
+        memtable_overlap: float = 0.0,
+        process_available: bool = False,
+    ) -> str:
+        """Pick ``"scalar"`` / ``"columnar"`` / ``"process"`` for a sub-batch.
+
+        ``duplicate_ratio`` discounts the effective size: the columnar
+        kernel and the process round-trip pay per row, but after the
+        planner's rewrite the rows worth paying for are the distinct
+        ones.
+        """
+        distinct = batch_size * (1.0 - duplicate_ratio)
+        if distinct <= self.scalar_cutoff:
+            return "scalar"
+        if (
+            process_available
+            and distinct >= self.process_floor
+            and memtable_overlap <= self.overlap_ceiling
+        ):
+            return "process"
+        return "columnar"
+
+
+def duplicate_ratio(los: np.ndarray, his: np.ndarray) -> float:
+    """Fraction of exact-duplicate (lo, hi) pairs in a column pair."""
+    n = int(los.size)
+    if n < 2:
+        return 0.0
+    order = np.lexsort((his, los))
+    slo, shi = los[order], his[order]
+    n_uniq = 1 + int(
+        np.count_nonzero((slo[1:] != slo[:-1]) | (shi[1:] != shi[:-1]))
+    )
+    return 1.0 - n_uniq / n
+
+
+class BatchPlanner:
+    """The discrete-pass batch optimizer in front of the executor.
+
+    Attach one to a :class:`~repro.engine.engine.ShardedEngine` (via
+    :meth:`~repro.engine.engine.ShardedEngine.attach_planner`); the
+    engine's and service's ``batch_range_empty`` then run every batch
+    through :meth:`execute`. ``merge=False`` keeps the dedup pass but
+    skips cover-merging; ``cache_capacity=0`` disables the negative
+    cache. One planner serves one engine — the cache is keyed by shard
+    id and tagged by that engine's shards' ``runs_version``.
+    """
+
+    def __init__(
+        self,
+        *,
+        merge: bool = True,
+        cache_capacity: int = 4096,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.merge = bool(merge)
+        self.cost_model = cost_model or CostModel()
+        self._cache: Optional[NegativeRangeCache] = (
+            NegativeRangeCache(cache_capacity) if cache_capacity > 0 else None
+        )
+        self._engine: Optional["ShardedEngine"] = None
+        # Best-effort counters (IoStats-style) for stats_snapshot().
+        self._batches = 0
+        self._queries = 0
+        self._duplicates_folded = 0
+        self._covers_merged = 0
+        self._executed_probes = 0
+        self._reasked = 0
+        self._mode_counts: Dict[str, int] = {
+            "scalar": 0, "columnar": 0, "process": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------
+
+    def attach(self, engine: "ShardedEngine") -> None:
+        """Bind to the engine whose shards version the negative cache."""
+        if self._engine is not None and self._engine is not engine:
+            # A different engine's runs_versions mean nothing here.
+            if self._cache is not None:
+                self._cache.clear()
+        self._engine = engine
+
+    def detach(self) -> None:
+        """Unbind; drops all cached intervals."""
+        self._engine = None
+        if self._cache is not None:
+            self._cache.clear()
+
+    @property
+    def cache(self) -> Optional[NegativeRangeCache]:
+        """The negative cache, or ``None`` when disabled."""
+        return self._cache
+
+    # -- the planned execution path -----------------------------------
+
+    def execute(
+        self,
+        los: np.ndarray,
+        his: np.ndarray,
+        executor: Executor,
+        *,
+        lock_provider: Optional[LockProvider] = None,
+    ) -> np.ndarray:
+        """Answer a validated batch through the pass pipeline.
+
+        ``executor`` answers a (possibly rewritten) column pair exactly
+        — the engine's raw columnar path or the service's locking
+        fan-out. ``lock_provider`` (the service passes its per-shard
+        read-lock guards) makes cache consultation safe against
+        concurrent flush/compaction; without one, single-threaded
+        callers get plain no-op guards. Returns the per-query verdict
+        column, bit-identical to what the executor alone would return.
+        """
+        n = int(los.size)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        self._batches += 1
+        self._queries += n
+        plan = plan_batch(los, his)
+        self._duplicates_folded += n - plan.n_unique
+        locks: LockProvider = lock_provider or (
+            lambda sid: contextlib.nullcontext()
+        )
+        versions = self._versions_snapshot()
+        if self.merge:
+            self._covers_merged += plan.n_unique - plan.n_covers
+            cover_empty = self._answer(
+                plan.cover_lo, plan.cover_hi, executor, locks, versions
+            )
+            uniq_empty = cover_empty[plan.cover_of]
+            members = np.bincount(plan.cover_of, minlength=plan.n_covers)
+            # A non-empty multi-member cover proves nothing about its
+            # members; re-ask exactly those. Sole members *are* their
+            # cover, so their verdict is already exact.
+            need = np.flatnonzero(~uniq_empty & (members[plan.cover_of] > 1))
+            if need.size:
+                self._reasked += int(need.size)
+                uniq_empty[need] = self._answer(
+                    plan.uniq_lo[need], plan.uniq_hi[need],
+                    executor, locks, versions,
+                )
+        else:
+            uniq_empty = self._answer(
+                plan.uniq_lo, plan.uniq_hi, executor, locks, versions
+            )
+        return uniq_empty[plan.inverse]
+
+    def _answer(
+        self,
+        q_lo: np.ndarray,
+        q_hi: np.ndarray,
+        executor: Executor,
+        locks: LockProvider,
+        versions: Dict[int, int],
+    ) -> np.ndarray:
+        """Cache-consult, execute the remainder, record fresh empties."""
+        out = np.zeros(int(q_lo.size), dtype=bool)
+        known = np.zeros(int(q_lo.size), dtype=bool)
+        if self._cache is not None and self._engine is not None:
+            hits = self._consult(q_lo, q_hi, locks)
+            out[hits] = True
+            known[hits] = True
+        todo = np.flatnonzero(~known)
+        if todo.size:
+            result = np.asarray(executor(q_lo[todo], q_hi[todo]), dtype=bool)
+            out[todo] = result
+            self._executed_probes += int(todo.size)
+            if self._cache is not None and self._engine is not None:
+                proved = result
+                if proved.any():
+                    self._record_empties(
+                        q_lo[todo][proved], q_hi[todo][proved], versions
+                    )
+        return out
+
+    def _consult(
+        self, q_lo: np.ndarray, q_hi: np.ndarray, locks: LockProvider
+    ) -> np.ndarray:
+        """Which queries the negative cache answers *right now*.
+
+        Per owning shard, under that shard's read guard: the stored
+        version must equal the live ``runs_version`` and the live
+        memtable must have no entry in the queried range — the two
+        conditions that keep a replayed "empty" exact. Straddlers
+        (sid -1) are never consulted; they cross version domains.
+        """
+        hits = np.zeros(int(q_lo.size), dtype=bool)
+        sids = self._shard_ids(q_lo, q_hi)
+        for sid in np.unique(sids[sids >= 0]):
+            mask = sids == sid
+            store = self._engine.shards[int(sid)]
+            with locks(int(sid)):
+                found = self._cache.lookup(
+                    int(sid), store.runs_version, q_lo[mask], q_hi[mask]
+                )
+                if found.any():
+                    pos = np.flatnonzero(found)
+                    overlap = memtable_overlaps(
+                        store, q_lo[mask][pos], q_hi[mask][pos]
+                    )
+                    found[pos[overlap]] = False
+            hits[np.flatnonzero(mask)[found]] = True
+        return hits
+
+    def _record_empties(
+        self,
+        q_lo: np.ndarray,
+        q_hi: np.ndarray,
+        versions: Dict[int, int],
+    ) -> None:
+        """Cache proven-empty single-shard ranges at pre-execution versions."""
+        sids = self._shard_ids(q_lo, q_hi)
+        for sid in np.unique(sids[sids >= 0]):
+            mask = sids == sid
+            self._cache.record(
+                int(sid), versions[int(sid)], q_lo[mask], q_hi[mask]
+            )
+
+    def _shard_ids(self, q_lo: np.ndarray, q_hi: np.ndarray) -> np.ndarray:
+        """Owning shard per query; -1 marks shard-straddling ranges."""
+        router = self._engine.router
+        if router.num_shards == 1:
+            return np.zeros(int(q_lo.size), dtype=np.int64)
+        width = np.uint64(router.shard_width)
+        sid_lo = (q_lo // width).astype(np.int64)
+        sid_hi = (q_hi // width).astype(np.int64)
+        return np.where(sid_lo == sid_hi, sid_lo, np.int64(-1))
+
+    def _versions_snapshot(self) -> Dict[int, int]:
+        """Every shard's ``runs_version`` before execution starts.
+
+        Tagging cache entries with the *pre*-execution version makes a
+        racing flush strictly conservative: the entry lands with an
+        older tag than the live version and simply never hits.
+        """
+        if self._engine is None:
+            return {}
+        return {
+            sid: store.runs_version
+            for sid, store in enumerate(self._engine.shards)
+        }
+
+    # -- service integration ------------------------------------------
+
+    def choose_mode(
+        self,
+        store,
+        q_lo: np.ndarray,
+        q_hi: np.ndarray,
+        *,
+        process_available: bool,
+    ) -> str:
+        """Cost-model dispatch for one per-shard sub-batch.
+
+        Feeds the model the sub-batch's observed size, duplicate ratio
+        and memtable-overlap fraction, and tallies the decision for
+        :meth:`stats_snapshot`.
+        """
+        overlap = 0.0
+        if q_lo.size:
+            overlap = float(memtable_overlaps(store, q_lo, q_hi).mean())
+        mode = self.cost_model.choose(
+            batch_size=int(q_lo.size),
+            duplicate_ratio=duplicate_ratio(q_lo, q_hi),
+            memtable_overlap=overlap,
+            process_available=process_available,
+        )
+        self._mode_counts[mode] += 1
+        return mode
+
+    # -- observability ------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Counters for ``stats_snapshot()`` / the ``[serve]`` line."""
+        cache: Dict[str, object] = {"enabled": self._cache is not None}
+        if self._cache is not None:
+            cache.update(
+                hits=self._cache.hits,
+                misses=self._cache.misses,
+                hit_rate=self._cache.hit_rate,
+                intervals=self._cache.n_intervals,
+                insertions=self._cache.insertions,
+                invalidations=self._cache.invalidations,
+            )
+        return {
+            "merge": self.merge,
+            "batches": self._batches,
+            "queries": self._queries,
+            "duplicates_folded": self._duplicates_folded,
+            "covers_merged": self._covers_merged,
+            "executed_probes": self._executed_probes,
+            "reasked_members": self._reasked,
+            "modes": dict(self._mode_counts),
+            "negative_cache": cache,
+        }

@@ -343,9 +343,48 @@ class RangeQueryService:
         self, sid: int, q_lo: np.ndarray, q_hi: np.ndarray, qid: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         with self._locks[sid].read_locked():
-            if self._workers is not None:
+            store = self._engine.shards[sid]
+            planner = self._engine.planner
+            if planner is not None:
+                # Cost-model dispatch: the planner picks the execution
+                # strategy per sub-batch from its observed size,
+                # duplicate ratio and memtable-overlap fraction.
+                mode = planner.choose_mode(
+                    store, q_lo, q_hi,
+                    process_available=self._workers is not None,
+                )
+            else:
+                mode = "process" if self._workers is not None else "columnar"
+            if mode == "process":
                 return qid, self._shard_empty_process(sid, q_lo, q_hi)
-            return qid, shard_batch_empty(self._engine.shards[sid], q_lo, q_hi)
+            if mode == "scalar":
+                return qid, self._shard_empty_scalar(store, q_lo, q_hi)
+            return qid, shard_batch_empty(store, q_lo, q_hi)
+
+    @staticmethod
+    def _shard_empty_scalar(
+        store, q_lo: np.ndarray, q_hi: np.ndarray
+    ) -> np.ndarray:
+        """Tiny sub-batches skip the columnar kernel's setup cost.
+
+        A plain loop over the exact scalar path — identical verdicts
+        and identical per-run ledger accounting — that still reports
+        the sub-batch to the shard's query observer, so the auto-tuner
+        sees the same telemetry whichever strategy the cost model
+        picked.
+        """
+        empty = np.fromiter(
+            (
+                store.range_empty(int(lo), int(hi))
+                for lo, hi in zip(q_lo, q_hi)
+            ),
+            dtype=bool,
+            count=int(q_lo.size),
+        )
+        observer = store.query_observer
+        if observer is not None:
+            observer(q_lo, q_hi, empty)
+        return empty
 
     def _shard_empty_process(
         self, sid: int, q_lo: np.ndarray, q_hi: np.ndarray
@@ -428,6 +467,29 @@ class RangeQueryService:
         los, his = validate_batch_bounds(self._engine.universe, los, his)
         if los.size == 0:
             return np.zeros(0, dtype=bool)
+        planner = self._engine.planner
+        if planner is not None:
+            # The planner's passes run on the calling thread; the
+            # rewritten (deduped/merged) columns fan out through the
+            # same pool path. Cache consultation borrows the per-shard
+            # read guards so a hit is checked against a stable
+            # (runs_version, memtable) pair.
+            empty = planner.execute(
+                los, his, self._fanout_batch,
+                lock_provider=lambda sid: self._locks[sid].read_locked(),
+            )
+        else:
+            empty = self._fanout_batch(los, his)
+        tuner = self._engine.autotuner
+        if tuner is not None:
+            # The serving tier's between-batches slot: any backend switch
+            # lands as a factory swap plus a queued compaction, which the
+            # background worker rebuilds under the shard's write lock.
+            tuner.maybe_retune()
+        return empty
+
+    def _fanout_batch(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:
+        """Route, chunk, fan out and re-merge one validated batch."""
         singles, straddlers = route_single_shard(self._engine.router, los, his)
         # Aim for ~2 tasks per thread so the slowest chunk cannot leave
         # the rest of the pool idle for long.
@@ -447,12 +509,6 @@ class RangeQueryService:
             empty[qid[~sub_empty]] = False
         for qid, future in straddler_futures:
             empty[qid] = future.result()
-        tuner = self._engine.autotuner
-        if tuner is not None:
-            # The serving tier's between-batches slot: any backend switch
-            # lands as a factory swap plus a queued compaction, which the
-            # background worker rebuilds under the shard's write lock.
-            tuner.maybe_retune()
         return empty
 
     # ------------------------------------------------------------------
@@ -660,6 +716,10 @@ class RangeQueryService:
                 "runs": self._engine.run_count,
                 "filter_bits": self._engine.filter_bits_total,
             },
+            "planner": (
+                self._engine.planner.stats_snapshot()
+                if self._engine.planner is not None else None
+            ),
         }
         if self._cache is not None:
             snapshot["cache"] = {

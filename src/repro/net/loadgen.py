@@ -80,7 +80,14 @@ class LoadConfig:
 
 @dataclass
 class LoadReport:
-    """What one open-loop run measured."""
+    """What one open-loop run measured.
+
+    ``sent`` counts requests actually fired on the wire — equal to
+    ``cfg.n_requests`` on a run that completes, smaller when the run's
+    timeout truncates the schedule. Fired-but-unanswered stragglers are
+    cancelled at teardown and tallied under ``errors``, so
+    ``completed + shed + errors == sent`` always holds.
+    """
 
     sent: int
     completed: int
@@ -220,31 +227,46 @@ async def run_async(
         except Exception:  # noqa: BLE001 - tally (RemoteError etc.), keep firing
             counts["errors"] += 1
 
+    # Fired requests live at run scope, not inside drive(): the outer
+    # timeout cancels only the drive() coroutines, so any fire() task
+    # still pending at teardown must be cancelled here — otherwise a
+    # truncated run leaks "Task was destroyed but it is pending"
+    # warnings and stragglers append latencies after the report exists.
+    tasks: List[asyncio.Task] = []
+
     async def drive(cid: int) -> None:
-        tasks = []
         conn = conns[cid]
         for idx in np.flatnonzero(conn_of == cid):
             delay = start + float(offsets[idx]) - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
             tasks.append(loop.create_task(fire(conn, int(idx))))
-        if tasks:
-            await asyncio.wait(tasks, timeout=cfg.timeout)
 
+    cancelled = 0
     try:
         await asyncio.wait_for(
             asyncio.gather(*(drive(c) for c in range(cfg.connections))),
             timeout=cfg.timeout * 2,
         )
+        if tasks:
+            await asyncio.wait(tasks, timeout=cfg.timeout)
     finally:
+        pending = [task for task in tasks if not task.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        cancelled = len(pending)
         elapsed = loop.time() - start
         for conn in conns:
             await conn.close()
     return LoadReport(
-        sent=cfg.n_requests,
+        # sent counts requests actually fired; on a truncated run the
+        # never-scheduled remainder must not dilute shed_rate.
+        sent=len(tasks),
         completed=len(latencies),
         shed=counts["shed"],
-        errors=counts["errors"],
+        errors=counts["errors"] + cancelled,
         elapsed=elapsed,
         offered_qps=cfg.rate,
         latencies=np.asarray(latencies, dtype=np.float64),

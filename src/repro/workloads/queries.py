@@ -62,7 +62,10 @@ def uncorrelated_queries(
     limit = n_queries * max_attempts_factor
     while len(out) < n_queries and attempts < limit:
         attempts += 1
-        lo = int(rng.integers(0, universe - range_size))
+        # Inclusive-placement draw: the last valid left endpoint is
+        # universe - range_size (giving hi = universe - 1), and
+        # rng.integers has an exclusive high bound, hence the + 1.
+        lo = int(rng.integers(0, universe - range_size + 1))
         hi = lo + range_size - 1
         if sorted_keys is not None and intersects(sorted_keys, lo, hi):
             continue

@@ -21,6 +21,7 @@ from repro.core.bucketing import Bucketing
 from repro.core.grafite import Grafite
 from repro.engine import ShardedEngine
 from repro.engine.batch import route_columnar, validate_batch_bounds
+from repro.errors import InvalidQueryError
 from repro.filters.base import RangeFilter
 from repro.succinct.elias_fano import EliasFano
 
@@ -198,6 +199,61 @@ def test_columnar_plan_matches_scalar_router(queries, data):
         if len(engine_router.split(lo, hi)) > 1
     }
     assert set(plan.straddler_qids.tolist()) == want_straddlers
+
+
+class TestValidateBatchBounds:
+    """Regression: malformed bound columns used to flow straight into
+    the uint64 cast — negative ``int64`` values wrapped around to huge
+    keys and floats truncated silently, turning caller bugs into wrong
+    verdicts instead of errors."""
+
+    def test_rejects_negative_signed_bounds(self):
+        los = np.array([-1, 5], dtype=np.int64)
+        his = np.array([10, 20], dtype=np.int64)
+        with pytest.raises(InvalidQueryError, match="negative bound"):
+            validate_batch_bounds(UNIVERSE, los, his)
+        with pytest.raises(InvalidQueryError, match="negative bound"):
+            validate_batch_bounds(
+                UNIVERSE, np.array([0, 5], dtype=np.int64),
+                np.array([10, -20], dtype=np.int64),
+            )
+
+    def test_rejects_float_columns(self):
+        with pytest.raises(InvalidQueryError, match="must be integer"):
+            validate_batch_bounds(
+                UNIVERSE, np.array([1.5, 2.0]), np.array([3.0, 4.0])
+            )
+
+    def test_rejects_object_column_overflow_and_junk(self):
+        with pytest.raises(InvalidQueryError):
+            validate_batch_bounds(
+                UNIVERSE,
+                np.array([2**70], dtype=object),
+                np.array([2**70 + 1], dtype=object),
+            )
+        with pytest.raises(InvalidQueryError):
+            validate_batch_bounds(
+                UNIVERSE,
+                np.array(["7"], dtype=object),
+                np.array(["9"], dtype=object),
+            )
+        with pytest.raises(InvalidQueryError):
+            validate_batch_bounds(
+                UNIVERSE, np.array([-3], dtype=object),
+                np.array([9], dtype=object),
+            )
+
+    def test_accepts_nonnegative_signed_and_python_ints(self):
+        los, his = validate_batch_bounds(
+            UNIVERSE, np.array([0, 5], dtype=np.int64), [7, 9]
+        )
+        assert los.dtype == np.uint64 and his.dtype == np.uint64
+        np.testing.assert_array_equal(los, [0, 5])
+        np.testing.assert_array_equal(his, [7, 9])
+
+    def test_accepts_empty_columns(self):
+        los, his = validate_batch_bounds(UNIVERSE, [], [])
+        assert los.size == 0 and los.dtype == np.uint64
 
 
 def test_empty_batches_are_empty_arrays():

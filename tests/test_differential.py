@@ -44,7 +44,13 @@ import numpy as np
 import pytest
 
 from repro.core.grafite import Grafite
-from repro.engine import AutoTunePolicy, AutoTuner, RangeQueryService, ShardedEngine
+from repro.engine import (
+    AutoTunePolicy,
+    AutoTuner,
+    BatchPlanner,
+    RangeQueryService,
+    ShardedEngine,
+)
 from repro.filters.registry import FilterSpec, backend_names
 from repro.lsm import BlockCache
 
@@ -190,16 +196,18 @@ class Target:
 class EngineTarget(Target):
     def __init__(
         self, *, directory=None, cache=False, num_shards=4, spec=None,
-        autotune=False, compaction=None,
+        autotune=False, compaction=None, planner=False,
     ):
         self.name = (
             f"engine(persistent={directory is not None}, cache={cache}, "
             f"spec={spec.backend if spec else 'grafite-factory'}, "
-            f"autotune={autotune}, compaction={compaction or 'full'})"
+            f"autotune={autotune}, compaction={compaction or 'full'}, "
+            f"planner={planner})"
         )
         self._directory = directory
         self._spec = spec
         self._autotune = autotune
+        self._planner = planner
         self.engine = ShardedEngine(
             UNIVERSE,
             num_shards=num_shards,
@@ -210,15 +218,19 @@ class EngineTarget(Target):
             directory=directory,
             compaction=compaction,
         )
-        self._maybe_attach_tuner()
+        self._attach_helpers()
         if cache:
             self.engine.attach_block_cache(BlockCache(256, num_stripes=4))
 
-    def _maybe_attach_tuner(self):
+    def _attach_helpers(self):
         if self._autotune:
             self.engine.attach_autotuner(
                 AutoTuner(AutoTunePolicy(min_window=128))
             )
+        if self._planner:
+            # A tiny cache capacity forces constant eviction churn on
+            # top of the runs_version invalidation the stream provides.
+            self.engine.attach_planner(BatchPlanner(cache_capacity=512))
 
     def put(self, key, value):
         self.engine.put(key, value)
@@ -254,7 +266,7 @@ class EngineTarget(Target):
             self._directory,
             filter_factory=None if self._spec is not None else grafite_factory,
         )
-        self._maybe_attach_tuner()
+        self._attach_helpers()
         if cache is not None:
             self.engine.attach_block_cache(cache)
 
@@ -265,12 +277,13 @@ class EngineTarget(Target):
 class ServiceTarget(Target):
     def __init__(
         self, num_threads: int, *, directory=None, mode="thread", workers=None,
-        spec=None, autotune=False, compaction=None,
+        spec=None, autotune=False, compaction=None, planner=False,
     ):
         self.name = (
             f"service(threads={num_threads}, mode={mode}, workers={workers}, "
             f"spec={spec.backend if spec else 'grafite-factory'}, "
-            f"autotune={autotune}, compaction={compaction or 'full'})"
+            f"autotune={autotune}, compaction={compaction or 'full'}, "
+            f"planner={planner})"
         )
         self._threads = num_threads
         self._directory = directory
@@ -278,6 +291,7 @@ class ServiceTarget(Target):
         self._workers = workers
         self._spec = spec
         self._autotune = autotune
+        self._planner = planner
         self.engine = ShardedEngine(
             UNIVERSE,
             num_shards=4,
@@ -290,6 +304,8 @@ class ServiceTarget(Target):
         )
         if autotune:
             self.engine.attach_autotuner(AutoTuner(AutoTunePolicy(min_window=128)))
+        if planner:
+            self.engine.attach_planner(BatchPlanner(cache_capacity=512))
         self.service = RangeQueryService(
             self.engine, num_threads=num_threads, cache_blocks=256,
             compaction_poll=0.002, mode=mode, num_workers=workers,
@@ -329,6 +345,8 @@ class ServiceTarget(Target):
         )
         if self._autotune:
             self.engine.attach_autotuner(AutoTuner(AutoTunePolicy(min_window=128)))
+        if self._planner:
+            self.engine.attach_planner(BatchPlanner(cache_capacity=512))
         self.service = RangeQueryService(
             self.engine, num_threads=self._threads, cache_blocks=256,
             compaction_poll=0.002, mode=self._mode, num_workers=self._workers,
@@ -496,6 +514,56 @@ def test_differential_service_autotune():
     replay(
         ServiceTarget(2, spec=HEURISTIC_SPECS["snarf"], autotune=True),
         gen_ops(rng, N_OPS // 2, persistent=False),
+    )
+
+
+def test_differential_engine_planner():
+    """The planned batch path against the oracle: dedup/cover rewrites
+    and negative-cache replays must answer the identical op mix bit for
+    bit while the stream's flushes/compactions bump ``runs_version``
+    (evicting entries) and its writes dirty memtables (disqualifying
+    hits without a version bump)."""
+    rng = np.random.default_rng(SEED + 37)
+    replay(
+        EngineTarget(planner=True), gen_ops(rng, N_OPS, persistent=False)
+    )
+
+
+def test_differential_engine_planner_persistent(tmp_path):
+    """Planner + persistence: reopens rebuild the engine (the replacement
+    engine gets a fresh planner attached) and WAL replay must not leave
+    stale negative-cache state anywhere."""
+    rng = np.random.default_rng(SEED + 41)
+    replay(
+        EngineTarget(directory=tmp_path / "db", planner=True),
+        gen_ops(rng, N_OPS, persistent=True),
+    )
+
+
+@pytest.mark.parametrize("num_threads", [2, 8])
+def test_differential_service_planner(num_threads):
+    """`serve --plan`'s configuration: the planner's passes run on the
+    service's calling thread, cache consultation borrows the per-shard
+    read locks, and the cost model dispatches sub-batches between the
+    scalar and columnar kernels mid-stream."""
+    rng = np.random.default_rng(SEED + 43)
+    replay(
+        ServiceTarget(num_threads, planner=True),
+        gen_ops(rng, N_OPS, persistent=False),
+    )
+
+
+def test_differential_service_planner_process(tmp_path):
+    """Planner over process mode: the cost model routes big clean
+    sub-batches to snapshot workers and overlapping/small ones to the
+    local kernels, under checkpoint-epoch churn."""
+    rng = np.random.default_rng(SEED + 47)
+    replay(
+        ServiceTarget(
+            2, directory=tmp_path / "db", mode="process", workers=2,
+            planner=True,
+        ),
+        gen_ops(rng, N_OPS // 2, persistent=True),
     )
 
 

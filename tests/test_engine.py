@@ -260,6 +260,42 @@ class TestShardedEngine:
         # Pruned probes were credited to the I/O ledger as avoided reads.
         assert engine.stats.reads_avoided > 0
 
+    def test_batch_ledger_matches_scalar_with_keyless_runs(self):
+        """Regression: ``shard_batch_empty`` only credited *bounded*
+        runs as avoided reads, while the scalar path credits every
+        pruned run — including keyless slices (a leveled span whose
+        keys were all tombstoned away keeps an empty, filterless run
+        owning the span). The two ledgers must agree."""
+        universe = 2**24
+        run = SSTable(
+            [(i * 100, b"v") for i in range(100)], universe, grafite_factory
+        )
+        keyless = SSTable(
+            [], universe, None, slice_bounds=(2**23, universe - 1)
+        )
+        def build():
+            return LSMStore.from_runs(
+                universe, level0=[run], levels=[[keyless]],
+                filter_factory=grafite_factory, auto_compact=False,
+            )
+
+        # Clean probes between the stored keys: both runs prune.
+        los = np.arange(40, dtype=np.uint64) * 100 + 10
+        his = los + 5
+
+        scalar_store = build()
+        for lo, hi in zip(los, his):
+            assert scalar_store.range_empty(int(lo), int(hi))
+        batch_store = build()
+        from repro.engine.batch import shard_batch_empty
+        assert shard_batch_empty(batch_store, los, his).all()
+        assert (
+            batch_store.stats.reads_avoided
+            == scalar_store.stats.reads_avoided
+            == 2 * los.size  # both runs credited per query, keyless too
+        )
+        assert batch_store.stats.reads_performed == 0
+
     def test_batch_sees_memtable_and_tombstones(self):
         engine = ShardedEngine(1000, num_shards=2, memtable_limit=100)
         engine.put(700, "unflushed")

@@ -515,6 +515,57 @@ class TestLoadgen:
         np.testing.assert_array_equal(a[0], b[0])
         np.testing.assert_array_equal(a[1], b[1])
 
+    def test_truncated_run_cancels_stragglers_into_errors(self):
+        """Regression: a run whose requests never come back must cancel
+        the straggler tasks at teardown and tally them as errors — the
+        old code left fired tasks dangling ("Task was destroyed but it
+        is pending") and reported ``sent = n_requests`` even though the
+        ledger only covered the completed ones, breaking
+        ``completed + shed + errors == sent``."""
+        from repro.net import LoadConfig, loadgen
+        from repro.net import protocol as proto
+
+        async def scenario():
+            async def black_hole(reader, writer):
+                # Answer the hello handshake, then swallow every query.
+                decoder = proto.FrameDecoder()
+                try:
+                    while True:
+                        data = await reader.read(65536)
+                        if not data:
+                            break
+                        for frame in decoder.feed(data):
+                            if frame.op == proto.OP_HELLO:
+                                writer.write(proto.encode_hello_response(
+                                    frame.request_id, proto.PROTOCOL_VERSION
+                                ))
+                                await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+                finally:
+                    writer.close()
+
+            server = await asyncio.start_server(black_hole, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            cfg = LoadConfig(
+                clients=8, connections=2, rate=50_000.0, n_requests=40,
+                distribution="uniform", seed=3, timeout=0.5,
+            )
+            try:
+                return await loadgen.run_async(
+                    host, port, cfg, universe=UNIVERSE
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        report = asyncio.run(scenario())
+        assert report.sent == 40
+        assert report.completed == 0 and report.shed == 0
+        assert report.errors == 40
+        assert report.completed + report.shed + report.errors == report.sent
+        assert report.latencies.size == 0
+
     def test_bursty_arrivals_cluster(self):
         from repro.net import LoadConfig, generate_arrivals
 

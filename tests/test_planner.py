@@ -1,0 +1,422 @@
+"""Tests for the batch query planner (rewrite, negative cache, cost model).
+
+The planner's contract is exactness: every pass — dedup scatter-back,
+cover merging with the re-ask round, negative-cache replay under the
+version/memtable validity conditions — must leave the verdict column
+bit-identical to the unplanned executor. The suites here check the
+passes in isolation (plan_batch / NegativeRangeCache / CostModel units)
+and end to end (hypothesis equivalence against a planner-less twin
+engine, cache invalidation through real flushes and writes).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grafite import Grafite
+from repro.engine import (
+    BatchPlanner,
+    CostModel,
+    NegativeRangeCache,
+    RangeQueryService,
+    ShardedEngine,
+    plan_batch,
+)
+from repro.engine.planner import _merge_intervals, duplicate_ratio
+
+UNIVERSE = 2**24
+U64_MAX = 2**64 - 1
+
+
+def grafite_factory(keys, universe):
+    return Grafite(keys, universe, bits_per_key=10, max_range_size=64, seed=5)
+
+
+def build_engine(keys, *, num_shards=4, universe=UNIVERSE, planner=None):
+    engine = ShardedEngine(
+        universe, num_shards=num_shards, memtable_limit=64,
+        filter_factory=grafite_factory,
+    )
+    for k in keys:
+        engine.put(int(k), "v")
+    engine.flush_all()
+    if planner is not None:
+        engine.attach_planner(planner)
+    return engine
+
+
+def u64(values):
+    return np.asarray(values, dtype=np.uint64)
+
+
+# ----------------------------------------------------------------------
+# The rewrite pass
+# ----------------------------------------------------------------------
+class TestPlanBatch:
+    def test_dedup_and_inverse_scatter(self):
+        los = u64([10, 5, 10, 5, 300])
+        his = u64([20, 8, 20, 8, 301])
+        plan = plan_batch(los, his)
+        assert plan.n_queries == 5 and plan.n_unique == 3
+        np.testing.assert_array_equal(plan.uniq_lo, [5, 10, 300])
+        np.testing.assert_array_equal(plan.uniq_hi, [8, 20, 301])
+        # Scattering unique verdicts back lands them at original slots.
+        verdicts = np.array([True, False, True])
+        np.testing.assert_array_equal(
+            verdicts[plan.inverse], [False, True, False, True, True]
+        )
+        assert plan.duplicate_ratio == pytest.approx(2 / 5)
+
+    def test_overlapping_and_adjacent_ranges_merge(self):
+        #  [0,10] overlaps [5,20]; [21,30] is adjacent to their cover;
+        #  [100,110] stands alone.
+        plan = plan_batch(u64([0, 5, 21, 100]), u64([10, 20, 30, 110]))
+        assert plan.n_covers == 2
+        np.testing.assert_array_equal(plan.cover_lo, [0, 100])
+        np.testing.assert_array_equal(plan.cover_hi, [30, 110])
+        np.testing.assert_array_equal(plan.cover_of, [0, 0, 0, 1])
+
+    def test_contained_range_folds_into_cover(self):
+        plan = plan_batch(u64([0, 3]), u64([100, 7]))
+        assert plan.n_covers == 1
+        np.testing.assert_array_equal(plan.cover_lo, [0])
+        np.testing.assert_array_equal(plan.cover_hi, [100])
+
+    def test_uint64_top_edge(self):
+        # Bounds hugging 2**64 - 1 must not overflow the adjacency test.
+        plan = plan_batch(
+            u64([U64_MAX - 10, U64_MAX - 4, 0]),
+            u64([U64_MAX - 5, U64_MAX, 1]),
+        )
+        assert plan.n_covers == 2
+        np.testing.assert_array_equal(plan.cover_lo, [0, U64_MAX - 10])
+        np.testing.assert_array_equal(plan.cover_hi, [1, U64_MAX])
+
+    def test_disjoint_ranges_stay_separate(self):
+        # A gap of exactly 2 must NOT merge ([0,5] and [8,10]).
+        plan = plan_batch(u64([0, 8]), u64([5, 10]))
+        assert plan.n_covers == 2
+
+    def test_empty_batch(self):
+        plan = plan_batch(u64([]), u64([]))
+        assert plan.n_queries == 0 and plan.n_unique == 0
+        assert plan.n_covers == 0 and plan.duplicate_ratio == 0.0
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 1000), st.integers(0, 50)),
+            min_size=0, max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_plan_structure_invariants(self, pairs):
+        los = u64([lo for lo, _ in pairs])
+        his = u64([lo + w for lo, w in pairs])
+        plan = plan_batch(los, his)
+        # Uniques are lexsorted and distinct.
+        if plan.n_unique > 1:
+            key = plan.uniq_lo.astype(object) * 10**6 + plan.uniq_hi
+            assert bool((key[1:] > key[:-1]).all())
+        # The inverse map reproduces the original columns exactly.
+        np.testing.assert_array_equal(plan.uniq_lo[plan.inverse], los)
+        np.testing.assert_array_equal(plan.uniq_hi[plan.inverse], his)
+        # Covers are sorted, disjoint, non-adjacent, and contain their
+        # members.
+        if plan.n_covers > 1:
+            assert bool(
+                (plan.cover_lo[1:].astype(object)
+                 - plan.cover_hi[:-1].astype(object) > 1).all()
+            )
+        assert bool((plan.cover_lo[plan.cover_of] <= plan.uniq_lo).all())
+        assert bool((plan.cover_hi[plan.cover_of] >= plan.uniq_hi).all())
+
+
+class TestMergeIntervals:
+    def test_merges_and_sorts(self):
+        los, his = _merge_intervals(u64([50, 0, 10, 30]), u64([60, 12, 20, 49]))
+        np.testing.assert_array_equal(los, [0, 30])
+        np.testing.assert_array_equal(his, [20, 60])
+
+    def test_empty(self):
+        los, his = _merge_intervals(u64([]), u64([]))
+        assert los.size == 0 and his.size == 0
+
+
+class TestDuplicateRatio:
+    def test_values(self):
+        assert duplicate_ratio(u64([]), u64([])) == 0.0
+        assert duplicate_ratio(u64([1]), u64([2])) == 0.0
+        assert duplicate_ratio(u64([1, 1]), u64([2, 2])) == pytest.approx(0.5)
+        assert duplicate_ratio(u64([1, 2]), u64([2, 3])) == 0.0
+
+
+# ----------------------------------------------------------------------
+# The negative cache
+# ----------------------------------------------------------------------
+class TestNegativeRangeCache:
+    def test_containment_lookup(self):
+        cache = NegativeRangeCache()
+        cache.record(0, 7, u64([100]), u64([200]))
+        hits = cache.lookup(0, 7, u64([150, 100, 90, 150]),
+                            u64([160, 200, 95, 201]))
+        # Contained and exact ranges hit; outside / overhanging miss.
+        np.testing.assert_array_equal(hits, [True, True, False, False])
+        assert cache.hits == 2 and cache.misses == 2
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_version_mismatch_never_hits(self):
+        cache = NegativeRangeCache()
+        cache.record(0, 7, u64([100]), u64([200]))
+        assert not cache.lookup(0, 8, u64([150]), u64([160])).any()
+        assert not cache.lookup(1, 7, u64([150]), u64([160])).any()
+
+    def test_version_monotone_record(self):
+        cache = NegativeRangeCache()
+        cache.record(0, 7, u64([100]), u64([200]))
+        # Older proof: dropped.
+        cache.record(0, 6, u64([300]), u64([400]))
+        assert not cache.lookup(0, 6, u64([300]), u64([400])).any()
+        assert not cache.lookup(0, 7, u64([300]), u64([400])).any()
+        # Newer proof: replaces wholesale and counts an invalidation.
+        cache.record(0, 9, u64([500]), u64([600]))
+        assert cache.invalidations == 1
+        assert not cache.lookup(0, 9, u64([150]), u64([160])).any()
+        assert cache.lookup(0, 9, u64([550]), u64([560])).all()
+
+    def test_same_version_records_merge(self):
+        cache = NegativeRangeCache()
+        cache.record(0, 3, u64([0, 20]), u64([10, 30]))
+        cache.record(0, 3, u64([11]), u64([19]))  # bridges the gap
+        assert cache.n_intervals == 1
+        assert cache.lookup(0, 3, u64([5]), u64([25])).all()
+
+    def test_capacity_trim_keeps_widest(self):
+        cache = NegativeRangeCache(capacity=2)
+        # Three disjoint, non-adjacent intervals of widths 100, 2, 50.
+        cache.record(0, 1, u64([0, 200, 400]), u64([100, 202, 450]))
+        assert cache.n_intervals == 2
+        assert cache.lookup(0, 1, u64([50]), u64([60])).all()    # width 100
+        assert cache.lookup(0, 1, u64([410]), u64([420])).all()  # width 50
+        assert not cache.lookup(0, 1, u64([201]), u64([201])).any()
+
+    def test_zero_capacity_disables_recording(self):
+        cache = NegativeRangeCache(capacity=0)
+        cache.record(0, 1, u64([0]), u64([10]))
+        assert cache.n_intervals == 0
+
+    def test_drop_shard_and_clear(self):
+        cache = NegativeRangeCache()
+        cache.record(0, 1, u64([0]), u64([10]))
+        cache.record(1, 1, u64([0]), u64([10]))
+        cache.drop_shard(0)
+        assert cache.invalidations == 1
+        assert not cache.lookup(0, 1, u64([5]), u64([6])).any()
+        assert cache.lookup(1, 1, u64([5]), u64([6])).all()
+        cache.clear()
+        assert cache.n_intervals == 0
+
+
+# ----------------------------------------------------------------------
+# The cost model
+# ----------------------------------------------------------------------
+class TestCostModel:
+    def test_tiny_batches_go_scalar(self):
+        model = CostModel()
+        assert model.choose(batch_size=3) == "scalar"
+        assert model.choose(batch_size=8) == "scalar"
+
+    def test_duplicates_discount_the_size(self):
+        model = CostModel()
+        # 100 rows but 95% duplicates: 5 distinct -> scalar territory.
+        assert model.choose(batch_size=100, duplicate_ratio=0.95) == "scalar"
+        assert model.choose(batch_size=100, duplicate_ratio=0.0,
+                            process_available=True) == "process"
+
+    def test_process_needs_availability_size_and_clean_memtables(self):
+        model = CostModel()
+        assert model.choose(batch_size=500) == "columnar"
+        assert model.choose(
+            batch_size=500, process_available=True
+        ) == "process"
+        assert model.choose(
+            batch_size=500, process_available=True, memtable_overlap=0.9
+        ) == "columnar"
+        assert model.choose(
+            batch_size=32, process_available=True
+        ) == "columnar"
+
+
+# ----------------------------------------------------------------------
+# End-to-end equivalence and cache invalidation
+# ----------------------------------------------------------------------
+def duplicate_heavy_batches():
+    """Batches built from a small pool of ranges, sampled with heavy
+    repetition — the planner's target shape."""
+    pool = st.lists(
+        st.tuples(st.integers(0, UNIVERSE - 1), st.integers(0, 4096)),
+        min_size=1, max_size=12,
+    )
+    return pool.flatmap(
+        lambda p: st.lists(
+            st.sampled_from(p), min_size=0, max_size=64
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "planner_kwargs",
+    [
+        {},  # full pipeline
+        {"merge": False},  # dedup only
+        {"cache_capacity": 0},  # no negative cache
+        {"merge": False, "cache_capacity": 0},  # bare dedup
+    ],
+    ids=["full", "no-merge", "no-cache", "dedup-only"],
+)
+@given(batch=duplicate_heavy_batches(), data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_planned_equals_unplanned(planner_kwargs, batch, data):
+    """Every planner variant must be bit-identical to the raw engine."""
+    n_keys = data.draw(st.sampled_from([0, 50, 400]))
+    num_shards = data.draw(st.sampled_from([1, 4]))
+    keys = np.unique(
+        np.random.default_rng(n_keys + num_shards).integers(
+            0, UNIVERSE, n_keys, dtype=np.uint64
+        )
+    )
+    plain = build_engine(keys, num_shards=num_shards)
+    planned = build_engine(
+        keys, num_shards=num_shards, planner=BatchPlanner(**planner_kwargs)
+    )
+    los = u64([lo for lo, _ in batch])
+    his = u64([min(lo + w, UNIVERSE - 1) for lo, w in batch])
+    want = plain.batch_range_empty(los, his)
+    # Twice: the second round replays negative-cache entries.
+    for _ in range(2):
+        np.testing.assert_array_equal(
+            planned.batch_range_empty(los, his), want
+        )
+
+
+class TestPlannerEngineIntegration:
+    def test_second_batch_hits_negative_cache(self):
+        planner = BatchPlanner()
+        engine = build_engine([5, 10_000], planner=planner)
+        los = u64([100, 200, 100])
+        his = u64([150, 250, 150])
+        assert engine.batch_range_empty(los, his).all()
+        before = planner.cache.hits
+        assert engine.batch_range_empty(los, his).all()
+        assert planner.cache.hits > before
+        snap = planner.stats_snapshot()
+        assert snap["negative_cache"]["hits"] == planner.cache.hits
+        assert snap["duplicates_folded"] >= 2
+
+    def test_memtable_write_disqualifies_cached_empty(self):
+        planner = BatchPlanner()
+        engine = build_engine([5], planner=planner)
+        assert engine.batch_range_empty(u64([100]), u64([200])).all()
+        assert engine.batch_range_empty(u64([100]), u64([200])).all()
+        # An unflushed write inside the cached range must flip the
+        # verdict immediately — no version bump happens on put().
+        engine.put(150, "x")
+        assert not engine.batch_range_empty(u64([100]), u64([200])).any()
+        # ... and a tombstone is an overlap too (shadowing semantics
+        # are the executor's business, not the cache's).
+        engine.delete(150)
+        verdict = engine.batch_range_empty(u64([100]), u64([200]))
+        np.testing.assert_array_equal(
+            verdict, [engine.range_empty(100, 200)]
+        )
+
+    def test_flush_evicts_via_version_bump(self):
+        planner = BatchPlanner()
+        engine = build_engine([5], planner=planner)
+        assert engine.batch_range_empty(u64([100]), u64([200])).all()
+        engine.put(150, "x")
+        engine.flush_all()  # runs_version bump: entry tagged stale
+        assert not engine.batch_range_empty(u64([100]), u64([200])).any()
+        # Delete + flush makes the range empty again; the new proof is
+        # recorded at the new version and replays.
+        engine.delete(150)
+        engine.flush_all()
+        assert engine.batch_range_empty(u64([100]), u64([200])).all()
+        hits_before = planner.cache.hits
+        assert engine.batch_range_empty(u64([100]), u64([200])).all()
+        assert planner.cache.hits > hits_before
+
+    def test_covering_merge_reask_round(self):
+        planner = BatchPlanner()
+        engine = build_engine([150], planner=planner)
+        # [100,160] and [155,300] merge into cover [100,300], which is
+        # non-empty (key 150) — proving nothing about the members, so
+        # the re-ask round answers them individually: [100,160] holds
+        # the key, [155,300] and the separately-covered [400,500] do not.
+        verdict = engine.batch_range_empty(
+            u64([100, 155, 400]), u64([160, 300, 500])
+        )
+        np.testing.assert_array_equal(verdict, [False, True, True])
+        assert planner.stats_snapshot()["reasked_members"] > 0
+
+    def test_attach_different_engine_clears_cache(self):
+        planner = BatchPlanner()
+        engine_a = build_engine([5], planner=planner)
+        assert engine_a.batch_range_empty(u64([100]), u64([200])).all()
+        assert planner.cache.n_intervals > 0
+        build_engine([7], planner=planner)
+        # Re-homing the planner dropped every interval proven against
+        # the old engine's runs_versions.
+        assert planner.cache.n_intervals == 0
+
+    def test_detach_restores_unplanned_path(self):
+        planner = BatchPlanner()
+        engine = build_engine([5], planner=planner)
+        engine.batch_range_empty(u64([100]), u64([200]))
+        batches = planner.stats_snapshot()["batches"]
+        engine.attach_planner(None)
+        assert engine.planner is None
+        engine.batch_range_empty(u64([100]), u64([200]))
+        assert planner.stats_snapshot()["batches"] == batches
+
+
+class TestPlannerServiceIntegration:
+    def test_service_snapshot_carries_planner_section(self):
+        engine = build_engine([5, 10_000], num_shards=2)
+        engine.attach_planner(BatchPlanner())
+        with RangeQueryService(engine, num_threads=2) as service:
+            service.batch_range_empty(
+                u64([100, 100, 5000]), u64([200, 200, 6000])
+            )
+            snap = service.stats_snapshot()
+        planner = snap["planner"]
+        assert planner is not None
+        assert planner["queries"] == 3
+        assert planner["negative_cache"]["enabled"]
+        # The cost model tallied the per-shard dispatch decisions.
+        assert sum(planner["modes"].values()) > 0
+
+    def test_service_without_planner_reports_none(self):
+        engine = build_engine([5], num_shards=2)
+        with RangeQueryService(engine, num_threads=2) as service:
+            service.batch_range_empty(u64([100]), u64([200]))
+            assert service.stats_snapshot()["planner"] is None
+
+    def test_service_planned_equals_unplanned(self):
+        rng = np.random.default_rng(11)
+        keys = np.unique(rng.integers(0, UNIVERSE, 500, dtype=np.uint64))
+        los = rng.integers(0, UNIVERSE - 5000, 300, dtype=np.uint64)
+        his = los + rng.integers(0, 4096, 300, dtype=np.uint64)
+        los = np.repeat(los, 3)  # duplicate-heavy, like coalesced traffic
+        his = np.repeat(his, 3)
+        plain_engine = build_engine(keys, num_shards=2)
+        with RangeQueryService(plain_engine, num_threads=2) as plain:
+            want = plain.batch_range_empty(los, his)
+        planned_engine = build_engine(
+            keys, num_shards=2, planner=BatchPlanner()
+        )
+        with RangeQueryService(planned_engine, num_threads=2) as planned:
+            for _ in range(2):  # second pass replays the negative cache
+                np.testing.assert_array_equal(
+                    planned.batch_range_empty(los, his), want
+                )

@@ -42,6 +42,17 @@ class TestUncorrelated:
         b = uncorrelated_queries(50, 8, UNIVERSE, keys=KEYS, seed=3)
         assert a == b
 
+    def test_can_place_range_at_universe_top(self):
+        """Regression: the left-endpoint draw's exclusive high bound
+        used to stop one short of ``universe - range_size``, so
+        ``hi == universe - 1`` was unreachable and the top of the key
+        space silently never got probed."""
+        queries = uncorrelated_queries(300, 8, 16, seed=0)
+        assert all(hi < 16 for _, hi in queries)
+        # lo is drawn from [0, 8]; over 300 draws the topmost placement
+        # (hi == 15) is all but certain — and was impossible before.
+        assert max(hi for _, hi in queries) == 15
+
     def test_without_keys_no_empty_enforcement(self):
         queries = uncorrelated_queries(50, 16, UNIVERSE, seed=0)
         assert len(queries) == 50
