@@ -1,0 +1,389 @@
+"""Chaos bench: goodput and verdict integrity under injected faults.
+
+The robustness subsystem's contract, measured: with a seeded
+:class:`~repro.faults.FaultPlan` injecting **>= 10% connection resets**
+(plus fragmentation and stalls) between the load generator and a real
+loopback server, bounded client retries must preserve most of the
+goodput — and not one answered query may differ from the un-proxied
+service. A disk cell drives checkpoints through torn writes and EIO and
+requires every acknowledged write back after the crash, including after
+a corrupted newest epoch forces the retained last-good rollback.
+
+Gates enforced by the CI chaos step (recorded in ``BENCH_faults.json``
+either way):
+
+* **goodput under resets**: the chaos cell completes at least
+  :data:`GOODPUT_FLOOR` of its requests despite the storm (the clean
+  cell is the reference row above it);
+* **zero wrong verdicts**: a differential sweep through the same proxy
+  answers bit-identically to the direct service on every query that
+  succeeds;
+* **disk faults lose nothing acknowledged**: the checkpoint storm
+  recovers the exact oracle state, and corrupting the newest epoch
+  afterwards rolls back to the retained last-good epoch (typed
+  rollback, never a silent wrong answer).
+
+Every fault draw is seeded, so a failing run names the plan that
+replays it.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict
+
+import numpy as np
+
+import _common
+from _common import register_report, write_bench_json
+from repro import ShardedEngine, faults
+from repro.analysis.report import format_table
+from repro.engine import RangeQueryService, persist
+from repro.net import (
+    LoadConfig,
+    RetryPolicy,
+    ServerConfig,
+    SyncClient,
+    run_loadgen,
+    serve_in_thread,
+)
+
+SEED = _common.SEED
+UNIVERSE = 2**40
+N_KEYS = max(1_000, int(4_000 * _common.SCALE))
+
+#: Transport storm (the acceptance bar is >= 10% resets).
+RESET_P = 0.10
+PARTIAL_P = 0.25
+STALL_P = 0.02
+
+CLIENTS = 64
+CONNECTIONS = 4
+CHAOS_QPS = 800.0
+N_REQUESTS = max(400, int(1_000 * _common.SCALE))
+N_VERDICTS = max(150, int(300 * _common.SCALE))
+
+#: Disk storm: torn writes / EIO per file operation during checkpoints.
+#: A checkpoint performs dozens of file operations, so even these rates
+#: fail a large fraction of checkpoints while letting others commit —
+#: both recovery paths (old-manifest + WAL, committed-manifest + replay)
+#: get exercised.
+DISK_TORN_P = 0.05
+DISK_EIO_P = 0.03
+DISK_OPS = max(240, int(480 * _common.SCALE))
+DISK_CHECKPOINT_EVERY = 30
+DISK_UNIVERSE = 2**16
+
+#: Gates enforced by the CI chaos step.
+GOODPUT_FLOOR = 0.85
+
+
+@functools.lru_cache(maxsize=None)
+def _keys() -> np.ndarray:
+    return _common.load_dataset("uniform", N_KEYS, universe=UNIVERSE, seed=SEED)
+
+
+@functools.lru_cache(maxsize=None)
+def _service() -> RangeQueryService:
+    engine = ShardedEngine(UNIVERSE, num_shards=2, memtable_limit=4096)
+    for key in _keys():
+        engine.put(int(key), b"v")
+    engine.flush_all()
+    engine.drain_compactions()
+    return RangeQueryService(engine, num_threads=2, cache_blocks=1024)
+
+
+def _retry() -> RetryPolicy:
+    return RetryPolicy(max_attempts=8, base_delay=0.005, seed=SEED)
+
+
+def _load_cell(*, chaos: bool) -> Dict[str, object]:
+    """One open-loop run — directly against the server, or through the
+    fault proxy with the reset storm on."""
+    cfg = LoadConfig(
+        clients=CLIENTS, connections=CONNECTIONS, rate=CHAOS_QPS,
+        n_requests=N_REQUESTS, distribution="zipf", seed=SEED,
+        timeout=60.0, request_timeout=10.0, retry=_retry(),
+    )
+    plan = faults.FaultPlan(
+        seed=SEED, reset=RESET_P, partial=PARTIAL_P,
+        stall=STALL_P, stall_s=0.01,
+    )
+    handle = serve_in_thread(_service(), config=ServerConfig())
+    try:
+        if chaos:
+            with faults.FaultyTransport(handle.host, handle.port, plan) as proxy:
+                report = run_loadgen(
+                    proxy.host, proxy.port, cfg,
+                    universe=UNIVERSE, keys=_keys(),
+                )
+                resets = proxy.counters["resets_injected"]
+                chunks = proxy.counters["chunks_forwarded"]
+        else:
+            report = run_loadgen(
+                handle.host, handle.port, cfg, universe=UNIVERSE, keys=_keys()
+            )
+            resets = chunks = 0
+    finally:
+        handle.stop()
+    return {
+        "chaos": chaos,
+        "reset_p": RESET_P if chaos else 0.0,
+        "offered_qps": report.offered_qps,
+        "achieved_qps": report.achieved_qps,
+        "sent": report.sent,
+        "completed": report.completed,
+        "shed": report.shed,
+        "errors": report.errors,
+        "error_classes": dict(report.error_classes),
+        "goodput": report.completed / max(report.sent, 1),
+        "p99_s": report.p99,
+        "resets_injected": resets,
+        "chunks_forwarded": chunks,
+    }
+
+
+def _verdict_cell() -> Dict[str, object]:
+    """Differential sweep through the storm: every answered query must
+    match the direct service bit-for-bit."""
+    service = _service()
+    rng = np.random.default_rng(SEED + 7)
+    los = rng.integers(0, UNIVERSE - 1024, N_VERDICTS, dtype=np.uint64)
+    his = los + rng.integers(0, 1024, N_VERDICTS, dtype=np.uint64)
+    direct = [
+        service.range_empty(int(lo), int(hi)) for lo, hi in zip(los, his)
+    ]
+    plan = faults.FaultPlan(
+        seed=SEED + 1, reset=RESET_P, partial=PARTIAL_P,
+        stall=STALL_P, stall_s=0.01,
+    )
+    wrong = answered = surfaced = 0
+    handle = serve_in_thread(service, config=ServerConfig())
+    try:
+        with faults.FaultyTransport(handle.host, handle.port, plan) as proxy:
+            client = SyncClient(
+                proxy.host, proxy.port, timeout=30.0, request_timeout=10.0,
+                retry=_retry(),
+            )
+            try:
+                for i, (lo, hi) in enumerate(zip(los, his)):
+                    try:
+                        answer = client.range_empty(int(lo), int(hi))
+                    except Exception:
+                        surfaced += 1
+                        continue
+                    answered += 1
+                    if answer != direct[i]:
+                        wrong += 1
+            finally:
+                client.close()
+            resets = proxy.counters["resets_injected"]
+    finally:
+        handle.stop()
+    return {
+        "queries": N_VERDICTS,
+        "answered": answered,
+        "typed_errors": surfaced,
+        "wrong_verdicts": wrong,
+        "resets_injected": resets,
+    }
+
+
+def _disk_cell() -> Dict[str, object]:
+    """Checkpoint storm + rollback drill against a dict oracle."""
+    import shutil
+    import tempfile
+    import warnings
+    from pathlib import Path
+
+    root = Path(tempfile.mkdtemp(prefix="bench_faults_"))
+    try:
+        db = root / "db"
+        plan = faults.FaultPlan(
+            seed=SEED, torn_write=DISK_TORN_P, io_error=DISK_EIO_P
+        )
+        engine = ShardedEngine(
+            DISK_UNIVERSE, num_shards=2, memtable_limit=32, directory=db
+        )
+        rng = np.random.default_rng(SEED)
+        oracle: Dict[int, int] = {}
+        failed = succeeded = 0
+        for index in range(1, DISK_OPS + 1):
+            key = int(rng.integers(DISK_UNIVERSE))
+            value = int(rng.integers(1 << 20))
+            engine.put(key, value)
+            oracle[key] = value
+            if index % DISK_CHECKPOINT_EVERY == 0:
+                with faults.inject(plan):
+                    try:
+                        engine.checkpoint()
+                        succeeded += 1
+                    except OSError:
+                        failed += 1
+        engine.close(checkpoint=False)  # crash
+        reopened = ShardedEngine.open(db)
+        recovered = dict(reopened.range_scan(0, DISK_UNIVERSE - 1))
+        reopened.close()  # clean checkpoint: newest epoch = full oracle
+        recovered_exact = recovered == oracle
+
+        # Second clean checkpoint so *both* retained epochs hold the full
+        # oracle (the storm may have failed every mid-run checkpoint, in
+        # which case no previous epoch exists yet).
+        settle = ShardedEngine.open(db)
+        settle.checkpoint()
+        settle.close(checkpoint=False)
+
+        # Rollback drill: flip one bit in a newest-epoch blob; open must
+        # promote the retained previous epoch, not serve the damage.
+        chaos = faults.FaultyDir(db, faults.FaultPlan(seed=SEED + 2))
+        manifest = persist.load_manifest(db)
+        sid, names = next(iter(persist.referenced_runs(manifest).items()))
+        chaos.flip_bit(path=db / f"shard-{sid:04d}" / sorted(names)[0])
+        scrub_caught = not persist.scrub_snapshot(db)["ok"]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)
+            rolled = ShardedEngine.open(db)
+        try:
+            rollback_typed = rolled.rolled_back
+            rollback_state = dict(rolled.range_scan(0, DISK_UNIVERSE - 1))
+        finally:
+            rolled.close(checkpoint=False)
+        # Both epochs hold the full oracle, so the rollback must too.
+        rollback_never_wrong = rollback_state == oracle
+        return {
+            "ops": DISK_OPS,
+            "checkpoints_failed": failed,
+            "checkpoints_succeeded": succeeded,
+            "faults_injected": plan.total_injected(),
+            "recovered_exact": recovered_exact,
+            "scrub_caught_damage": scrub_caught,
+            "rollback_typed": rollback_typed,
+            "rollback_never_wrong": rollback_never_wrong,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+@functools.lru_cache(maxsize=None)
+def _report() -> Dict[str, Dict[str, object]]:
+    cells = {
+        "clean": _load_cell(chaos=False),
+        "chaos": _load_cell(chaos=True),
+        "verdicts": _verdict_cell(),
+        "disk": _disk_cell(),
+    }
+    rows = [
+        [
+            name,
+            f"{cell['reset_p']:.0%}",
+            f"{cell['achieved_qps']:,.0f}",
+            f"{cell['goodput']:.1%}",
+            f"{cell['errors']:,}",
+            f"{cell['resets_injected']:,}",
+            f"{cell['p99_s'] * 1e3:.1f}",
+        ]
+        for name, cell in cells.items()
+        if "goodput" in cell
+    ]
+    rows.append([
+        "verdicts",
+        f"{RESET_P:.0%}",
+        "-",
+        f"{cells['verdicts']['answered']}/{cells['verdicts']['queries']}",
+        f"{cells['verdicts']['wrong_verdicts']} wrong",
+        f"{cells['verdicts']['resets_injected']:,}",
+        "-",
+    ])
+    disk = cells["disk"]
+    rows.append([
+        "disk",
+        "-",
+        "-",
+        f"{disk['checkpoints_failed']}/{disk['checkpoints_failed'] + disk['checkpoints_succeeded']} ckpt failed",
+        "exact" if disk["recovered_exact"] else "DIVERGED",
+        f"{disk['faults_injected']:,}",
+        "-",
+    ])
+    register_report(
+        "faults",
+        format_table(
+            ["cell", "reset p", "achieved q/s", "goodput",
+             "errors", "faults injected", "p99 ms"],
+            rows,
+            title=(
+                f"Chaos goodput ({CLIENTS} clients over {CONNECTIONS} "
+                f"connections, {RESET_P:.0%} resets, retry x8, "
+                f"{N_KEYS:,} keys)"
+            ),
+        ),
+    )
+    write_bench_json(
+        "faults",
+        results=cells,
+        config={
+            "n_keys": N_KEYS,
+            "clients": CLIENTS,
+            "connections": CONNECTIONS,
+            "rate_qps": CHAOS_QPS,
+            "n_requests": N_REQUESTS,
+            "n_verdicts": N_VERDICTS,
+            "reset_p": RESET_P,
+            "partial_p": PARTIAL_P,
+            "stall_p": STALL_P,
+            "disk_torn_p": DISK_TORN_P,
+            "disk_eio_p": DISK_EIO_P,
+            "disk_ops": DISK_OPS,
+            "goodput_floor": GOODPUT_FLOOR,
+            "seed": SEED,
+        },
+    )
+    return cells
+
+
+def test_storm_actually_fired():
+    """A chaos bench that injected nothing gates nothing: the proxy must
+    have reset real connections and the disk storm must have broken
+    real checkpoints (all seeded, so this is stable, not flaky)."""
+    cells = _report()
+    assert cells["chaos"]["resets_injected"] > 0, cells["chaos"]
+    assert cells["verdicts"]["resets_injected"] > 0, cells["verdicts"]
+    assert cells["disk"]["faults_injected"] > 0, cells["disk"]
+    assert cells["disk"]["checkpoints_failed"] > 0, cells["disk"]
+
+
+def test_goodput_survives_the_reset_storm():
+    """The headline gate: >= 10% connection resets, yet bounded retries
+    keep request-level goodput above the floor (and the clean cell shows
+    what was lost)."""
+    cells = _report()
+    assert cells["clean"]["errors"] == 0, cells["clean"]
+    chaos = cells["chaos"]
+    assert chaos["goodput"] >= GOODPUT_FLOOR, (
+        f"goodput {chaos['goodput']:.1%} under the {GOODPUT_FLOOR:.0%} "
+        f"floor ({chaos['completed']}/{chaos['sent']} completed, "
+        f"errors by class: {chaos['error_classes']})"
+    )
+
+
+def test_zero_wrong_verdicts_under_chaos():
+    """Resets, stalls and fragmentation may cost goodput — never
+    correctness: every answered differential query matched the direct
+    service exactly."""
+    cell = _report()["verdicts"]
+    assert cell["answered"] > 0, cell
+    assert cell["wrong_verdicts"] == 0, (
+        f"{cell['wrong_verdicts']} silently wrong answers out of "
+        f"{cell['answered']} under the reset storm"
+    )
+
+
+def test_disk_storm_loses_nothing_acknowledged():
+    """Torn checkpoint writes and EIO may fail checkpoints, but recovery
+    returns the exact oracle; a corrupted newest epoch is caught by
+    scrub and rolls back to the retained last-good epoch with zero
+    wrong values."""
+    cell = _report()["disk"]
+    assert cell["recovered_exact"], cell
+    assert cell["scrub_caught_damage"], cell
+    assert cell["rollback_typed"], cell
+    assert cell["rollback_never_wrong"], cell

@@ -45,6 +45,8 @@ from repro.core import (
 from repro.engine import AutoTuner, RangeQueryService, ShardedEngine
 from repro.errors import (
     ConfigError,
+    CorruptionError,
+    DeadlineExceeded,
     InvalidKeyError,
     InvalidParameterError,
     InvalidQueryError,
@@ -73,6 +75,8 @@ __all__ = [
     "BloomFilter",
     "Bucketing",
     "ConfigError",
+    "CorruptionError",
+    "DeadlineExceeded",
     "DynamicGrafite",
     "FilterSpec",
     "Grafite",

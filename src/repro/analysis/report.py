@@ -105,6 +105,26 @@ def format_planner_summary(planner: Optional[dict]) -> str:
     return "; ".join(parts)
 
 
+def format_error_ledger(
+    shed: int, errors: int, error_classes: Optional[dict] = None
+) -> str:
+    """Compact ``k=v`` ledger of a load run's failures, by class.
+
+    Renders the shed count plus the per-class breakdown of
+    :attr:`~repro.net.loadgen.LoadReport.error_classes`
+    (reset / timeout / remote / protocol / other / cancelled) in the
+    form the ``[loadgen]`` summary line carries — classes with zero
+    count are omitted so the healthy case stays short.
+    """
+    parts = [f"shed={shed}", f"errors={errors}"]
+    for kind in ("reset", "timeout", "remote", "protocol", "other",
+                 "cancelled"):
+        count = (error_classes or {}).get(kind, 0)
+        if count:
+            parts.append(f"{kind}={count}")
+    return " ".join(parts)
+
+
 def format_latency_histogram(
     latencies_s: Sequence[float],
     *,

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands, mirroring how the library is typically exercised:
+Eight commands, mirroring how the library is typically exercised:
 
 * ``dataset`` — generate one of the §6.1 datasets and print its shape
   statistics (size, universe coverage, gap distribution);
@@ -35,7 +35,14 @@ Six commands, mirroring how the library is typically exercised:
   :mod:`repro.net.loadgen` against a running ``serve --listen``
   server: simulated clients, Zipfian key popularity, Poisson or bursty
   arrivals, a latency histogram with the p50/p99 ladder, and one
-  ``[loadgen] ...`` summary line.
+  ``[loadgen] ...`` summary line carrying the error ledger broken down
+  by class (shed / reset / timeout / remote). ``--request-timeout``
+  puts a per-request deadline on every probe and ``--retries`` enables
+  the client's bounded exponential-backoff retry policy;
+* ``scrub`` — verify the checksums of every persisted artifact in an
+  engine directory (current + previous-epoch manifests, every
+  referenced run blob, the WAL record chain) without mutating
+  anything; exits non-zero when corruption is found.
 
 Every command is deterministic given ``--seed`` (``serve`` interleaves
 threads, so timings vary but results do not).
@@ -207,6 +214,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_loadgen.add_argument("--burst-factor", type=float, default=8.0)
     p_loadgen.add_argument("--burst-period", type=float, default=0.25)
+    p_loadgen.add_argument(
+        "--request-timeout", type=float, default=None,
+        help="per-request deadline in seconds (DeadlineExceeded past it)",
+    )
+    p_loadgen.add_argument(
+        "--retries", type=int, default=0,
+        help="retry transient failures (shed/reset/timeout) up to this "
+        "many times with exponential backoff",
+    )
+
+    p_scrub = sub.add_parser(
+        "scrub",
+        help="verify checksums of every persisted artifact in an engine dir",
+    )
+    p_scrub.add_argument(
+        "--dir", required=True, metavar="PATH",
+        help="engine directory (the one given to engine --dir / serve --dir)",
+    )
+    p_scrub.add_argument(
+        "--json", action="store_true",
+        help="print the raw scrub report as JSON instead of a table",
+    )
     return parser
 
 
@@ -718,8 +747,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
     """Open-loop load generation against a running ``serve --listen``."""
-    from repro.analysis.report import format_latency_histogram
-    from repro.net import LoadConfig, run_loadgen
+    from repro.analysis.report import format_error_ledger, format_latency_histogram
+    from repro.net import LoadConfig, RetryPolicy, run_loadgen
 
     host, port = _parse_hostport(args.connect)
     universe = _universe(args)
@@ -743,6 +772,11 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         burst_factor=args.burst_factor,
         burst_period=args.burst_period,
         seed=args.seed,
+        request_timeout=args.request_timeout,
+        retry=(
+            RetryPolicy(max_attempts=args.retries + 1, seed=args.seed)
+            if args.retries > 0 else None
+        ),
     )
     report = run_loadgen(host, port, cfg, universe=universe, keys=keys)
     rows = [
@@ -758,7 +792,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         ["achieved", f"{report.achieved_qps:,.0f} q/s "
          f"({report.completed:,} of {report.sent:,} in {report.elapsed:.2f}s)"],
         ["shed", f"{report.shed:,} ({report.shed_rate:.1%})"],
-        ["errors", f"{report.errors:,}"],
+        ["errors", f"{report.errors:,}"
+         + (f" ({', '.join(f'{k}={v}' for k, v in sorted(report.error_classes.items()))})"
+            if report.error_classes else "")],
         ["empty ranges", f"{report.empties:,}"],
     ]
     print(format_table(["metric", "value"], rows, title="open-loop load test"))
@@ -771,9 +807,55 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         f"[loadgen] offered_qps={report.offered_qps:,.0f} "
         f"achieved_qps={report.achieved_qps:,.0f} "
         f"p50_ms={report.p50 * 1e3:.3f} p99_ms={report.p99 * 1e3:.3f} "
-        f"shed_rate={report.shed_rate:.4f} errors={report.errors}"
+        f"shed_rate={report.shed_rate:.4f} "
+        + format_error_ledger(report.shed, report.errors, report.error_classes)
     )
     return 1 if report.errors else 0
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    """Integrity survey of a persistent engine directory.
+
+    Verifies the manifest checksums (current + retained previous
+    epoch), every referenced run blob, and the WAL record chain —
+    without opening, repairing, or mutating anything. Exit code 0 means
+    every artifact verified; 1 means corruption was found (the report
+    names each damaged file; ``ShardedEngine.open`` will roll back to
+    the previous epoch if the damage is in the newest one).
+    """
+    import json as json_mod
+
+    from repro.engine import scrub_snapshot
+
+    report = scrub_snapshot(args.dir)
+    if args.json:
+        print(json_mod.dumps(report, indent=1))
+    else:
+        wal = report["wal"]
+        wal_cell = (
+            "missing" if wal == "missing" else
+            f"{wal['records']} records"
+            + (", torn tail (tolerated)" if wal["torn_tail"] else ", intact")
+        )
+        rows = [
+            ["directory", report["directory"]],
+            ["manifest", report["manifest"]],
+            ["previous epoch", report["prev_manifest"]],
+            ["runs checked", f"{report['runs_checked']:,}"],
+            ["runs corrupt", f"{report['runs_corrupt']:,}"],
+            ["wal", wal_cell],
+            ["verdict", "intact" if report["ok"] else "CORRUPT"],
+        ]
+        print(format_table(["artifact", "status"], rows, title="scrub"))
+        for issue in report["errors"]:
+            print(f"  ! {issue}")
+    print(
+        f"[scrub] ok={str(report['ok']).lower()} "
+        f"runs_checked={report['runs_checked']} "
+        f"runs_corrupt={report['runs_corrupt']} "
+        f"issues={len(report['errors'])}"
+    )
+    return 0 if report["ok"] else 1
 
 
 _COMMANDS = {
@@ -784,6 +866,7 @@ _COMMANDS = {
     "engine": cmd_engine,
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
+    "scrub": cmd_scrub,
 }
 
 

@@ -45,11 +45,14 @@ from repro.engine.batch import (
 )
 from repro.engine.engine import ShardedEngine
 from repro.engine.persist import (
+    PREV_MANIFEST_NAME,
     load_manifest,
     load_shards,
+    promote_previous_epoch,
     run_from_bytes,
     run_to_bytes,
     save_snapshot,
+    scrub_snapshot,
 )
 from repro.engine.planner import (
     BatchPlan,
@@ -76,6 +79,7 @@ __all__ = [
     "NegativeRangeCache",
     "OP_DELETE",
     "OP_PUT",
+    "PREV_MANIFEST_NAME",
     "RWLock",
     "RangeQueryService",
     "ShardRouter",
@@ -87,9 +91,11 @@ __all__ = [
     "load_manifest",
     "load_shards",
     "plan_batch",
+    "promote_previous_epoch",
     "route_columnar",
     "run_from_bytes",
     "run_to_bytes",
     "save_snapshot",
+    "scrub_snapshot",
     "shard_batch_empty",
 ]

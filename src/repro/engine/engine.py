@@ -26,8 +26,9 @@ thread pool with per-shard reader/writer locking and a block cache.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,7 +37,7 @@ from repro.engine.batch import batch_range_empty, validate_batch_bounds
 from repro.engine.scheduler import CompactionScheduler
 from repro.engine.sharding import ShardRouter
 from repro.engine.wal import OP_DELETE, OP_PUT, WriteAheadLog
-from repro.errors import InvalidParameterError
+from repro.errors import CorruptionError, InvalidParameterError
 from repro.filters.registry import FilterSpec
 from repro.lsm.compaction import CompactionPolicy, resolve_policy
 from repro.lsm.memtable import TOMBSTONE
@@ -136,6 +137,7 @@ class ShardedEngine:
         self._wire_compaction_hooks()
         self._wal: Optional[WriteAheadLog] = None
         self._directory: Optional[Path] = None
+        self._rolled_back = False
         if directory is not None:
             self._directory = Path(directory)
             if persist.load_manifest(self._directory) is not None:
@@ -192,11 +194,87 @@ class ShardedEngine:
         filters cannot be restored, raises
         :class:`~repro.errors.ConfigError` instead of silently serving
         filterless runs (``missing_filter="drop"`` opts into that).
+
+        Corruption is never served. If the newest checkpoint fails
+        verification — manifest checksum, run checksum, a referenced
+        run file missing or unparseable — and the directory retains an
+        intact previous epoch (``MANIFEST.prev.json``; the snapshot
+        writer keeps both epochs' run files on disk), the engine rolls
+        back to that epoch automatically: the previous manifest is
+        promoted, the corrupt one kept as ``MANIFEST.corrupt.json``,
+        the current WAL is still replayed on top, and
+        :attr:`rolled_back` is ``True`` (plus a ``UserWarning`` naming
+        the damage). Writes acknowledged between the two checkpoints
+        and not in the current WAL are lost — that is the documented
+        cost of a rolled-back epoch, and the explicit alternative to a
+        silently wrong answer. With no intact epoch left, the original
+        :class:`~repro.errors.CorruptionError` propagates.
         """
         directory = Path(directory)
-        manifest = persist.load_manifest(directory)
-        if manifest is None:
-            raise InvalidParameterError(f"no engine manifest in {directory}")
+        rolled_back = False
+        try:
+            manifest = persist.load_manifest(directory)
+            if manifest is None:
+                raise InvalidParameterError(f"no engine manifest in {directory}")
+            engine = cls._mount_epoch(
+                directory,
+                manifest,
+                filter_factory=filter_factory,
+                defer_compaction=defer_compaction,
+                missing_filter=missing_filter,
+            )
+        except CorruptionError as newest_damage:
+            try:
+                manifest = persist.promote_previous_epoch(directory)
+                engine = cls._mount_epoch(
+                    directory,
+                    manifest,
+                    filter_factory=filter_factory,
+                    defer_compaction=defer_compaction,
+                    missing_filter=missing_filter,
+                )
+            except CorruptionError:
+                # Neither epoch is intact: surface the *newest* damage —
+                # that is the checkpoint the operator thought they had.
+                raise newest_damage
+            rolled_back = True
+            warnings.warn(
+                f"newest checkpoint in {directory} failed verification "
+                f"({newest_damage}); rolled back to the retained previous "
+                f"epoch (generation {manifest.get('generation')}) — writes "
+                "between the two checkpoints that are not in the WAL are "
+                "lost",
+                UserWarning,
+                stacklevel=2,
+            )
+        engine._rolled_back = rolled_back
+        engine._directory = directory
+        engine._wal = WriteAheadLog(directory / "wal.log", sync=sync_wal)
+        for op, key, value in engine._wal.recovered:
+            engine._apply(op, key, value)
+        if engine._defer:
+            # A snapshot may hold shards already at the fanout; queue them
+            # so a read-only workload still drains them between batches.
+            for sid, store in enumerate(engine._shards):
+                engine._scheduler.notify(sid, store)
+        return engine
+
+    @classmethod
+    def _mount_epoch(
+        cls,
+        directory: Path,
+        manifest: Dict[str, Any],
+        *,
+        filter_factory: Optional[FilterFactory],
+        defer_compaction: bool,
+        missing_filter: str,
+    ) -> "ShardedEngine":
+        """Build an engine from one manifest's topology (no WAL yet).
+
+        Raises :class:`~repro.errors.CorruptionError` if any referenced
+        run fails verification — the caller decides whether an earlier
+        epoch can be promoted instead.
+        """
         filter_spec = None
         if filter_factory is None and manifest.get("filter_spec") is not None:
             filter_spec = FilterSpec.from_params(manifest["filter_spec"])
@@ -229,16 +307,23 @@ class ShardedEngine:
             compaction_policy=engine._policy,
         )
         engine._wire_compaction_hooks()
-        engine._directory = directory
-        engine._wal = WriteAheadLog(directory / "wal.log", sync=sync_wal)
-        for op, key, value in engine._wal.recovered:
-            engine._apply(op, key, value)
-        if engine._defer:
-            # A snapshot may hold shards already at the fanout; queue them
-            # so a read-only workload still drains them between batches.
-            for sid, store in enumerate(engine._shards):
-                engine._scheduler.notify(sid, store)
         return engine
+
+    def scrub(self) -> Dict[str, Any]:
+        """Verify every persisted artifact of this engine's directory.
+
+        Delegates to :func:`repro.engine.persist.scrub_snapshot`; see
+        there for the report shape. Requires a persistent engine.
+        """
+        if self._directory is None:
+            raise InvalidParameterError("scrub requires a persistent engine")
+        return persist.scrub_snapshot(self._directory)
+
+    @property
+    def rolled_back(self) -> bool:
+        """Whether :meth:`open` recovered by rolling back to the
+        previous checkpoint epoch because the newest one was corrupt."""
+        return self._rolled_back
 
     # ------------------------------------------------------------------
     # Writes

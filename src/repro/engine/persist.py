@@ -6,16 +6,35 @@ A checkpoint writes one directory:
 names describing the level topology: level 0 newest first, then every
 deep level (L1 first, each level's runs in storage order — slices
 key-sorted under leveled compaction, age-sorted under tiered);
-``shard-<i>/*.sst`` — one file per run; ``wal.log`` — the write-ahead
-log, reset by the checkpoint and replayed over the snapshot on reopen.
+``MANIFEST.prev.json`` — a retained copy of the *previous* epoch's
+manifest, kept so :meth:`ShardedEngine.open` can roll back when the
+newest checkpoint fails verification; ``shard-<i>/*.sst`` — one file
+per run; ``wal.log`` — the write-ahead log, reset by the checkpoint
+and replayed over the snapshot on reopen.
 
-Both formats are versioned. Manifest version 1 (pre-slicing: per shard a
-``level0`` list plus a single ``bottom`` run) still loads — the bottom
-becomes a one-run L1 — so checkpoints taken before the compaction-policy
-subsystem reopen with answers bit-for-bit identical under the default
-full-merge policy. Run-file version 1 (no slice metadata) likewise
-loads; version 2 appends the slice's owning bounds so leveled topology
-survives a restart.
+Both formats are versioned and, from version 3, checksummed. A run file
+v3 ends in a crc32 trailer over everything before it; a v3 manifest
+carries a ``crc32`` field over its canonical JSON dump. Verification
+failures raise :class:`~repro.errors.CorruptionError` — the storage
+layer never serves bytes that failed their checksum; crc32 detects
+every single-bit flip and every burst shorter than 32 bits, which
+covers the realistic torn-write and bit-rot cases the crash-fuzz and
+chaos suites inject (see ``docs/robustness.md``).
+
+Durability follows the classic rename-commit protocol, with the fsyncs
+real filesystems require: every run blob is fsynced, the manifest is
+written to a tmp file and fsynced, the shard directories and the root
+directory are fsynced, and only then does the rename of the tmp file
+onto ``MANIFEST.json`` commit the checkpoint. Run files are
+generation-stamped and never overwritten; garbage collection keeps the
+union of the files referenced by the current *and* previous manifests,
+so the last two checkpoint epochs are always on disk intact.
+
+Older formats still load. Manifest version 1 (pre-slicing: per shard a
+``level0`` list plus a single ``bottom`` run) is normalised to the
+current shape — the bottom becomes a one-run L1. Run versions 1
+(no slice metadata) and 2 (slice bounds, no checksum) load unverified:
+they carry no crc, so only structural damage is detectable there.
 
 A run file reuses the primitive layout of :mod:`repro.core.serialization`
 (``pack_int`` / ``pack_words``) and embeds the run's *filter bytes* —
@@ -28,6 +47,10 @@ results are bit-for-bit identical across a reopen. A run whose filter
 type has no format is flagged for factory rebuild; loading such a run
 without a factory raises :class:`~repro.errors.ConfigError` unless the
 caller opts into filterless runs.
+
+All file I/O routes through :mod:`repro.faults` so the chaos suites can
+inject torn writes, bit flips and EIO at exactly this seam; with no
+fault plan installed those helpers are passthroughs.
 """
 
 from __future__ import annotations
@@ -35,11 +58,13 @@ from __future__ import annotations
 import json
 import pickle
 import struct
+import zlib
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.core.serialization import (
     filter_from_bytes,
     filter_to_bytes,
@@ -48,16 +73,22 @@ from repro.core.serialization import (
     unpack_int,
     unpack_words,
 )
-from repro.errors import ConfigError, InvalidParameterError
+from repro.errors import (
+    ConfigError,
+    CorruptionError,
+    InvalidParameterError,
+    ReproError,
+)
 from repro.lsm.memtable import TOMBSTONE
 from repro.lsm.sstable import FilterFactory, SSTable
 from repro.lsm.store import LSMStore
 
 _RUN_MAGIC = b"RSST"
-_RUN_VERSION = 2          # v2 appends slice-bounds metadata; v1 still loads
+_RUN_VERSION = 3          # v3 appends a crc32 trailer; v1/v2 still load
 
 MANIFEST_NAME = "MANIFEST.json"
-MANIFEST_VERSION = 2      # v2 records deep levels; v1 (level0+bottom) loads
+PREV_MANIFEST_NAME = "MANIFEST.prev.json"
+MANIFEST_VERSION = 3      # v3 adds a crc32 field; v1/v2 still load
 
 #: Filter persistence modes recorded in a run file.
 _FILTER_NONE = 0       # the run never had a filter
@@ -69,7 +100,12 @@ _FILTER_REBUILD = 2    # no stable format; rebuild from keys via the factory
 # Run files
 # ----------------------------------------------------------------------
 def run_to_bytes(run: SSTable) -> bytes:
-    """Serialise one immutable run (keys, values, tombstones, filter)."""
+    """Serialise one immutable run (keys, values, tombstones, filter).
+
+    The returned buffer ends in a little-endian crc32 over everything
+    before it; :func:`run_from_bytes` refuses the blob if the trailer
+    does not match (:class:`~repro.errors.CorruptionError`).
+    """
     n = len(run)
     keys = np.asarray(run._keys, dtype=np.uint64)
     tombstone_mask = bytearray((n + 7) // 8)
@@ -107,50 +143,48 @@ def run_to_bytes(run: SSTable) -> bytes:
         struct.pack("<BQ", filter_mode, len(filter_blob)),
         filter_blob,
     ]
-    return b"".join(parts)
+    body = b"".join(parts)
+    return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
 
 
-def run_from_bytes(
+def _parse_run(
     buf: bytes,
-    filter_factory: Optional[FilterFactory] = None,
-    *,
-    missing_filter: str = "raise",
+    filter_factory: Optional[FilterFactory],
+    missing_filter: str,
 ) -> SSTable:
-    """Load a run serialised by :func:`run_to_bytes`.
-
-    A run whose filter had a stable byte format restores it from the
-    embedded blob regardless of ``filter_factory``. A run flagged
-    ``_FILTER_REBUILD`` (it *had* a filter, but one this build could not
-    serialise) needs the factory back; without one the behaviour follows
-    ``missing_filter``:
-
-    * ``"raise"`` (default) — raise :class:`~repro.errors.ConfigError`.
-      Silently coming back filterless used to turn every probe into a
-      run read, an order-of-magnitude regression discovered only by
-      profiling.
-    * ``"drop"`` — restore the run without a filter (correct, slower).
-      This is what read-only snapshot workers opt into: they own no
-      factory by design and verification-only reads are acceptable
-      there.
-    """
     if buf[:4] != _RUN_MAGIC:
-        raise InvalidParameterError("not a serialised SSTable run")
+        raise CorruptionError("not a serialised SSTable run (bad magic)")
     (version,) = struct.unpack_from("<H", buf, 4)
-    if version not in (1, _RUN_VERSION):
-        raise InvalidParameterError(f"unsupported run format version {version}")
+    if version not in (1, 2, _RUN_VERSION):
+        raise CorruptionError(f"unsupported run format version {version}")
+    if version >= 3:
+        if len(buf) < 10:
+            raise CorruptionError("run blob too short to hold its checksum")
+        (recorded,) = struct.unpack_from("<I", buf, len(buf) - 4)
+        buf = buf[:-4]
+        actual = zlib.crc32(buf) & 0xFFFFFFFF
+        if actual != recorded:
+            raise CorruptionError(
+                f"run checksum mismatch: recorded {recorded:#010x}, "
+                f"computed {actual:#010x}"
+            )
     offset = 6
     (n,) = struct.unpack_from("<Q", buf, offset)
     offset += 8
     universe, offset = unpack_int(buf, offset)
     keys, offset = unpack_words(buf, offset)
     if keys.size != n:
-        raise InvalidParameterError("run key count does not match header")
+        raise CorruptionError("run key count does not match header")
     (mask_len,) = struct.unpack_from("<Q", buf, offset)
     offset += 8
     tombstone_mask = buf[offset:offset + mask_len]
+    if len(tombstone_mask) != mask_len:
+        raise CorruptionError("run tombstone mask truncated")
     offset += mask_len
     (values_len,) = struct.unpack_from("<Q", buf, offset)
     offset += 8
+    if len(buf) < offset + values_len:
+        raise CorruptionError("run value section truncated")
     live_values = pickle.loads(buf[offset:offset + values_len])
     offset += values_len
     slice_bounds = None
@@ -164,6 +198,8 @@ def run_from_bytes(
     filter_mode, filter_len = struct.unpack_from("<BQ", buf, offset)
     offset += 9
     filter_blob = buf[offset:offset + filter_len]
+    if len(filter_blob) != filter_len:
+        raise CorruptionError("run filter blob truncated")
 
     values: List[Any] = []
     live_iter = iter(live_values)
@@ -173,10 +209,6 @@ def run_from_bytes(
         else:
             values.append(next(live_iter))
 
-    if missing_filter not in ("raise", "drop"):
-        raise InvalidParameterError(
-            f"missing_filter must be 'raise' or 'drop', got {missing_filter!r}"
-        )
     if filter_mode == _FILTER_BLOB:
         filt = filter_from_bytes(filter_blob)
     elif filter_mode == _FILTER_REBUILD and filter_factory is not None:
@@ -195,29 +227,113 @@ def run_from_bytes(
     )
 
 
+def run_from_bytes(
+    buf: bytes,
+    filter_factory: Optional[FilterFactory] = None,
+    *,
+    missing_filter: str = "raise",
+) -> SSTable:
+    """Load a run serialised by :func:`run_to_bytes`.
+
+    A version-3 blob is checksum-verified before any parsing is trusted;
+    a mismatch — or any structural damage, in any version — raises
+    :class:`~repro.errors.CorruptionError`. The caller (shard loading in
+    :meth:`ShardedEngine.open`) treats that as "this checkpoint epoch is
+    bad" and rolls back rather than serving a partially-decoded run.
+
+    A run whose filter had a stable byte format restores it from the
+    embedded blob regardless of ``filter_factory``. A run flagged
+    ``_FILTER_REBUILD`` (it *had* a filter, but one this build could not
+    serialise) needs the factory back; without one the behaviour follows
+    ``missing_filter``:
+
+    * ``"raise"`` (default) — raise :class:`~repro.errors.ConfigError`.
+      Silently coming back filterless used to turn every probe into a
+      run read, an order-of-magnitude regression discovered only by
+      profiling.
+    * ``"drop"`` — restore the run without a filter (correct, slower).
+      This is what read-only snapshot workers opt into: they own no
+      factory by design and verification-only reads are acceptable
+      there.
+    """
+    if missing_filter not in ("raise", "drop"):
+        raise InvalidParameterError(
+            f"missing_filter must be 'raise' or 'drop', got {missing_filter!r}"
+        )
+    try:
+        return _parse_run(buf, filter_factory, missing_filter)
+    except ReproError:
+        raise
+    except Exception as exc:
+        # struct.error, pickle errors, numpy shape errors, StopIteration
+        # from the live-value zip — all mean the bytes are not a run.
+        raise CorruptionError(f"run blob failed to parse: {exc!r}") from exc
+
+
 # ----------------------------------------------------------------------
 # Manifest + whole-engine snapshots
 # ----------------------------------------------------------------------
-def load_manifest(directory: str | Path) -> Optional[Dict[str, Any]]:
-    """Read ``MANIFEST.json`` or return ``None`` when the dir has none.
+def manifest_crc(manifest: Dict[str, Any]) -> int:
+    """crc32 over the canonical dump of a manifest (its ``crc32`` field
+    excluded): sorted keys, compact separators — independent of the
+    indentation the file on disk happens to use."""
+    body = {k: v for k, v in manifest.items() if k != "crc32"}
+    dump = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(dump.encode("utf-8")) & 0xFFFFFFFF
 
-    Accepts both manifest versions. A version-1 manifest (pre-slicing:
-    per shard ``{"level0": [...], "bottom": name}``) is normalised in
-    memory to the version-2 shape — the single bottom run becomes a
-    one-run L1 — so every caller sees one topology format.
+
+def load_manifest(
+    directory: str | Path, *, name: str = MANIFEST_NAME
+) -> Optional[Dict[str, Any]]:
+    """Read a manifest or return ``None`` when the dir has none.
+
+    Accepts every manifest version. A version-3 manifest must carry a
+    matching ``crc32`` field or :class:`~repro.errors.CorruptionError`
+    is raised; unparseable JSON raises the same. A version-1 manifest
+    (pre-slicing: per shard ``{"level0": [...], "bottom": name}``) is
+    normalised in memory to the current shape — the single bottom run
+    becomes a one-run L1 — so every caller sees one topology format.
+
+    ``name`` selects which manifest file to read: the default current
+    epoch, or :data:`PREV_MANIFEST_NAME` for the retained previous one.
     """
-    path = Path(directory) / MANIFEST_NAME
+    path = Path(directory) / name
     if not path.exists():
         return None
-    manifest = json.loads(path.read_text())
+    raw = faults.read_bytes(path)
+    try:
+        manifest = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CorruptionError(f"{path}: manifest is not valid JSON: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise CorruptionError(f"{path}: manifest is not a JSON object")
     version = manifest.get("manifest_version")
-    if version not in (1, MANIFEST_VERSION):
-        raise InvalidParameterError(f"unsupported manifest version {version}")
+    if version not in (1, 2, MANIFEST_VERSION):
+        raise CorruptionError(f"{path}: unsupported manifest version {version}")
+    if version >= 3:
+        recorded = manifest.get("crc32")
+        actual = manifest_crc(manifest)
+        if recorded != actual:
+            raise CorruptionError(
+                f"{path}: manifest checksum mismatch: recorded "
+                f"{recorded!r}, computed {actual:#010x}"
+            )
     if version == 1:
         for entry in manifest.get("shards", []):
             bottom = entry.pop("bottom", None)
             entry["levels"] = [[bottom]] if bottom is not None else []
     return manifest
+
+
+def referenced_runs(manifest: Dict[str, Any]) -> Dict[int, Set[str]]:
+    """Per shard id, the run-file names a manifest keeps alive."""
+    out: Dict[int, Set[str]] = {}
+    for sid, entry in enumerate(manifest.get("shards", [])):
+        live = set(entry.get("level0", []))
+        for names in entry.get("levels", []):
+            live.update(names)
+        out[sid] = live
+    return out
 
 
 def save_snapshot(
@@ -232,6 +348,17 @@ def save_snapshot(
     can rebuild the topology without user input. Memtables are *not*
     snapshotted — the caller flushes them first (checkpoint) or relies on
     the WAL to replay them (crash).
+
+    Durability protocol, in order: (1) every run blob is written and
+    fsynced; (2) each shard directory is fsynced so the new files'
+    directory entries are durable; (3) the outgoing ``MANIFEST.json`` is
+    *copied* to ``MANIFEST.prev.json`` (copied, not renamed — a crash
+    between two renames would leave the directory with no current
+    manifest at all, which reads as "fresh directory"); (4) the new
+    manifest is written to a tmp file, fsynced, and renamed over
+    ``MANIFEST.json``; (5) the root directory is fsynced, making the
+    rename — the commit point — durable. A crash at *any* point leaves
+    either the old or the new checkpoint fully intact.
     """
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
@@ -248,36 +375,84 @@ def save_snapshot(
         level0_names = []
         for j, run in enumerate(store.level0_runs):
             name = f"run-{generation:06d}-{j:04d}.sst"
-            (shard_dir / name).write_bytes(run_to_bytes(run))
+            faults.write_bytes(shard_dir / name, run_to_bytes(run), fsync=True)
             level0_names.append(name)
         level_names: List[List[str]] = []
         for li, level in enumerate(store.levels, start=1):
             names = []
             for j, run in enumerate(level):
                 name = f"l{li}-{generation:06d}-{j:04d}.sst"
-                (shard_dir / name).write_bytes(run_to_bytes(run))
+                faults.write_bytes(shard_dir / name, run_to_bytes(run), fsync=True)
                 names.append(name)
             level_names.append(names)
         shard_entries.append({"level0": level0_names, "levels": level_names})
+        faults.fsync_dir(shard_dir)
     manifest = {
         "manifest_version": MANIFEST_VERSION,
         "generation": generation,
         **params,
         "shards": shard_entries,
     }
+    manifest["crc32"] = manifest_crc(manifest)
+    # Retain the outgoing epoch's manifest for rollback before the new
+    # one commits.
+    current_path = root / MANIFEST_NAME
+    if current_path.exists():
+        faults.write_bytes(
+            root / PREV_MANIFEST_NAME, current_path.read_bytes(), fsync=True
+        )
     # The atomic commit point: write-then-rename the manifest.
     tmp = root / (MANIFEST_NAME + ".tmp")
-    tmp.write_text(json.dumps(manifest, indent=1))
-    tmp.replace(root / MANIFEST_NAME)
-    # Garbage-collect run files no checkpoint references anymore.
+    faults.write_bytes(tmp, json.dumps(manifest, indent=1).encode(), fsync=True)
+    tmp.replace(current_path)
+    faults.fsync_dir(root)
+    # Garbage-collect run files neither retained epoch references. The
+    # previous epoch's files stay on disk so a corrupt newest checkpoint
+    # can roll back to an intact one.
+    prev_live: Dict[int, Set[str]] = {}
+    try:
+        prev_manifest = load_manifest(root, name=PREV_MANIFEST_NAME)
+    except CorruptionError:
+        prev_manifest = None  # unreadable => not a rollback target; GC it
+    if prev_manifest is not None:
+        prev_live = referenced_runs(prev_manifest)
     for sid, entry in enumerate(shard_entries):
         shard_dir = root / f"shard-{sid:04d}"
         live = set(entry["level0"])
         for names in entry["levels"]:
             live.update(names)
+        live |= prev_live.get(sid, set())
         for candidate in shard_dir.glob("*.sst"):
             if candidate.name not in live:
                 candidate.unlink()
+    return manifest
+
+
+def promote_previous_epoch(directory: str | Path) -> Dict[str, Any]:
+    """Roll the directory back to the retained previous checkpoint.
+
+    Copies ``MANIFEST.prev.json`` over ``MANIFEST.json`` (write-then-
+    rename, fsynced) and returns the promoted manifest. The corrupt
+    current manifest is preserved as ``MANIFEST.corrupt.json`` for
+    post-mortem. Raises :class:`~repro.errors.CorruptionError` if there
+    is no intact previous epoch to promote.
+    """
+    root = Path(directory)
+    prev_path = root / PREV_MANIFEST_NAME
+    if not prev_path.exists():
+        raise CorruptionError(
+            f"{root}: no retained previous checkpoint epoch to roll back to"
+        )
+    manifest = load_manifest(root, name=PREV_MANIFEST_NAME)
+    if manifest is None:  # pragma: no cover - exists() raced above
+        raise CorruptionError(f"{root}: previous manifest vanished")
+    current = root / MANIFEST_NAME
+    if current.exists():
+        current.replace(root / "MANIFEST.corrupt.json")
+    tmp = root / (MANIFEST_NAME + ".tmp")
+    faults.write_bytes(tmp, prev_path.read_bytes(), fsync=True)
+    tmp.replace(current)
+    faults.fsync_dir(root)
     return manifest
 
 
@@ -301,16 +476,30 @@ def load_shard(
     outside :mod:`repro.core.serialization`) follows ``missing_filter``:
     the default raises :class:`~repro.errors.ConfigError`; the workers
     pass ``"drop"`` and serve that run unfiltered (slower, never wrong).
+
+    A referenced run file that is missing, truncated, or fails its
+    checksum raises :class:`~repro.errors.CorruptionError` naming the
+    file — the caller decides between rollback and surfacing the error;
+    partially-loaded state is never returned.
     """
     root = Path(directory)
     entry = manifest["shards"][shard_id]
     shard_dir = root / f"shard-{shard_id:04d}"
 
     def load_run(name: str) -> SSTable:
-        return run_from_bytes(
-            (shard_dir / name).read_bytes(), filter_factory,
-            missing_filter=missing_filter,
-        )
+        path = shard_dir / name
+        try:
+            blob = faults.read_bytes(path)
+        except FileNotFoundError as exc:
+            raise CorruptionError(
+                f"{path}: run file referenced by the manifest is missing"
+            ) from exc
+        try:
+            return run_from_bytes(
+                blob, filter_factory, missing_filter=missing_filter
+            )
+        except CorruptionError as exc:
+            raise CorruptionError(f"{path}: {exc}") from exc
 
     level0 = [load_run(name) for name in entry["level0"]]
     levels = [[load_run(name) for name in names] for names in entry["levels"]]
@@ -348,3 +537,100 @@ def load_shards(
         )
         for sid in range(len(manifest["shards"]))
     ]
+
+
+# ----------------------------------------------------------------------
+# Scrub
+# ----------------------------------------------------------------------
+def scrub_snapshot(directory: str | Path) -> Dict[str, Any]:
+    """Verify every persisted artifact in a checkpoint directory.
+
+    Checks, without mutating anything: the current manifest parses and
+    its crc32 matches (v3); every run file each retained manifest
+    references exists, passes its checksum, and parses structurally
+    (filters are loaded in ``missing_filter="drop"`` mode — scrub
+    verifies integrity, not configuration); the WAL's record chain is
+    intact (a torn tail is reported but is *not* corruption — crash
+    recovery tolerates it by design).
+
+    Returns a report dict: ``ok`` (no corruption anywhere), per-artifact
+    statuses, and an ``errors`` list naming each corrupt artifact — the
+    shape the CLI ``scrub`` subcommand prints. Unlike loading, scrub
+    never raises on corrupt data: its job is a complete damage survey,
+    not fail-fast.
+    """
+    root = Path(directory)
+    report: Dict[str, Any] = {
+        "directory": str(root),
+        "manifest": None,
+        "prev_manifest": None,
+        "runs_checked": 0,
+        "runs_corrupt": 0,
+        "wal": None,
+        "errors": [],
+        "ok": True,
+    }
+
+    def check_manifest(name: str) -> Optional[Dict[str, Any]]:
+        try:
+            manifest = load_manifest(root, name=name)
+        except CorruptionError as exc:
+            report["errors"].append(str(exc))
+            return None
+        return manifest
+
+    manifests: List[Tuple[str, Dict[str, Any]]] = []
+    for field, name in (
+        ("manifest", MANIFEST_NAME),
+        ("prev_manifest", PREV_MANIFEST_NAME),
+    ):
+        manifest = check_manifest(name)
+        if manifest is None:
+            exists = (root / name).exists()
+            report[field] = "corrupt" if exists else "missing"
+            if exists:
+                report["ok"] = False
+        else:
+            report[field] = "ok"
+            manifests.append((name, manifest))
+    if report["manifest"] == "missing" and not manifests:
+        # Nothing persisted at all: vacuously intact only if truly empty.
+        report["ok"] = report["ok"] and not any(root.glob("shard-*/*.sst"))
+
+    checked: Set[Path] = set()
+    for source, manifest in manifests:
+        for sid, names in referenced_runs(manifest).items():
+            shard_dir = root / f"shard-{sid:04d}"
+            for name in sorted(names):
+                path = shard_dir / name
+                if path in checked:
+                    continue
+                checked.add(path)
+                report["runs_checked"] += 1
+                try:
+                    run_from_bytes(faults.read_bytes(path), missing_filter="drop")
+                except FileNotFoundError:
+                    report["runs_corrupt"] += 1
+                    report["ok"] = False
+                    report["errors"].append(
+                        f"{path}: referenced by {source} but missing"
+                    )
+                except CorruptionError as exc:
+                    report["runs_corrupt"] += 1
+                    report["ok"] = False
+                    report["errors"].append(f"{path}: {exc}")
+
+    wal_path = root / "wal.log"
+    if wal_path.exists():
+        from repro.engine.wal import scan_wal_file
+
+        records, valid_length, total_length = scan_wal_file(wal_path)
+        report["wal"] = {
+            "records": len(records),
+            "valid_bytes": valid_length,
+            "total_bytes": total_length,
+            "torn_tail": valid_length < total_length,
+        }
+    else:
+        report["wal"] = "missing"
+    return report

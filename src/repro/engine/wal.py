@@ -16,6 +16,12 @@ A crash mid-append leaves a torn record at the tail. Opening the log
 scans it, keeps every record whose length and checksum verify, and
 truncates the file at the first record that does not — the standard
 recovery contract (RocksDB's ``kTolerateCorruptedTailRecords``).
+:func:`scan_wal_file` exposes the same scan read-only (no truncation,
+no append handle) for the scrub path.
+
+Appends go through :class:`repro.faults.FaultyFile`, so chaos runs can
+tear or EIO a record mid-write; with no fault plan installed the
+wrapper is a transparent delegate.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ import zlib
 from pathlib import Path
 from typing import Any, List, Tuple
 
+from repro import faults
 from repro.errors import InvalidParameterError
 
 _MAGIC = b"RWAL"
@@ -57,6 +64,42 @@ def _decode_payload(payload: bytes) -> Tuple[int, int, Any]:
     return op, key, value
 
 
+def scan_wal_file(
+    path: str | os.PathLike,
+) -> Tuple[List[Tuple[int, int, Any]], int, int]:
+    """Read-only torn-tail scan of a WAL file.
+
+    Returns ``(records, valid_length, total_length)``: every record
+    whose length and crc32 verify, the byte length of that valid prefix,
+    and the file's actual size. ``valid_length < total_length`` means a
+    torn tail — expected after a crash, tolerated by recovery. Unlike
+    opening a :class:`WriteAheadLog`, this never truncates or creates
+    the file, which is what :func:`repro.engine.persist.scrub_snapshot`
+    needs: a damage survey must not repair as a side effect.
+    """
+    buf = faults.read_bytes(path)
+    records: List[Tuple[int, int, Any]] = []
+    if len(buf) < len(_HEADER):
+        return records, 0, len(buf)
+    if buf[:4] != _MAGIC:
+        raise InvalidParameterError(f"{os.fspath(path)} is not a WAL file")
+    (version,) = struct.unpack_from("<H", buf, 4)
+    if version != _VERSION:
+        raise InvalidParameterError(f"unsupported WAL version {version}")
+    offset = len(_HEADER)
+    while offset + _RECORD_HEADER.size <= len(buf):
+        crc, length = _RECORD_HEADER.unpack_from(buf, offset)
+        body_start = offset + _RECORD_HEADER.size
+        if length > _MAX_PAYLOAD or body_start + length > len(buf):
+            break  # torn record: length field or body ran past EOF
+        payload = buf[body_start:body_start + length]
+        if zlib.crc32(payload) != crc:
+            break  # torn or corrupt record
+        records.append(_decode_payload(payload))
+        offset = body_start + length
+    return records, offset, len(buf)
+
+
 class WriteAheadLog:
     """Append-only durability log with torn-tail recovery.
 
@@ -81,7 +124,7 @@ class WriteAheadLog:
         # Drop any torn tail, then position for appends.
         with open(self._path, "r+b") as fh:
             fh.truncate(valid_length)
-        self._fh = open(self._path, "ab")
+        self._fh = faults.wrap_file(open(self._path, "ab"))
 
     # ------------------------------------------------------------------
     # Recovery
@@ -92,28 +135,13 @@ class WriteAheadLog:
             self._path.parent.mkdir(parents=True, exist_ok=True)
             self._path.write_bytes(_HEADER)
             return len(_HEADER)
-        buf = self._path.read_bytes()
-        if len(buf) < len(_HEADER):
+        records, valid_length, _total = scan_wal_file(self._path)
+        if valid_length == 0:
             # Crash before the header finished; start the log over.
             self._path.write_bytes(_HEADER)
             return len(_HEADER)
-        if buf[:4] != _MAGIC:
-            raise InvalidParameterError(f"{self._path} is not a WAL file")
-        (version,) = struct.unpack_from("<H", buf, 4)
-        if version != _VERSION:
-            raise InvalidParameterError(f"unsupported WAL version {version}")
-        offset = len(_HEADER)
-        while offset + _RECORD_HEADER.size <= len(buf):
-            crc, length = _RECORD_HEADER.unpack_from(buf, offset)
-            body_start = offset + _RECORD_HEADER.size
-            if length > _MAX_PAYLOAD or body_start + length > len(buf):
-                break  # torn record: length field or body ran past EOF
-            payload = buf[body_start:body_start + length]
-            if zlib.crc32(payload) != crc:
-                break  # torn or corrupt record
-            self._recovered.append(_decode_payload(payload))
-            offset = body_start + length
-        return offset
+        self._recovered.extend(records)
+        return valid_length
 
     @property
     def recovered(self) -> List[Tuple[int, int, Any]]:
@@ -128,12 +156,15 @@ class WriteAheadLog:
         if op not in (OP_PUT, OP_DELETE):
             raise InvalidParameterError(f"unknown WAL opcode {op}")
         payload = _encode_payload(op, key, value)
+        record = _RECORD_HEADER.pack(zlib.crc32(payload), len(payload)) + payload
         with self._lock:
-            self._fh.write(_RECORD_HEADER.pack(zlib.crc32(payload), len(payload)))
-            self._fh.write(payload)
+            # One write per record: an injected (or real) tear then leaves
+            # a prefix of exactly one record — the torn tail the recovery
+            # scan is contracted to drop.
+            self._fh.write(record)
             self._fh.flush()
             if self._sync:
-                os.fsync(self._fh.fileno())
+                self._fh.fsync()
 
     def log_put(self, key: int, value: Any) -> None:
         self.append(OP_PUT, key, value)
@@ -154,9 +185,9 @@ class WriteAheadLog:
             self._fh.close()
             self._path.write_bytes(_HEADER)
             self._recovered.clear()
-            self._fh = open(self._path, "ab")
+            self._fh = faults.wrap_file(open(self._path, "ab"))
             if self._sync:
-                os.fsync(self._fh.fileno())
+                self._fh.fsync()
 
     def close(self) -> None:
         with self._lock:

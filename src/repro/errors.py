@@ -34,6 +34,29 @@ class NotSupportedError(ReproError, NotImplementedError):
     """The requested operation is not supported by this filter variant."""
 
 
+class CorruptionError(ReproError):
+    """Persisted state failed an integrity check (checksum, structure).
+
+    Raised when a run blob, manifest, or other persisted artifact does
+    not match its recorded crc32 or cannot be parsed. The storage layer
+    *never* serves data that failed verification — recovery either rolls
+    back to the last intact checkpoint epoch or surfaces this error, but
+    a corrupt byte must not become a silently wrong query answer.
+    """
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A per-request deadline elapsed before the operation completed.
+
+    Subclasses :class:`TimeoutError` so generic timeout handling catches
+    it, and :class:`ReproError` so library-aware callers can treat it as
+    one of ours. Retryable under the network clients'
+    :class:`~repro.net.client.RetryPolicy` — the request may simply have
+    hit a stalled server or a slow network, and retrying an emptiness
+    probe or idempotent mutation is safe.
+    """
+
+
 class ConfigError(InvalidParameterError):
     """A system-level configuration is inconsistent with persisted state.
 

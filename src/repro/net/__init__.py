@@ -30,12 +30,14 @@ from repro.net.client import (
     AsyncClient,
     ProtocolErrorClosed,
     RemoteError,
+    RetryPolicy,
     ShedError,
     SyncClient,
 )
 from repro.net.loadgen import (
     LoadConfig,
     LoadReport,
+    classify_error,
     generate_arrivals,
     generate_queries,
     run_async,
@@ -63,10 +65,12 @@ __all__ = [
     "ProtocolError",
     "ProtocolErrorClosed",
     "RemoteError",
+    "RetryPolicy",
     "ServerConfig",
     "ServerHandle",
     "ShedError",
     "SyncClient",
+    "classify_error",
     "encode_frame",
     "generate_arrivals",
     "generate_queries",

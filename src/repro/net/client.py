@@ -19,17 +19,44 @@ request (the client-visible half of backpressure: back off and retry,
 the server is healthy), :class:`RemoteError` when the server reports a
 failure, and :class:`~repro.net.protocol.ProtocolError` on malformed
 frames.
+
+Failure handling
+----------------
+Every request runs under a *per-request deadline* (``request_timeout``):
+a response that does not land in time raises
+:class:`~repro.errors.DeadlineExceeded` — a
+:class:`~repro.errors.ReproError` that is also a ``TimeoutError`` — so
+a stalled server can never hang a caller forever. A late response for a
+timed-out request id is recognised and dropped, never misdelivered to
+a newer request.
+
+With a :class:`RetryPolicy` attached, transient failures are retried
+with bounded exponential backoff and jitter. Retryable: admission-
+control sheds, connection resets/closures, and deadline expiries —
+the request may simply have hit a momentarily overloaded or stalled
+server, and every operation this protocol carries (probes, lookups,
+idempotent puts/deletes) is safe to re-send. NOT retryable:
+:class:`RemoteError` (the server *answered*; asking again gets the same
+answer) and malformed-frame :class:`~repro.net.protocol.ProtocolError`
+(a software bug, not weather). Connection-level failures re-dial and
+re-negotiate before the next attempt; each attempt uses a fresh request
+id. All of this is exercised under injected resets, stalls, and partial
+frames by the chaos suite (``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
 import asyncio
+import errno
+import random
 import socket
-from typing import Dict, Optional, Tuple
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import DeadlineExceeded, InvalidParameterError, ReproError
 from repro.net import protocol as proto
 
 
@@ -41,6 +68,20 @@ class RemoteError(ReproError):
     """The server answered with an error status."""
 
 
+class ProtocolErrorClosed(proto.ProtocolError):
+    """The connection closed mid-conversation."""
+
+    def __init__(self, detail: str = "connection closed by server") -> None:
+        super().__init__(detail)
+
+
+#: OS-level errno values that mean "the connection died", not "bad call".
+_RESET_ERRNOS = frozenset({
+    errno.ECONNRESET, errno.ECONNABORTED, errno.ECONNREFUSED,
+    errno.EPIPE, errno.ESHUTDOWN, errno.ENOTCONN,
+})
+
+
 def _check_status(frame: proto.Frame) -> proto.Frame:
     if frame.status == proto.STATUS_SHED:
         raise ShedError("request shed by server admission control")
@@ -49,46 +90,227 @@ def _check_status(frame: proto.Frame) -> proto.Frame:
     return frame
 
 
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff with jitter for transient failures.
+
+    ``max_attempts`` caps the total tries (1 = no retries). The delay
+    before attempt ``k`` (0-based retry index) is
+    ``min(base_delay * multiplier**k, max_delay)``, scaled by a random
+    factor in ``[1 - jitter, 1 + jitter]`` so a fleet of clients that
+    failed together does not retry together (the thundering-herd
+    problem bounded backoff exists to solve). Passing ``seed`` makes
+    the jitter deterministic — what the chaos differential uses so a
+    failing run replays exactly.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.02
+    max_delay: float = 1.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise InvalidParameterError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise InvalidParameterError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise InvalidParameterError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        self._rng = random.Random(self.seed)
+
+    def delay(self, retry_index: int) -> float:
+        """Jittered backoff delay before the ``retry_index``-th retry."""
+        raw = min(
+            self.base_delay * (self.multiplier ** retry_index), self.max_delay
+        )
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(0.0, raw)
+
+    @staticmethod
+    def is_retryable(exc: BaseException) -> bool:
+        """Whether an attempt that raised ``exc`` is safe to re-send.
+
+        Sheds, deadline expiries, and anything that means "the
+        connection died" are transient; a :class:`RemoteError` is a
+        *delivered* answer and a malformed-frame
+        :class:`~repro.net.protocol.ProtocolError` is a bug — retrying
+        either would loop on a deterministic failure.
+        """
+        if isinstance(exc, (ShedError, DeadlineExceeded)):
+            return True
+        if isinstance(exc, ProtocolErrorClosed):
+            return True
+        if isinstance(exc, (RemoteError, proto.ProtocolError)):
+            return False
+        if isinstance(exc, (ConnectionError, BrokenPipeError)):
+            return True
+        if isinstance(exc, (asyncio.IncompleteReadError, EOFError)):
+            return True
+        if isinstance(exc, OSError):
+            return exc.errno in _RESET_ERRNOS or exc.errno is None
+        return False
+
+
 class SyncClient:
     """Blocking client: connect, negotiate, then call-and-wait.
 
     Usable as a context manager. One request is outstanding at a time;
     the request-id counter still increments per call so server logs and
     packet captures stay unambiguous.
+
+    ``timeout`` bounds the TCP connect; ``request_timeout`` (defaults
+    to ``timeout``) is the per-request deadline, raising
+    :class:`~repro.errors.DeadlineExceeded`. With ``retry`` set,
+    transient failures re-dial (when the connection died) and re-send
+    under the policy's backoff schedule.
     """
 
     def __init__(
-        self, host: str, port: int, *, timeout: float = 30.0
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        request_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._addr: Tuple[str, int] = (host, port)
+        self._timeout = timeout
+        self._request_timeout = (
+            timeout if request_timeout is None else request_timeout
+        )
+        self._retry = retry
+        self._sock: Optional[socket.socket] = None
         self._decoder = proto.FrameDecoder()
         self._next_rid = 1
         self._version: Optional[int] = None
+        self._connect_retrying()
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connect_retrying(self) -> None:
+        """First dial under the retry policy — a reset storm can kill
+        the handshake too, not just an established connection."""
+        attempts = self._retry.max_attempts if self._retry else 1
+        for attempt in range(attempts):
+            try:
+                self._connect()
+                return
+            except (ReproError, ConnectionError, OSError) as exc:
+                self._teardown()
+                if (
+                    self._retry is None
+                    or attempt == attempts - 1
+                    or not RetryPolicy.is_retryable(exc)
+                ):
+                    raise
+            time.sleep(self._retry.delay(attempt))
+
+    def _connect(self) -> None:
+        """(Re-)dial and re-negotiate; the previous socket is dropped."""
+        self._teardown()
+        self._sock = socket.create_connection(self._addr, timeout=self._timeout)
+        self._decoder = proto.FrameDecoder()
         rid = self._rid()
+        deadline = time.monotonic() + self._request_timeout
         self._sock.sendall(proto.encode_hello(rid))
-        frame = _check_status(self._recv(rid))
+        frame = _check_status(self._recv(rid, deadline))
         self._version = proto.decode_hello_response(frame.body)
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - best-effort close
+                pass
+            self._sock = None
 
     def _rid(self) -> int:
         rid = self._next_rid
         self._next_rid = (self._next_rid + 1) & 0xFFFFFFFF or 1
         return rid
 
-    def _recv(self, rid: int) -> proto.Frame:
+    def _recv(self, rid: int, deadline: float) -> proto.Frame:
+        assert self._sock is not None
         while True:
-            data = self._sock.recv(65536)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceeded(
+                    f"no response for request {rid} within "
+                    f"{self._request_timeout:.3f}s"
+                )
+            self._sock.settimeout(remaining)
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout as exc:
+                raise DeadlineExceeded(
+                    f"no response for request {rid} within "
+                    f"{self._request_timeout:.3f}s"
+                ) from exc
             if not data:
                 raise ProtocolErrorClosed()
             for frame in self._decoder.feed(data):
                 if frame.request_id == rid:
                     return frame
-                # A frame for a request we no longer wait on (cannot
-                # happen with the one-at-a-time discipline) is dropped.
+                # A frame for a request we no longer wait on — e.g. the
+                # late answer to an attempt that already hit its
+                # deadline — is dropped, never misdelivered.
+
+    def _attempt(self, encode, args) -> proto.Frame:
+        if self._sock is None:
+            self._connect()
+        assert self._sock is not None
+        rid = self._rid()
+        deadline = time.monotonic() + self._request_timeout
+        try:
+            self._sock.settimeout(self._request_timeout)
+            self._sock.sendall(encode(rid, *args))
+            return _check_status(self._recv(rid, deadline))
+        except socket.timeout as exc:
+            raise DeadlineExceeded(
+                f"request {rid} could not be sent within "
+                f"{self._request_timeout:.3f}s"
+            ) from exc
 
     def _roundtrip(self, encode, *args) -> proto.Frame:
-        rid = self._rid()
-        self._sock.sendall(encode(rid, *args))
-        return _check_status(self._recv(rid))
+        attempts = self._retry.max_attempts if self._retry else 1
+        for attempt in range(attempts):
+            try:
+                return self._attempt(encode, args)
+            except ReproError as exc:
+                if (
+                    self._retry is None
+                    or attempt == attempts - 1
+                    or not RetryPolicy.is_retryable(exc)
+                ):
+                    raise
+                # A shed leaves the connection healthy; anything else
+                # that is retryable means it cannot be trusted — drop it
+                # so the next attempt re-dials.
+                if not isinstance(exc, ShedError):
+                    self._teardown()
+            except (ConnectionError, OSError) as exc:
+                if (
+                    self._retry is None
+                    or attempt == attempts - 1
+                    or not RetryPolicy.is_retryable(exc)
+                ):
+                    raise
+                self._teardown()
+            time.sleep(self._retry.delay(attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     @property
     def version(self) -> int:
@@ -118,11 +340,15 @@ class SyncClient:
         return proto.decode_batch_response(frame.body)
 
     def put(self, key: int, value: bytes) -> None:
-        """Insert or overwrite ``key`` (acknowledged when applied)."""
+        """Insert or overwrite ``key`` (acknowledged when applied).
+
+        Idempotent, so safe under the retry policy: re-sending a put
+        whose ack was lost re-applies the same value.
+        """
         self._roundtrip(proto.encode_insert, key, value)
 
     def delete(self, key: int) -> None:
-        """Delete ``key`` (acknowledged when applied)."""
+        """Delete ``key`` (acknowledged when applied). Idempotent."""
         self._roundtrip(proto.encode_delete, key)
 
     def stats(self) -> dict:
@@ -134,26 +360,17 @@ class SyncClient:
 
     def send_raw(self, payload: bytes) -> None:
         """Ship arbitrary bytes (the fuzz tests' way in)."""
+        assert self._sock is not None
         self._sock.sendall(payload)
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover - best-effort close
-            pass
+        self._teardown()
 
     def __enter__(self) -> "SyncClient":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
-
-
-class ProtocolErrorClosed(proto.ProtocolError):
-    """The server closed the connection mid-conversation."""
-
-    def __init__(self) -> None:
-        super().__init__("connection closed by server")
 
 
 class AsyncClient:
@@ -163,6 +380,14 @@ class AsyncClient:
     request coroutine resolves when its response frame arrives, in
     whatever order the server answers — the connection never blocks on
     an individual request, which is what open-loop load needs.
+
+    ``request_timeout`` bounds each request (send to response) with
+    :class:`~repro.errors.DeadlineExceeded` — the connect ``timeout``
+    alone used to leave a request against a stalled server pending
+    forever. With ``retry`` set, transient failures (shed, reset,
+    deadline) re-send under the policy's backoff; if the connection
+    died, the next attempt re-dials, restarts the reader task, and
+    re-negotiates.
     """
 
     def __init__(
@@ -176,23 +401,99 @@ class AsyncClient:
         self._version: Optional[int] = None
         self._reader_task: Optional[asyncio.Task] = None
         self._closed = False
+        self._user_closed = False
+        self._addr: Optional[Tuple[str, int]] = None
+        self._timeout = 30.0
+        self._request_timeout: Optional[float] = None
+        self._retry: Optional[RetryPolicy] = None
+        self._reconnect_lock = asyncio.Lock()
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, *, timeout: float = 30.0
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        request_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> "AsyncClient":
-        """Open a connection, start the reader task, negotiate versions."""
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(host, port), timeout
+        """Open a connection, start the reader task, negotiate versions.
+
+        With ``retry`` set, the initial dial-and-hello is itself under
+        the policy — a storm that resets the handshake should cost a
+        backoff, not the whole connection attempt.
+        """
+        attempts = retry.max_attempts if retry else 1
+        last: Optional[BaseException] = None
+        for attempt in range(attempts):
+            client: Optional["AsyncClient"] = None
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout
+                )
+                client = cls(reader, writer)
+                client._addr = (host, port)
+                client._timeout = timeout
+                client._request_timeout = (
+                    timeout if request_timeout is None else request_timeout
+                )
+                client._retry = retry
+                client._start_reader()
+                await client._hello()
+                return client
+            except (ReproError, ConnectionError, OSError,
+                    asyncio.TimeoutError) as exc:
+                if client is not None:
+                    await client.close()
+                last = exc
+                if (
+                    retry is None
+                    or attempt == attempts - 1
+                    or not RetryPolicy.is_retryable(exc)
+                ):
+                    raise
+            await asyncio.sleep(retry.delay(attempt))
+        assert last is not None  # pragma: no cover
+        raise last  # pragma: no cover
+
+    def _start_reader(self) -> None:
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
         )
-        client = cls(reader, writer)
-        client._reader_task = asyncio.get_running_loop().create_task(
-            client._read_loop()
-        )
-        rid = client._rid_peek()
-        frame = await client._request(rid, proto.encode_hello(rid))
-        client._version = proto.decode_hello_response(frame.body)
-        return client
+
+    async def _hello(self) -> None:
+        rid = self._rid_peek()
+        frame = await self._request(rid, proto.encode_hello(rid))
+        self._version = proto.decode_hello_response(frame.body)
+
+    async def _reconnect(self) -> None:
+        """Re-dial after the connection died (retry path only).
+
+        Serialised by a lock so concurrent pipelined requests that all
+        saw the same dead connection trigger one re-dial, not a stampede
+        of them; latecomers find ``_closed`` already cleared.
+        """
+        async with self._reconnect_lock:
+            if not self._closed or self._user_closed:
+                return
+            assert self._addr is not None
+            if self._reader_task is not None:
+                self._reader_task.cancel()
+                try:
+                    await self._reader_task
+                except asyncio.CancelledError:
+                    pass
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(*self._addr), self._timeout
+            )
+            self._reader = reader
+            self._writer = writer
+            self._decoder = proto.FrameDecoder()
+            self._pending = {}
+            self._closed = False
+            self._start_reader()
+            await self._hello()
 
     def _rid_peek(self) -> int:
         rid = self._next_rid
@@ -209,7 +510,10 @@ class AsyncClient:
                     future = self._pending.pop(frame.request_id, None)
                     if future is not None and not future.done():
                         future.set_result(frame)
-        except (ConnectionResetError, BrokenPipeError, proto.ProtocolError):
+                    # else: the late answer to a request that already
+                    # hit its deadline — dropped, never misdelivered.
+        except (ConnectionResetError, BrokenPipeError, OSError,
+                proto.ProtocolError):
             pass
         finally:
             self._closed = True
@@ -223,9 +527,58 @@ class AsyncClient:
             raise ProtocolErrorClosed()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[rid] = future
-        self._writer.write(payload)
-        await self._writer.drain()
-        return _check_status(await future)
+        try:
+            self._writer.write(payload)
+            await self._writer.drain()
+            if self._request_timeout is None:
+                return _check_status(await future)
+            try:
+                return _check_status(
+                    await asyncio.wait_for(future, self._request_timeout)
+                )
+            except asyncio.TimeoutError as exc:
+                raise DeadlineExceeded(
+                    f"no response for request {rid} within "
+                    f"{self._request_timeout:.3f}s"
+                ) from exc
+        finally:
+            self._pending.pop(rid, None)
+
+    async def _roundtrip(
+        self, encode: Callable[[int], bytes]
+    ) -> proto.Frame:
+        """One logical request under the retry policy.
+
+        Each attempt gets a *fresh* request id, so a late response to a
+        timed-out attempt can never satisfy its own retry.
+        """
+        attempts = self._retry.max_attempts if self._retry else 1
+        last: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if self._closed and not self._user_closed and self._retry:
+                try:
+                    await self._reconnect()
+                except (ConnectionError, OSError, asyncio.TimeoutError,
+                        ReproError) as exc:
+                    last = exc
+                    if attempt == attempts - 1:
+                        raise
+                    await asyncio.sleep(self._retry.delay(attempt))
+                    continue
+            rid = self._rid_peek()
+            try:
+                return await self._request(rid, encode(rid))
+            except (ReproError, ConnectionError, OSError) as exc:
+                last = exc
+                if (
+                    self._retry is None
+                    or attempt == attempts - 1
+                    or not RetryPolicy.is_retryable(exc)
+                ):
+                    raise
+            await asyncio.sleep(self._retry.delay(attempt))
+        assert last is not None  # pragma: no cover
+        raise last  # pragma: no cover
 
     @property
     def version(self) -> int:
@@ -235,43 +588,48 @@ class AsyncClient:
 
     async def ping(self) -> None:
         """Round-trip an empty frame (liveness check)."""
-        rid = self._rid_peek()
-        await self._request(rid, proto.encode_frame(proto.OP_PING, rid))
+        await self._roundtrip(
+            lambda rid: proto.encode_frame(proto.OP_PING, rid)
+        )
 
     async def range_empty(self, lo: int, hi: int) -> bool:
         """Single range-emptiness query; pipelines freely."""
-        rid = self._rid_peek()
-        frame = await self._request(rid, proto.encode_range(rid, lo, hi))
+        frame = await self._roundtrip(
+            lambda rid: proto.encode_range(rid, lo, hi)
+        )
         return proto.decode_range_response(frame.body)
 
     async def batch_range_empty(self, los, his) -> np.ndarray:
         """Columnar batch query; returns the verdict bool array."""
         los = np.asarray(los, dtype=np.uint64)
         his = np.asarray(his, dtype=np.uint64)
-        rid = self._rid_peek()
-        frame = await self._request(rid, proto.encode_batch(rid, los, his))
+        frame = await self._roundtrip(
+            lambda rid: proto.encode_batch(rid, los, his)
+        )
         return proto.decode_batch_response(frame.body)
 
     async def put(self, key: int, value: bytes) -> None:
-        """Insert or overwrite ``key``."""
-        rid = self._rid_peek()
-        await self._request(rid, proto.encode_insert(rid, key, value))
+        """Insert or overwrite ``key`` (idempotent; safe to retry)."""
+        await self._roundtrip(
+            lambda rid: proto.encode_insert(rid, key, value)
+        )
 
     async def get(self, key: int) -> Optional[bytes]:
         """Point lookup; returns the stored bytes or ``None``."""
-        rid = self._rid_peek()
-        frame = await self._request(rid, proto.encode_point(rid, key))
+        frame = await self._roundtrip(
+            lambda rid: proto.encode_point(rid, key)
+        )
         return proto.decode_point_response(frame.body)
 
     async def stats(self) -> dict:
         """The service's structured stats snapshot + server counters."""
-        rid = self._rid_peek()
-        frame = await self._request(
-            rid, proto.encode_frame(proto.OP_STATS, rid)
+        frame = await self._roundtrip(
+            lambda rid: proto.encode_frame(proto.OP_STATS, rid)
         )
         return proto.decode_stats_response(frame.body)
 
     async def close(self) -> None:
+        self._user_closed = True
         self._closed = True
         if self._reader_task is not None:
             self._reader_task.cancel()

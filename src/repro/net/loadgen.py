@@ -30,9 +30,43 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import InvalidParameterError
-from repro.net.client import AsyncClient, ShedError
+from repro.errors import DeadlineExceeded, InvalidParameterError
+from repro.net import protocol as proto
+from repro.net.client import (
+    AsyncClient,
+    ProtocolErrorClosed,
+    RemoteError,
+    RetryPolicy,
+    ShedError,
+)
 from repro.workloads.queries import uncorrelated_queries, zipfian_queries
+
+
+def classify_error(exc: BaseException) -> str:
+    """Ledger class of a failed request: reset / timeout / remote /
+    protocol / other.
+
+    The classes mirror the retry policy's taxonomy, so a chaos run's
+    ``[loadgen]`` summary says directly *what* the storm did — how many
+    requests died to connection resets versus deadlines versus the
+    server answering with an error — instead of one opaque ``errors``
+    count.
+    """
+    if isinstance(exc, DeadlineExceeded):
+        return "timeout"
+    if isinstance(exc, RemoteError):
+        return "remote"
+    if isinstance(exc, ProtocolErrorClosed):
+        return "reset"
+    if isinstance(exc, proto.ProtocolError):
+        return "protocol"
+    if isinstance(exc, (ConnectionError, BrokenPipeError, EOFError)):
+        return "reset"
+    if isinstance(exc, (asyncio.TimeoutError, TimeoutError)):
+        return "timeout"
+    if isinstance(exc, OSError):
+        return "reset"
+    return "other"
 
 
 @dataclass
@@ -60,8 +94,12 @@ class LoadConfig:
     burst_period: float = 0.25
     seed: int = 42
     timeout: float = 60.0
+    request_timeout: Optional[float] = None
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise InvalidParameterError("request_timeout must be positive")
         if self.clients < 1 or self.connections < 1:
             raise InvalidParameterError("clients and connections must be >= 1")
         if self.rate <= 0:
@@ -87,6 +125,12 @@ class LoadReport:
     timeout truncates the schedule. Fired-but-unanswered stragglers are
     cancelled at teardown and tallied under ``errors``, so
     ``completed + shed + errors == sent`` always holds.
+
+    ``error_classes`` breaks ``errors`` down by failure class
+    (:func:`classify_error`: reset / timeout / remote / protocol /
+    other, plus ``cancelled`` for teardown stragglers); the values sum
+    to ``errors``. A chaos run reads its damage report straight from
+    here.
     """
 
     sent: int
@@ -97,6 +141,7 @@ class LoadReport:
     offered_qps: float
     latencies: np.ndarray = field(repr=False)
     empties: int = 0
+    error_classes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def achieved_qps(self) -> float:
@@ -136,6 +181,7 @@ class LoadReport:
             "achieved_qps": self.achieved_qps,
             "shed_rate": self.shed_rate,
             "empties": self.empties,
+            "error_classes": dict(self.error_classes),
             "p50_s": self.p50,
             "p90_s": self.percentile(90),
             "p99_s": self.p99,
@@ -208,11 +254,15 @@ async def run_async(
     client_of = rng.integers(0, cfg.clients, cfg.n_requests)
     conn_of = client_of % cfg.connections
     conns = [
-        await AsyncClient.connect(host, port, timeout=cfg.timeout)
+        await AsyncClient.connect(
+            host, port, timeout=cfg.timeout,
+            request_timeout=cfg.request_timeout, retry=cfg.retry,
+        )
         for _ in range(cfg.connections)
     ]
     latencies: List[float] = []
     counts: Dict[str, int] = {"shed": 0, "errors": 0, "empties": 0}
+    error_classes: Dict[str, int] = {}
     loop = asyncio.get_running_loop()
     start = loop.time()
 
@@ -224,8 +274,10 @@ async def run_async(
             counts["empties"] += int(empty)
         except ShedError:
             counts["shed"] += 1
-        except Exception:  # noqa: BLE001 - tally (RemoteError etc.), keep firing
+        except Exception as exc:  # noqa: BLE001 - tally by class, keep firing
             counts["errors"] += 1
+            kind = classify_error(exc)
+            error_classes[kind] = error_classes.get(kind, 0) + 1
 
     # Fired requests live at run scope, not inside drive(): the outer
     # timeout cancels only the drive() coroutines, so any fire() task
@@ -257,6 +309,10 @@ async def run_async(
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
         cancelled = len(pending)
+        if cancelled:
+            error_classes["cancelled"] = (
+                error_classes.get("cancelled", 0) + cancelled
+            )
         elapsed = loop.time() - start
         for conn in conns:
             await conn.close()
@@ -271,6 +327,7 @@ async def run_async(
         offered_qps=cfg.rate,
         latencies=np.asarray(latencies, dtype=np.float64),
         empties=counts["empties"],
+        error_classes=error_classes,
     )
 
 

@@ -372,10 +372,19 @@ def decode_stats_response(body: bytes) -> dict:
     return payload
 
 
+#: Cap on an error response's message body. An exception whose text
+#: embeds user data (a repr of a huge batch, say) must not balloon past
+#: MAX_FRAME — encode_frame would then *itself* raise while answering,
+#: turning a reportable failure into a dropped connection.
+MAX_ERROR_MESSAGE = 4096
+
+
 def encode_error(request_id: int, op: int, message: str) -> bytes:
+    body = message.encode("utf-8")
+    if len(body) > MAX_ERROR_MESSAGE:
+        body = body[:MAX_ERROR_MESSAGE - 15] + b"... (truncated)"
     return encode_frame(
-        OP_RESP | op, request_id, message.encode("utf-8"),
-        status=STATUS_ERROR,
+        OP_RESP | op, request_id, body, status=STATUS_ERROR,
     )
 
 

@@ -59,6 +59,13 @@ class ServerConfig:
     ``max_compaction_backlog`` / ``max_cache_miss_rate`` default to
     ``None`` — the corresponding overload signal is ignored. The
     in-flight budget is always enforced.
+
+    ``idle_timeout`` (``None`` = disabled) closes a connection that has
+    sent no bytes for that long: a stalled or half-dead peer must not
+    hold a connection slot forever (counted in ``idle_closed``).
+    ``max_frame`` caps the accepted frame size *per connection* below
+    the protocol's absolute :data:`~repro.net.protocol.MAX_FRAME`, so a
+    hostile length prefix cannot make the server buffer gigabytes.
     """
 
     batch_window: float = 300e-6
@@ -68,6 +75,8 @@ class ServerConfig:
     max_cache_miss_rate: Optional[float] = None
     stats_poll: float = 0.05
     drain_timeout: float = 10.0
+    idle_timeout: Optional[float] = None
+    max_frame: int = proto.MAX_FRAME
 
     def __post_init__(self) -> None:
         if self.batch_window < 0:
@@ -78,6 +87,12 @@ class ServerConfig:
             raise InvalidParameterError("max_inflight must be >= 1")
         if self.stats_poll <= 0:
             raise InvalidParameterError("stats_poll must be positive")
+        if self.idle_timeout is not None and self.idle_timeout <= 0:
+            raise InvalidParameterError("idle_timeout must be positive")
+        if not 0 < self.max_frame <= proto.MAX_FRAME:
+            raise InvalidParameterError(
+                f"max_frame must be in (0, {proto.MAX_FRAME}]"
+            )
 
 
 @dataclass(eq=False)
@@ -137,6 +152,7 @@ class NetServer:
             "shed_overload": 0,
             "shed_shutdown": 0,
             "protocol_errors": 0,
+            "idle_closed": 0,
             "peak_inflight": 0,
         }
 
@@ -240,12 +256,29 @@ class NetServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        conn = _Connection(reader, writer)
+        conn = _Connection(
+            reader,
+            writer,
+            decoder=proto.FrameDecoder(max_frame=self._cfg.max_frame),
+        )
         self._conns.add(conn)
         self._counters["connections_total"] += 1
         try:
             while not conn.closed:
-                data = await reader.read(65536)
+                if self._cfg.idle_timeout is None:
+                    data = await reader.read(65536)
+                else:
+                    try:
+                        data = await asyncio.wait_for(
+                            reader.read(65536), self._cfg.idle_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        # The peer went quiet past the idle deadline:
+                        # reclaim the connection slot. In-flight work it
+                        # already admitted still completes (and its
+                        # writes fail harmlessly on the closed socket).
+                        self._counters["idle_closed"] += 1
+                        break
                 if not data:
                     break
                 try:

@@ -459,19 +459,27 @@ class TestDurability:
         )
 
     def test_checkpoint_garbage_collects_old_generations(self, tmp_path):
+        from repro.engine import persist
+
         engine = ShardedEngine(
             UNIVERSE, num_shards=1, memtable_limit=4, directory=tmp_path / "db"
         )
-        self._fill(engine, seed=5, ops=40)
-        engine.checkpoint()
-        self._fill(engine, seed=6, ops=40)
-        engine.checkpoint()
+        for seed in (5, 6, 7):
+            self._fill(engine, seed=seed, ops=40)
+            engine.checkpoint()
         names = {p.name for p in (tmp_path / "db" / "shard-0000").glob("*.sst")}
         reopened = ShardedEngine.open(tmp_path / "db")  # must still load
         assert reopened.run_count >= 1
-        # Only the latest generation's files survive on disk.
+        # The current epoch and the retained previous one (rollback
+        # fodder) survive on disk; every older generation is collected.
+        current = persist.load_manifest(tmp_path / "db")
+        previous = persist.load_manifest(
+            tmp_path / "db", name=persist.PREV_MANIFEST_NAME
+        )
+        kept = {f"{current['generation']:06d}", f"{previous['generation']:06d}"}
         generations = {n.split("-")[1] for n in names}
-        assert len(generations) == 1
+        assert generations <= kept
+        assert f"{current['generation']:06d}" in generations
 
     def test_reopened_shards_rejoin_compaction_scheduler(self, tmp_path):
         engine = ShardedEngine(

@@ -1,0 +1,544 @@
+"""Chaos tests: seeded fault injection end-to-end (:mod:`repro.faults`).
+
+The discipline throughout is *differential*: every chaos run is
+compared against an exact oracle (a plain dict, or the un-proxied
+service answering the same queries), and the hardened stack may answer
+each request **exactly correctly or with a typed error — never silently
+wrong**. Every storm also asserts ``plan.injected`` is non-empty, so a
+sweep that quietly injected nothing cannot pass vacuously.
+
+Coverage map:
+
+* :class:`FaultPlan` determinism and the filesystem seam primitives;
+* disk chaos — checkpoint storms under torn writes / EIO and a
+  crash-reopen loop under torn WAL appends, both against a dict oracle;
+* network chaos — :class:`FaultyTransport` between real clients and a
+  real server, with :class:`RetryPolicy` absorbing resets/stalls/
+  fragmentation (sync reads, async put/get);
+* the failure taxonomy — retry classification, bounded backoff,
+  per-request deadlines (:class:`DeadlineExceeded` *is a*
+  ``TimeoutError``), server idle/oversized-frame guards, and the load
+  generator's per-class error ledger.
+
+``REPRO_DIFF_SEED`` reseeds every storm (CI runs a second sweep under a
+different seed).
+"""
+
+import asyncio
+import errno
+import os
+import socket
+import struct
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import CorruptionError, DeadlineExceeded, ShardedEngine, faults
+from repro.analysis.report import format_error_ledger
+from repro.engine import RangeQueryService, persist
+from repro.errors import InvalidParameterError
+from repro.net import (
+    AsyncClient,
+    ProtocolErrorClosed,
+    RemoteError,
+    RetryPolicy,
+    ServerConfig,
+    ShedError,
+    SyncClient,
+    classify_error,
+    serve_in_thread,
+)
+from repro.net import protocol as proto
+
+SEED = int(os.environ.get("REPRO_DIFF_SEED", "20240808"))
+UNIVERSE = 2**16
+
+#: The typed errors a chaos-stormed request may legitimately surface.
+TYPED_ERRORS = (
+    DeadlineExceeded, ShedError, ProtocolErrorClosed, ConnectionError,
+    EOFError, OSError,
+)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: determinism, scoping, seam primitives
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        def draws(plan):
+            return [plan.transport_action() for _ in range(300)]
+
+        a = faults.FaultPlan(seed=5, reset=0.3, stall=0.2, partial=0.15)
+        b = faults.FaultPlan(seed=5, reset=0.3, stall=0.2, partial=0.15)
+        assert draws(a) == draws(b)
+        assert a.injected == b.injected
+        assert a.total_injected() > 0
+
+    def test_different_seed_different_schedule(self):
+        a = faults.FaultPlan(seed=1, reset=0.5)
+        b = faults.FaultPlan(seed=2, reset=0.5)
+        assert [a.transport_action() for _ in range(200)] != [
+            b.transport_action() for _ in range(200)
+        ]
+
+    def test_probabilities_validated(self):
+        with pytest.raises(InvalidParameterError):
+            faults.FaultPlan(torn_write=1.5)
+        with pytest.raises(InvalidParameterError):
+            faults.FaultPlan(reset=-0.1)
+
+    def test_match_scopes_filesystem_faults(self, tmp_path):
+        plan = faults.FaultPlan(seed=1, io_error=1.0, match=".sst")
+        with faults.inject(plan):
+            wal = tmp_path / "wal.log"
+            faults.write_bytes(wal, b"safe")  # unmatched: passthrough
+            assert faults.read_bytes(wal) == b"safe"
+            with pytest.raises(OSError) as exc_info:
+                faults.write_bytes(tmp_path / "run-0.sst", b"doomed")
+        assert exc_info.value.errno == errno.EIO
+        assert plan.injected["io_error"] == 1
+
+    def test_inject_always_uninstalls(self):
+        assert faults.get_plan() is None
+        plan = faults.FaultPlan(seed=1)
+        with faults.inject(plan):
+            assert faults.get_plan() is plan
+        assert faults.get_plan() is None
+        with pytest.raises(RuntimeError):
+            with faults.inject(plan):
+                raise RuntimeError("boom")
+        assert faults.get_plan() is None
+
+
+class TestFilesystemSeam:
+    def test_passthrough_without_plan(self, tmp_path):
+        path = tmp_path / "blob"
+        faults.write_bytes(path, b"hello", fsync=True)
+        assert faults.read_bytes(path) == b"hello"
+        faults.fsync_dir(tmp_path)  # must not raise
+
+    def test_torn_write_leaves_a_strict_prefix(self, tmp_path):
+        path = tmp_path / "blob"
+        data = bytes(range(256)) * 8
+        with faults.inject(faults.FaultPlan(seed=3, torn_write=1.0)) as plan:
+            with pytest.raises(OSError):
+                faults.write_bytes(path, data)
+        on_disk = path.read_bytes()
+        assert data.startswith(on_disk) and len(on_disk) < len(data)
+        assert plan.injected["torn_write"] == 1
+
+    def test_bit_flip_is_read_side_only(self, tmp_path):
+        path = tmp_path / "blob"
+        data = b"\x00" * 512
+        faults.write_bytes(path, data)
+        with faults.inject(faults.FaultPlan(seed=4, bit_flip=1.0)):
+            corrupted = faults.read_bytes(path)
+        assert corrupted != data and len(corrupted) == len(data)
+        assert path.read_bytes() == data  # the medium itself untouched
+
+    def test_faulty_file_tears_appends(self, tmp_path):
+        path = tmp_path / "log"
+        fh = faults.wrap_file(open(path, "ab"))
+        fh.write(b"intact-record|")
+        with faults.inject(faults.FaultPlan(seed=5, torn_write=1.0)):
+            with pytest.raises(OSError):
+                fh.write(b"torn-record")
+        fh.close()
+        on_disk = path.read_bytes()
+        assert on_disk.startswith(b"intact-record|")
+        assert not on_disk.endswith(b"torn-record")
+
+
+# ----------------------------------------------------------------------
+# Disk chaos differentials
+# ----------------------------------------------------------------------
+class TestDiskChaos:
+    def test_checkpoint_storm_preserves_acknowledged_state(self, tmp_path):
+        """Checkpoints under torn writes and EIO may fail, but every
+        acknowledged put survives the reopen: a failed commit leaves the
+        previous manifest + full WAL, a post-commit failure replays the
+        WAL idempotently. Either way the oracle state is exact."""
+        for trial in range(3):
+            db = tmp_path / f"db-{trial}"
+            rng = np.random.default_rng(SEED + trial)
+            plan = faults.FaultPlan(
+                seed=SEED + trial, torn_write=0.15, io_error=0.1,
+                latency=0.05, latency_s=1e-4,
+            )
+            engine = ShardedEngine(
+                UNIVERSE, num_shards=2, memtable_limit=32, directory=db
+            )
+            oracle = {}
+            failed = succeeded = 0
+            for index in range(1, 121):
+                key = int(rng.integers(UNIVERSE))
+                value = int(rng.integers(1 << 20))
+                engine.put(key, value)
+                oracle[key] = value
+                if index % 15 == 0:
+                    with faults.inject(plan):
+                        try:
+                            engine.checkpoint()
+                            succeeded += 1
+                        except OSError:
+                            failed += 1
+            engine.close(checkpoint=False)  # crash
+            assert plan.total_injected() > 0, "storm never fired"
+            reopened = ShardedEngine.open(db)
+            try:
+                got = dict(reopened.range_scan(0, UNIVERSE - 1))
+            finally:
+                reopened.close(checkpoint=False)
+            assert got == oracle, (
+                f"trial {trial} (seed {SEED + trial}): "
+                f"{failed} failed / {succeeded} ok checkpoints diverged"
+            )
+
+    def test_wal_crash_reopen_loop(self, tmp_path):
+        """Torn WAL appends surface as OSError to the writer (the write
+        was *not* acknowledged); treating each as a crash and reopening
+        must recover exactly the acknowledged prefix, every time."""
+        db = tmp_path / "db"
+        oracle = {}
+        rng = np.random.default_rng(SEED)
+        plan = faults.FaultPlan(seed=SEED, torn_write=0.04, match="wal")
+        crashes = 0
+        engine = ShardedEngine(
+            UNIVERSE, num_shards=2, memtable_limit=64, directory=db
+        )
+        with faults.inject(plan):
+            for _ in range(300):
+                key = int(rng.integers(UNIVERSE))
+                value = int(rng.integers(1 << 20))
+                try:
+                    engine.put(key, value)
+                except OSError:
+                    crashes += 1
+                    engine.close(checkpoint=False)
+                    engine = ShardedEngine.open(db)
+                    assert dict(engine.range_scan(0, UNIVERSE - 1)) == oracle
+                    continue
+                oracle[key] = value
+        engine.close(checkpoint=False)
+        assert crashes > 0, "no torn append fired; raise the probability"
+        assert plan.injected["torn_write"] == crashes
+        engine = ShardedEngine.open(db)
+        try:
+            assert dict(engine.range_scan(0, UNIVERSE - 1)) == oracle
+        finally:
+            engine.close(checkpoint=False)
+
+    def test_scrub_reports_at_rest_damage(self, tmp_path):
+        db = tmp_path / "db"
+        engine = ShardedEngine(
+            UNIVERSE, num_shards=1, memtable_limit=16, directory=db
+        )
+        for key in range(0, 2000, 3):
+            engine.put(key, key)
+        engine.close()  # clean checkpoint
+        assert persist.scrub_snapshot(db)["ok"]
+        chaos = faults.FaultyDir(db, faults.FaultPlan(seed=SEED))
+        chaos.flip_bit("shard-*/*.sst")
+        report = persist.scrub_snapshot(db)
+        assert not report["ok"] and report["runs_corrupt"] == 1
+        assert chaos.plan.injected["at_rest_bit_flip"] == 1
+
+
+# ----------------------------------------------------------------------
+# Network chaos differentials
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def chaos_service():
+    engine = ShardedEngine(UNIVERSE, num_shards=2, memtable_limit=512)
+    rng = np.random.default_rng(SEED)
+    keys = np.unique(rng.integers(0, UNIVERSE, 2000, dtype=np.uint64))
+    for key in keys:
+        engine.put(int(key), b"v")
+    engine.flush_all()
+    svc = RangeQueryService(engine, num_threads=2, cache_blocks=256)
+    yield svc
+    svc.close()
+
+
+def _chaos_queries(n, seed):
+    rng = np.random.default_rng(seed)
+    los = rng.integers(0, UNIVERSE - 64, n, dtype=np.uint64)
+    his = los + rng.integers(0, 64, n, dtype=np.uint64)
+    return los, his
+
+
+class TestNetworkChaos:
+    def test_sync_differential_through_resets(self, chaos_service):
+        """SyncClient + RetryPolicy through a proxy injecting resets,
+        stalls and fragmentation: every answered query must match the
+        un-proxied service exactly; failures must be typed."""
+        los, his = _chaos_queries(250, SEED + 1)
+        direct = [
+            chaos_service.range_empty(int(lo), int(hi))
+            for lo, hi in zip(los, his)
+        ]
+        # The acceptance bar: >= 10% of forwarded chunks reset.
+        plan = faults.FaultPlan(
+            seed=SEED, reset=0.10, partial=0.25, stall=0.02, stall_s=0.01
+        )
+        with serve_in_thread(
+            chaos_service, config=ServerConfig(batch_window=100e-6)
+        ) as handle:
+            with faults.FaultyTransport(handle.host, handle.port, plan) as proxy:
+                client = SyncClient(
+                    proxy.host, proxy.port, timeout=10.0, request_timeout=5.0,
+                    retry=RetryPolicy(
+                        max_attempts=10, base_delay=0.005, seed=SEED
+                    ),
+                )
+                answered = surfaced = 0
+                wrong = []
+                try:
+                    for i, (lo, hi) in enumerate(zip(los, his)):
+                        try:
+                            answer = client.range_empty(int(lo), int(hi))
+                        except TYPED_ERRORS:
+                            surfaced += 1
+                            continue
+                        answered += 1
+                        if answer != direct[i]:
+                            wrong.append((int(lo), int(hi), answer))
+                finally:
+                    client.close()
+        assert not wrong, f"silently wrong answers under chaos: {wrong[:5]}"
+        assert proxy.counters["resets_injected"] > 0, "storm never fired"
+        # Bounded retries absorb nearly all of a 10% reset storm.
+        assert answered >= len(los) * 0.9, (
+            f"only {answered}/{len(los)} answered ({surfaced} typed errors)"
+        )
+
+    def test_async_put_get_differential(self, chaos_service):
+        """AsyncClient under the same storm: puts are idempotent and
+        retried to success, after which every get must return exactly
+        the written value."""
+        plan = faults.FaultPlan(seed=SEED + 2, reset=0.05, partial=0.3)
+
+        async def storm(proxy):
+            client = await AsyncClient.connect(
+                proxy.host, proxy.port, timeout=10.0, request_timeout=5.0,
+                retry=RetryPolicy(max_attempts=8, base_delay=0.005, seed=SEED),
+            )
+            rng = np.random.default_rng(SEED + 3)
+            written = {}
+            try:
+                for i in range(60):
+                    key = int(rng.integers(UNIVERSE))
+                    value = f"chaos-{i}".encode()
+                    for _ in range(50):
+                        try:
+                            await client.put(key, value)
+                            break
+                        except TYPED_ERRORS:
+                            continue
+                    else:
+                        pytest.fail(f"put({key}) never succeeded")
+                    written[key] = value
+                wrong = []
+                for key, value in written.items():
+                    for _ in range(50):
+                        try:
+                            got = await client.get(key)
+                            break
+                        except TYPED_ERRORS:
+                            continue
+                    else:
+                        pytest.fail(f"get({key}) never succeeded")
+                    if got != value:
+                        wrong.append((key, got, value))
+                assert not wrong, f"reads diverged from writes: {wrong[:5]}"
+            finally:
+                await client.close()
+
+        with serve_in_thread(
+            chaos_service, config=ServerConfig(batch_window=100e-6)
+        ) as handle:
+            with faults.FaultyTransport(handle.host, handle.port, plan) as proxy:
+                asyncio.run(storm(proxy))
+        assert plan.total_injected() > 0, "storm never fired"
+
+    def test_loadgen_error_ledger_under_chaos(self, chaos_service):
+        """The open-loop generator through the chaos proxy files every
+        failure under a class in ``error_classes`` (satellite: the
+        ``[loadgen]`` ledger), and the classes sum to ``errors``."""
+        from repro.net import LoadConfig, run_loadgen
+
+        plan = faults.FaultPlan(seed=SEED + 4, reset=0.05, partial=0.2)
+        cfg = LoadConfig(
+            clients=16, connections=2, rate=400.0, n_requests=300,
+            distribution="uniform", seed=SEED, timeout=15.0,
+            request_timeout=5.0,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.005, seed=SEED),
+        )
+        with serve_in_thread(chaos_service) as handle:
+            with faults.FaultyTransport(handle.host, handle.port, plan) as proxy:
+                report = run_loadgen(
+                    proxy.host, proxy.port, cfg, universe=UNIVERSE
+                )
+        assert plan.total_injected() > 0
+        assert report.completed + report.errors + report.shed >= cfg.n_requests
+        assert sum(report.error_classes.values()) == report.errors
+        assert set(report.error_classes) <= {
+            "reset", "timeout", "remote", "protocol", "other", "cancelled"
+        }
+        ledger = format_error_ledger(
+            report.shed, report.errors, report.error_classes
+        )
+        assert ledger.startswith(f"shed={report.shed} errors={report.errors}")
+
+
+# ----------------------------------------------------------------------
+# Failure taxonomy: retries, deadlines, guards
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_classification(self):
+        retryable = [
+            ShedError("shed"),
+            DeadlineExceeded("slow"),
+            ProtocolErrorClosed(),
+            ConnectionResetError(),
+            EOFError(),
+            OSError(errno.ECONNRESET, "reset"),
+        ]
+        for exc in retryable:
+            assert RetryPolicy.is_retryable(exc), exc
+        terminal = [
+            RemoteError("server raised"),
+            proto.ProtocolError("malformed frame"),
+            ValueError("bug"),
+        ]
+        for exc in terminal:
+            assert not RetryPolicy.is_retryable(exc), exc
+
+    def test_backoff_bounded_and_jittered(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.02, max_delay=0.5,
+            multiplier=2.0, jitter=0.25, seed=1,
+        )
+        for k in range(10):
+            ideal = min(0.02 * 2.0 ** k, 0.5)
+            d = policy.delay(k)
+            assert ideal * 0.75 <= d <= ideal * 1.25, (k, d, ideal)
+
+    def test_deterministic_given_seed(self):
+        a = RetryPolicy(seed=9)
+        b = RetryPolicy(seed=9)
+        assert [a.delay(k) for k in range(8)] == [b.delay(k) for k in range(8)]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(jitter=1.5)
+
+    def test_classify_error_mirrors_retry_taxonomy(self):
+        assert classify_error(DeadlineExceeded("x")) == "timeout"
+        assert classify_error(RemoteError("x")) == "remote"
+        assert classify_error(ProtocolErrorClosed()) == "reset"
+        assert classify_error(proto.ProtocolError("x")) == "protocol"
+        assert classify_error(ConnectionResetError()) == "reset"
+        assert classify_error(OSError(errno.EPIPE, "pipe")) == "reset"
+        assert classify_error(ValueError("x")) == "other"
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_is_a_timeout_error(self):
+        exc = DeadlineExceeded("too slow")
+        assert isinstance(exc, TimeoutError)
+        from repro.errors import ReproError
+
+        assert isinstance(exc, ReproError)
+
+    def test_sync_request_deadline(self, chaos_service):
+        """A transport stalled past the per-request deadline surfaces
+        DeadlineExceeded (no retry policy: one attempt, one deadline)."""
+        plan = faults.FaultPlan(seed=SEED)  # calm while connecting
+        with serve_in_thread(chaos_service) as handle:
+            with faults.FaultyTransport(handle.host, handle.port, plan) as proxy:
+                client = SyncClient(
+                    proxy.host, proxy.port, timeout=10.0, request_timeout=0.25
+                )
+                try:
+                    client.ping()  # handshake + one clean roundtrip
+                    plan.stall = 1.0
+                    plan.stall_s = 5.0
+                    start = time.monotonic()
+                    with pytest.raises(DeadlineExceeded):
+                        client.range_empty(0, 10)
+                    assert time.monotonic() - start < 5.0
+                finally:
+                    client.close()
+
+    def test_async_request_deadline(self, chaos_service):
+        plan = faults.FaultPlan(seed=SEED)
+
+        async def scenario(proxy):
+            client = await AsyncClient.connect(
+                proxy.host, proxy.port, timeout=10.0, request_timeout=0.25
+            )
+            try:
+                await client.ping()
+                plan.stall = 1.0
+                plan.stall_s = 5.0
+                with pytest.raises(DeadlineExceeded):
+                    await client.range_empty(0, 10)
+            finally:
+                await client.close()
+
+        with serve_in_thread(chaos_service) as handle:
+            with faults.FaultyTransport(handle.host, handle.port, plan) as proxy:
+                asyncio.run(scenario(proxy))
+
+
+class TestServerGuards:
+    def test_idle_timeout_closes_connection(self, chaos_service):
+        with serve_in_thread(
+            chaos_service, config=ServerConfig(idle_timeout=0.15)
+        ) as handle:
+            with socket.create_connection((handle.host, handle.port)) as sock:
+                sock.settimeout(5.0)
+                assert sock.recv(4096) == b"", "server should close the idler"
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                if handle.stats()["idle_closed"] >= 1:
+                    break
+                time.sleep(0.01)
+            assert handle.stats()["idle_closed"] >= 1
+
+    def test_max_frame_guard_drops_hostile_length(self, chaos_service):
+        with serve_in_thread(
+            chaos_service, config=ServerConfig(max_frame=64)
+        ) as handle:
+            with socket.create_connection((handle.host, handle.port)) as sock:
+                sock.settimeout(5.0)
+                # A legal frame whose length prefix exceeds the
+                # connection's cap: the server must refuse to buffer it.
+                sock.sendall(proto.encode_frame(proto.OP_PING, 1, b"x" * 200))
+                chunks = b""
+                try:
+                    while True:
+                        chunk = sock.recv(4096)
+                        if not chunk:
+                            break
+                        chunks += chunk
+                except (ConnectionError, socket.timeout):
+                    pass
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                if handle.stats()["protocol_errors"] >= 1:
+                    break
+                time.sleep(0.01)
+            assert handle.stats()["protocol_errors"] >= 1
+
+    def test_error_messages_truncated_on_the_wire(self):
+        frame_bytes = proto.encode_error(7, proto.OP_PING, "x" * 100_000)
+        frames = proto.FrameDecoder().feed(frame_bytes)
+        assert len(frames) == 1
+        assert len(frames[0].body) <= proto.MAX_ERROR_MESSAGE
+        assert frames[0].body.endswith(b"... (truncated)")

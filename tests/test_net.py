@@ -337,7 +337,7 @@ class TestServerBehaviour:
             # Well-framed RANGE op with a 3-byte body: error, not a hang.
             rid = 999
             client.send_raw(proto.encode_frame(proto.OP_RANGE, rid, b"xyz"))
-            frame = client._recv(rid)
+            frame = client._recv(rid, time.monotonic() + 10)
             assert frame.status == proto.STATUS_ERROR
             client.ping()  # the connection survived
 
