@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands, mirroring how the library is typically exercised:
+Nine commands, mirroring how the library is typically exercised:
 
 * ``dataset`` — generate one of the §6.1 datasets and print its shape
   statistics (size, universe coverage, gap distribution);
@@ -39,6 +39,12 @@ Eight commands, mirroring how the library is typically exercised:
   by class (shed / reset / timeout / remote). ``--request-timeout``
   puts a per-request deadline on every probe and ``--retries`` enables
   the client's bounded exponential-backoff retry policy;
+* ``scenarios`` — run the YCSB-style scenario matrix of
+  :mod:`repro.workloads.scenarios`: each ``(scenario, mode)`` pair
+  replays a seeded op stream (probes, inserts, deletes, scans, TTL
+  ticks, optional adversary) against the chosen serving layer *and* a
+  sorted-dict oracle, emitting one ``[scenarios] ...`` line per run
+  with the bit-exactness verdict; exits non-zero on any divergence;
 * ``scrub`` — verify the checksums of every persisted artifact in an
   engine directory (current + previous-epoch manifests, every
   referenced run blob, the WAL record chain) without mutating
@@ -222,6 +228,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=0,
         help="retry transient failures (shed/reset/timeout) up to this "
         "many times with exponential backoff",
+    )
+
+    p_scn = sub.add_parser(
+        "scenarios",
+        help="run the YCSB-style scenario matrix with differential checks",
+    )
+    p_scn.add_argument(
+        "names", nargs="*", default=[], metavar="SCENARIO",
+        help="scenario names from the registry (default: all registered)",
+    )
+    p_scn.add_argument(
+        "--list", action="store_true",
+        help="list registered scenarios and exit",
+    )
+    p_scn.add_argument(
+        "--mode", action="append", default=None, metavar="MODE",
+        help="serving mode(s) to run each scenario against (repeatable; "
+        "default: engine + service; 'all' runs every mode the scenario "
+        "supports)",
+    )
+    p_scn.add_argument("--seed", type=int, default=42)
+    p_scn.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiply each scenario's n_keys/n_ops (CI uses <1.0)",
+    )
+    p_scn.add_argument("--threads", type=int, default=4)
+    p_scn.add_argument(
+        "--json", action="store_true",
+        help="print the structured reports as JSON after the summary lines",
     )
 
     p_scrub = sub.add_parser(
@@ -813,6 +848,83 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if report.errors else 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """Run the declarative scenario matrix with differential verification.
+
+    Each ``(scenario, mode)`` pair replays the same seeded op stream
+    against the chosen serving layer and a sorted-dict oracle; the
+    summary line per run carries the bit-exactness verdict. Exits
+    non-zero if any run diverged from the oracle.
+    """
+    import json as json_mod
+
+    from repro.workloads.scenarios import MODES, run_scenario, scenario_names
+
+    if args.list:
+        from repro.workloads.scenarios import get_scenario
+
+        rows = []
+        for name in scenario_names():
+            s = get_scenario(name)
+            mix = "/".join(f"{k}:{v:g}" for k, v in sorted(s.mix.items()) if v)
+            rows.append([name, s.key_type, mix, ", ".join(s.modes())])
+        print(format_table(
+            ["scenario", "keys", "mix", "modes"], rows, title="scenarios",
+        ))
+        return 0
+
+    names = args.names or scenario_names()
+    for name in names:
+        if name not in scenario_names():
+            print(f"unknown scenario {name!r}; registered: {scenario_names()}",
+                  file=sys.stderr)
+            return 2
+    if args.mode is None:
+        modes = ["engine", "service"]
+    elif "all" in args.mode:
+        modes = list(MODES)
+    else:
+        modes = list(dict.fromkeys(args.mode))
+        for mode in modes:
+            if mode not in MODES:
+                print(f"unknown mode {mode!r}; choose from {MODES}",
+                      file=sys.stderr)
+                return 2
+
+    reports = []
+    failures = 0
+    for name in names:
+        from repro.workloads.scenarios import get_scenario
+
+        supported = get_scenario(name).modes()
+        for mode in modes:
+            if mode not in supported:
+                continue
+            report = run_scenario(
+                name, mode=mode, seed=args.seed,
+                num_threads=args.threads, scale=args.scale,
+            )
+            reports.append(report)
+            failures += 0 if report.ok else 1
+            probe_p99 = report.latency_ms.get("probe", {}).get("p99", 0.0)
+            print(
+                f"[scenarios] scenario={report.scenario} mode={report.mode} "
+                f"seed={report.seed} ops={report.ops} checks={report.checks} "
+                f"mismatches={report.mismatches} "
+                f"final_match={str(report.final_match).lower()} "
+                f"fpr={report.fpr:.4f} probe_p99_ms={probe_p99:.3f} "
+                f"ttl_now={report.ttl_now} live_keys={report.live_keys} "
+                f"ok={str(report.ok).lower()}"
+            )
+    if args.json:
+        print(json_mod.dumps([r.to_dict() for r in reports], indent=1))
+    print(
+        f"[scenarios] runs={len(reports)} failures={failures} "
+        f"ok={str(failures == 0).lower()}"
+    )
+    return 0 if failures == 0 else 1
+
+
 def cmd_scrub(args: argparse.Namespace) -> int:
     """Integrity survey of a persistent engine directory.
 
@@ -866,6 +978,7 @@ _COMMANDS = {
     "engine": cmd_engine,
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
+    "scenarios": cmd_scenarios,
     "scrub": cmd_scrub,
 }
 

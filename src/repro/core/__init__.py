@@ -20,7 +20,13 @@ from repro.core.serialization import (
     grafite_from_bytes,
     grafite_to_bytes,
 )
-from repro.core.strings import StringGrafite
+from repro.core.strings import (
+    StringGrafite,
+    StringKeyCodec,
+    decode_string,
+    encode_endpoint,
+    encode_string,
+)
 
 __all__ = [
     "Bucketing",
@@ -31,9 +37,13 @@ __all__ = [
     "PairwiseIndependentHash",
     "PowerOfTwoLocalityHash",
     "StringGrafite",
+    "StringKeyCodec",
     "WorkloadAwareBucketing",
     "bucketing_from_bytes",
     "bucketing_to_bytes",
+    "decode_string",
+    "encode_endpoint",
+    "encode_string",
     "eps_from_bits_per_key",
     "grafite_from_bytes",
     "grafite_to_bytes",

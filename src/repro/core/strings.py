@@ -6,14 +6,29 @@ universe as a power of two ``r = 2^k`` so equation (1) becomes
 implements that: keys are fixed-width big-endian integer encodings of the
 input strings (zero-padded on the right, which preserves lexicographic
 order), and the integer Grafite runs with ``power_of_two_universe=True``.
+
+Two consumers share the encoding:
+
+* :class:`StringGrafite` — a standalone *filter* over string keys, where
+  over-long query endpoints are rounded conservatively (a widened range
+  can only add false positives, never a false negative);
+* :class:`StringKeyCodec` — the *exact* bridge that threads string keys
+  through the integer engine (:class:`~repro.engine.ShardedEngine` and
+  its serving tiers). Stored keys are capped at the codec width, and
+  under that cap the integer image of every string range and prefix is
+  exact, so engine verdicts through the codec stay bit-exact.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.core.grafite import Grafite
 from repro.errors import InvalidKeyError, InvalidParameterError, InvalidQueryError
+
+
+def _as_bytes(key: str | bytes) -> bytes:
+    return key.encode("utf-8") if isinstance(key, str) else bytes(key)
 
 
 def encode_string(key: str | bytes, width: int) -> int:
@@ -24,12 +39,52 @@ def encode_string(key: str | bytes, width: int) -> int:
     NUL bytes coincide, which only ever *adds* matches — no false
     negatives can arise).
     """
-    raw = key.encode("utf-8") if isinstance(key, str) else bytes(key)
+    raw = _as_bytes(key)
     if len(raw) > width:
         raise InvalidKeyError(
             f"key of {len(raw)} bytes exceeds the configured width {width}"
         )
     return int.from_bytes(raw.ljust(width, b"\x00"), "big")
+
+
+def decode_string(value: int, width: int) -> bytes:
+    """Invert :func:`encode_string` to the canonical stored key.
+
+    "Canonical" strips trailing NUL bytes — the one deliberate collision
+    of the encoding (a key and itself plus trailing NULs coincide).
+    """
+    value = int(value)
+    if not 0 <= value < (1 << (8 * width)):
+        raise InvalidKeyError(
+            f"{value} is outside the {width}-byte key universe"
+        )
+    return value.to_bytes(width, "big").rstrip(b"\x00")
+
+
+def encode_endpoint(key: str | bytes, width: int, *, round_up: bool) -> int:
+    """Conservatively encode a *query endpoint*, which may exceed ``width``.
+
+    A truncated low endpoint rounds *down* and a truncated high endpoint
+    rounds *up*, so the queried integer range always covers the original
+    string range — conservative, never a false negative. Rounding up a
+    truncated endpoint means covering everything that sorts at or below
+    the original string, i.e. one past the truncation (the original
+    extends it, so it sorts above the truncation's whole storable
+    block); when the truncation is already all ``0xFF`` bytes that
+    increment would overflow the key width, so it saturates at the
+    universe top instead of producing an out-of-range endpoint.
+    """
+    raw = _as_bytes(key)
+    if len(raw) > width:
+        value = encode_string(raw[:width], width)
+        if round_up:
+            value = min(value + 1, (1 << (8 * width)) - 1)
+        return value
+    value = encode_string(raw, width)
+    if round_up and len(raw) < width:
+        # Strings extending `raw` sort up to raw + 0xFF... padding.
+        value |= (1 << (8 * (width - len(raw)))) - 1
+    return value
 
 
 class StringGrafite:
@@ -106,20 +161,15 @@ class StringGrafite:
     # Queries
     # ------------------------------------------------------------------
     def _encode_endpoint(self, key: str | bytes, *, round_up: bool) -> int:
-        """Encode a query endpoint, truncating over-long strings safely.
+        """Encode a query endpoint via :func:`encode_endpoint`.
 
-        A truncated low endpoint rounds *down* and a truncated high
-        endpoint rounds *up*, so the queried integer range always covers
-        the original string range (conservative, never a false negative).
+        Over-long endpoints truncate with the correct rounding for their
+        side of the range (down for ``lo``, saturating-up for ``hi``),
+        so the queried integer range always covers the original string
+        range — conservative, never a false negative, and never an
+        endpoint outside the filter's universe.
         """
-        raw = key.encode("utf-8") if isinstance(key, str) else bytes(key)
-        if len(raw) > self._width:
-            raw = raw[: self._width]  # truncation widens the range either way
-        value = encode_string(raw, self._width)
-        if round_up and len(raw) < self._width:
-            # Strings extending `raw` sort up to raw + 0xFF... padding.
-            value |= (1 << (8 * (self._width - len(raw)))) - 1
-        return value
+        return encode_endpoint(key, self._width, round_up=round_up)
 
     def may_contain_range(self, lo: str | bytes, hi: str | bytes) -> bool:
         """Return False only if no stored key is in the string range ``[lo, hi]``.
@@ -149,3 +199,118 @@ class StringGrafite:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StringGrafite(n={self.key_count}, width={self._width})"
+
+
+class StringKeyCodec:
+    """Order-preserving codec between string keys and the engine's u64 space.
+
+    Stored keys are capped at ``width`` bytes (:meth:`encode_key` raises
+    :class:`~repro.errors.InvalidKeyError` beyond it) and a key is
+    identified with itself plus trailing NUL bytes — the encoding's one
+    collision. Under that cap the integer images produced by
+    :meth:`encode_range` and :meth:`encode_prefix` are *exact*: every
+    storable key inside the string range maps into the integer range and
+    nothing else does. Query endpoints (unlike stored keys) may be
+    arbitrarily long; an over-long endpoint resolves to the exact
+    boundary of the storable keys it admits, which is how a range like
+    ``("app", "applesauce!")`` keeps an exact image in a 5-byte space.
+
+    The codec is recorded in the engine manifest (:meth:`to_params` /
+    :meth:`from_params`), so a reopened engine decodes its keys without
+    the caller re-supplying the width.
+    """
+
+    def __init__(self, width: int = 8) -> None:
+        width = int(width)
+        if not 1 <= width <= 8:
+            raise InvalidParameterError(
+                f"codec width must be 1..8 bytes (engine keys are u64), got {width}"
+            )
+        self._width = width
+        self._universe = 1 << (8 * width)
+
+    @property
+    def width(self) -> int:
+        """Maximum stored-key length in bytes."""
+        return self._width
+
+    @property
+    def universe(self) -> int:
+        """Exclusive bound of the integer key space: ``2^(8*width)``."""
+        return self._universe
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def encode_key(self, key: str | bytes) -> int:
+        """Integer image of a storable key (raises if over-width)."""
+        return encode_string(key, self._width)
+
+    def decode_key(self, value: int) -> bytes:
+        """Canonical (trailing-NUL-stripped) key for an integer image."""
+        return decode_string(value, self._width)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def encode_range(
+        self, lo: str | bytes, hi: str | bytes
+    ) -> Optional[Tuple[int, int]]:
+        """Exact integer image of the string range ``[lo, hi]``.
+
+        Returns ``None`` when no storable key can lie in the range (it
+        collapsed under the width cap), and raises
+        :class:`~repro.errors.InvalidQueryError` when the string range
+        itself is inverted — mirroring the integer API's contract.
+        """
+        lo_raw, hi_raw = _as_bytes(lo), _as_bytes(hi)
+        if lo_raw > hi_raw:
+            raise InvalidQueryError("string query range is inverted")
+        if len(lo_raw) > self._width:
+            # No storable key equals an over-width endpoint, and a
+            # storable key exceeds it iff it encodes strictly above the
+            # endpoint's truncation.
+            lo_int = encode_string(lo_raw[: self._width], self._width) + 1
+            if lo_int >= self._universe:
+                return None
+        else:
+            lo_int = encode_string(lo_raw, self._width)
+        if len(hi_raw) > self._width:
+            # Storable keys at or below an over-width endpoint are
+            # exactly those encoding at or below its truncation.
+            hi_int = encode_string(hi_raw[: self._width], self._width)
+        else:
+            hi_int = encode_string(hi_raw, self._width)
+        if lo_int > hi_int:
+            return None
+        return lo_int, hi_int
+
+    def encode_prefix(self, prefix: str | bytes) -> Optional[Tuple[int, int]]:
+        """Exact integer image of "every storable key starting with
+        ``prefix``", or ``None`` when the prefix itself is over-width
+        (no storable key can extend it)."""
+        raw = _as_bytes(prefix)
+        if len(raw) > self._width:
+            return None
+        lo = encode_string(raw, self._width)
+        hi = lo | ((1 << (8 * (self._width - len(raw)))) - 1)
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # Manifest round-trip
+    # ------------------------------------------------------------------
+    def to_params(self) -> dict:
+        return {"width": self._width}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "StringKeyCodec":
+        return cls(width=int(params["width"]))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StringKeyCodec) and other._width == self._width
+
+    def __hash__(self) -> int:
+        return hash((StringKeyCodec, self._width))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StringKeyCodec(width={self._width})"

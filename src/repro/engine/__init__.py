@@ -64,7 +64,8 @@ from repro.engine.planner import (
 from repro.engine.scheduler import CompactionScheduler
 from repro.engine.service import RangeQueryService, RWLock
 from repro.engine.sharding import ShardRouter
-from repro.engine.wal import OP_DELETE, OP_PUT, WriteAheadLog
+from repro.engine.strings import StringView
+from repro.engine.wal import OP_CLOCK, OP_DELETE, OP_PUT, WriteAheadLog
 from repro.engine.workers import ShardWorkerPool, WorkerError
 
 __all__ = [
@@ -77,6 +78,7 @@ __all__ = [
     "CostModel",
     "Decision",
     "NegativeRangeCache",
+    "OP_CLOCK",
     "OP_DELETE",
     "OP_PUT",
     "PREV_MANIFEST_NAME",
@@ -85,6 +87,7 @@ __all__ = [
     "ShardRouter",
     "ShardWorkerPool",
     "ShardedEngine",
+    "StringView",
     "WorkerError",
     "WriteAheadLog",
     "batch_range_empty",

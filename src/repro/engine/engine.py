@@ -32,21 +32,24 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.strings import StringKeyCodec
 from repro.engine import persist
 from repro.engine.batch import batch_range_empty, validate_batch_bounds
 from repro.engine.scheduler import CompactionScheduler
 from repro.engine.sharding import ShardRouter
-from repro.engine.wal import OP_DELETE, OP_PUT, WriteAheadLog
+from repro.engine.wal import OP_CLOCK, OP_DELETE, OP_PUT, WriteAheadLog
 from repro.errors import CorruptionError, InvalidParameterError
 from repro.filters.registry import FilterSpec
 from repro.lsm.compaction import CompactionPolicy, resolve_policy
 from repro.lsm.memtable import TOMBSTONE
 from repro.lsm.sstable import FilterFactory
 from repro.lsm.store import IoStats, LSMStore
+from repro.lsm.ttl import ExpiringValue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.autotune import AutoTuner
     from repro.engine.planner import BatchPlanner
+    from repro.engine.strings import StringView
     from repro.lsm.cache import BlockCache
 
 
@@ -86,6 +89,12 @@ class ShardedEngine:
         by every shard, or ``None`` for the backward-compatible
         full-merge default. Recorded in the manifest, so :meth:`open`
         mounts the same policy without the caller re-supplying it.
+    key_codec:
+        Optional :class:`~repro.core.strings.StringKeyCodec` declaring
+        the engine string-keyed. Its universe must equal ``universe``;
+        :attr:`strings` then exposes the string-keyed facade over the
+        integer API. Recorded in the manifest, so :meth:`open` restores
+        the codec without the caller re-supplying the width.
     """
 
     def __init__(
@@ -101,10 +110,16 @@ class ShardedEngine:
         sync_wal: bool = False,
         defer_compaction: bool = True,
         compaction: "str | CompactionPolicy | None" = None,
+        key_codec: Optional[StringKeyCodec] = None,
     ) -> None:
         if universe > 2**64:
             raise InvalidParameterError(
                 "the engine stores keys as u64: universe must be <= 2^64"
+            )
+        if key_codec is not None and key_codec.universe != universe:
+            raise InvalidParameterError(
+                f"key_codec width {key_codec.width} implies universe "
+                f"{key_codec.universe}, engine universe is {universe}"
             )
         if filter_spec is not None:
             if filter_factory is not None:
@@ -123,6 +138,8 @@ class ShardedEngine:
         self._block_cache: Optional["BlockCache"] = None
         self._scheduler = CompactionScheduler()
         self._policy = resolve_policy(compaction)
+        self._key_codec = key_codec
+        self._ttl_now = 0  # logical TTL clock; advances via advance_clock
         self._shards: List[LSMStore] = [
             LSMStore(
                 universe,
@@ -298,6 +315,14 @@ class ShardedEngine:
             # to prevent; it cannot fire here because blob-backed runs
             # restore without a factory).
             engine._filter_spec = FilterSpec.from_params(manifest["filter_spec"])
+        # Pre-TTL / pre-codec manifests carry neither field: clock 0 and
+        # an integer-keyed engine, exactly the semantics they were
+        # written under. The shards get the restored clock themselves
+        # via persist.load_shards → load_shard.
+        engine._ttl_now = int(manifest.get("ttl_now", 0))
+        codec_params = manifest.get("key_codec")
+        if codec_params is not None:
+            engine._key_codec = StringKeyCodec.from_params(codec_params)
         engine._shards = persist.load_shards(
             directory,
             manifest,
@@ -330,6 +355,13 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     def _apply(self, op: int, key: int, value: Any) -> None:
         """Apply a mutation to its shard without re-logging it."""
+        if op == OP_CLOCK:
+            # The key field carries the logical time. Replay tolerates
+            # records at or behind the snapshot-restored clock (a record
+            # logged just before the checkpoint that superseded it).
+            if key > self._ttl_now:
+                self._advance_clock_local(int(key))
+            return
         sid = self._router.shard_of(key)
         store = self._shards[sid]
         if op == OP_PUT:
@@ -339,11 +371,22 @@ class ShardedEngine:
         if self._defer:
             self._scheduler.notify(sid, store)
 
-    def put(self, key: int, value: Any) -> None:
-        """Insert or overwrite a key (logged before applied)."""
+    def put(self, key: int, value: Any, *, expires_at: Optional[int] = None) -> None:
+        """Insert or overwrite a key (logged before applied).
+
+        ``expires_at`` stamps the entry with a logical expiry time: the
+        entry stops answering every read the moment the TTL clock
+        (:meth:`advance_clock`) reaches the stamp — shadowing older
+        versions exactly like a tombstone — and compaction removes it
+        physically later. The stamp rides the WAL and snapshot formats
+        unchanged (the value is stored wrapped in
+        :class:`~repro.lsm.ttl.ExpiringValue`).
+        """
         self._router.shard_of(key)  # validate before the WAL sees it
         if value is TOMBSTONE:
             raise InvalidParameterError("use delete() instead of writing the tombstone")
+        if expires_at is not None:
+            value = ExpiringValue(value, expires_at)
         if self._wal is not None:
             self._wal.log_put(key, value)
         self._apply(OP_PUT, key, value)
@@ -354,6 +397,40 @@ class ShardedEngine:
         if self._wal is not None:
             self._wal.log_delete(key)
         self._apply(OP_DELETE, key, None)
+
+    # ------------------------------------------------------------------
+    # TTL clock
+    # ------------------------------------------------------------------
+    def _advance_clock_local(self, now: int) -> None:
+        """Move every shard's clock forward without re-logging."""
+        self._ttl_now = now
+        for sid, store in enumerate(self._shards):
+            store.set_ttl_now(now)
+            if self._defer:
+                # Expiry can create age-out work with no write traffic to
+                # trigger the flush hook; queue the shard explicitly.
+                self._scheduler.notify(sid, store)
+
+    def advance_clock(self, now: int) -> None:
+        """Advance the logical TTL clock (monotone; logged before applied).
+
+        Entries whose ``expires_at`` stamp is at or below the new time
+        become invisible to every read path at once, exactly; compaction
+        then retires them physically — fully-expired bottom runs age out
+        whole key ranges in metadata-only steps. The advance is logged
+        to the WAL (and recorded in checkpoint manifests), so recovery
+        can never resurrect an entry that had already expired.
+        """
+        now = int(now)
+        if now < self._ttl_now:
+            raise InvalidParameterError(
+                f"TTL clock may not go backwards ({self._ttl_now} -> {now})"
+            )
+        if now == self._ttl_now:
+            return
+        if self._wal is not None:
+            self._wal.log_clock(now)
+        self._advance_clock_local(now)
 
     # ------------------------------------------------------------------
     # Reads
@@ -495,6 +572,10 @@ class ShardedEngine:
             "filter_spec": (
                 self._filter_spec.to_params() if self._filter_spec else None
             ),
+            "ttl_now": self._ttl_now,
+            "key_codec": (
+                self._key_codec.to_params() if self._key_codec else None
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -535,6 +616,23 @@ class ShardedEngine:
     def planner(self) -> Optional["BatchPlanner"]:
         """The attached batch query planner, or ``None``."""
         return self._planner
+
+    @property
+    def ttl_now(self) -> int:
+        """Current logical TTL clock (see :meth:`advance_clock`)."""
+        return self._ttl_now
+
+    @property
+    def key_codec(self) -> Optional[StringKeyCodec]:
+        """The string-key codec the engine was built with, or ``None``."""
+        return self._key_codec
+
+    @property
+    def strings(self) -> "StringView":
+        """String-keyed facade over this engine (requires a key codec)."""
+        from repro.engine.strings import StringView
+
+        return StringView(self, self._key_codec)
 
     @property
     def universe(self) -> int:

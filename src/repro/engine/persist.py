@@ -512,6 +512,9 @@ def load_shard(
         filter_factory=filter_factory,
         auto_compact=auto_compact,
         compaction_policy=compaction_policy,
+        # Pre-TTL manifests carry no clock: restore at 0, the epoch every
+        # store starts from.
+        ttl_now=int(manifest.get("ttl_now", 0)),
     )
 
 

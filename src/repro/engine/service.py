@@ -292,12 +292,14 @@ class RangeQueryService:
         with self._locks[sid].read_locked():
             return self._engine.shards[sid].get(key)
 
-    def put(self, key: int, value: Any) -> None:
+    def put(
+        self, key: int, value: Any, *, expires_at: Optional[int] = None
+    ) -> None:
         """Insert or overwrite a key under its shard's write lock."""
         self._check_open()
         sid = self._engine.router.shard_of(key)
         with self._locks[sid].write_locked():
-            self._engine.put(key, value)
+            self._engine.put(key, value, expires_at=expires_at)
 
     def delete(self, key: int) -> None:
         """Delete a key under its shard's write lock."""
@@ -325,6 +327,29 @@ class RangeQueryService:
                 self._engine.shards[sid].range_empty(seg_lo, seg_hi)
                 for sid, seg_lo, seg_hi in router.split(lo, hi)
             )
+        finally:
+            for lock in reversed(acquired):
+                lock.release_read()
+
+    def range_scan(self, lo: int, hi: int) -> List[Tuple[int, Any]]:
+        """All live pairs in ``[lo, hi]``, atomic across spanned shards.
+
+        Same locking discipline as :meth:`range_empty`: every overlapped
+        shard's read lock is held (in id order) for the whole scan, so
+        the result is one consistent cut of the keyspace.
+        """
+        self._check_open()
+        router = self._engine.router
+        sids = router.shards_spanning(lo, hi)
+        acquired: List[RWLock] = []
+        try:
+            for sid in sids:
+                self._locks[sid].acquire_read()
+                acquired.append(self._locks[sid])
+            out: List[Tuple[int, Any]] = []
+            for sid, seg_lo, seg_hi in router.split(lo, hi):
+                out.extend(self._engine.shards[sid].range_scan(seg_lo, seg_hi))
+            return out
         finally:
             for lock in reversed(acquired):
                 lock.release_read()
@@ -530,6 +555,20 @@ class RangeQueryService:
         with self._all_write_locks():
             self._engine.flush_all()
 
+    def advance_clock(self, now: int) -> None:
+        """Advance the TTL clock with the keyspace quiesced.
+
+        Expiry changes what every shard answers at once, so the advance
+        runs under all write locks: readers observe entries age out
+        atomically. Compactions it triggers (fully-expired bottom runs)
+        drain on the background worker, and in process mode the bumped
+        ``runs_version`` diverts batches to the exact local path until
+        the next checkpoint re-syncs the snapshot workers.
+        """
+        self._check_open()
+        with self._all_write_locks():
+            self._engine.advance_clock(now)
+
     def checkpoint(self) -> None:
         """Snapshot the engine to disk with the keyspace quiesced.
 
@@ -628,6 +667,13 @@ class RangeQueryService:
     @property
     def engine(self) -> ShardedEngine:
         return self._engine
+
+    @property
+    def strings(self):
+        """String-keyed facade over this service (engine needs a codec)."""
+        from repro.engine.strings import StringView
+
+        return StringView(self, self._engine.key_codec)
 
     @property
     def num_threads(self) -> int:

@@ -1,0 +1,134 @@
+"""String-keyed facade over the integer engine and its serving tiers.
+
+:class:`StringView` wraps any target exposing the integer surface —
+``put``/``delete``/``get``/``range_empty``/``range_scan``/
+``batch_range_empty`` — i.e. a :class:`~repro.engine.ShardedEngine` or a
+:class:`~repro.engine.service.RangeQueryService`, and translates string
+keys through the engine's :class:`~repro.core.strings.StringKeyCodec`.
+
+The translation is *exact*, not conservative: stored keys are capped at
+the codec width, and under that cap every string range and prefix has an
+exact integer image (see the codec's docstring). The view adds no state
+of its own — the WAL, snapshots, batch kernel, planner and snapshot
+workers all keep operating on u64 keys, which is precisely why
+string-keyed engines inherit checkpoint/recovery parity for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.strings import StringKeyCodec
+from repro.errors import InvalidParameterError
+
+
+class StringView:
+    """String-keyed operations over an integer-keyed engine or service.
+
+    Obtain one from :attr:`ShardedEngine.strings` /
+    :attr:`RangeQueryService.strings` rather than constructing directly;
+    both require the engine to have been built with a ``key_codec``.
+    Keys may be ``str`` (UTF-8) or ``bytes``; scans return the canonical
+    ``bytes`` form (trailing NULs stripped — the encoding's one
+    identification).
+    """
+
+    def __init__(self, target: Any, codec: Optional[StringKeyCodec]) -> None:
+        if codec is None:
+            raise InvalidParameterError(
+                "string operations need an engine built with a key_codec"
+            )
+        self._target = target
+        self._codec = codec
+
+    @property
+    def codec(self) -> StringKeyCodec:
+        return self._codec
+
+    @property
+    def target(self) -> Any:
+        """The wrapped engine or service."""
+        return self._target
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+    def put(
+        self, key: str | bytes, value: Any, *, expires_at: Optional[int] = None
+    ) -> None:
+        """Insert or overwrite a string key (TTL stamp passes through)."""
+        self._target.put(self._codec.encode_key(key), value, expires_at=expires_at)
+
+    def delete(self, key: str | bytes) -> None:
+        self._target.delete(self._codec.encode_key(key))
+
+    def get(self, key: str | bytes) -> Optional[Any]:
+        return self._target.get(self._codec.encode_key(key))
+
+    # ------------------------------------------------------------------
+    # Range queries
+    # ------------------------------------------------------------------
+    def range_empty(self, lo: str | bytes, hi: str | bytes) -> bool:
+        """Exact emptiness of the string range ``[lo, hi]``."""
+        span = self._codec.encode_range(lo, hi)
+        if span is None:
+            return True  # no storable key can lie in the range
+        return self._target.range_empty(*span)
+
+    def prefix_empty(self, prefix: str | bytes) -> bool:
+        """Exact "no stored key starts with ``prefix``" probe."""
+        span = self._codec.encode_prefix(prefix)
+        if span is None:
+            return True
+        return self._target.range_empty(*span)
+
+    def range_scan(self, lo: str | bytes, hi: str | bytes) -> List[Tuple[bytes, Any]]:
+        """All live pairs in ``[lo, hi]``, keys decoded to canonical bytes."""
+        span = self._codec.encode_range(lo, hi)
+        if span is None:
+            return []
+        decode = self._codec.decode_key
+        return [(decode(k), v) for k, v in self._target.range_scan(*span)]
+
+    def prefix_scan(self, prefix: str | bytes) -> List[Tuple[bytes, Any]]:
+        """All live pairs whose key starts with ``prefix``."""
+        span = self._codec.encode_prefix(prefix)
+        if span is None:
+            return []
+        decode = self._codec.decode_key
+        return [(decode(k), v) for k, v in self._target.range_scan(*span)]
+
+    def batch_range_empty(
+        self,
+        los: Sequence[str | bytes],
+        his: Sequence[str | bytes],
+    ) -> np.ndarray:
+        """Vectorised :meth:`range_empty` over parallel endpoint lists.
+
+        Ranges that collapse under the width cap are trivially empty and
+        never reach the engine; the rest run through the target's batch
+        path (filters, planner, snapshot workers — whatever is wired).
+        """
+        if len(los) != len(his):
+            raise InvalidParameterError(
+                f"batch endpoint lists differ in length: {len(los)} vs {len(his)}"
+            )
+        empty = np.ones(len(los), dtype=bool)
+        q_lo: List[int] = []
+        q_hi: List[int] = []
+        qid: List[int] = []
+        for i, (lo, hi) in enumerate(zip(los, his)):
+            span = self._codec.encode_range(lo, hi)
+            if span is not None:
+                q_lo.append(span[0])
+                q_hi.append(span[1])
+                qid.append(i)
+        if qid:
+            verdicts = self._target.batch_range_empty(q_lo, q_hi)
+            empty[np.asarray(qid)] = verdicts
+        return empty
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StringView({self._target!r}, codec={self._codec!r})"

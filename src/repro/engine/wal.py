@@ -10,7 +10,8 @@ snapshot. The format is deliberately boring and self-healing:
 * header: magic ``b"RWAL"``, format version (u16);
 * record: ``crc32(payload) (u32) | len(payload) (u32) | payload`` where
   the payload is ``op (u8) | key (u64) | pickled value`` (the value part
-  is empty for deletes).
+  is empty for deletes and TTL clock records, whose key field carries
+  the logical time instead).
 
 A crash mid-append leaves a torn record at the tail. Opening the log
 scans it, keeps every record whose length and checksum verify, and
@@ -42,9 +43,13 @@ _VERSION = 1
 _HEADER = _MAGIC + struct.pack("<H", _VERSION)
 _RECORD_HEADER = struct.Struct("<II")  # crc32, payload length
 
-#: Record opcodes.
+#: Record opcodes. ``OP_CLOCK`` reuses the key field for the logical TTL
+#: time (see :meth:`repro.engine.ShardedEngine.advance_clock`): clock
+#: advances must be as durable as the writes they expire, or recovery
+#: would resurrect entries that already aged out.
 OP_PUT = 1
 OP_DELETE = 2
+OP_CLOCK = 3
 
 #: Cap on a single record's payload; a corrupt length field must not make
 #: recovery try to allocate gigabytes.
@@ -153,7 +158,7 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     def append(self, op: int, key: int, value: Any = None) -> None:
         """Durably record one mutation (call before applying it)."""
-        if op not in (OP_PUT, OP_DELETE):
+        if op not in (OP_PUT, OP_DELETE, OP_CLOCK):
             raise InvalidParameterError(f"unknown WAL opcode {op}")
         payload = _encode_payload(op, key, value)
         record = _RECORD_HEADER.pack(zlib.crc32(payload), len(payload)) + payload
@@ -171,6 +176,10 @@ class WriteAheadLog:
 
     def log_delete(self, key: int) -> None:
         self.append(OP_DELETE, key)
+
+    def log_clock(self, now: int) -> None:
+        """Record a TTL clock advance (the key field carries the time)."""
+        self.append(OP_CLOCK, now)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -19,8 +19,13 @@ from repro.lsm.sstable import (
     merge_runs,
 )
 from repro.lsm.store import IoStats, LSMStore
+from repro.lsm.ttl import ExpiringValue, expiry_of, is_live, unwrap
 
 __all__ = [
+    "ExpiringValue",
+    "expiry_of",
+    "is_live",
+    "unwrap",
     "BLOCK_ENTRIES",
     "BlockCache",
     "CompactionPolicy",

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.filters.base import RangeFilter
 from repro.lsm.memtable import TOMBSTONE
+from repro.lsm.ttl import ExpiringValue
 
 #: Builds a filter for a run: ``factory(keys, universe) -> RangeFilter``.
 FilterFactory = Callable[[np.ndarray, int], RangeFilter]
@@ -33,6 +34,28 @@ BLOCK_ENTRIES = 256
 _RUN_IDS = itertools.count()
 
 
+def _max_expiry(values: Sequence[Any]) -> Optional[int]:
+    """Largest expiry stamp in a run, or ``None`` when it never expires.
+
+    ``None`` means at least one non-tombstone entry has no TTL — the run
+    holds data that lives forever, so it can never age out wholesale.
+    Tombstones are ignored: a run of expired entries plus tombstones is
+    still droppable at the bottom of the store (tombstones there shadow
+    nothing). An early exit on the first forever-live value keeps the
+    common TTL-free run at O(1).
+    """
+    max_expiry = 0
+    for value in values:
+        if value is TOMBSTONE:
+            continue
+        if isinstance(value, ExpiringValue):
+            if value.expires_at > max_expiry:
+                max_expiry = value.expires_at
+        else:
+            return None
+    return max_expiry
+
+
 class SSTable:
     """An immutable sorted run of ``(key, value)`` entries.
 
@@ -46,7 +69,7 @@ class SSTable:
 
     __slots__ = (
         "_keys", "_values", "_filter", "io_reads", "universe", "uid",
-        "slice_bounds",
+        "slice_bounds", "max_expiry",
     )
 
     def __init__(
@@ -66,6 +89,7 @@ class SSTable:
         self.io_reads = 0
         self.uid = next(_RUN_IDS)
         self.slice_bounds = slice_bounds
+        self.max_expiry = _max_expiry(self._values)
         self._filter = (
             filter_factory(self._keys, self.universe) if filter_factory else None
         )
@@ -98,6 +122,7 @@ class SSTable:
         run.io_reads = 0
         run.uid = next(_RUN_IDS)
         run.slice_bounds = slice_bounds
+        run.max_expiry = _max_expiry(run._values)
         run._filter = filt
         return run
 
@@ -135,6 +160,23 @@ class SSTable:
         rewrite data touch the simulated disk.
         """
         return self._keys
+
+    def fully_expired(self, now: int) -> bool:
+        """Whether every entry of this run is dead at logical time ``now``.
+
+        True only when the run is non-empty and every non-tombstone
+        entry carries an expiry stamp at or before ``now``
+        (:attr:`max_expiry` caches the largest stamp at construction, so
+        this is O(1)). Such a run at the *bottom* of a store — nothing
+        older beneath it to unshadow — can be aged out whole without
+        rewriting a byte: the metadata-only ``"expire"`` compaction step
+        (see :meth:`repro.lsm.store.LSMStore.compact_step`).
+        """
+        return (
+            self._keys.size > 0
+            and self.max_expiry is not None
+            and self.max_expiry <= now
+        )
 
     def overlaps(self, lo: int, hi: int) -> bool:
         """Whether ``[lo, hi]`` intersects this run's actual key bounds.
@@ -250,6 +292,7 @@ def merge_entries_iter(
     *,
     drop_tombstones: bool,
     span: Optional[Tuple[int, int]] = None,
+    expire_before: Optional[int] = None,
 ) -> Iterator[Tuple[int, Any]]:
     """Streaming heapq k-way merge, newest first, last-write-wins per key.
 
@@ -260,6 +303,12 @@ def merge_entries_iter(
     ``[lo, hi]`` — the clipping leveled merge units rely on. Tombstones
     are dropped only when merging into the bottom level
     (``drop_tombstones=True``), as in real leveled compaction.
+
+    ``expire_before`` is the store's logical TTL clock: a surviving
+    newest version whose expiry stamp is at or before it is rewritten as
+    a tombstone — it must keep shadowing older versions of its key until
+    it reaches the bottom, where ``drop_tombstones`` discards it like
+    any other delete. ``None`` disables expiry (TTL-free callers).
     """
     lo, hi = span if span is not None else (None, None)
 
@@ -273,6 +322,12 @@ def merge_entries_iter(
         if key == previous:
             continue  # an older version of an already-emitted key
         previous = key
+        if (
+            expire_before is not None
+            and isinstance(value, ExpiringValue)
+            and value.expires_at <= expire_before
+        ):
+            value = TOMBSTONE
         if drop_tombstones and value is TOMBSTONE:
             continue
         yield key, value

@@ -39,6 +39,7 @@ from repro.lsm.compaction import (
 )
 from repro.lsm.memtable import TOMBSTONE, MemTable
 from repro.lsm.sstable import FilterFactory, SSTable, merge_entries_iter
+from repro.lsm.ttl import is_live, unwrap
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.lsm.cache import BlockCache
@@ -171,6 +172,7 @@ class LSMStore:
         self._memtable = MemTable()
         self._level0: List[SSTable] = []  # newest first
         self._levels: List[List[SSTable]] = []  # L1, L2, ... (older, deeper)
+        self._ttl_now = 0  # logical TTL clock; monotone (see set_ttl_now)
         self._runs_version = 0
         self._compaction_requested = False
         self._stale_filter_uids: set[int] = set()
@@ -206,6 +208,7 @@ class LSMStore:
         filter_factory: Optional[FilterFactory] = None,
         auto_compact: bool = True,
         compaction_policy: "str | CompactionPolicy | None" = None,
+        ttl_now: int = 0,
     ) -> "LSMStore":
         """Rebuild a store around already-constructed runs.
 
@@ -215,6 +218,8 @@ class LSMStore:
         ``levels`` is the full deep-level topology (L1 first);
         ``bottom`` is the pre-slicing single-bottom shorthand kept for
         old callers and old manifests — passing both is an error.
+        ``ttl_now`` restores the logical TTL clock the manifest
+        recorded, so expired entries stay invisible across a reopen.
         """
         if bottom is not None and levels is not None:
             raise InvalidParameterError("pass bottom or levels, not both")
@@ -226,6 +231,7 @@ class LSMStore:
             auto_compact=auto_compact,
             compaction_policy=compaction_policy,
         )
+        store._ttl_now = int(ttl_now)
         store._level0 = list(level0)
         if levels is not None:
             store._levels = [list(level) for level in levels if level]
@@ -289,13 +295,105 @@ class LSMStore:
                     self.compaction_hook(self)
 
     # ------------------------------------------------------------------
+    # TTL clock
+    # ------------------------------------------------------------------
+    @property
+    def ttl_now(self) -> int:
+        """The logical TTL clock expiry is judged against (starts at 0)."""
+        return self._ttl_now
+
+    def _is_live(self, value: Any) -> bool:
+        """Visible at the current clock: not a tombstone, not expired."""
+        return value is not TOMBSTONE and is_live(value, self._ttl_now)
+
+    def set_ttl_now(self, now: int) -> None:
+        """Advance the logical TTL clock (monotone; going back raises).
+
+        Advancing the clock can only turn entries invisible, never
+        visible — which is what makes cached "empty" verdicts (the batch
+        planner's negative cache) stay correct across an advance.
+        ``runs_version`` is still bumped: process-mode snapshot workers
+        and planner entries tagged with the old clock must re-verify, as
+        their run-set view predates the new visibility cut. An advance
+        that leaves aged-out work behind (a bottom run now fully
+        expired) triggers compaction exactly like a flush would.
+        """
+        now = int(now)
+        if now < self._ttl_now:
+            raise InvalidParameterError(
+                f"TTL clock may not go backwards ({self._ttl_now} -> {now})"
+            )
+        if now == self._ttl_now:
+            return
+        with self._write_lock:
+            self._ttl_now = now
+            self._runs_version += 1
+            if self.needs_compaction:
+                if self._auto_compact:
+                    self.compact()
+                elif self.compaction_hook is not None:
+                    self.compaction_hook(self)
+
+    # ------------------------------------------------------------------
     # Compaction
     # ------------------------------------------------------------------
+    def _expire_candidates(self) -> List[SSTable]:
+        """Bottom-level runs that can be aged out whole at the current
+        clock.
+
+        Only the deepest level qualifies: an expired run there shadows
+        nothing (there is nothing older below), so removing it cannot
+        resurrect an overwritten value. Within that level, a sliced
+        (leveled) topology is key-disjoint — every fully-expired slice
+        is fair game — while an age-ordered (tiered/full) level may only
+        shed its *oldest* run per step, since a newer expired run still
+        shadows older entries of the same keys. Mixed levels (an adopted
+        pre-slicing run among slices) are skipped conservatively; reads
+        are exact regardless, aging out is only an optimisation.
+        """
+        if not self._levels:
+            return []
+        bottom = self._levels[-1]
+        if not bottom:
+            return []
+        if all(run.slice_bounds is not None for run in bottom):
+            return [run for run in bottom if run.fully_expired(self._ttl_now)]
+        if any(run.slice_bounds is not None for run in bottom):
+            return []
+        oldest = bottom[-1]
+        return [oldest] if oldest.fully_expired(self._ttl_now) else []
+
+    def _plan_expire_step(self) -> Optional[CompactionStep]:
+        """A metadata-only step aging out fully-expired bottom runs."""
+        candidates = self._expire_candidates()
+        if not candidates:
+            return None
+        units = tuple(
+            MergeUnit((run,), span=run.slice_bounds) for run in candidates
+        )
+        return CompactionStep(
+            kind="expire",
+            units=units,
+            output_level=len(self._levels),
+            drop_tombstones=True,
+            reason=f"aged out {len(units)} fully-expired bottom run(s) "
+                   f"at t={self._ttl_now}",
+        )
+
     def _plan_step(self) -> Optional[CompactionStep]:
-        """Ask the policy for the next step; prune dangling stale uids."""
+        """Ask the policy for the next step; prune dangling stale uids.
+
+        Fully-expired bottom runs are aged out before the policy is
+        consulted — the expire step is policy-independent (it follows
+        from the recency invariant alone) and consuming it first keeps
+        the :meth:`compact` loop converging.
+        """
         if self._stale_filter_uids:
             live = {run.uid for run in self._runs()}
             self._stale_filter_uids &= live
+        expire = self._plan_expire_step()
+        if expire is not None:
+            return expire
         return self._policy.plan(
             self._level0,
             self._levels,
@@ -341,8 +439,42 @@ class LSMStore:
             self._apply_step(step)
             return True
 
+    def _apply_expire(self, step: CompactionStep) -> None:
+        """Age out fully-expired bottom runs; caller holds the write lock.
+
+        Metadata-only: no entry is read or rewritten. A sliced run is
+        replaced by an empty placeholder slice holding its owning span
+        (slice spans must keep tiling the universe — the same invariant
+        :meth:`_build_outputs` preserves for fully-tombstoned spans); a
+        non-sliced run is simply removed.
+        """
+        replacements: dict[int, List[SSTable]] = {}
+        for unit in step.units:
+            run = unit.inputs[0]
+            if run.slice_bounds is not None:
+                replacements[run.uid] = [
+                    SSTable([], self.universe, None,
+                            slice_bounds=run.slice_bounds)
+                ]
+            else:
+                replacements[run.uid] = []
+        bottom = self._levels[-1]
+        self._levels[-1] = [
+            out
+            for run in bottom
+            for out in replacements.get(run.uid, [run])
+        ]
+        while self._levels and not self._levels[-1]:
+            self._levels.pop()
+        self._stale_filter_uids -= set(replacements)
+        self._runs_version += 1
+        self.stats.compactions += 1
+
     def _apply_step(self, step: CompactionStep) -> None:
         """Execute one planned step; caller holds the write lock."""
+        if step.kind == "expire":
+            self._apply_expire(step)
+            return
         consumed: set[int] = set()
         outputs_by_unit: List[Tuple[MergeUnit, List[SSTable]]] = []
         written_entries = 0
@@ -364,6 +496,7 @@ class LSMStore:
                     unit.inputs,
                     drop_tombstones=step.drop_tombstones,
                     span=unit.span,
+                    expire_before=self._ttl_now if self._ttl_now else None,
                 )
                 outputs = self._build_outputs(merged, unit)
             for out in outputs:
@@ -579,7 +712,7 @@ class LSMStore:
         self._check_key(key)
         found, value = self._memtable.get(key)
         if found:
-            return None if value is TOMBSTONE else value
+            return unwrap(value) if self._is_live(value) else None
         for run in self._runs():
             if self._prune(run, key, key):
                 self.stats.reads_avoided += 1
@@ -592,7 +725,7 @@ class LSMStore:
                 found = bool(matches)
                 value = matches[0][1] if matches else None
             if found:
-                return None if value is TOMBSTONE else value
+                return unwrap(value) if self._is_live(value) else None
             self.stats.wasted_reads += 1
         return None
 
@@ -616,7 +749,8 @@ class LSMStore:
             for key, value in matches:
                 merged.setdefault(key, value)
         return [
-            (k, v) for k, v in sorted(merged.items()) if v is not TOMBSTONE
+            (k, unwrap(v)) for k, v in sorted(merged.items())
+            if self._is_live(v)
         ]
 
     def range_empty(self, lo: int, hi: int) -> bool:
@@ -633,9 +767,9 @@ class LSMStore:
         self._check_key(hi)
         shadowed: set[int] = set()
         for key, value in self._memtable.scan(lo, hi):
-            if value is not TOMBSTONE:
+            if self._is_live(value):
                 return False  # newest version of this key, and it is live
-            shadowed.add(key)
+            shadowed.add(key)  # tombstoned or expired: shadows older versions
         for run in self._runs():  # recency order
             if self._prune(run, lo, hi):
                 self.stats.reads_avoided += 1
@@ -648,7 +782,7 @@ class LSMStore:
             for key, value in matches:
                 if key in shadowed:
                     continue
-                if value is not TOMBSTONE:
+                if self._is_live(value):
                     return False
                 shadowed.add(key)
         return True
@@ -667,13 +801,15 @@ class LSMStore:
 
     @property
     def needs_compaction(self) -> bool:
-        """True when the policy sees structural pressure — or a rebuild
+        """True when the policy sees structural pressure, a rebuild
         was explicitly requested via :meth:`request_compaction` /
-        :meth:`request_filter_rebuild`."""
+        :meth:`request_filter_rebuild`, or the TTL clock has left a
+        fully-expired bottom run ready to age out."""
         return (
             self._compaction_requested
             or bool(self._stale_filter_uids)
             or self._policy.needs_work(self._level0, self._levels, self._fanout)
+            or bool(self._expire_candidates())
         )
 
     @property
@@ -731,13 +867,13 @@ class LSMStore:
         live: set[int] = set()
         dead: set[int] = set()
         for k, v in self._memtable.items_sorted():
-            (dead if v is TOMBSTONE else live).add(k)
+            (live if self._is_live(v) else dead).add(k)
         for run in self._runs():
             for key, value in run.entries():
                 if key in live or key in dead:
                     continue
-                if value is TOMBSTONE:
-                    dead.add(key)
-                else:
+                if self._is_live(value):
                     live.add(key)
+                else:
+                    dead.add(key)
         return len(live)

@@ -1,0 +1,856 @@
+"""Declarative YCSB-style scenario matrix over the full serving stack.
+
+The paper's robustness claims are about *workloads*: correlated,
+uncorrelated and adversarial query distributions over different key
+distributions (§6.1-§6.7). This module turns "handles many scenarios"
+into a tested claim: a :class:`Scenario` declares a workload — key type,
+dataset shape, operation mix, popularity model, adversary toggle, TTL
+config — and :func:`run_scenario` drives it, deterministically and
+seeded, against any serving mode:
+
+========================  ==================================================
+mode                      stack under test
+========================  ==================================================
+``"engine"``              in-memory :class:`~repro.engine.ShardedEngine`
+``"persistent"``          WAL + checkpoints, with a mid-stream checkpoint
+                          and a crash-style reopen (WAL replay)
+``"service"``             :class:`~repro.engine.service.RangeQueryService`
+                          thread pool + background compaction
+``"service-process"``     process mode: snapshot workers behind the
+                          checkpoint-epoch handshake
+``"net"``                 the asyncio front door, driven through a
+                          :class:`~repro.net.client.SyncClient`
+========================  ==================================================
+
+Every probe, scan and get is differential-checked against a TTL-aware
+sorted-dict oracle (:class:`ScenarioOracle`) *during* the run, and the
+full final state is compared bit-exactly at the end — the same contract
+as ``tests/test_differential.py``, packaged as a library so the CLI
+(``repro scenarios``), the benchmark gates
+(``benchmarks/bench_scenarios.py``) and the test suite all drive one
+implementation.
+
+String-keyed scenarios run through the engine's
+:class:`~repro.core.strings.StringKeyCodec` facade
+(:attr:`ShardedEngine.strings`), TTL scenarios advance the logical
+clock (:meth:`ShardedEngine.advance_clock`) so entries age out
+mid-stream, and adversarial scenarios finish with
+:meth:`~repro.workloads.adversary.AdaptiveAdversary.attack_system`
+against the served engine.
+
+Adding a scenario is one :func:`register_scenario` call; see
+``docs/scenarios.md``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import statistics
+import tempfile
+import time
+import shutil
+import zlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.workloads.datasets import DATASETS, load_dataset
+
+#: Op classes a scenario mix may weight.
+OP_CLASSES = ("probe", "insert", "delete", "scan")
+
+#: Serving modes :func:`run_scenario` understands.
+MODES = ("engine", "persistent", "service", "service-process", "net")
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+# ----------------------------------------------------------------------
+# Scenario specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TTLConfig:
+    """Time-to-live shape of a scenario's insert traffic.
+
+    ``expire_fraction`` of inserts carry a stamp ``now + U[lifetime]``
+    on the logical clock, which the driver advances by one every
+    ``tick_every`` operations — so entries written early in the stream
+    age out while the stream still runs, exercising expiry on every
+    read path and the age-out compaction steps underneath.
+    """
+
+    expire_fraction: float = 0.6
+    lifetime: Tuple[int, int] = (4, 40)
+    tick_every: int = 64
+
+    def validate(self) -> None:
+        if not 0 < self.expire_fraction <= 1:
+            raise InvalidParameterError("expire_fraction must be in (0, 1]")
+        lo, hi = self.lifetime
+        if not 1 <= lo <= hi:
+            raise InvalidParameterError(f"bad TTL lifetime range {self.lifetime}")
+        if self.tick_every < 1:
+            raise InvalidParameterError("tick_every must be >= 1")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative workload of the matrix.
+
+    Parameters
+    ----------
+    name / description:
+        Registry key and one-line intent.
+    key_type:
+        ``"int"`` (keys drawn from ``dataset`` over ``universe``) or
+        ``"string"`` (random lowercase keys up to ``key_width`` bytes,
+        driven through the engine's string codec facade).
+    dataset:
+        Key-distribution shape for the preloaded set, a name from
+        :data:`repro.workloads.datasets.DATASETS` (int scenarios only).
+    n_keys / n_ops:
+        Preloaded dataset size and driven operation count (both scale
+        with :func:`run_scenario`'s ``scale``).
+    mix:
+        Weights over :data:`OP_CLASSES`; normalised, so they need not
+        sum to 1.
+    popularity:
+        ``"uniform"`` or ``"zipfian"`` — how insert/delete traffic picks
+        keys from the pool (zipfian concentrates on a hot set, the
+        update-heavy YCSB shape).
+    batch_window:
+        Probes are buffered and flushed through ``batch_range_empty``
+        in windows of this size, like the network front door batches.
+    range_size:
+        Probe/scan span in the encoded key space.
+    adversary:
+        Finish the run with an adaptive availability attack
+        (:meth:`AdaptiveAdversary.attack_system`) against the served
+        engine, reported per round.
+    ttl:
+        Optional :class:`TTLConfig`; ``None`` disables expiry.
+    universe / key_width:
+        Integer key universe; string scenarios instead derive
+        ``universe = 2^(8 * key_width)`` from the codec width.
+    filter_backend:
+        Registered filter backend the engine's runs build
+        (``"grafite"``, ``"surf"``, ``"proteus"``, ...).
+    """
+
+    name: str
+    description: str
+    key_type: str = "int"
+    dataset: str = "uniform"
+    n_keys: int = 2000
+    n_ops: int = 4000
+    mix: Mapping[str, float] = field(
+        default_factory=lambda: {"probe": 0.6, "insert": 0.3, "delete": 0.1}
+    )
+    popularity: str = "uniform"
+    batch_window: int = 32
+    range_size: int = 64
+    adversary: bool = False
+    ttl: Optional[TTLConfig] = None
+    universe: int = 2**20
+    key_width: int = 4
+    filter_backend: str = "grafite"
+
+    def validate(self) -> None:
+        if self.key_type not in ("int", "string"):
+            raise InvalidParameterError(f"unknown key_type {self.key_type!r}")
+        if self.key_type == "int" and self.dataset not in DATASETS:
+            raise InvalidParameterError(
+                f"unknown dataset {self.dataset!r}; choose from {sorted(DATASETS)}"
+            )
+        if self.popularity not in ("uniform", "zipfian"):
+            raise InvalidParameterError(f"unknown popularity {self.popularity!r}")
+        unknown = set(self.mix) - set(OP_CLASSES)
+        if unknown:
+            raise InvalidParameterError(f"unknown op classes in mix: {sorted(unknown)}")
+        if not self.mix or sum(self.mix.values()) <= 0:
+            raise InvalidParameterError("mix needs at least one positive weight")
+        if self.n_keys < 1 or self.n_ops < 1:
+            raise InvalidParameterError("n_keys and n_ops must be >= 1")
+        if self.batch_window < 1:
+            raise InvalidParameterError("batch_window must be >= 1")
+        if not 1 <= self.key_width <= 8:
+            raise InvalidParameterError("key_width must be 1..8")
+        if self.ttl is not None:
+            self.ttl.validate()
+
+    @property
+    def effective_universe(self) -> int:
+        """The integer universe the engine actually runs over."""
+        if self.key_type == "string":
+            return 1 << (8 * self.key_width)
+        return self.universe
+
+    def modes(self) -> Tuple[str, ...]:
+        """Serving modes this scenario can run against.
+
+        The network protocol speaks integer probes and byte values only:
+        no scans, no TTL clock, no string codec, and its client exposes
+        no I/O ledger for the adversary to key on — scenarios using any
+        of those skip ``"net"``.
+        """
+        needs_local = (
+            self.key_type == "string"
+            or self.ttl is not None
+            or self.adversary
+            or dict(self.mix).get("scan", 0) > 0
+        )
+        return MODES[:-1] if needs_local else MODES
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Validate and add a scenario to the registry (name must be new)."""
+    scenario.validate()
+    if scenario.name in SCENARIOS:
+        raise InvalidParameterError(f"scenario {scenario.name!r} already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name (typed error on misses)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None
+
+
+register_scenario(Scenario(
+    name="read-heavy",
+    description="YCSB-B-style: mostly emptiness probes over a uniform key set",
+    mix={"probe": 0.85, "insert": 0.10, "delete": 0.03, "scan": 0.02},
+))
+register_scenario(Scenario(
+    name="scan-heavy",
+    description="YCSB-E-style: short range scans dominate, zipfian updates",
+    mix={"probe": 0.30, "insert": 0.15, "delete": 0.05, "scan": 0.50},
+    popularity="zipfian",
+    dataset="books",
+))
+register_scenario(Scenario(
+    name="update-heavy",
+    description="YCSB-A-style: write-dominated with deletes over a hot set",
+    mix={"probe": 0.25, "insert": 0.55, "delete": 0.15, "scan": 0.05},
+    popularity="zipfian",
+))
+register_scenario(Scenario(
+    name="adversarial",
+    description="read-heavy mix, then the adaptive availability attack of §6.7",
+    mix={"probe": 0.80, "insert": 0.15, "delete": 0.05},
+    adversary=True,
+))
+register_scenario(Scenario(
+    name="string-keys",
+    description="lowercase string keys end-to-end through the codec facade",
+    key_type="string",
+    key_width=4,
+    mix={"probe": 0.50, "insert": 0.30, "delete": 0.10, "scan": 0.10},
+    filter_backend="surf",
+))
+register_scenario(Scenario(
+    name="ttl-expiry",
+    description="time-series writes expiring on the logical clock mid-stream",
+    mix={"probe": 0.40, "insert": 0.40, "delete": 0.05, "scan": 0.15},
+    ttl=TTLConfig(),
+))
+register_scenario(Scenario(
+    name="net-mixed",
+    description="scanless probe/insert/delete mix that the front door can serve",
+    mix={"probe": 0.70, "insert": 0.25, "delete": 0.05},
+))
+
+
+# ----------------------------------------------------------------------
+# TTL-aware oracle
+# ----------------------------------------------------------------------
+class ScenarioOracle:
+    """Sorted-dict ground truth with the engine's exact TTL semantics.
+
+    Keys are ints or canonical bytes (string scenarios); an entry whose
+    stamp is at or below the advanced clock is indistinguishable from a
+    deleted one — on gets, emptiness probes, scans and the final state.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[Any, Tuple[Any, Optional[int]]] = {}
+        self._sorted: Optional[List[Any]] = None
+        self.now = 0
+
+    def put(self, key: Any, value: Any, expires_at: Optional[int] = None) -> None:
+        if key not in self._data:
+            self._sorted = None
+        self._data[key] = (value, expires_at)
+
+    def delete(self, key: Any) -> None:
+        if self._data.pop(key, None) is not None:
+            self._sorted = None
+
+    def advance(self, now: int) -> None:
+        if now < self.now:
+            raise InvalidParameterError("oracle clock may not go backwards")
+        self.now = now
+
+    def _live(self, entry: Tuple[Any, Optional[int]]) -> bool:
+        value, expires_at = entry
+        return expires_at is None or self.now < expires_at
+
+    def get(self, key: Any) -> Optional[Any]:
+        entry = self._data.get(key)
+        if entry is None or not self._live(entry):
+            return None
+        return entry[0]
+
+    def _keys(self) -> List[Any]:
+        if self._sorted is None:
+            self._sorted = sorted(self._data)
+        return self._sorted
+
+    def range_empty(self, lo: Any, hi: Any) -> bool:
+        keys = self._keys()
+        i = bisect.bisect_left(keys, lo)
+        while i < len(keys) and keys[i] <= hi:
+            if self._live(self._data[keys[i]]):
+                return False
+            i += 1
+        return True
+
+    def scan(self, lo: Any, hi: Any) -> List[Tuple[Any, Any]]:
+        keys = self._keys()
+        i = bisect.bisect_left(keys, lo)
+        out: List[Tuple[Any, Any]] = []
+        while i < len(keys) and keys[i] <= hi:
+            entry = self._data[keys[i]]
+            if self._live(entry):
+                out.append((keys[i], entry[0]))
+            i += 1
+        return out
+
+    def items(self) -> List[Tuple[Any, Any]]:
+        """All live pairs in key order (the final-state comparison)."""
+        return [
+            (k, self._data[k][0]) for k in self._keys() if self._live(self._data[k])
+        ]
+
+    def live_keys(self) -> List[Any]:
+        return [k for k in self._keys() if self._live(self._data[k])]
+
+
+# ----------------------------------------------------------------------
+# Deterministic op streams
+# ----------------------------------------------------------------------
+def _scenario_rng(scenario: Scenario, seed: int) -> np.random.Generator:
+    # Fold the name in so every scenario decorrelates under one seed.
+    return np.random.default_rng([int(seed), zlib.crc32(scenario.name.encode())])
+
+
+def _string_key(rng: np.random.Generator, width: int) -> str:
+    length = int(rng.integers(1, width + 1))
+    return "".join(_ALPHABET[int(i)] for i in rng.integers(0, len(_ALPHABET), length))
+
+
+def _pool(scenario: Scenario, rng: np.random.Generator, n: int) -> List[Any]:
+    if scenario.key_type == "string":
+        # Draw until distinct; the string space at small widths is dense
+        # enough that collisions are common and harmless to reroll.
+        seen: Dict[str, None] = {}
+        while len(seen) < n:
+            seen.setdefault(_string_key(rng, scenario.key_width), None)
+        return list(seen)
+    keys = load_dataset(
+        scenario.dataset, n, scenario.effective_universe,
+        seed=int(rng.integers(0, 2**31)),
+    )
+    return [int(k) for k in keys]
+
+
+def _zipf_weights(n: int, s: float = 1.1) -> np.ndarray:
+    w = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), s)
+    return w / w.sum()
+
+
+def _int_range(
+    rng: np.random.Generator, universe: int, span_cap: int
+) -> Tuple[int, int]:
+    span = int(rng.integers(1, max(2, span_cap)))
+    lo = int(rng.integers(0, max(1, universe - span)))
+    return lo, lo + span - 1
+
+
+def _string_range(
+    rng: np.random.Generator, width: int
+) -> Tuple[str, str]:
+    a, b = _string_key(rng, width), _string_key(rng, width)
+    return (a, b) if a <= b else (b, a)
+
+
+def scenario_preload(scenario: Scenario, seed: int) -> List[Tuple[Any, bytes]]:
+    """The deterministic preloaded dataset: ``(key, value)`` pairs."""
+    rng = _scenario_rng(scenario, seed)
+    return [
+        (key, b"seed-%d" % i)
+        for i, key in enumerate(_pool(scenario, rng, scenario.n_keys))
+    ]
+
+
+def scenario_ops(
+    scenario: Scenario, seed: int, *, n_ops: Optional[int] = None
+) -> Iterator[Tuple]:
+    """The deterministic driven op stream after the preload.
+
+    Yields tuples: ``("probe", lo, hi)``, ``("insert", key, value,
+    expires_at)``, ``("delete", key)``, ``("scan", lo, hi)`` and — for
+    TTL scenarios — ``("tick", now)``. Keys/endpoints are ints or
+    strings per ``scenario.key_type``; the stream depends only on
+    ``(scenario, seed)``, never on who replays it, which is what lets
+    the differential suite and every serving mode share one truth.
+    """
+    rng = _scenario_rng(scenario, seed)
+    pool = _pool(scenario, rng, scenario.n_keys)  # same draw as the preload
+    n_ops = scenario.n_ops if n_ops is None else int(n_ops)
+    classes = [c for c in OP_CLASSES if dict(scenario.mix).get(c, 0) > 0]
+    weights = np.asarray([dict(scenario.mix)[c] for c in classes], dtype=np.float64)
+    weights /= weights.sum()
+    if scenario.popularity == "zipfian":
+        pick_w = _zipf_weights(len(pool))
+        order = rng.permutation(len(pool))  # hot set is a random subset
+    else:
+        pick_w = None
+        order = np.arange(len(pool))
+    universe = scenario.effective_universe
+    now = 0
+    value_counter = 0
+
+    def pick_key() -> Any:
+        if rng.random() < 0.3:
+            # Fresh key outside the preloaded pool.
+            if scenario.key_type == "string":
+                return _string_key(rng, scenario.key_width)
+            return int(rng.integers(0, universe))
+        idx = int(rng.choice(len(pool), p=pick_w))
+        return pool[order[idx]]
+
+    for index in range(n_ops):
+        if scenario.ttl is not None and index and index % scenario.ttl.tick_every == 0:
+            now += 1
+            yield ("tick", now)
+        kind = classes[int(rng.choice(len(classes), p=weights))]
+        if kind == "probe":
+            if scenario.key_type == "string":
+                lo, hi = _string_range(rng, scenario.key_width)
+            else:
+                lo, hi = _int_range(rng, universe, scenario.range_size)
+            yield ("probe", lo, hi)
+        elif kind == "insert":
+            expires_at = None
+            if scenario.ttl is not None and rng.random() < scenario.ttl.expire_fraction:
+                lt_lo, lt_hi = scenario.ttl.lifetime
+                expires_at = now + int(rng.integers(lt_lo, lt_hi + 1))
+            value_counter += 1
+            yield ("insert", pick_key(), b"v-%d" % value_counter, expires_at)
+        elif kind == "delete":
+            yield ("delete", pick_key())
+        else:  # scan
+            if scenario.key_type == "string":
+                prefix = _string_key(rng, max(1, scenario.key_width - 2))
+                yield ("scan", prefix, prefix + "\x7f")
+            else:
+                lo, hi = _int_range(rng, universe, scenario.range_size * 8)
+                yield ("scan", lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioReport:
+    """Structured outcome of one ``(scenario, mode, seed)`` run."""
+
+    scenario: str
+    mode: str
+    seed: int
+    ops: int
+    counts: Dict[str, int]
+    checks: int
+    mismatches: int
+    mismatch_samples: List[Any]
+    final_match: bool
+    empty_probes: int
+    wasted_reads: int
+    fpr: float
+    latency_ms: Dict[str, Dict[str, float]]
+    adversary: Optional[Dict[str, Any]]
+    ttl_now: int
+    live_keys: int
+
+    @property
+    def ok(self) -> bool:
+        """Bit-exactness verdict: zero divergences, final state equal."""
+        return self.mismatches == 0 and self.final_match
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = asdict(self)
+        out["ok"] = self.ok
+        return out
+
+
+def _latency_summary(samples: Dict[str, List[float]]) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for kind, xs in samples.items():
+        if not xs:
+            continue
+        xs = sorted(xs)
+        out[kind] = {
+            "count": float(len(xs)),
+            "mean": statistics.fmean(xs) * 1e3,
+            "p50": xs[len(xs) // 2] * 1e3,
+            "p99": xs[min(len(xs) - 1, (len(xs) * 99) // 100)] * 1e3,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+def run_scenario(
+    scenario: "Scenario | str",
+    *,
+    mode: str = "engine",
+    seed: int = 0,
+    num_threads: int = 4,
+    scale: float = 1.0,
+    keep_engine: bool = False,
+) -> ScenarioReport:
+    """Drive one scenario against one serving mode, differentially.
+
+    Deterministic given ``(scenario, seed, scale)`` — the op stream and
+    every expected verdict are; latencies of course are not. The engine
+    (and service/server, per mode) is built, preloaded, driven with
+    probes batched per ``scenario.batch_window``, TTL-ticked, optionally
+    attacked, then torn down with a final bit-exact state comparison
+    against the oracle. ``scale`` multiplies ``n_keys``/``n_ops`` (the
+    benchmark's ``REPRO_SCALE`` hook); ``keep_engine`` is for debugging
+    (skips the directory cleanup of persistent modes).
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    scenario.validate()
+    if mode not in MODES:
+        raise InvalidParameterError(f"unknown mode {mode!r}; choose from {MODES}")
+    if mode not in scenario.modes():
+        raise InvalidParameterError(
+            f"scenario {scenario.name!r} does not support mode {mode!r} "
+            f"(supported: {scenario.modes()})"
+        )
+    if scale <= 0:
+        raise InvalidParameterError("scale must be positive")
+    if scale != 1.0:
+        scenario = Scenario(**{
+            **asdict(scenario),
+            "ttl": scenario.ttl,  # asdict deep-copies into a plain dict
+            "n_keys": max(64, int(scenario.n_keys * scale)),
+            "n_ops": max(128, int(scenario.n_ops * scale)),
+        })
+
+    from repro.engine import ShardedEngine
+    from repro.engine.service import RangeQueryService
+    from repro.filters.registry import FilterSpec
+
+    codec = None
+    if scenario.key_type == "string":
+        from repro.core.strings import StringKeyCodec
+
+        codec = StringKeyCodec(width=scenario.key_width)
+    universe = scenario.effective_universe
+    spec = FilterSpec(
+        backend=scenario.filter_backend,
+        bits_per_key=16,
+        max_range_size=max(64, scenario.range_size * 4),
+        seed=seed,
+    )
+    # Persistence (WAL + checkpoints) backs the persistent and
+    # process-worker modes; the front door serves an in-memory engine.
+    directory = tempfile.mkdtemp(prefix="repro-scn-") if (
+        mode in ("persistent", "service-process")
+    ) else None
+
+    def build_engine(path):
+        return ShardedEngine(
+            universe,
+            num_shards=4,
+            memtable_limit=128,
+            filter_spec=spec,
+            compaction="leveled",
+            directory=path,
+            key_codec=codec,
+        )
+
+    engine = build_engine(directory)
+    service = None
+    client = None
+    handle = None
+    oracle = ScenarioOracle()
+    counts = {c: 0 for c in OP_CLASSES}
+    counts["tick"] = 0
+    latencies: Dict[str, List[float]] = {c: [] for c in OP_CLASSES}
+    mismatches = 0
+    mismatch_samples: List[Any] = []
+    checks = 0
+    empty_probes = 0
+    pending: List[Tuple[Any, Any]] = []
+    adversary_report: Optional[Dict[str, Any]] = None
+
+    def record_mismatch(sample: Any) -> None:
+        nonlocal mismatches
+        mismatches += 1
+        if len(mismatch_samples) < 8:
+            mismatch_samples.append(sample)
+
+    try:
+        if mode in ("service", "service-process"):
+            service = RangeQueryService(
+                engine,
+                num_threads=num_threads,
+                cache_blocks=1024,
+                mode="process" if mode == "service-process" else "thread",
+                num_workers=2 if mode == "service-process" else None,
+            )
+        elif mode == "net":
+            from repro.net import ServerConfig, serve_in_thread
+            from repro.net.client import SyncClient
+
+            service = RangeQueryService(engine, num_threads=num_threads)
+            handle = serve_in_thread(
+                service, config=ServerConfig(batch_window=200e-6)
+            )
+            client = SyncClient(handle.host, handle.port)
+
+        front = client if client is not None else (service or engine)
+        if codec is not None:
+            front = (service or engine).strings
+
+        def apply_put(key, value, expires_at):
+            if client is not None:
+                client.put(key, value)
+            else:
+                front.put(key, value, expires_at=expires_at)
+            oracle.put(
+                codec.decode_key(codec.encode_key(key)) if codec else key,
+                value, expires_at,
+            )
+
+        def apply_delete(key):
+            front.delete(key)
+            oracle.delete(
+                codec.decode_key(codec.encode_key(key)) if codec else key
+            )
+
+        def drain_probes():
+            nonlocal checks, empty_probes
+            if not pending:
+                return
+            los = [lo for lo, _ in pending]
+            his = [hi for _, hi in pending]
+            t0 = time.perf_counter()
+            got = front.batch_range_empty(los, his)
+            latencies["probe"].append(
+                (time.perf_counter() - t0) / len(pending)
+            )
+            for (lo, hi), verdict in zip(pending, got):
+                want = oracle.range_empty(
+                    *(
+                        (_canon(codec, lo), _canon(codec, hi))
+                        if codec else (lo, hi)
+                    )
+                )
+                checks += 1
+                empty_probes += int(want)
+                if bool(verdict) != want:
+                    record_mismatch(("probe", lo, hi, bool(verdict), want))
+            pending.clear()
+
+        # ------------------------------------------------------------
+        # Preload
+        # ------------------------------------------------------------
+        for key, value in scenario_preload(scenario, seed):
+            apply_put(key, value, None)
+
+        # ------------------------------------------------------------
+        # Driven phase
+        # ------------------------------------------------------------
+        ops = list(scenario_ops(scenario, seed))
+        reopen_at = len(ops) // 2 if mode == "persistent" else None
+        checkpoint_at = (
+            {len(ops) // 3, (2 * len(ops)) // 3}
+            if mode in ("persistent", "service-process")
+            else set()
+        )
+        for index, op in enumerate(ops):
+            if index in checkpoint_at:
+                drain_probes()
+                (service or engine).checkpoint()
+            if index == reopen_at:
+                # Crash-style reopen: no shutdown checkpoint, so the WAL
+                # tail (including TTL clock records) replays.
+                drain_probes()
+                engine.close(checkpoint=False)
+                engine = ShardedEngine.open(directory)
+                front = engine.strings if codec is not None else engine
+            kind = op[0]
+            counts[kind] += 1
+            if kind == "probe":
+                pending.append((op[1], op[2]))
+                if len(pending) >= scenario.batch_window:
+                    drain_probes()
+            elif kind == "insert":
+                t0 = time.perf_counter()
+                apply_put(op[1], op[2], op[3])
+                latencies["insert"].append(time.perf_counter() - t0)
+            elif kind == "delete":
+                t0 = time.perf_counter()
+                apply_delete(op[1])
+                latencies["delete"].append(time.perf_counter() - t0)
+            elif kind == "scan":
+                lo, hi = op[1], op[2]
+                t0 = time.perf_counter()
+                got = front.range_scan(lo, hi)
+                latencies["scan"].append(time.perf_counter() - t0)
+                want = oracle.scan(
+                    *((_canon(codec, lo), _canon(codec, hi)) if codec else (lo, hi))
+                )
+                checks += 1
+                if [(k, v) for k, v in got] != want:
+                    record_mismatch(("scan", lo, hi, len(got), len(want)))
+            else:  # tick
+                (service or engine).advance_clock(op[1])
+                oracle.advance(op[1])
+        drain_probes()
+
+        # ------------------------------------------------------------
+        # Adversary epilogue
+        # ------------------------------------------------------------
+        if scenario.adversary:
+            from repro.workloads.adversary import AdaptiveAdversary
+
+            live = oracle.live_keys()
+            attacker = AdaptiveAdversary(
+                np.asarray(live, dtype=np.uint64), leaked_fraction=0.25, seed=seed
+            )
+            attacked = service if service is not None else engine
+            attack = attacker.attack_system(
+                attacked,
+                universe=universe,
+                rounds=5,
+                queries_per_round=100,
+                range_size=scenario.range_size,
+            )
+            adversary_report = {
+                "rounds": len(attack.per_round_fpr),
+                "first_round_fpr": attack.per_round_fpr[0],
+                "last_round_fpr": attack.per_round_fpr[-1],
+                "per_round_fpr": list(attack.per_round_fpr),
+            }
+
+        # ------------------------------------------------------------
+        # Teardown + final bit-exact state comparison
+        # ------------------------------------------------------------
+        if client is not None:
+            client.close()
+            client = None
+        if handle is not None:
+            handle.stop()
+            handle = None
+        if service is not None:
+            service.wait_for_compactions()
+            service.close()
+            service = None
+        engine.drain_compactions()
+        final = engine.range_scan(0, universe - 1)
+        if codec is not None:
+            final = [(codec.decode_key(k), v) for k, v in final]
+        final_match = final == oracle.items()
+        if not final_match and len(mismatch_samples) < 8:
+            mismatch_samples.append(
+                ("final", len(final), len(oracle.items()))
+            )
+        stats = engine.stats
+        return ScenarioReport(
+            scenario=scenario.name,
+            mode=mode,
+            seed=seed,
+            ops=len(ops),
+            counts=counts,
+            checks=checks,
+            mismatches=mismatches,
+            mismatch_samples=mismatch_samples,
+            final_match=final_match,
+            empty_probes=empty_probes,
+            wasted_reads=int(stats.wasted_reads),
+            fpr=float(stats.waste_ratio),
+            latency_ms=_latency_summary(latencies),
+            adversary=adversary_report,
+            ttl_now=oracle.now,
+            live_keys=len(oracle.items()),
+        )
+    finally:
+        if client is not None:
+            client.close()
+        if handle is not None:
+            handle.stop()
+        if service is not None:
+            service.close()
+        if engine._wal is not None:
+            engine._wal.close()
+        if directory is not None and not keep_engine:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+def _canon(codec, endpoint):
+    """Oracle-side canonical bytes for a string endpoint.
+
+    Probe/scan endpoints the stream generates are width-capped, so the
+    codec's exact round-trip applies; the oracle then compares plain
+    bytes order, which matches the encoded integer order exactly.
+    """
+    raw = endpoint.encode("utf-8") if isinstance(endpoint, str) else bytes(endpoint)
+    return raw
+
+
+def run_matrix(
+    names: Sequence[str],
+    modes: Sequence[str],
+    *,
+    seed: int = 0,
+    num_threads: int = 4,
+    scale: float = 1.0,
+) -> List[ScenarioReport]:
+    """Run every ``(scenario, mode)`` pair that the scenario supports."""
+    reports: List[ScenarioReport] = []
+    for name in names:
+        scenario = get_scenario(name)
+        for mode in modes:
+            if mode not in scenario.modes():
+                continue
+            reports.append(run_scenario(
+                scenario, mode=mode, seed=seed,
+                num_threads=num_threads, scale=scale,
+            ))
+    return reports

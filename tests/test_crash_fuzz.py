@@ -514,6 +514,117 @@ def test_both_epochs_corrupt_raises_corruption_error(tmp_path):
         ShardedEngine.open(db)
 
 
+# ----------------------------------------------------------------------
+# TTL expiry across crashes (ISSUE 9): expired state must never come back
+# ----------------------------------------------------------------------
+def _ttl_engine(db: Path):
+    """A persistent engine holding live keys plus a doomed TTL'd range.
+
+    Returns the engine with the doomed range already expired *and*
+    compacted away (clock at 20, every doomed key's deadline at 10):
+    runs have been rewritten with the expired entries dropped or turned
+    to tombstones, fully-expired bottom runs aged out."""
+    engine = ShardedEngine(
+        UNIVERSE, num_shards=2, memtable_limit=16, directory=db
+    )
+    for key in range(0, 500, 7):
+        engine.put(key, key)  # immortal
+    for key in DOOMED:
+        engine.put(key, b"doomed", expires_at=10)
+    engine.flush_all()
+    engine.checkpoint()
+    engine.advance_clock(20)
+    for store in engine.shards:
+        store.request_compaction()
+    engine.drain_compactions()
+    assert engine.range_empty(DOOMED[0], DOOMED[-1])
+    return engine
+
+
+DOOMED = list(range(40_000, 40_600, 3))
+
+
+def _assert_doomed_stays_dead(db: Path) -> None:
+    engine = ShardedEngine.open(db)
+    try:
+        assert engine.ttl_now == 20, "recovery lost the TTL clock"
+        assert engine.range_empty(DOOMED[0], DOOMED[-1]), (
+            "recovery resurrected an expired range"
+        )
+        assert all(engine.get(key) is None for key in DOOMED[::17])
+        recovered = {k for k, _ in engine.range_scan(0, UNIVERSE - 1)}
+        assert not recovered.intersection(DOOMED)
+        assert set(range(0, 500, 7)) <= recovered, "live keys were lost"
+    finally:
+        engine.close(checkpoint=False)
+
+
+def test_ttl_crash_mid_checkpoint_never_resurrects_expired_range(tmp_path):
+    """Kill mid-checkpoint during a TTL-expiring compaction: the snapshot
+    commits (manifest renamed) but the WAL — still carrying the doomed
+    puts and the clock advance — is never reset. Replaying that stale
+    WAL over the newer snapshot must not resurrect the expired-and-aged-
+    out range: the OP_CLOCK record restores the logical time before any
+    query runs."""
+    db = tmp_path / "db"
+    engine = _ttl_engine(db)
+    persist.save_snapshot(db, engine._params(), engine.shards)
+    engine._wal.close()  # crash instead of the WAL reset
+    _assert_doomed_stays_dead(db)
+
+
+def test_ttl_crash_before_checkpoint_replays_clock_from_wal(tmp_path):
+    """Crash with *only* the pre-expiry checkpoint on disk: recovery
+    replays the WAL tail — doomed puts with their deadlines, then the
+    clock advance — on top of the old snapshot. The range must still
+    come back dead: expiry is decided by the restored clock, not by
+    whether compaction got to rewrite the runs before the crash."""
+    db = tmp_path / "db"
+    engine = _ttl_engine(db)
+    engine._wal.close()  # crash; newest durable manifest predates expiry
+    _assert_doomed_stays_dead(db)
+
+
+def test_ttl_wal_truncation_before_clock_record_is_not_resurrection(tmp_path):
+    """Tear the WAL just before the OP_CLOCK record: the doomed puts are
+    acknowledged-and-durable but the clock advance is not, so recovery
+    legitimately serves them as unexpired (clock still 0). That is the
+    torn-tail contract, not resurrection — and re-advancing the clock
+    after recovery must kill the range again."""
+    db = tmp_path / "db"
+    engine = _ttl_engine(db)
+    engine._wal.close()
+    wal_path = db / "wal.log"
+    wal_bytes = wal_path.read_bytes()
+
+    # Find the byte offset where replaying stops yielding the clock: the
+    # largest prefix whose production parse has no OP_CLOCK record.
+    from repro.engine.wal import OP_CLOCK
+
+    parse = tmp_path / "parse"
+    parse.mkdir()
+    cut = None
+    for offset in range(len(wal_bytes), len(_HEADER) - 1, -1):
+        (parse / "wal.log").write_bytes(wal_bytes[:offset])
+        wal = WriteAheadLog(parse / "wal.log")
+        records = list(wal.recovered)
+        wal.close()
+        if all(op != OP_CLOCK for op, _, _ in records):
+            cut = offset
+            break
+    assert cut is not None and cut > len(_HEADER)
+    wal_path.write_bytes(wal_bytes[:cut])
+
+    engine = ShardedEngine.open(db)
+    try:
+        assert engine.ttl_now == 0
+        assert not engine.range_empty(DOOMED[0], DOOMED[-1])
+        engine.advance_clock(20)
+        assert engine.range_empty(DOOMED[0], DOOMED[-1])
+    finally:
+        engine.close(checkpoint=False)
+
+
 def test_previous_epoch_damage_alone_is_harmless(tmp_path):
     """Corrupting only previous-epoch blobs must not disturb a clean
     open of the newest epoch (no rollback, exact final oracle state)."""

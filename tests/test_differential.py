@@ -617,3 +617,58 @@ def test_second_seed_engine_and_service():
     ops = gen_ops(rng, N_OPS // 2, persistent=False)
     replay(EngineTarget(), ops)
     replay(ServiceTarget(4), ops)
+
+
+# ----------------------------------------------------------------------
+# Scenario-driven streams (ISSUE 9): the declarative workload suite of
+# :mod:`repro.workloads.scenarios` feeds this same oracle discipline.
+# ----------------------------------------------------------------------
+def _scan_heavy_ttl():
+    """Registry ``scan-heavy`` with a TTL clock layered on: scans race
+    compaction-side expiry, and every verdict must stay exact against
+    the TTL-aware oracle."""
+    from dataclasses import asdict
+
+    from repro.workloads.scenarios import Scenario, TTLConfig, get_scenario
+
+    base = asdict(get_scenario("scan-heavy"))
+    base.update(name="scan-heavy-ttl", ttl=TTLConfig(
+        expire_fraction=0.5, lifetime=(4, 48), tick_every=48,
+    ))
+    return Scenario(**base)
+
+
+@pytest.mark.parametrize("num_threads", [1, 8])
+def test_differential_scenario_update_heavy(num_threads):
+    """Update-heavy mix (55% inserts, 15% deletes) through the service:
+    hot-key churn with memtable/compaction races at both a serial and a
+    wide thread pool, bit-exact against the sorted-dict oracle."""
+    from repro.workloads.scenarios import run_scenario
+
+    report = run_scenario(
+        "update-heavy", mode="service", seed=SEED,
+        num_threads=num_threads, scale=0.5,
+    )
+    assert report.ok, (
+        f"scenario diverged ({report.mismatches} mismatches, "
+        f"final_match={report.final_match}): {report.mismatch_samples[:5]}"
+    )
+    assert report.checks > 0 and report.counts["delete"] > 0
+
+
+@pytest.mark.parametrize("num_threads", [1, 8])
+def test_differential_scenario_scan_heavy_ttl(num_threads):
+    """Scan-heavy mix with TTL expiry: half the inserts carry deadlines,
+    the logical clock ticks mid-stream, and expired keys must vanish
+    from scans and probes exactly when the oracle says so."""
+    from repro.workloads.scenarios import run_scenario
+
+    report = run_scenario(
+        _scan_heavy_ttl(), mode="service", seed=SEED,
+        num_threads=num_threads, scale=0.5,
+    )
+    assert report.ok, (
+        f"scenario diverged ({report.mismatches} mismatches, "
+        f"final_match={report.final_match}): {report.mismatch_samples[:5]}"
+    )
+    assert report.ttl_now > 0 and report.counts["scan"] > 0

@@ -1,0 +1,307 @@
+"""Tests for the YCSB-style scenario matrix (ISSUE 9 tentpole).
+
+The registry is declarative data; the driver is the code under test.
+The heavyweight differential guarantees live in the driver itself
+(every probe/scan/get checked against :class:`ScenarioOracle` at drain
+time, final state bit-exact), so these tests (a) pin the registry's
+shape, (b) pin the op-stream generator's determinism, (c) run the
+matrix at small scale through every serving mode, and (d) smoke the
+``scenarios`` CLI subcommand end to end.
+"""
+
+import io
+from contextlib import redirect_stdout
+from dataclasses import asdict
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.workloads.scenarios import (
+    MODES,
+    SCENARIOS,
+    Scenario,
+    ScenarioOracle,
+    TTLConfig,
+    get_scenario,
+    register_scenario,
+    run_matrix,
+    run_scenario,
+    scenario_names,
+    scenario_ops,
+    scenario_preload,
+)
+
+SEED = 20240731
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_issue_required_scenarios_present(self):
+        names = scenario_names()
+        for required in (
+            "read-heavy", "scan-heavy", "update-heavy",
+            "adversarial", "string-keys", "ttl-expiry",
+        ):
+            assert required in names
+        assert len(names) >= 6
+
+    def test_specs_validate(self):
+        for name in scenario_names():
+            get_scenario(name).validate()
+
+    def test_mix_needs_a_positive_weight(self):
+        # Weights are normalized by the generator; what's rejected is a
+        # mix with no mass at all.
+        for mix in ({}, {"probe": 0.0}):
+            bad = Scenario(name="bad-mix", description="x", mix=mix)
+            with pytest.raises(InvalidParameterError):
+                bad.validate()
+
+    def test_unknown_op_class_rejected(self):
+        bad = Scenario(
+            name="bad-op", description="x",
+            mix={"probe": 0.5, "frobnicate": 0.5},
+        )
+        with pytest.raises(InvalidParameterError):
+            bad.validate()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            register_scenario(get_scenario("read-heavy"))
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_scenario("no-such-scenario")
+
+    def test_mode_support(self):
+        # Scans, TTL, strings and the adversary all need a local engine.
+        assert "net" not in get_scenario("string-keys").modes()
+        assert "net" not in get_scenario("ttl-expiry").modes()
+        assert "net" not in get_scenario("adversarial").modes()
+        assert "net" in get_scenario("net-mixed").modes()
+        for name in scenario_names():
+            assert set(get_scenario(name).modes()) <= set(MODES)
+
+    def test_ttl_config_validates(self):
+        with pytest.raises(InvalidParameterError):
+            TTLConfig(expire_fraction=1.5).validate()
+        with pytest.raises(InvalidParameterError):
+            TTLConfig(lifetime=(10, 4)).validate()
+
+
+# ----------------------------------------------------------------------
+# Oracle
+# ----------------------------------------------------------------------
+class TestScenarioOracle:
+    def test_basic_contract(self):
+        oracle = ScenarioOracle()
+        oracle.put(5, b"a")
+        oracle.put(9, b"b")
+        oracle.delete(5)
+        assert oracle.get(5) is None and oracle.get(9) == b"b"
+        assert oracle.range_empty(0, 8) and not oracle.range_empty(0, 9)
+        assert oracle.items() == [(9, b"b")]
+
+    def test_ttl_expiry_is_exact(self):
+        oracle = ScenarioOracle()
+        oracle.put(1, b"immortal")
+        oracle.put(2, b"doomed", expires_at=10)
+        assert oracle.get(2) == b"doomed"
+        oracle.advance(9)
+        assert oracle.get(2) == b"doomed"  # expires_at is exclusive-live
+        oracle.advance(10)
+        assert oracle.get(2) is None
+        assert oracle.range_empty(2, 2)
+        assert oracle.items() == [(1, b"immortal")]
+        assert oracle.live_keys() == [1]
+
+    def test_overwrite_clears_deadline(self):
+        oracle = ScenarioOracle()
+        oracle.put(1, b"v1", expires_at=5)
+        oracle.put(1, b"v2")
+        oracle.advance(100)
+        assert oracle.get(1) == b"v2"
+
+    def test_scan_excludes_expired(self):
+        oracle = ScenarioOracle()
+        oracle.put(1, b"a", expires_at=2)
+        oracle.put(3, b"b")
+        oracle.advance(2)
+        assert oracle.scan(0, 10) == [(3, b"b")]
+
+
+# ----------------------------------------------------------------------
+# Op streams
+# ----------------------------------------------------------------------
+class TestOpStreams:
+    def test_deterministic_given_seed(self):
+        for name in scenario_names():
+            scenario = get_scenario(name)
+            a = list(scenario_ops(scenario, SEED, n_ops=300))
+            b = list(scenario_ops(scenario, SEED, n_ops=300))
+            assert a == b
+            assert scenario_preload(scenario, SEED) == scenario_preload(
+                scenario, SEED
+            )
+
+    def test_seed_changes_stream(self):
+        scenario = get_scenario("read-heavy")
+        a = list(scenario_ops(scenario, SEED, n_ops=300))
+        b = list(scenario_ops(scenario, SEED + 1, n_ops=300))
+        assert a != b
+
+    def test_mix_is_respected(self):
+        scenario = get_scenario("update-heavy")
+        ops = list(scenario_ops(scenario, SEED, n_ops=2000))
+        counts = {kind: 0 for kind in ("probe", "insert", "delete", "scan")}
+        for op in ops:
+            if op[0] in counts:
+                counts[op[0]] += 1
+        total = sum(counts.values())
+        for kind, share in scenario.mix.items():
+            if share:
+                assert abs(counts[kind] / total - share) < 0.05, (
+                    f"{kind}: {counts[kind] / total:.3f} vs declared {share}"
+                )
+
+    def test_ttl_stream_carries_ticks_and_deadlines(self):
+        scenario = get_scenario("ttl-expiry")
+        ops = list(scenario_ops(scenario, SEED, n_ops=500))
+        ticks = [op for op in ops if op[0] == "tick"]
+        assert ticks, "TTL scenario produced no clock ticks"
+        nows = [op[1] for op in ticks]
+        assert nows == sorted(nows) and len(set(nows)) == len(nows)
+        deadlines = [op[3] for op in ops if op[0] == "insert" and op[3] is not None]
+        assert deadlines, "TTL scenario stamped no deadlines"
+
+    def test_string_scenario_emits_storable_keys(self):
+        scenario = get_scenario("string-keys")
+        width = scenario.key_width
+        for op in scenario_ops(scenario, SEED, n_ops=400):
+            if op[0] in ("insert", "delete"):
+                assert isinstance(op[1], str) and 1 <= len(op[1]) <= width
+
+
+# ----------------------------------------------------------------------
+# The matrix (small scale; the full gated sweep lives in the benchmark)
+# ----------------------------------------------------------------------
+def _assert_ok(report):
+    assert report.ok, (
+        f"{report.scenario}/{report.mode} diverged: "
+        f"{report.mismatches} mismatches, final_match={report.final_match}, "
+        f"samples={report.mismatch_samples[:5]}"
+    )
+    assert report.checks > 0
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_every_scenario_on_engine(name):
+    _assert_ok(run_scenario(name, mode="engine", seed=SEED, scale=0.25))
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_every_scenario_on_service(name):
+    _assert_ok(run_scenario(
+        name, mode="service", seed=SEED, num_threads=4, scale=0.25,
+    ))
+
+
+def test_persistent_mode_with_crash_reopen():
+    """The persistent mode reopens mid-stream (crash-style, WAL replay)
+    and still finishes bit-exact — strings included."""
+    _assert_ok(run_scenario(
+        "string-keys", mode="persistent", seed=SEED, scale=0.25,
+    ))
+    _assert_ok(run_scenario(
+        "ttl-expiry", mode="persistent", seed=SEED, scale=0.25,
+    ))
+
+
+def test_process_mode_spot_check():
+    _assert_ok(run_scenario(
+        "read-heavy", mode="service-process", seed=SEED,
+        num_threads=2, scale=0.25,
+    ))
+
+
+def test_net_mode_spot_check():
+    _assert_ok(run_scenario(
+        "net-mixed", mode="net", seed=SEED, num_threads=2, scale=0.25,
+    ))
+
+
+def test_adversary_epilogue_reports_rounds():
+    report = run_scenario("adversarial", mode="engine", seed=SEED, scale=0.25)
+    _assert_ok(report)
+    assert report.adversary is not None
+    assert report.adversary["rounds"] >= 1
+
+
+def test_ttl_scenario_actually_expires():
+    report = run_scenario("ttl-expiry", mode="engine", seed=SEED, scale=0.25)
+    _assert_ok(report)
+    assert report.ttl_now > 0
+    # Deadlines fired mid-stream: the surviving set is strictly smaller
+    # than everything ever written (preload of 500 keys at this scale).
+    assert report.live_keys < 500 + report.counts["insert"]
+
+
+def test_run_matrix_skips_unsupported_modes():
+    reports = run_matrix(["string-keys"], ["engine", "net"], seed=SEED, scale=0.25)
+    assert [r.mode for r in reports] == ["engine"]
+
+
+def test_report_round_trips_to_dict():
+    report = run_scenario("read-heavy", mode="engine", seed=SEED, scale=0.25)
+    data = report.to_dict()
+    assert data["ok"] is True and data["scenario"] == "read-heavy"
+    assert set(asdict(report)) <= set(data)
+
+
+def test_scale_and_mode_validation():
+    with pytest.raises(InvalidParameterError):
+        run_scenario("read-heavy", mode="blimp")
+    with pytest.raises(InvalidParameterError):
+        run_scenario("string-keys", mode="net")
+    with pytest.raises(InvalidParameterError):
+        run_scenario("read-heavy", scale=0)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestScenariosCommand:
+    def run_cli(self, argv):
+        from repro.cli import main
+
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(argv)
+        return code, buffer.getvalue()
+
+    def test_list(self):
+        code, out = self.run_cli(["scenarios", "--list"])
+        assert code == 0
+        for name in scenario_names():
+            assert name in out
+
+    def test_runs_and_summarises(self):
+        code, out = self.run_cli([
+            "scenarios", "read-heavy", "--mode", "engine",
+            "--seed", "7", "--scale", "0.1",
+        ])
+        assert code == 0
+        assert "[scenarios] scenario=read-heavy mode=engine" in out
+        assert "ok=true" in out and "failures=0" in out
+
+    def test_unknown_scenario_exits_2(self):
+        code, _ = self.run_cli(["scenarios", "no-such", "--scale", "0.1"])
+        assert code == 2
+
+    def test_unknown_mode_exits_2(self):
+        code, _ = self.run_cli(
+            ["scenarios", "read-heavy", "--mode", "blimp"]
+        )
+        assert code == 2

@@ -32,7 +32,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
 
 #: Packages whose public surface must be documented.
-DOC_PACKAGES = ("repro.engine", "repro.filters", "repro.lsm", "repro.net")
+DOC_PACKAGES = (
+    "repro.engine",
+    "repro.filters",
+    "repro.lsm",
+    "repro.net",
+    "repro.workloads",
+)
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
