@@ -136,6 +136,56 @@ def write_bench_json(
     return path
 
 
+def merge_bench_json(
+    name: str,
+    *,
+    section: str,
+    results,
+    config: Optional[Dict] = None,
+) -> Path:
+    """Merge one named section into ``BENCH_<name>.json``.
+
+    Some artifacts aggregate cells measured by *different* bench modules
+    (``BENCH_storage.json`` collects the deep-compaction cell from
+    ``bench_compaction.py`` and the shared-cache cell from
+    ``bench_mp_scaling.py``). Each contributor re-reads the file and
+    replaces only its own section, so the modules stay independently
+    runnable and the artifact is complete once both have run.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    payload: Dict = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+    if payload.get("bench") != name or not isinstance(
+        payload.get("sections"), dict
+    ):
+        payload = {"bench": name, "sections": {}}
+    payload.update(
+        {
+            "git_sha": git_sha(),
+            "recorded_unix": time.time(),
+            "host": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "cpu_count": os.cpu_count(),
+            },
+            "scale": SCALE,
+        }
+    )
+    payload["sections"][section] = {
+        "results": results,
+        "config": config or {},
+        "recorded_unix": time.time(),
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
 @functools.lru_cache(maxsize=None)
 def dataset(name: str, n: int = N_KEYS) -> np.ndarray:
     """Cached dataset (sorted uint64 keys)."""

@@ -35,7 +35,10 @@ import numpy as np
 import pytest
 
 import _common
-from _common import SEED, UNIVERSE, register_report, timing_stats, write_bench_json
+from _common import (
+    SEED, UNIVERSE, merge_bench_json, register_report, timing_stats,
+    write_bench_json,
+)
 from repro.analysis.report import format_table
 from repro.core.grafite import Grafite
 from repro.engine import RangeQueryService, ShardedEngine
@@ -57,6 +60,16 @@ BITS_PER_KEY = 16
 #: Floors enforced by the CI perf-smoke step.
 COLUMNAR_FLOOR = 1.5
 PROCESS_FLOOR = 2.0
+
+# ISSUE 10: shared-memory block cache vs. duplicated per-worker caches.
+CACHE_WORKERS = 4
+CACHE_BATCH = max(1_000, int(8_000 * _common.SCALE))
+#: Fraction of probes aimed at the one hot shard — the skew that makes
+#: cache *placement* matter: one worker owns nearly all the traffic.
+HOT_FRACTION = 0.9
+#: Simulated storage-device read latency per block-cache miss.
+CACHE_MISS_LATENCY = 0.0002
+SHARED_CACHE_FLOOR = 1.3
 
 _TMP = tempfile.TemporaryDirectory(prefix="repro-mp-bench-")
 
@@ -277,6 +290,112 @@ def mode_cell(mode: str, workers: int) -> Dict[str, float]:
     }
 
 
+# ----------------------------------------------------------------------
+# ISSUE 10: shared-memory block cache vs. duplicated per-worker caches
+# ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=None)
+def build_cache_engine() -> ShardedEngine:
+    """A persistent *unfiltered* engine: with no range filters every
+    probe verifies against run blocks, so the block cache sits on the
+    hot path and the simulated device latency on misses is the
+    dominant serving cost."""
+    keys = uniform(N_KEYS, UNIVERSE, seed=SEED + 11)
+    engine = ShardedEngine(
+        UNIVERSE,
+        num_shards=NUM_SHARDS,
+        memtable_limit=max(512, N_KEYS // 8),
+        compaction_fanout=4,
+        filter_factory=None,
+        directory=os.path.join(_TMP.name, "cache-db"),
+    )
+    arrival = keys[np.random.default_rng(SEED + 12).permutation(keys.size)]
+    for key in arrival:
+        engine.put(int(key), b"v")
+    engine.flush_all()
+    engine.drain_compactions()
+    return engine
+
+
+@functools.lru_cache(maxsize=None)
+def hot_shard_blocks() -> int:
+    """Block working set of the hot shard (shard 0)."""
+    engine = build_cache_engine()
+    return sum(run.block_count for run in engine.shards[0]._runs())
+
+
+@functools.lru_cache(maxsize=None)
+def skewed_probe_bounds() -> Tuple[np.ndarray, np.ndarray]:
+    """A 90/10 hot/cold probe batch: most probes land on shard 0, the
+    rest spread across the other shards, and every probe stays inside
+    one shard so exactly one snapshot worker answers it. This is the
+    skew that makes cache *placement* matter — one worker carries
+    nearly all the traffic, so its private replica is the bottleneck
+    while a shared slab lets the hot shard use the whole budget."""
+    engine = build_cache_engine()
+    width = int(engine.router.shard_width)
+    rng = np.random.default_rng(SEED + 13)
+    n_hot = int(CACHE_BATCH * HOT_FRACTION)
+    n_cold = CACHE_BATCH - n_hot
+    lo_hot = rng.integers(0, width - RANGE, n_hot, dtype=np.uint64)
+    cold_shard = rng.integers(1, NUM_SHARDS, n_cold, dtype=np.uint64)
+    lo_cold = cold_shard * np.uint64(width) + rng.integers(
+        0, width - RANGE, n_cold, dtype=np.uint64
+    )
+    los = np.concatenate([lo_hot, lo_cold])
+    rng.shuffle(los)
+    his = los + np.uint64(RANGE - 1)
+    return los, his
+
+
+@functools.lru_cache(maxsize=None)
+def cache_cell(shared: bool) -> Dict[str, float]:
+    """4-worker process-mode serving with the block cache either shared
+    (one :class:`SharedBlockCache` slab every worker attaches to) or
+    duplicated (the legacy private replica per worker), at equal
+    aggregate capacity: ``N`` slab blocks vs. ``N / workers`` blocks
+    per replica. The duplicated hot worker can only ever use ``1 /
+    workers`` of the budget; the shared slab gives the skewed traffic
+    the whole of it, and one warm pass fills it for every process."""
+    engine = build_cache_engine()
+    engine.attach_block_cache(None)  # fresh cache per configuration
+    los, his = skewed_probe_bounds()
+    reference = engine.batch_range_empty(los, his)
+    per_worker = max(8, hot_shard_blocks() // 2)
+    cache_blocks = per_worker * CACHE_WORKERS if shared else per_worker
+    with RangeQueryService(
+        engine,
+        num_threads=CACHE_WORKERS,
+        cache_blocks=cache_blocks,
+        miss_latency=CACHE_MISS_LATENCY,
+        mode="process",
+        num_workers=CACHE_WORKERS,
+        shared_cache=shared,
+    ) as service:
+        got = service.batch_range_empty(los, his)  # warm pass
+        assert bool((got == reference).all()), "cache cell diverged"
+        before = engine.stats
+        stats = timing_stats(
+            lambda: service.batch_range_empty(los, his),
+            ops=CACHE_BATCH,
+            repeat=3,
+        )
+        after = engine.stats
+    engine.attach_block_cache(None)
+    hits = after.cache_hits - before.cache_hits
+    misses = after.cache_misses - before.cache_misses
+    return {
+        "shared": shared,
+        "cache_blocks": cache_blocks,
+        "per_worker_blocks": per_worker if not shared else 0,
+        "qps": stats["op_s"],
+        "p50_s": stats["p50_s"],
+        "p99_s": stats["p99_s"],
+        "hits": hits,
+        "misses": misses,
+        "hit_ratio": hits / max(1, hits + misses),
+    }
+
+
 def popcount_cell(n_words: int = 1 << 20) -> Dict[str, float]:
     """The bitvector popcount kernel: hardware ufunc vs. table walk."""
     words = np.random.default_rng(SEED).integers(
@@ -302,6 +421,10 @@ def _report() -> Dict[str, object]:
         for mode in ("thread", "process")
     ]
     popcount = popcount_cell()
+    cache = {
+        "duplicated": cache_cell(False),
+        "shared": cache_cell(True),
+    }
     rows = [
         ["columnar router", "-", f"{router['columnar_qps']:,.0f}",
          f"{router['speedup']:.2f}x vs tuple fan-out"],
@@ -318,6 +441,17 @@ def _report() -> Dict[str, object]:
             ["process mode", workers, f"{process_qps:,.0f}",
              f"{process_qps / thread_qps:.2f}x vs threads"]
         )
+    rows.append(
+        ["duplicated caches", CACHE_WORKERS,
+         f"{cache['duplicated']['qps']:,.0f}",
+         f"hit ratio {cache['duplicated']['hit_ratio']:.0%}"]
+    )
+    rows.append(
+        ["shared cache", CACHE_WORKERS,
+         f"{cache['shared']['qps']:,.0f}",
+         f"{cache['shared']['qps'] / cache['duplicated']['qps']:.2f}x vs "
+         f"duplicated, hit ratio {cache['shared']['hit_ratio']:.0%}"]
+    )
     rows.append(
         ["popcount kernel",
          "bitwise_count" if popcount["has_bitwise_count"] else "table",
@@ -358,7 +492,23 @@ def _report() -> Dict[str, object]:
             "worker_counts": list(WORKER_COUNTS),
         },
     )
-    return {"router": router, "modes": by_key}
+    merge_bench_json(
+        "storage",
+        section="shared_cache",
+        results=cache,
+        config={
+            "n_keys": N_KEYS,
+            "num_shards": NUM_SHARDS,
+            "workers": CACHE_WORKERS,
+            "batch_size": CACHE_BATCH,
+            "hot_fraction": HOT_FRACTION,
+            "miss_latency_s": CACHE_MISS_LATENCY,
+            "hot_shard_blocks": hot_shard_blocks(),
+            "range_size": RANGE,
+            "shared_cache_floor": SHARED_CACHE_FLOOR,
+        },
+    )
+    return {"router": router, "modes": by_key, "cache": cache}
 
 
 def test_columnar_router_beats_tuple_fanout():
@@ -390,6 +540,36 @@ def test_process_mode_scales_past_threads():
         f"process mode only {ratio:.2f}x over thread mode at 4 workers "
         f"(floor {PROCESS_FLOOR}x)"
     )
+
+
+def test_shared_cache_beats_duplicated_caches():
+    """ISSUE 10 acceptance bar: at equal aggregate capacity, 4-worker
+    process mode with the shared-memory block cache sustains >= 1.3x
+    the throughput of the legacy duplicated per-worker caches on the
+    skewed batch. The skew concentrates traffic on one worker, whose
+    private replica holds only a quarter of the budget — its misses pay
+    the simulated device latency that the shared slab avoids."""
+    data = _report()
+    dup = data["cache"]["duplicated"]
+    shr = data["cache"]["shared"]
+    ratio = shr["qps"] / dup["qps"]
+    assert ratio >= SHARED_CACHE_FLOOR, (
+        f"shared cache only {ratio:.2f}x over duplicated caches "
+        f"(floor {SHARED_CACHE_FLOOR}x; hit ratios "
+        f"shared {shr['hit_ratio']:.0%} vs dup {dup['hit_ratio']:.0%})"
+    )
+
+
+def test_shared_cache_hits_accumulate_across_workers():
+    """The throughput claim is grounded in cache accounting: the shared
+    slab must end the timed passes with a strictly higher hit ratio
+    than the duplicated replicas, and both configurations must have
+    actually exercised the cache."""
+    data = _report()
+    dup = data["cache"]["duplicated"]
+    shr = data["cache"]["shared"]
+    assert shr["hits"] > 0 and dup["hits"] + dup["misses"] > 0
+    assert shr["hit_ratio"] > dup["hit_ratio"], (dup, shr)
 
 
 def test_process_mode_uses_workers():

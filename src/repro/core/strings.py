@@ -275,6 +275,13 @@ class StringKeyCodec:
                 return None
         else:
             lo_int = encode_string(lo_raw, self._width)
+            if lo_raw.rstrip(b"\x00") != lo_raw:
+                # ``lo`` has trailing NULs: its integer image is shared
+                # with the stripped *canonical* key, which sorts strictly
+                # below ``lo`` in bytes order and must stay excluded.
+                lo_int += 1
+                if lo_int >= self._universe:
+                    return None
         if len(hi_raw) > self._width:
             # Storable keys at or below an over-width endpoint are
             # exactly those encoding at or below its truncation.

@@ -61,7 +61,7 @@ from repro.engine.planner import (
     NegativeRangeCache,
     plan_batch,
 )
-from repro.engine.scheduler import CompactionScheduler
+from repro.engine.scheduler import CompactionScheduler, TokenBucket
 from repro.engine.service import RangeQueryService, RWLock
 from repro.engine.sharding import ShardRouter
 from repro.engine.strings import StringView
@@ -88,6 +88,7 @@ __all__ = [
     "ShardWorkerPool",
     "ShardedEngine",
     "StringView",
+    "TokenBucket",
     "WorkerError",
     "WriteAheadLog",
     "batch_range_empty",

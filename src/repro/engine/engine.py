@@ -35,7 +35,7 @@ import numpy as np
 from repro.core.strings import StringKeyCodec
 from repro.engine import persist
 from repro.engine.batch import batch_range_empty, validate_batch_bounds
-from repro.engine.scheduler import CompactionScheduler
+from repro.engine.scheduler import CompactionScheduler, TokenBucket
 from repro.engine.sharding import ShardRouter
 from repro.engine.wal import OP_CLOCK, OP_DELETE, OP_PUT, WriteAheadLog
 from repro.errors import CorruptionError, InvalidParameterError
@@ -89,6 +89,15 @@ class ShardedEngine:
         by every shard, or ``None`` for the backward-compatible
         full-merge default. Recorded in the manifest, so :meth:`open`
         mounts the same policy without the caller re-supplying it.
+    compaction_rate:
+        Optional compaction throughput ceiling in *entries rewritten
+        per second*: installs a
+        :class:`~repro.engine.scheduler.TokenBucket` on the scheduler,
+        which defers further steps while the bucket is in debt — so
+        deferred compaction cannot monopolise the shards under
+        sustained ingest. ``None`` (default) leaves compaction
+        unthrottled. An operational knob (like ``sync_wal``), not part
+        of the manifest.
     key_codec:
         Optional :class:`~repro.core.strings.StringKeyCodec` declaring
         the engine string-keyed. Its universe must equal ``universe``;
@@ -110,6 +119,7 @@ class ShardedEngine:
         sync_wal: bool = False,
         defer_compaction: bool = True,
         compaction: "str | CompactionPolicy | None" = None,
+        compaction_rate: Optional[float] = None,
         key_codec: Optional[StringKeyCodec] = None,
     ) -> None:
         if universe > 2**64:
@@ -136,7 +146,12 @@ class ShardedEngine:
         self._planner: Optional["BatchPlanner"] = None
         self._defer = bool(defer_compaction)
         self._block_cache: Optional["BlockCache"] = None
-        self._scheduler = CompactionScheduler()
+        self._scheduler = CompactionScheduler(
+            rate_limiter=(
+                TokenBucket(compaction_rate)
+                if compaction_rate is not None else None
+            )
+        )
         self._policy = resolve_policy(compaction)
         self._key_codec = key_codec
         self._ttl_now = 0  # logical TTL clock; advances via advance_clock
@@ -197,6 +212,7 @@ class ShardedEngine:
         filter_factory: Optional[FilterFactory] = None,
         sync_wal: bool = False,
         defer_compaction: bool = True,
+        compaction_rate: Optional[float] = None,
         missing_filter: str = "raise",
     ) -> "ShardedEngine":
         """Recover a persistent engine: snapshot, then WAL replay.
@@ -266,6 +282,8 @@ class ShardedEngine:
             )
         engine._rolled_back = rolled_back
         engine._directory = directory
+        if compaction_rate is not None:
+            engine._scheduler.set_rate_limiter(TokenBucket(compaction_rate))
         engine._wal = WriteAheadLog(directory / "wal.log", sync=sync_wal)
         for op, key, value in engine._wal.recovered:
             engine._apply(op, key, value)
@@ -597,6 +615,27 @@ class ShardedEngine:
     def compaction_policy(self) -> CompactionPolicy:
         """The policy every shard's compaction follows."""
         return self._policy
+
+    def level_stats(self) -> List[Dict[str, int]]:
+        """Cross-shard level topology: per level, total runs/entries
+        (summed over shards) plus the policy budget when levels are
+        budgeted. Row 0 is L0; depth is the deepest shard's."""
+        merged: List[Dict[str, int]] = []
+        for store in self._shards:
+            for row in store.level_stats():
+                li = row["level"]
+                while len(merged) <= li:
+                    merged.append({"level": len(merged), "runs": 0,
+                                   "entries": 0})
+                agg = merged[li]
+                agg["runs"] += row["runs"]
+                agg["entries"] += row["entries"]
+                if "slices" in row:
+                    agg["slices"] = agg.get("slices", 0) + row["slices"]
+                if "budget" in row:
+                    # Per-shard budget; the cross-shard ceiling is the sum.
+                    agg["budget"] = agg.get("budget", 0) + row["budget"]
+        return merged
 
     @property
     def block_cache(self) -> Optional["BlockCache"]:

@@ -12,14 +12,27 @@ newest checkpoint fails verification; ``shard-<i>/*.sst`` — one file
 per run; ``wal.log`` — the write-ahead log, reset by the checkpoint
 and replayed over the snapshot on reopen.
 
-Both formats are versioned and, from version 3, checksummed. A run file
-v3 ends in a crc32 trailer over everything before it; a v3 manifest
-carries a ``crc32`` field over its canonical JSON dump. Verification
-failures raise :class:`~repro.errors.CorruptionError` — the storage
-layer never serves bytes that failed their checksum; crc32 detects
-every single-bit flip and every burst shorter than 32 bits, which
-covers the realistic torn-write and bit-rot cases the crash-fuzz and
-chaos suites inject (see ``docs/robustness.md``).
+Run format **v4** is columnar and mmap-able: a fixed 96-byte header of
+section offsets, then the run's 8-byte-aligned columns exactly as
+:class:`~repro.lsm.sstable.SSTable` holds them in memory — sorted
+``<u8`` keys, the one-byte value tags, the ``va``/``vb``/``vexp``
+operand words, and the var-width value heap — followed by a **per-block
+crc32 array** (one checksum per :data:`~repro.lsm.sstable.BLOCK_ENTRIES`
+block, covering that block's slice of every column plus its contiguous
+heap span) and a filter/metadata section sealed by a crc32 over the
+header and metadata together. Loading a v4 file goes through
+``np.memmap``: the columns become zero-copy views over the page cache
+and no value is deserialised until something actually reads it. There
+is no whole-run pickle: values are typed column entries, and only
+genuinely opaque objects take a per-value pickle lane inside the heap.
+
+Every checksum failure raises :class:`~repro.errors.CorruptionError` —
+the storage layer never serves bytes that failed verification; crc32
+detects every single-bit flip and every burst shorter than 32 bits,
+which covers the realistic torn-write and bit-rot cases the crash-fuzz
+and chaos suites inject (see ``docs/robustness.md``). Alignment padding
+is required to be zero, so no byte of a v4 file is outside some check's
+coverage.
 
 Durability follows the classic rename-commit protocol, with the fsyncs
 real filesystems require: every run blob is fsynced, the manifest is
@@ -28,21 +41,25 @@ directory are fsynced, and only then does the rename of the tmp file
 onto ``MANIFEST.json`` commit the checkpoint. Run files are
 generation-stamped and never overwritten; garbage collection keeps the
 union of the files referenced by the current *and* previous manifests,
-so the last two checkpoint epochs are always on disk intact.
+so the last two checkpoint epochs are always on disk intact. (On POSIX,
+unlinking a GC'd file a reader still has mapped is safe — the mapping
+survives until released; an *explicitly released* run raises
+:class:`~repro.errors.CorruptionError` on any further read instead of
+serving unmapped pages.)
 
 Older formats still load. Manifest version 1 (pre-slicing: per shard a
 ``level0`` list plus a single ``bottom`` run) is normalised to the
 current shape — the bottom becomes a one-run L1. Run versions 1
-(no slice metadata) and 2 (slice bounds, no checksum) load unverified:
-they carry no crc, so only structural damage is detectable there.
+(no slice metadata), 2 (slice bounds, no checksum) and 3 (row-oriented,
+whole-blob crc32 trailer, whole-run pickled values) parse exactly as
+before; they are read whole rather than mapped.
 
-A run file reuses the primitive layout of :mod:`repro.core.serialization`
-(``pack_int`` / ``pack_words``) and embeds the run's *filter bytes* —
-every backend in :mod:`repro.filters.registry` (Grafite, Bucketing,
-SuRF, Rosetta, Proteus, SNARF, REncoder) has a stable format. Persisting
-the filter — rather than rebuilding it from the keys — matters: a rebuild
-would draw fresh hash constants, so a reopened store would false-positive
-on *different* probes than before the restart. With the blob, query
+A run file embeds the run's *filter bytes* — every backend in
+:mod:`repro.filters.registry` (Grafite, Bucketing, SuRF, Rosetta,
+Proteus, SNARF, REncoder) has a stable format. Persisting the filter —
+rather than rebuilding it from the keys — matters: a rebuild would draw
+fresh hash constants, so a reopened store would false-positive on
+*different* probes than before the restart. With the blob, query
 results are bit-for-bit identical across a reopen. A run whose filter
 type has no format is flagged for factory rebuild; loading such a run
 without a factory raises :class:`~repro.errors.ConfigError` unless the
@@ -50,11 +67,14 @@ caller opts into filterless runs.
 
 All file I/O routes through :mod:`repro.faults` so the chaos suites can
 inject torn writes, bit flips and EIO at exactly this seam; with no
-fault plan installed those helpers are passthroughs.
+fault plan installed those helpers are passthroughs. When a fault plan
+targets a run file, loading falls back from ``np.memmap`` to the
+byte-reading seam so injected damage is actually observed.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pickle
 import struct
@@ -80,11 +100,18 @@ from repro.errors import (
     ReproError,
 )
 from repro.lsm.memtable import TOMBSTONE
-from repro.lsm.sstable import FilterFactory, SSTable
+from repro.lsm.sstable import (
+    BLOCK_ENTRIES,
+    FilterFactory,
+    SSTable,
+    _HEAP_TAGS,
+    _TYPE_MASK,
+)
 from repro.lsm.store import LSMStore
 
 _RUN_MAGIC = b"RSST"
-_RUN_VERSION = 3          # v3 appends a crc32 trailer; v1/v2 still load
+_RUN_VERSION = 4          # v4 is columnar + mmap-able; v1/v2/v3 still load
+_V4_HEADER = 96           # magic(4) version(2) hdr_size(2) n(8) + 10 u64s
 
 MANIFEST_NAME = "MANIFEST.json"
 PREV_MANIFEST_NAME = "MANIFEST.prev.json"
@@ -96,67 +123,276 @@ _FILTER_BLOB = 1       # serialised bytes follow; restore exactly
 _FILTER_REBUILD = 2    # no stable format; rebuild from keys via the factory
 
 
-# ----------------------------------------------------------------------
-# Run files
-# ----------------------------------------------------------------------
-def run_to_bytes(run: SSTable) -> bytes:
-    """Serialise one immutable run (keys, values, tombstones, filter).
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
 
-    The returned buffer ends in a little-endian crc32 over everything
-    before it; :func:`run_from_bytes` refuses the blob if the trailer
-    does not match (:class:`~repro.errors.CorruptionError`).
+
+def stable_run_id(shard_id: int, name: str) -> int:
+    """Deterministic 64-bit identity of a checkpointed run file.
+
+    Every process that loads ``shard-<sid>/<name>`` derives the same id,
+    which is what lets the shared-memory block cache
+    (:class:`~repro.lsm.cache.SharedBlockCache`) key one worker's
+    admissions so another worker's probes hit them. Derived from the
+    *name*, which is generation-stamped and never reused within a
+    directory.
     """
-    n = len(run)
-    keys = np.asarray(run._keys, dtype=np.uint64)
-    tombstone_mask = bytearray((n + 7) // 8)
-    live_values: List[Any] = []
-    for i, value in enumerate(run._values):
-        if value is TOMBSTONE:
-            tombstone_mask[i // 8] |= 1 << (i % 8)
-        else:
-            live_values.append(value)
-    values_blob = pickle.dumps(live_values, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.blake2b(
+        f"shard-{shard_id:04d}/{name}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+# ----------------------------------------------------------------------
+# Run files — v4 columnar writer
+# ----------------------------------------------------------------------
+def _block_heap_bounds(
+    tags: np.ndarray, va: np.ndarray, vb: np.ndarray, start: int, stop: int
+) -> Tuple[int, int]:
+    """Absolute ``[lo, hi)`` heap span entries ``[start, stop)`` reference.
+
+    Heap payloads are appended in entry order
+    (:func:`~repro.lsm.sstable._encode_one`), so the span is contiguous:
+    from the first heap-typed entry's offset to the last's end.
+    """
+    kinds = tags[start:stop] & np.uint8(_TYPE_MASK)
+    idx = np.flatnonzero(np.isin(kinds, _HEAP_TAGS))
+    if idx.size == 0:
+        return 0, 0
+    first = start + int(idx[0])
+    last = start + int(idx[-1])
+    return int(va[first]), int(va[last]) + int(vb[last])
+
+
+def _v4_block_crcs(
+    keys: np.ndarray,
+    tags: np.ndarray,
+    va: np.ndarray,
+    vb: np.ndarray,
+    vexp: np.ndarray,
+    heap,
+) -> np.ndarray:
+    """crc32 per block over its column slices + its heap span, computed
+    incrementally over buffer views — no intermediate copies."""
+    n = int(keys.size)
+    nblocks = -(-n // BLOCK_ENTRIES)
+    heap_mv = memoryview(heap)
+    crcs = np.empty(nblocks, dtype=np.uint32)
+    for b in range(nblocks):
+        start = b * BLOCK_ENTRIES
+        stop = min(start + BLOCK_ENTRIES, n)
+        crc = zlib.crc32(keys[start:stop])
+        crc = zlib.crc32(tags[start:stop], crc)
+        crc = zlib.crc32(va[start:stop], crc)
+        crc = zlib.crc32(vb[start:stop], crc)
+        crc = zlib.crc32(vexp[start:stop], crc)
+        heap_lo, heap_hi = _block_heap_bounds(tags, va, vb, start, stop)
+        if heap_hi > heap_lo:
+            crc = zlib.crc32(heap_mv[heap_lo:heap_hi], crc)
+        crcs[b] = crc & 0xFFFFFFFF
+    return crcs
+
+
+def _filter_parts(run: SSTable) -> Tuple[int, bytes]:
     filt = run.filter
     if filt is None:
-        filter_mode, filter_blob = _FILTER_NONE, b""
-    else:
-        try:
-            filter_mode, filter_blob = _FILTER_BLOB, filter_to_bytes(filt)
-        except InvalidParameterError:
-            filter_mode, filter_blob = _FILTER_REBUILD, b""
+        return _FILTER_NONE, b""
+    try:
+        return _FILTER_BLOB, filter_to_bytes(filt)
+    except InvalidParameterError:
+        return _FILTER_REBUILD, b""
+
+
+def _bounds_part(run: SSTable) -> bytes:
     bounds = run.slice_bounds
     if bounds is None:
-        bounds_part = struct.pack("<B", 0)
-    else:
-        bounds_part = struct.pack("<B", 1) + pack_int(bounds[0]) + pack_int(bounds[1])
-    parts = [
-        _RUN_MAGIC,
-        struct.pack("<H", _RUN_VERSION),
-        struct.pack("<Q", n),
+        return struct.pack("<B", 0)
+    return struct.pack("<B", 1) + pack_int(bounds[0]) + pack_int(bounds[1])
+
+
+def run_to_bytes(run: SSTable) -> bytes:
+    """Serialise one immutable run in columnar format v4.
+
+    Layout: a 96-byte header (magic, version, entry count, the offset of
+    every section, heap and metadata lengths), then 8-byte-aligned
+    sections — keys, tags, ``va``, ``vb``, ``vexp``, heap, the per-block
+    crc32 array, and metadata (universe, slice bounds, filter mode +
+    blob) ending in a crc32 over header+metadata. The section layout is
+    byte-identical to what ``np.memmap`` hands back on load, so writing
+    is a straight column dump and loading is zero-copy.
+    """
+    keys = np.ascontiguousarray(run.keys_view(), dtype=np.uint64)
+    tags_c, va_c, vb_c, vexp_c, heap = run.value_columns()
+    tags = np.ascontiguousarray(tags_c, dtype=np.uint8)
+    va = np.ascontiguousarray(va_c, dtype=np.uint64)
+    vb = np.ascontiguousarray(vb_c, dtype=np.uint64)
+    vexp = np.ascontiguousarray(vexp_c, dtype=np.uint64)
+    n = int(keys.size)
+    nblocks = -(-n // BLOCK_ENTRIES)
+    heap_len = len(heap)
+
+    off_keys = _V4_HEADER
+    off_tags = off_keys + 8 * n
+    off_va = _align8(off_tags + n)
+    off_vb = off_va + 8 * n
+    off_vexp = off_vb + 8 * n
+    off_heap = off_vexp + 8 * n
+    off_blockcrc = _align8(off_heap + heap_len)
+    off_meta = _align8(off_blockcrc + 4 * nblocks)
+
+    filter_mode, filter_blob = _filter_parts(run)
+    meta_body = b"".join([
         pack_int(run.universe),
-        pack_words(keys),
-        struct.pack("<Q", len(tombstone_mask)),
-        bytes(tombstone_mask),
-        struct.pack("<Q", len(values_blob)),
-        values_blob,
-        bounds_part,
+        _bounds_part(run),
         struct.pack("<BQ", filter_mode, len(filter_blob)),
         filter_blob,
+    ])
+    meta_len = len(meta_body) + 4  # + crc32 trailer
+
+    header = struct.pack("<4sHHQ", _RUN_MAGIC, _RUN_VERSION, _V4_HEADER, n)
+    header += struct.pack(
+        "<10Q", off_keys, off_tags, off_va, off_vb, off_vexp,
+        off_heap, off_blockcrc, off_meta, heap_len, meta_len,
+    )
+    meta_crc = zlib.crc32(meta_body, zlib.crc32(header)) & 0xFFFFFFFF
+
+    out = bytearray(off_meta + meta_len)
+    out[0:_V4_HEADER] = header
+    out[off_keys:off_keys + 8 * n] = keys.tobytes()
+    out[off_tags:off_tags + n] = tags.tobytes()
+    out[off_va:off_va + 8 * n] = va.tobytes()
+    out[off_vb:off_vb + 8 * n] = vb.tobytes()
+    out[off_vexp:off_vexp + 8 * n] = vexp.tobytes()
+    out[off_heap:off_heap + heap_len] = heap
+    crcs = _v4_block_crcs(keys, tags, va, vb, vexp, heap)
+    out[off_blockcrc:off_blockcrc + 4 * nblocks] = (
+        crcs.astype("<u4").tobytes()
+    )
+    out[off_meta:off_meta + len(meta_body)] = meta_body
+    out[off_meta + len(meta_body):] = struct.pack("<I", meta_crc)
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# Run files — parsing (v4 zero-copy; v1–v3 legacy)
+# ----------------------------------------------------------------------
+def _restore_filter(
+    filter_mode: int,
+    filter_blob: bytes,
+    keys: np.ndarray,
+    universe: int,
+    filter_factory: Optional[FilterFactory],
+    missing_filter: str,
+):
+    if filter_mode == _FILTER_BLOB:
+        return filter_from_bytes(filter_blob)
+    if filter_mode == _FILTER_REBUILD and filter_factory is not None:
+        return filter_factory(keys, universe)
+    if filter_mode == _FILTER_REBUILD and missing_filter == "raise":
+        raise ConfigError(
+            "snapshot run was built with a filter that has no stable byte "
+            "format, and no filter_factory was provided to rebuild it — "
+            "pass the factory the engine was created with, or opt into "
+            "filterless runs explicitly with missing_filter='drop'"
+        )
+    return None
+
+
+def _parse_run_v4(
+    buf,
+    filter_factory: Optional[FilterFactory],
+    missing_filter: str,
+    *,
+    backing=None,
+) -> SSTable:
+    mv = memoryview(buf)
+    if len(mv) < _V4_HEADER:
+        raise CorruptionError("run file too short for a v4 header")
+    header = bytes(mv[:_V4_HEADER])
+    _, _, header_size, n = struct.unpack_from("<4sHHQ", header, 0)
+    if header_size != _V4_HEADER:
+        raise CorruptionError(f"unexpected v4 header size {header_size}")
+    (
+        off_keys, off_tags, off_va, off_vb, off_vexp,
+        off_heap, off_blockcrc, off_meta, heap_len, meta_len,
+    ) = struct.unpack_from("<10Q", header, 16)
+    nblocks = -(-n // BLOCK_ENTRIES)
+    expected = [
+        (off_keys, 8 * n), (off_tags, n), (off_va, 8 * n), (off_vb, 8 * n),
+        (off_vexp, 8 * n), (off_heap, heap_len), (off_blockcrc, 4 * nblocks),
+        (off_meta, meta_len),
     ]
-    body = b"".join(parts)
-    return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+    cursor = _V4_HEADER
+    for off, length in expected:
+        if off < cursor or off + length > len(mv):
+            raise CorruptionError("run file truncated or section offsets invalid")
+        # Alignment gaps must be zero: every padding byte is covered by
+        # *some* check, so no flip hides between sections.
+        if any(mv[cursor:off]):
+            raise CorruptionError("run file padding is not zero")
+        cursor = off + length
+    if meta_len < 4:
+        raise CorruptionError("run metadata too short for its checksum")
+    meta = bytes(mv[off_meta:off_meta + meta_len])
+    (recorded_meta,) = struct.unpack_from("<I", meta, meta_len - 4)
+    actual_meta = zlib.crc32(meta[:-4], zlib.crc32(header)) & 0xFFFFFFFF
+    if actual_meta != recorded_meta:
+        raise CorruptionError(
+            f"run metadata checksum mismatch: recorded {recorded_meta:#010x}, "
+            f"computed {actual_meta:#010x}"
+        )
+
+    keys = np.frombuffer(mv, dtype=np.uint64, count=n, offset=off_keys)
+    tags = np.frombuffer(mv, dtype=np.uint8, count=n, offset=off_tags)
+    va = np.frombuffer(mv, dtype=np.uint64, count=n, offset=off_va)
+    vb = np.frombuffer(mv, dtype=np.uint64, count=n, offset=off_vb)
+    vexp = np.frombuffer(mv, dtype=np.uint64, count=n, offset=off_vexp)
+    heap = mv[off_heap:off_heap + heap_len]
+
+    recorded_crcs = np.frombuffer(
+        mv, dtype="<u4", count=nblocks, offset=off_blockcrc
+    )
+    actual_crcs = _v4_block_crcs(keys, tags, va, vb, vexp, heap)
+    if not np.array_equal(recorded_crcs, actual_crcs):
+        bad = int(np.flatnonzero(recorded_crcs != actual_crcs)[0])
+        raise CorruptionError(
+            f"run block {bad} checksum mismatch: recorded "
+            f"{int(recorded_crcs[bad]):#010x}, computed "
+            f"{int(actual_crcs[bad]):#010x}"
+        )
+
+    offset = 0
+    universe, offset = unpack_int(meta, offset)
+    (has_bounds,) = struct.unpack_from("<B", meta, offset)
+    offset += 1
+    slice_bounds = None
+    if has_bounds:
+        bounds_lo, offset = unpack_int(meta, offset)
+        bounds_hi, offset = unpack_int(meta, offset)
+        slice_bounds = (int(bounds_lo), int(bounds_hi))
+    filter_mode, filter_len = struct.unpack_from("<BQ", meta, offset)
+    offset += 9
+    filter_blob = meta[offset:offset + filter_len]
+    if len(filter_blob) != filter_len:
+        raise CorruptionError("run filter blob truncated")
+    filt = _restore_filter(
+        filter_mode, filter_blob, keys, int(universe),
+        filter_factory, missing_filter,
+    )
+    return SSTable.from_columns(
+        keys, tags, va, vb, vexp, heap, int(universe), filt,
+        slice_bounds=slice_bounds, backing=backing,
+    )
 
 
-def _parse_run(
+def _parse_run_legacy(
     buf: bytes,
+    version: int,
     filter_factory: Optional[FilterFactory],
     missing_filter: str,
 ) -> SSTable:
-    if buf[:4] != _RUN_MAGIC:
-        raise CorruptionError("not a serialised SSTable run (bad magic)")
-    (version,) = struct.unpack_from("<H", buf, 4)
-    if version not in (1, 2, _RUN_VERSION):
-        raise CorruptionError(f"unsupported run format version {version}")
+    """Row-oriented formats v1–v3 (tombstone bitmask + whole-run pickled
+    live values; v3 adds a crc32 trailer)."""
     if version >= 3:
         if len(buf) < 10:
             raise CorruptionError("run blob too short to hold its checksum")
@@ -209,37 +445,59 @@ def _parse_run(
         else:
             values.append(next(live_iter))
 
-    if filter_mode == _FILTER_BLOB:
-        filt = filter_from_bytes(filter_blob)
-    elif filter_mode == _FILTER_REBUILD and filter_factory is not None:
-        filt = filter_factory(keys, int(universe))
-    elif filter_mode == _FILTER_REBUILD and missing_filter == "raise":
-        raise ConfigError(
-            "snapshot run was built with a filter that has no stable byte "
-            "format, and no filter_factory was provided to rebuild it — "
-            "pass the factory the engine was created with, or opt into "
-            "filterless runs explicitly with missing_filter='drop'"
-        )
-    else:
-        filt = None
+    filt = _restore_filter(
+        filter_mode, filter_blob, keys, int(universe),
+        filter_factory, missing_filter,
+    )
     return SSTable.from_parts(
         keys, values, int(universe), filt, slice_bounds=slice_bounds
     )
 
 
+def _parse_run(
+    buf,
+    filter_factory: Optional[FilterFactory],
+    missing_filter: str,
+    *,
+    backing=None,
+) -> SSTable:
+    head = bytes(memoryview(buf)[:6])
+    if head[:4] != _RUN_MAGIC:
+        raise CorruptionError("not a serialised SSTable run (bad magic)")
+    (version,) = struct.unpack_from("<H", head, 4)
+    if version == _RUN_VERSION:
+        return _parse_run_v4(
+            buf, filter_factory, missing_filter, backing=backing
+        )
+    if version in (1, 2, 3):
+        return _parse_run_legacy(
+            bytes(memoryview(buf)), version, filter_factory, missing_filter
+        )
+    raise CorruptionError(f"unsupported run format version {version}")
+
+
 def run_from_bytes(
-    buf: bytes,
+    buf,
     filter_factory: Optional[FilterFactory] = None,
     *,
     missing_filter: str = "raise",
+    backing=None,
 ) -> SSTable:
-    """Load a run serialised by :func:`run_to_bytes`.
+    """Load a run serialised by :func:`run_to_bytes` (any version).
 
-    A version-3 blob is checksum-verified before any parsing is trusted;
-    a mismatch — or any structural damage, in any version — raises
-    :class:`~repro.errors.CorruptionError`. The caller (shard loading in
-    :meth:`ShardedEngine.open`) treats that as "this checkpoint epoch is
-    bad" and rolls back rather than serving a partially-decoded run.
+    ``buf`` may be ``bytes`` or any contiguous buffer — notably an
+    ``np.memmap`` of the run file, in which case a v4 run adopts the
+    mapping zero-copy and ``backing`` should be the memmap so the run
+    keeps the mapping alive for as long as any view needs it.
+
+    Every stored checksum is verified before the bytes are trusted: the
+    v4 metadata crc and every per-block crc (eagerly — a later
+    lazily-discovered bad block could not roll the open back), or the
+    v3 whole-blob trailer. A mismatch — or any structural damage, in
+    any version — raises :class:`~repro.errors.CorruptionError`. The
+    caller (shard loading in :meth:`ShardedEngine.open`) treats that as
+    "this checkpoint epoch is bad" and rolls back rather than serving a
+    partially-decoded run.
 
     A run whose filter had a stable byte format restores it from the
     embedded blob regardless of ``filter_factory``. A run flagged
@@ -261,7 +519,9 @@ def run_from_bytes(
             f"missing_filter must be 'raise' or 'drop', got {missing_filter!r}"
         )
     try:
-        return _parse_run(buf, filter_factory, missing_filter)
+        return _parse_run(
+            buf, filter_factory, missing_filter, backing=backing
+        )
     except ReproError:
         raise
     except Exception as exc:
@@ -359,6 +619,10 @@ def save_snapshot(
     ``MANIFEST.json``; (5) the root directory is fsynced, making the
     rename — the commit point — durable. A crash at *any* point leaves
     either the old or the new checkpoint fully intact.
+
+    As each run file lands, the in-memory run is stamped with its
+    :func:`stable_run_id`, so the writing process and any worker that
+    later loads the same file agree on the run's shared-cache identity.
     """
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
@@ -376,6 +640,7 @@ def save_snapshot(
         for j, run in enumerate(store.level0_runs):
             name = f"run-{generation:06d}-{j:04d}.sst"
             faults.write_bytes(shard_dir / name, run_to_bytes(run), fsync=True)
+            run.shared_id = stable_run_id(sid, name)
             level0_names.append(name)
         level_names: List[List[str]] = []
         for li, level in enumerate(store.levels, start=1):
@@ -383,6 +648,7 @@ def save_snapshot(
             for j, run in enumerate(level):
                 name = f"l{li}-{generation:06d}-{j:04d}.sst"
                 faults.write_bytes(shard_dir / name, run_to_bytes(run), fsync=True)
+                run.shared_id = stable_run_id(sid, name)
                 names.append(name)
             level_names.append(names)
         shard_entries.append({"level0": level0_names, "levels": level_names})
@@ -408,7 +674,8 @@ def save_snapshot(
     faults.fsync_dir(root)
     # Garbage-collect run files neither retained epoch references. The
     # previous epoch's files stay on disk so a corrupt newest checkpoint
-    # can roll back to an intact one.
+    # can roll back to an intact one. (A GC'd file some reader still has
+    # mapped stays readable through its mapping until released.)
     prev_live: Dict[int, Set[str]] = {}
     try:
         prev_manifest = load_manifest(root, name=PREV_MANIFEST_NAME)
@@ -468,6 +735,15 @@ def load_shard(
 ) -> LSMStore:
     """Rebuild one shard's :class:`LSMStore` from a snapshot manifest.
 
+    A v4 run file is opened with ``np.memmap``: its columns become
+    zero-copy views over the page cache (checksums are still verified
+    eagerly — integrity before laziness), the mapping is retained as the
+    run's backing, and the run is stamped with its
+    :func:`stable_run_id` for the shared block cache. When a fault plan
+    targets the file, loading falls back to the byte-reading seam so
+    injected bit flips and EIO are observed. Legacy v1–v3 files are read
+    whole, as always.
+
     The per-shard granularity is what the process-mode serving workers
     use: each worker owns a subset of the shards and loads only those
     from the checkpoint, read-only — every registered backend restores
@@ -489,17 +765,32 @@ def load_shard(
     def load_run(name: str) -> SSTable:
         path = shard_dir / name
         try:
-            blob = faults.read_bytes(path)
+            if faults._active_for(path) is None:
+                mapped = np.memmap(path, dtype=np.uint8, mode="r")
+                run = run_from_bytes(
+                    mapped, filter_factory,
+                    missing_filter=missing_filter, backing=mapped,
+                )
+            else:
+                # Fault injection targets this file: read through the
+                # seam so the plan's damage is actually applied.
+                run = run_from_bytes(
+                    faults.read_bytes(path), filter_factory,
+                    missing_filter=missing_filter,
+                )
         except FileNotFoundError as exc:
             raise CorruptionError(
                 f"{path}: run file referenced by the manifest is missing"
             ) from exc
-        try:
-            return run_from_bytes(
-                blob, filter_factory, missing_filter=missing_filter
-            )
         except CorruptionError as exc:
             raise CorruptionError(f"{path}: {exc}") from exc
+        except ReproError:
+            raise  # e.g. ConfigError: a configuration problem, not damage
+        except ValueError as exc:
+            # np.memmap refuses empty files; nothing valid is that short.
+            raise CorruptionError(f"{path}: {exc!r}") from exc
+        run.shared_id = stable_run_id(shard_id, name)
+        return run
 
     level0 = [load_run(name) for name in entry["level0"]]
     levels = [[load_run(name) for name in names] for names in entry["levels"]]
@@ -550,11 +841,13 @@ def scrub_snapshot(directory: str | Path) -> Dict[str, Any]:
 
     Checks, without mutating anything: the current manifest parses and
     its crc32 matches (v3); every run file each retained manifest
-    references exists, passes its checksum, and parses structurally
-    (filters are loaded in ``missing_filter="drop"`` mode — scrub
-    verifies integrity, not configuration); the WAL's record chain is
-    intact (a torn tail is reported but is *not* corruption — crash
-    recovery tolerates it by design).
+    references exists, passes its checksums — for a v4 run that means
+    the metadata crc *and every per-block crc32*, so a flip in any
+    single block is pinpointed — and parses structurally (filters are
+    loaded in ``missing_filter="drop"`` mode — scrub verifies integrity,
+    not configuration); the WAL's record chain is intact (a torn tail is
+    reported but is *not* corruption — crash recovery tolerates it by
+    design).
 
     Returns a report dict: ``ok`` (no corruption anywhere), per-artifact
     statuses, and an ``errors`` list naming each corrupt artifact — the
@@ -637,3 +930,42 @@ def scrub_snapshot(directory: str | Path) -> Dict[str, Any]:
     else:
         report["wal"] = "missing"
     return report
+
+
+# ----------------------------------------------------------------------
+# Legacy writer (fixture generation for format-compat tests)
+# ----------------------------------------------------------------------
+def _run_to_bytes_v3(run: SSTable) -> bytes:
+    """Serialise a run in the retired row-oriented v3 format.
+
+    Kept (private) so the format-compatibility suite can generate
+    genuine v1–v3 snapshots to prove they still reopen byte-for-byte;
+    production writes always use v4.
+    """
+    n = len(run)
+    keys = np.asarray(run.keys_view(), dtype=np.uint64)
+    tombstone_mask = bytearray((n + 7) // 8)
+    live_values: List[Any] = []
+    for i, (_, value) in enumerate(run.entries()):
+        if value is TOMBSTONE:
+            tombstone_mask[i // 8] |= 1 << (i % 8)
+        else:
+            live_values.append(value)
+    values_blob = pickle.dumps(live_values, protocol=pickle.HIGHEST_PROTOCOL)
+    filter_mode, filter_blob = _filter_parts(run)
+    parts = [
+        _RUN_MAGIC,
+        struct.pack("<H", 3),
+        struct.pack("<Q", n),
+        pack_int(run.universe),
+        pack_words(keys),
+        struct.pack("<Q", len(tombstone_mask)),
+        bytes(tombstone_mask),
+        struct.pack("<Q", len(values_blob)),
+        values_blob,
+        _bounds_part(run),
+        struct.pack("<BQ", filter_mode, len(filter_blob)),
+        filter_blob,
+    ]
+    body = b"".join(parts)
+    return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)

@@ -28,18 +28,98 @@ convenience that skips that ceremony).
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional, Tuple
+import time
+from typing import Callable, Dict, Optional, Tuple
 
+from repro.errors import InvalidParameterError
 from repro.lsm.store import LSMStore
+
+
+class TokenBucket:
+    """Token-bucket rate limiter metered in *entries compacted*.
+
+    Compaction cost is dominated by entries rewritten, not steps taken —
+    a deep leveled push-down rewrites one slice's worth, a full merge
+    rewrites the store — so the bucket refills at ``rate`` entries per
+    second and each step *debits its actual rewrite size afterwards*.
+    A step's cost is unknown before it runs, so admission is "balance is
+    positive": one step may overdraw the bucket, and the debt then
+    defers further steps until the refill catches up. That bounds
+    sustained compaction throughput at ``rate`` while never deadlocking
+    on a single step larger than the burst.
+
+    ``clock`` is injectable (tests pass a fake monotone clock); the
+    default is :func:`time.monotonic`. Thread-safe.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise InvalidParameterError(
+                f"rate must be positive entries/sec, got {rate}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else self.rate
+        if self.burst <= 0:
+            raise InvalidParameterError("burst must be positive")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._balance = self.burst  # may go negative after a big debit
+        self._last = float(clock())
+
+    def _refill_locked(self) -> None:
+        now = float(self._clock())
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._balance = min(self.burst, self._balance + elapsed * self.rate)
+            self._last = now
+
+    def ready(self) -> bool:
+        """May a compaction step start now? (Positive balance.)"""
+        with self._lock:
+            self._refill_locked()
+            return self._balance > 0
+
+    def debit(self, tokens: float) -> None:
+        """Charge a finished step's actual entry count against the bucket."""
+        if tokens <= 0:
+            return
+        with self._lock:
+            self._refill_locked()
+            self._balance -= float(tokens)
+
+    def eta(self) -> float:
+        """Seconds until the balance turns positive (0 when ready)."""
+        with self._lock:
+            self._refill_locked()
+            if self._balance > 0:
+                return 0.0
+            return (-self._balance) / self.rate + 1e-9
+
+    @property
+    def balance(self) -> float:
+        with self._lock:
+            self._refill_locked()
+            return self._balance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TokenBucket(rate={self.rate}, balance={self.balance:.1f})"
 
 
 class CompactionScheduler:
     """Thread-safe FIFO queue of shards whose level 0 reached the fanout."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, rate_limiter: Optional[TokenBucket] = None) -> None:
         self._lock = threading.Lock()
         self._pending: Dict[int, LSMStore] = {}  # insertion-ordered
         self._drained_total = 0
+        self._throttled_total = 0
+        self._rate_limiter = rate_limiter
 
     def notify(self, shard_id: int, store: LSMStore) -> None:
         """Record that ``shard_id`` may need compaction (cheap, idempotent).
@@ -70,6 +150,39 @@ class CompactionScheduler:
         with self._lock:
             self._drained_total += count
 
+    def record_throttle(self, count: int = 1) -> None:
+        """Fold rate-limiter deferrals an external worker hit into the
+        ledger (diagnostics only; the work stays queued)."""
+        with self._lock:
+            self._throttled_total += count
+
+    @property
+    def rate_limiter(self) -> Optional[TokenBucket]:
+        """The compaction rate limiter, when one is configured."""
+        return self._rate_limiter
+
+    def set_rate_limiter(self, limiter: Optional[TokenBucket]) -> None:
+        """Install (or remove) the compaction rate limiter.
+
+        A single attribute store — atomic under the GIL, safe while the
+        background worker is mid-drain: the worker picks the new limiter
+        up on its next step admission.
+        """
+        self._rate_limiter = limiter
+
+    def throttle_wait(self) -> float:
+        """0 when a step may start now, else seconds until the limiter
+        refills — the back-off a draining worker should sleep.
+
+        Counts a throttle event whenever it defers, so sustained
+        rate-limiting is visible in stats even when no step ever runs.
+        """
+        limiter = self._rate_limiter
+        if limiter is None or limiter.ready():
+            return 0.0
+        self.record_throttle(1)
+        return limiter.eta()
+
     def drain(self, max_steps: Optional[int] = None) -> int:
         """Run pending compaction steps (all, or at most ``max_steps``).
 
@@ -83,6 +196,7 @@ class CompactionScheduler:
         steps run on the calling thread with no shard locking.
         """
         done = 0
+        throttled = False
         while max_steps is None or done < max_steps:
             item = self.pop()
             if item is None:
@@ -91,11 +205,23 @@ class CompactionScheduler:
             while store.needs_compaction and (
                 max_steps is None or done < max_steps
             ):
+                if self.throttle_wait() > 0:
+                    # The bucket is in debt: leave the shard queued and
+                    # return — drain() runs between query batches and
+                    # must never sleep on the query path.
+                    throttled = True
+                    break
+                before = store.stats.entries_compacted
                 if not store.compact_step():
                     break
                 done += 1
+                limiter = self._rate_limiter
+                if limiter is not None:
+                    limiter.debit(store.stats.entries_compacted - before)
             if store.needs_compaction:  # step budget ran out mid-shard
                 self.notify(shard_id, store)
+                break
+            if throttled:
                 break
         self.record_compactions(done)
         return done
@@ -112,6 +238,12 @@ class CompactionScheduler:
         recorded by a background worker via :meth:`record_compactions`."""
         with self._lock:
             return self._drained_total
+
+    @property
+    def compactions_throttled(self) -> int:
+        """Times a step was deferred because the rate limiter was dry."""
+        with self._lock:
+            return self._throttled_total
 
     def __len__(self) -> int:
         with self._lock:

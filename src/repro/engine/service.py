@@ -69,7 +69,7 @@ from repro.engine.batch import (
 from repro.engine.engine import ShardedEngine
 from repro.engine.workers import ShardWorkerPool, WorkerError
 from repro.errors import InvalidParameterError
-from repro.lsm.cache import BlockCache
+from repro.lsm.cache import BlockCache, SharedBlockCache
 from repro.lsm.store import IoStats
 
 
@@ -168,6 +168,15 @@ class RangeQueryService:
     num_workers:
         Worker processes in process mode (default: ``num_threads``,
         capped at the shard count). Ignored in thread mode.
+    shared_cache:
+        Process mode only. ``True`` (default) homes the block cache in
+        a :class:`~repro.lsm.cache.SharedBlockCache` shared-memory slab
+        that the parent *and* every snapshot worker attach to — one
+        admission warms all processes, and cache memory is one slab
+        instead of one replica per worker. ``False`` keeps the legacy
+        duplicated per-worker caches (each worker gets a private
+        ``cache_blocks``-block replica). Ignored in thread mode and
+        when the caller pre-attached a cache to the engine.
     """
 
     def __init__(
@@ -181,6 +190,7 @@ class RangeQueryService:
         compaction_poll: float = 0.01,
         mode: str = "thread",
         num_workers: Optional[int] = None,
+        shared_cache: bool = True,
     ) -> None:
         if num_threads < 1:
             raise InvalidParameterError("num_threads must be >= 1")
@@ -188,15 +198,31 @@ class RangeQueryService:
             raise InvalidParameterError("compaction_poll must be positive")
         if mode not in ("thread", "process"):
             raise InvalidParameterError(f"unknown serving mode {mode!r}")
+        if mode == "process" and engine.directory is None:
+            raise InvalidParameterError(
+                "mode='process' needs a persistent engine: the snapshot "
+                "workers open the shards from its checkpoint directory"
+            )
         self._engine = engine
         self._mode = mode
         self._num_threads = int(num_threads)
         self._locks = [RWLock() for _ in engine.shards]
         self._cache: Optional[BlockCache] = engine.block_cache
+        self._owns_shared_cache = False
         if self._cache is None and cache_blocks:
-            self._cache = BlockCache(
-                cache_blocks, num_stripes=cache_stripes, miss_latency=miss_latency
-            )
+            if mode == "process" and shared_cache:
+                self._cache = SharedBlockCache(
+                    cache_blocks,
+                    num_stripes=cache_stripes,
+                    miss_latency=miss_latency,
+                )
+                self._owns_shared_cache = True
+            else:
+                self._cache = BlockCache(
+                    cache_blocks,
+                    num_stripes=cache_stripes,
+                    miss_latency=miss_latency,
+                )
             engine.attach_block_cache(self._cache)
         self._workers: Optional[ShardWorkerPool] = None
         self._synced_versions: List[int] = []
@@ -204,31 +230,40 @@ class RangeQueryService:
         self._worker_queries = 0
         self._local_queries = 0
         if mode == "process":
-            if engine.directory is None:
-                raise InvalidParameterError(
-                    "mode='process' needs a persistent engine: the snapshot "
-                    "workers open the shards from its checkpoint directory"
-                )
             # Seed the workers with a fresh checkpoint, then fork them
             # *before* any thread of ours exists (fork safety). Workers
             # replicate the block-cache configuration so their run reads
             # pay the same simulated device cost as the in-process path.
-            engine.checkpoint()
-            self._workers = ShardWorkerPool(
-                engine.directory,
-                engine.num_shards,
-                num_workers if num_workers is not None else self._num_threads,
-                cache_blocks=(
-                    self._cache.capacity_blocks if self._cache is not None else 0
-                ),
-                cache_stripes=(
-                    self._cache.num_stripes if self._cache is not None else 4
-                ),
-                miss_latency=(
-                    self._cache.miss_latency if self._cache is not None else 0.0
-                ),
-            )
-            self._sync_workers()
+            try:
+                engine.checkpoint()
+                self._workers = ShardWorkerPool(
+                    engine.directory,
+                    engine.num_shards,
+                    num_workers if num_workers is not None else self._num_threads,
+                    cache_blocks=(
+                        self._cache.capacity_blocks
+                        if self._cache is not None else 0
+                    ),
+                    cache_stripes=(
+                        self._cache.num_stripes if self._cache is not None else 4
+                    ),
+                    miss_latency=(
+                        self._cache.miss_latency if self._cache is not None else 0.0
+                    ),
+                    shared_cache=(
+                        self._cache
+                        if isinstance(self._cache, SharedBlockCache) else None
+                    ),
+                )
+                self._sync_workers()
+            except BaseException:
+                # The constructor owns the slab until __init__ returns:
+                # release it (and the engine's reference to it) rather
+                # than leaking the shared-memory segment.
+                if self._owns_shared_cache and self._cache is not None:
+                    engine.attach_block_cache(None)
+                    self._cache.close()
+                raise
         self._pool = ThreadPoolExecutor(
             max_workers=self._num_threads, thread_name_prefix="repro-query"
         )
@@ -612,6 +647,13 @@ class RangeQueryService:
         """
         scheduler = self._engine.scheduler
         while not self._stop.is_set():
+            wait = scheduler.throttle_wait()
+            if wait > 0:
+                # Rate limiter in debt: the queued shards stay queued and
+                # the worker sleeps until roughly the refill point (or
+                # its ordinary poll, whichever comes first).
+                self._stop.wait(min(self._poll, wait))
+                continue
             with self._work_mutex:
                 item = scheduler.pop()
                 if item is not None:
@@ -622,9 +664,15 @@ class RangeQueryService:
             sid, store = item
             try:
                 with self._locks[sid].write_locked():
+                    before = store.stats.entries_compacted
                     if store.needs_compaction and store.compact_step():
                         scheduler.record_compactions(1)
                         self._background_compactions += 1
+                        limiter = scheduler.rate_limiter
+                        if limiter is not None:
+                            limiter.debit(
+                                store.stats.entries_compacted - before
+                            )
             finally:
                 with self._work_mutex:
                     # Re-queue *before* dropping the in-flight flag so
@@ -642,7 +690,9 @@ class RangeQueryService:
 
         The engine itself stays usable (single-threaded) after the
         service closes; the block cache stays attached, which never
-        changes results.
+        changes results — except a service-owned *shared* cache, whose
+        shared-memory slab must be unlinked: it is detached from the
+        engine and destroyed once the workers borrowing it are gone.
         """
         if self._closed:
             return
@@ -654,6 +704,10 @@ class RangeQueryService:
         self._pool.shutdown(wait=True)
         if self._workers is not None:
             self._workers.close()
+        if self._owns_shared_cache and self._cache is not None:
+            self._engine.attach_block_cache(None)
+            self._cache.close()
+            self._cache = None
 
     def __enter__(self) -> "RangeQueryService":
         return self
@@ -741,6 +795,14 @@ class RangeQueryService:
                 "backlog": backlog + int(inflight),
                 "background_steps": self._background_compactions,
                 "total_steps": stats.compactions,
+                "throttled_steps": (
+                    self._engine.scheduler.compactions_throttled
+                ),
+                "rate_limit": (
+                    self._engine.scheduler.rate_limiter.rate
+                    if self._engine.scheduler.rate_limiter is not None
+                    else None
+                ),
             },
             "queries": {
                 "worker": self._worker_queries,
@@ -761,6 +823,7 @@ class RangeQueryService:
                 "shards": self._engine.num_shards,
                 "runs": self._engine.run_count,
                 "filter_bits": self._engine.filter_bits_total,
+                "levels": self._engine.level_stats(),
             },
             "planner": (
                 self._engine.planner.stats_snapshot()

@@ -55,11 +55,14 @@ import warnings
 from collections import deque
 from multiprocessing import shared_memory
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lsm.cache import SharedBlockCache
 
 #: Per-chunk I/O counters a worker ships back: (reads_performed,
 #: reads_avoided, wasted_reads, cache_hits, cache_misses).
@@ -131,6 +134,8 @@ def worker_main(
     cache_blocks: int = 0,
     cache_stripes: int = 4,
     miss_latency: float = 0.0,
+    shared_cache_name: Optional[str] = None,
+    shared_cache_locks: Optional[Sequence[object]] = None,
 ) -> None:
     """Entry point of a snapshot worker process.
 
@@ -150,24 +155,40 @@ def worker_main(
     and cache hit/miss counts ship back in the stats delta. The replica
     is per-worker and survives reloads; entries of superseded runs age
     out by LRU since run uids never repeat.
+
+    With ``shared_cache_name`` set the worker instead *attaches* to the
+    parent's :class:`~repro.lsm.cache.SharedBlockCache` slab
+    (``shared_cache_locks`` are the creator's stripe locks, inherited
+    through the process args): every worker — and the parent's locked
+    in-process path — then reads and warms one cache, so a block
+    admitted anywhere is a hit everywhere. The parent owns the slab's
+    lifetime; the worker only closes its attachment.
     """
     # Imported here, not at module top: under the spawn start method the
     # child pays these imports once at boot, and under fork they are
     # already resolved — either way the hot loop below never imports.
     from repro.engine import persist
     from repro.engine.batch import shard_batch_empty
-    from repro.lsm.cache import BlockCache
+    from repro.lsm.cache import BlockCache, SharedBlockCache
 
     req = _attach(req_name, unregister=start_method != "fork")
     resp = _attach(resp_name, unregister=start_method != "fork")
     bounds, verdicts, stats = _ring_views(
         req.buf, resp.buf, slot_count, slot_capacity
     )
-    cache = (
-        BlockCache(cache_blocks, num_stripes=cache_stripes, miss_latency=miss_latency)
-        if cache_blocks
-        else None
-    )
+    if shared_cache_name is not None:
+        cache = SharedBlockCache.attach(
+            shared_cache_name,
+            list(shared_cache_locks or []),
+            miss_latency=miss_latency,
+            unregister=start_method != "fork",
+        )
+    elif cache_blocks:
+        cache = BlockCache(
+            cache_blocks, num_stripes=cache_stripes, miss_latency=miss_latency
+        )
+    else:
+        cache = None
     stores: Dict[int, object] = {}
     try:
         while True:
@@ -234,6 +255,8 @@ def worker_main(
                 conn.send(("error", f"unknown request {tag!r}"))
     finally:
         conn.close()
+        if isinstance(cache, SharedBlockCache):
+            cache.close()  # attachment only; the parent owns the slab
         req.close()
         resp.close()
 
@@ -308,6 +331,12 @@ class ShardWorkerPool:
         each worker process (``0`` blocks disables), so worker-side run
         verification pays the same simulated device cost as the
         in-process path and ships cache hit/miss counts home.
+    shared_cache:
+        A parent-owned :class:`~repro.lsm.cache.SharedBlockCache` every
+        worker attaches to instead of building a private replica
+        (``cache_blocks`` is then ignored). One slab serves all workers
+        and the parent: an admission anywhere is a hit everywhere, and
+        total cache memory stays one slab instead of one per process.
     """
 
     def __init__(
@@ -321,6 +350,7 @@ class ShardWorkerPool:
         cache_blocks: int = 0,
         cache_stripes: int = 4,
         miss_latency: float = 0.0,
+        shared_cache: Optional["SharedBlockCache"] = None,
     ) -> None:
         if num_workers < 1:
             raise InvalidParameterError("num_workers must be >= 1")
@@ -357,7 +387,10 @@ class ShardWorkerPool:
                             req_shm.name, resp_shm.name,
                             self._slot_count, self._slot_capacity,
                             self._start_method,
-                            int(cache_blocks), int(cache_stripes), float(miss_latency),
+                            0 if shared_cache is not None else int(cache_blocks),
+                            int(cache_stripes), float(miss_latency),
+                            shared_cache.name if shared_cache is not None else None,
+                            list(shared_cache.locks) if shared_cache is not None else None,
                         ),
                         name=f"repro-shard-worker-{w}",
                         daemon=True,

@@ -1,39 +1,63 @@
-"""A sharded LRU block cache in front of the simulated SSTable disk.
+"""Block caches in front of the simulated SSTable disk.
 
 Real engines put a block cache between the read path and storage: a
 probe that a filter could not prune still often finds its block already
-in memory. This module reproduces that layer over the simulated disk of
-:class:`~repro.lsm.sstable.SSTable`:
+in memory. This module reproduces that layer over the columnar blocks
+of :class:`~repro.lsm.sstable.SSTable`, twice:
 
-* the unit of caching is one run block
-  (:data:`~repro.lsm.sstable.BLOCK_ENTRIES` entries), keyed by the run's
-  immutable ``uid`` plus the block index — runs never mutate, so an
-  entry can never go stale, and compaction simply strands the dead run's
-  blocks until LRU evicts them;
-* the cache is *sharded into stripes*, each with its own lock and LRU
-  order, so concurrent readers on different stripes never contend — the
-  standard trick (RocksDB's ``LRUCache`` shards by key hash) for making
-  one shared cache scale across a thread pool;
-* misses load the block outside any lock (two racing readers may load
-  the same block twice — the usual benign thundering herd) and can
-  charge a configurable ``miss_latency`` sleep, modelling the device
-  the simulated I/O ledger only counts. The sleep releases the GIL, so
-  a thread-pool service genuinely overlaps simulated disk fetches.
+* :class:`BlockCache` — the in-process sharded LRU. The unit of caching
+  is one run block (:data:`~repro.lsm.sstable.BLOCK_ENTRIES` entries),
+  keyed by the run's immutable ``uid`` plus the block index — runs
+  never mutate, so an entry can never go stale, and compaction simply
+  strands the dead run's blocks until LRU evicts them. The cache is
+  *sharded into stripes*, each with its own lock and LRU order, so
+  concurrent readers on different stripes never contend — the standard
+  trick (RocksDB's ``LRUCache`` shards by key hash). What a stripe
+  stores is the zero-copy :class:`~repro.lsm.sstable.Block` *view*
+  itself; hits hand the view straight back and
+  :meth:`BlockCache.scan` returns a lazy
+  :class:`~repro.lsm.sstable.Matches` — no per-hit tuple rebuilding.
 
-Hit/miss totals are exposed both here (cache-wide) and folded into each
-store's :class:`~repro.lsm.store.IoStats` by the callers in
+* :class:`SharedBlockCache` — the same API re-homed in one
+  ``multiprocessing.shared_memory`` slab so every process-mode worker
+  (:class:`~repro.engine.workers.ShardWorkerPool`) attaches to a single
+  cache instead of each filling a private copy: one admission warms all
+  workers, and cache memory stops scaling with worker count. The slab
+  is a set-associative array of fixed-size block slots; writers take a
+  lock-striped ``multiprocessing.Lock``, readers validate per-slot
+  seqlock versions and copy the slot payload before trusting it (the
+  one copy shared-memory safety costs; still far cheaper than the
+  simulated device the miss would pay). Cross-process identity comes
+  from each persisted run's :attr:`~repro.lsm.sstable.SSTable.shared_id`
+  — a stable 64-bit digest of its checkpoint file name — so two workers
+  loading the same run file agree on its blocks' cache keys.
+
+Misses load the block outside any lock (two racing readers may load
+the same block twice — the usual benign thundering herd) and can charge
+a configurable ``miss_latency`` sleep, modelling the device the
+simulated I/O ledger only counts. The sleep releases the GIL, so a
+thread-pool service genuinely overlaps simulated disk fetches.
+
+Hit/miss totals are exposed both here (cache-wide; per attachment for
+the shared slab) and folded into each store's
+:class:`~repro.lsm.store.IoStats` by the callers in
 :mod:`repro.lsm.store`.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Dict, List, Tuple
+from multiprocessing import Lock as MPLock
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import InvalidParameterError
-from repro.lsm.sstable import SSTable
+from repro.lsm.sstable import Block, Matches, SSTable
 
 #: Cache key: (run uid, block index).
 _BlockKey = Tuple[int, int]
@@ -46,13 +70,13 @@ class _Stripe:
 
     def __init__(self) -> None:
         self.lock = threading.Lock()
-        self.blocks: "OrderedDict[_BlockKey, List[Tuple[int, Any]]]" = OrderedDict()
+        self.blocks: "OrderedDict[_BlockKey, Block]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
 
 class BlockCache:
-    """Sharded LRU cache over immutable SSTable blocks.
+    """Sharded LRU cache over immutable SSTable block views.
 
     Parameters
     ----------
@@ -95,10 +119,13 @@ class BlockCache:
     # ------------------------------------------------------------------
     # Core block fetch
     # ------------------------------------------------------------------
-    def get_block(
-        self, run: SSTable, index: int
-    ) -> Tuple[List[Tuple[int, Any]], bool]:
-        """Return ``(entries, hit)`` for one block of ``run``."""
+    def get_block(self, run: SSTable, index: int) -> Tuple[Block, bool]:
+        """Return ``(block_view, hit)`` for one block of ``run``.
+
+        The returned :class:`~repro.lsm.sstable.Block` is the cached
+        zero-copy view itself — callers must treat it as immutable
+        (runs are), never mutate it, and decode entries lazily.
+        """
         key = (run.uid, index)
         stripe_id = hash(key) % self._num_stripes
         stripe = self._stripes[stripe_id]
@@ -112,41 +139,39 @@ class BlockCache:
         # hits on other blocks of the same stripe.
         if self._miss_latency:
             time.sleep(self._miss_latency)
-        entries = run.read_block(index)
+        block = run.read_block(index)
         with stripe.lock:
             stripe.misses += 1
-            stripe.blocks[key] = entries
+            stripe.blocks[key] = block
             stripe.blocks.move_to_end(key)
             while len(stripe.blocks) > self._stripe_caps[stripe_id]:
                 stripe.blocks.popitem(last=False)
-        return entries, False
+        return block, False
 
-    def scan(
-        self, run: SSTable, lo: int, hi: int
-    ) -> Tuple[List[Tuple[int, Any]], int, int]:
+    def scan(self, run: SSTable, lo: int, hi: int) -> Tuple[Matches, int, int]:
         """Range read of ``[lo, hi]`` through the cache.
 
-        Returns ``(matches, hits, misses)``; ``matches`` is exactly what
-        ``run.scan(lo, hi)`` would return, but fetched block-by-block so
-        repeated probes of a hot region stop touching the simulated disk.
+        Returns ``(matches, hits, misses)``; ``matches`` is a lazy
+        :class:`~repro.lsm.sstable.Matches` view over the cached blocks
+        — entry-equal to what ``run.scan(lo, hi)`` yields, but fetched
+        block-by-block so repeated probes of a hot region stop touching
+        the simulated disk, and decoded only if the caller actually
+        materialises values.
         """
         span = run.block_span(lo, hi)
         if span is None:
-            return [], 0, 0
+            return Matches([]), 0, 0
         hits = misses = 0
-        matches: List[Tuple[int, Any]] = []
+        segments: List[Tuple[Block, int, int]] = []
         for index in range(span[0], span[1] + 1):
-            entries, hit = self.get_block(run, index)
+            block, hit = self.get_block(run, index)
             if hit:
                 hits += 1
             else:
                 misses += 1
-            for key, value in entries:
-                if lo <= key <= hi:
-                    matches.append((key, value))
-                elif key > hi:
-                    break
-        return matches, hits, misses
+            start, stop = block.range_indices(lo, hi)
+            segments.append((block, start, stop))
+        return Matches(segments), hits, misses
 
     # ------------------------------------------------------------------
     # Introspection / maintenance
@@ -197,4 +222,366 @@ class BlockCache:
             f"BlockCache(capacity={self.capacity_blocks}, "
             f"stripes={self._num_stripes}, resident={len(self)}, "
             f"hit_ratio={self.hit_ratio:.2f})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory slab cache
+# ----------------------------------------------------------------------
+#: Slot-header u64 fields (one 64-byte row per slot).
+_F_VERSION = 0   # seqlock: odd while a writer is mid-copy
+_F_UID = 1       # 64-bit run identity (shared_id, or salted local uid)
+_F_BLOCK = 2     # block index within the run
+_F_N = 3         # entries in the packed payload
+_F_HEAPBASE = 4  # absolute heap offset the payload's heap slice starts at
+_F_LEN = 5       # payload bytes (0 == empty slot)
+_F_TICK = 6      # LRU clock (advisory; racy updates are fine)
+_SLOT_FIELDS = 8
+
+#: Slab-header u64 fields.
+_H_MAGIC = 0
+_H_NSLOTS = 1
+_H_SLOT_BYTES = 2
+_H_NSETS = 3
+_H_TICK = 4
+_HDR_FIELDS = 8
+_HDR_BYTES = _HDR_FIELDS * 8
+
+_SLAB_MAGIC = 0x52_53_4C_41_42_34  # "RSLAB4"
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix_key(uid64: int, block: int) -> int:
+    """Deterministic (process-independent) 64-bit mix of a block key —
+    python's salted ``hash()`` cannot place slots consistently across
+    attached processes."""
+    return (
+        uid64 * 0x9E3779B97F4A7C15 + (block + 1) * 0xC2B2AE3D27D4EB4F
+    ) & _U64
+
+
+class SharedBlockCache:
+    """A block cache whose storage lives in one shared-memory slab.
+
+    Duck-types :class:`BlockCache` (``get_block`` / ``scan`` /
+    counters), so :class:`~repro.lsm.store.LSMStore` and the serving
+    layer use either interchangeably. The slab is divided into
+    ``capacity_blocks`` fixed-size slots grouped into small
+    set-associative sets (~``ways`` slots per set, LRU within the set by
+    an advisory tick); admission takes one of ``num_stripes``
+    cross-process locks, readers are lock-free behind per-slot seqlock
+    versions. A block whose packed payload exceeds ``slot_bytes``
+    bypasses the slab (served straight from the run, counted as a
+    miss).
+
+    Identity: runs restored from a checkpoint carry a stable
+    ``shared_id`` digest of their run-file name, so every attached
+    process keys the same file's blocks identically — one worker's
+    admission is every worker's hit. Runs that were never persisted
+    have no cross-process identity; their keys are salted with a
+    per-attachment nonce so they can still use the slab's capacity
+    without ever colliding across processes.
+
+    Hit/miss counters are per attachment (each process sees the traffic
+    it generated); aggregate accounting flows through the per-store
+    :class:`~repro.lsm.store.IoStats` exactly as with the private cache.
+    """
+
+    WAYS = 4
+
+    def __init__(
+        self,
+        capacity_blocks: int = 1024,
+        *,
+        num_stripes: int = 8,
+        miss_latency: float = 0.0,
+        slot_bytes: int = 16384,
+    ) -> None:
+        if capacity_blocks < 1:
+            raise InvalidParameterError("capacity_blocks must be >= 1")
+        if num_stripes < 1:
+            raise InvalidParameterError("num_stripes must be >= 1")
+        if miss_latency < 0:
+            raise InvalidParameterError("miss_latency must be >= 0")
+        if slot_bytes < 1024:
+            raise InvalidParameterError("slot_bytes must be >= 1024")
+        nslots = int(capacity_blocks)
+        nsets = max(1, nslots // self.WAYS)
+        size = _HDR_BYTES + nslots * _SLOT_FIELDS * 8 + nslots * int(slot_bytes)
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self._owner = True
+        self._locks = [MPLock() for _ in range(min(int(num_stripes), nsets))]
+        self._miss_latency = float(miss_latency)
+        self._local_salt = int.from_bytes(os.urandom(8), "little") | 1
+        self._hits = 0
+        self._misses = 0
+        self._closed = False
+        self._bind_views()
+        self._hdr[_H_MAGIC] = _SLAB_MAGIC
+        self._hdr[_H_NSLOTS] = nslots
+        self._hdr[_H_SLOT_BYTES] = int(slot_bytes)
+        self._hdr[_H_NSETS] = nsets
+        self._geometry()
+
+    @classmethod
+    def attach(
+        cls,
+        name: str,
+        locks: List[Any],
+        *,
+        miss_latency: float = 0.0,
+        unregister: bool = False,
+    ) -> "SharedBlockCache":
+        """Attach to an existing slab by segment ``name``.
+
+        ``locks`` must be the creator's stripe locks (inherited through
+        ``multiprocessing.Process`` args). With ``unregister=True`` the
+        attachment is removed from this process's ``resource_tracker``
+        so a *spawned* worker exiting does not destroy the segment it
+        merely borrowed — the creating process owns cleanup.
+        """
+        cache = cls.__new__(cls)
+        cache._shm = shared_memory.SharedMemory(name=name)
+        if unregister:
+            try:  # pragma: no cover - start-method dependent
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(cache._shm._name, "shared_memory")
+            except Exception:
+                pass
+        cache._owner = False
+        cache._locks = list(locks)
+        cache._miss_latency = float(miss_latency)
+        cache._local_salt = int.from_bytes(os.urandom(8), "little") | 1
+        cache._hits = 0
+        cache._misses = 0
+        cache._closed = False
+        cache._bind_views()
+        if int(cache._hdr[_H_MAGIC]) != _SLAB_MAGIC:
+            cache.close()
+            raise InvalidParameterError(f"{name} is not a SharedBlockCache slab")
+        cache._geometry()
+        return cache
+
+    def _bind_views(self) -> None:
+        buf = self._shm.buf
+        self._hdr = np.frombuffer(buf, dtype=np.uint64, count=_HDR_FIELDS)
+        self._buf = buf
+
+    def _geometry(self) -> None:
+        self._nslots = int(self._hdr[_H_NSLOTS])
+        self._slot_bytes = int(self._hdr[_H_SLOT_BYTES])
+        self._nsets = int(self._hdr[_H_NSETS])
+        self._slots = np.frombuffer(
+            self._buf, dtype=np.uint64, offset=_HDR_BYTES,
+            count=self._nslots * _SLOT_FIELDS,
+        ).reshape(self._nslots, _SLOT_FIELDS)
+        self._data_off = _HDR_BYTES + self._nslots * _SLOT_FIELDS * 8
+        base, extra = divmod(self._nslots, self._nsets)
+        bounds = [0]
+        for i in range(self._nsets):
+            bounds.append(bounds[-1] + base + (1 if i < extra else 0))
+        self._set_bounds = bounds
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def _uid64(self, run: SSTable) -> int:
+        shared = getattr(run, "shared_id", None)
+        if shared is not None:
+            return int(shared) & _U64
+        return (self._local_salt + run.uid * 0x100000001B3) & _U64
+
+    def _next_tick(self) -> int:
+        # Racy read-modify-write across processes: lost increments only
+        # blur the advisory LRU ordering, never correctness.
+        tick = int(self._hdr[_H_TICK]) + 1
+        self._hdr[_H_TICK] = tick
+        return tick
+
+    def _slot_payload(self, slot: int, length: int) -> memoryview:
+        off = self._data_off + slot * self._slot_bytes
+        return self._buf[off:off + length]
+
+    # ------------------------------------------------------------------
+    # Core block fetch
+    # ------------------------------------------------------------------
+    def get_block(self, run: SSTable, index: int) -> Tuple[Block, bool]:
+        """Return ``(block_view, hit)``; the hit path serves a local
+        seqlock-validated copy of the slot payload, never touching the
+        run (no simulated I/O)."""
+        if self._closed:
+            raise InvalidParameterError("SharedBlockCache is closed")
+        uid64 = self._uid64(run)
+        block_id = _mix_key(uid64, index)
+        set_id = block_id % self._nsets
+        lo, hi = self._set_bounds[set_id], self._set_bounds[set_id + 1]
+        slots = self._slots
+        for slot in range(lo, hi):
+            v1 = int(slots[slot, _F_VERSION])
+            if v1 & 1:
+                continue  # writer mid-copy
+            if (
+                int(slots[slot, _F_UID]) != uid64
+                or int(slots[slot, _F_BLOCK]) != index
+                or int(slots[slot, _F_LEN]) == 0
+            ):
+                continue
+            n = int(slots[slot, _F_N])
+            heap_base = int(slots[slot, _F_HEAPBASE])
+            length = int(slots[slot, _F_LEN])
+            payload = bytes(self._slot_payload(slot, length))
+            if int(slots[slot, _F_VERSION]) != v1:
+                continue  # overwritten mid-read; fall through to miss
+            slots[slot, _F_TICK] = self._next_tick()
+            self._hits += 1
+            return Block.from_bytes(payload, n, heap_base), True
+        # Miss: charge the simulated device, read from the run, admit.
+        if self._miss_latency:
+            time.sleep(self._miss_latency)
+        block = run.read_block(index)
+        self._misses += 1
+        payload, n, heap_base = block.to_bytes()
+        if len(payload) <= self._slot_bytes:
+            self._admit(set_id, uid64, index, payload, n, heap_base)
+        return block, False
+
+    def _admit(
+        self, set_id: int, uid64: int, index: int,
+        payload: bytes, n: int, heap_base: int,
+    ) -> None:
+        lo, hi = self._set_bounds[set_id], self._set_bounds[set_id + 1]
+        slots = self._slots
+        lock = self._locks[set_id % len(self._locks)]
+        with lock:
+            victim = lo
+            for slot in range(lo, hi):
+                if (
+                    int(slots[slot, _F_UID]) == uid64
+                    and int(slots[slot, _F_BLOCK]) == index
+                    and int(slots[slot, _F_LEN]) != 0
+                ):
+                    return  # raced: another process already admitted it
+                if int(slots[slot, _F_LEN]) == 0:
+                    victim = slot
+                    break
+                if int(slots[slot, _F_TICK]) < int(slots[victim, _F_TICK]):
+                    victim = slot
+            slots[victim, _F_VERSION] = int(slots[victim, _F_VERSION]) + 1
+            slots[victim, _F_UID] = uid64
+            slots[victim, _F_BLOCK] = index
+            slots[victim, _F_N] = n
+            slots[victim, _F_HEAPBASE] = heap_base
+            slots[victim, _F_LEN] = len(payload)
+            slots[victim, _F_TICK] = self._next_tick()
+            self._slot_payload(victim, len(payload))[:] = payload
+            slots[victim, _F_VERSION] = int(slots[victim, _F_VERSION]) + 1
+
+    def scan(self, run: SSTable, lo: int, hi: int) -> Tuple[Matches, int, int]:
+        """Range read of ``[lo, hi]`` through the slab; same contract as
+        :meth:`BlockCache.scan`."""
+        span = run.block_span(lo, hi)
+        if span is None:
+            return Matches([]), 0, 0
+        hits = misses = 0
+        segments: List[Tuple[Block, int, int]] = []
+        for index in range(span[0], span[1] + 1):
+            block, hit = self.get_block(run, index)
+            if hit:
+                hits += 1
+            else:
+                misses += 1
+            start, stop = block.range_indices(lo, hi)
+            segments.append((block, start, stop))
+        return Matches(segments), hits, misses
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Segment name other processes attach by."""
+        return self._shm.name
+
+    @property
+    def locks(self) -> List[Any]:
+        """The stripe locks, for handing to worker processes."""
+        return self._locks
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self._nslots
+
+    @property
+    def num_stripes(self) -> int:
+        return len(self._locks)
+
+    @property
+    def slot_bytes(self) -> int:
+        return self._slot_bytes
+
+    @property
+    def miss_latency(self) -> float:
+        return self._miss_latency
+
+    def __len__(self) -> int:
+        """Blocks currently resident in the slab (all attachments)."""
+        return int((self._slots[:, _F_LEN] != 0).sum())
+
+    @property
+    def hits(self) -> int:
+        """Hits served to *this* attachment."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of this attachment's counters + slab residency."""
+        return {"hits": self._hits, "misses": self._misses, "resident": len(self)}
+
+    def clear(self) -> None:
+        """Empty every slot and zero this attachment's counters."""
+        for stripe, lock in enumerate(self._locks):
+            with lock:
+                for set_id in range(stripe, self._nsets, len(self._locks)):
+                    lo, hi = self._set_bounds[set_id], self._set_bounds[set_id + 1]
+                    for slot in range(lo, hi):
+                        self._slots[slot, _F_VERSION] = (
+                            int(self._slots[slot, _F_VERSION]) + 2
+                        )
+                        self._slots[slot, _F_LEN] = 0
+        self._hits = 0
+        self._misses = 0
+
+    def close(self) -> None:
+        """Detach from the slab; the creating attachment also unlinks
+        the segment so no ``shared_memory`` leaks past the owner."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop every exported view before closing the mapping, or the
+        # mmap refuses to unmap ("cannot close exported pointers").
+        self._hdr = None
+        self._slots = None
+        self._buf = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"resident={len(self)}"
+        return (
+            f"SharedBlockCache(capacity={self._nslots}, "
+            f"slot_bytes={self._slot_bytes}, {state})"
         )

@@ -246,16 +246,27 @@ class TieredPolicy(CompactionPolicy):
 
 
 class LeveledPolicy(CompactionPolicy):
-    """Leveled with overlapping-range slicing: partial rewrites only.
+    """Deep leveled with overlapping-range slicing: partial rewrites only.
 
-    L1 is a set of key-disjoint *slices* whose owning spans partition
-    ``[0, universe)``. When level 0 fills (or a converge is requested),
-    one step merges **all** level-0 runs down — but only into the slices
-    whose owning span actually contains a level-0 key. Untouched slices
-    keep their runs *and their filters*; rewritten regions re-chunk into
-    fresh ``slice_target``-entry slices, so slices never grow without
-    bound and no separate split pass exists. L1 is the bottom of this
-    topology, so the merge drops tombstones.
+    Every deep level is a set of key-disjoint *slices* whose owning
+    spans partition ``[0, universe)``. When level 0 fills (or a converge
+    is requested), one step merges **all** level-0 runs down — but only
+    into the L1 slices whose owning span actually contains a level-0
+    key. Untouched slices keep their runs *and their filters*;
+    rewritten regions re-chunk into fresh ``slice_target``-entry slices,
+    so slices never grow without bound and no separate split pass exists.
+
+    Levels past L1 grow by *budget pressure*: level ``k`` owns a budget
+    of ``l1_budget * level_fanout**(k-1)`` entries, and when it exceeds
+    that, one step pushes its largest slice down into the overlapping
+    slices of level ``k + 1`` — a bounded, span-restricted merge exactly
+    like the L0 push-down, leaving an empty placeholder slice behind so
+    the level's spans keep tiling the universe. Geometric budgets mean
+    each entry is rewritten ``O(log_fanout(N))`` times on its way to the
+    deepest level — classic leveled shape. Tombstones (and TTL-expired
+    entries) are dropped only when a step's output level is the deepest
+    holding data; anywhere shallower they must keep shadowing older
+    versions below.
 
     Contiguous overlapped slices are rewritten as one merge unit;
     disjoint overlapped regions become separate units of the same step,
@@ -269,37 +280,149 @@ class LeveledPolicy(CompactionPolicy):
 
     name = "leveled"
 
-    def __init__(self, slice_target: int = 2048) -> None:
+    def __init__(
+        self,
+        slice_target: int = 2048,
+        level_fanout: int = 8,
+        l1_budget: Optional[int] = None,
+    ) -> None:
         if slice_target < 1:
             raise InvalidParameterError("slice_target must be >= 1")
+        if level_fanout < 2:
+            raise InvalidParameterError("level_fanout must be >= 2")
         self.slice_target = int(slice_target)
+        self.level_fanout = int(level_fanout)
+        # ``None`` keeps the single-sliced-level topology (no budgets):
+        # deep levels are opt-in, so existing leveled configurations keep
+        # their exact shape and write amplification.
+        self.l1_budget = None if l1_budget is None else int(l1_budget)
+        if self.l1_budget is not None and self.l1_budget < 1:
+            raise InvalidParameterError("l1_budget must be >= 1")
 
     def to_params(self) -> Dict[str, object]:
-        return {"name": self.name, "slice_target": self.slice_target}
+        return {
+            "name": self.name,
+            "slice_target": self.slice_target,
+            "level_fanout": self.level_fanout,
+            "l1_budget": self.l1_budget,
+        }
+
+    def level_budget(self, level: int) -> Optional[int]:
+        """Entry budget of deep level ``level`` (1-based): geometric in
+        ``level_fanout`` from ``l1_budget`` (``None`` when unbudgeted)."""
+        if self.l1_budget is None:
+            return None
+        return self.l1_budget * self.level_fanout ** (level - 1)
 
     def needs_work(self, level0, levels, fanout) -> bool:
-        return len(level0) >= fanout
+        if len(level0) >= fanout:
+            return True
+        return self._over_budget(levels) is not None
+
+    def _over_budget(self, levels) -> Optional[int]:
+        """0-based index of the shallowest deep level over its budget
+        (ignoring the deepest populated level — data must settle
+        somewhere), or ``None``."""
+        if self.l1_budget is None:
+            return None
+        deepest = len(levels) - 1
+        while deepest >= 0 and not levels[deepest]:
+            deepest -= 1
+        for li, level in enumerate(levels):
+            if li >= deepest:
+                break
+            size = sum(len(run) for run in level)
+            if size > self.level_budget(li + 1):
+                return li
+        # The deepest populated level may still trigger growth of a new
+        # level below it once it seriously overshoots (one extra fanout
+        # of slack avoids ping-ponging a freshly-grown bottom).
+        if deepest >= 0:
+            size = sum(len(run) for run in levels[deepest])
+            if size > self.level_budget(deepest + 1) * self.level_fanout:
+                return deepest
+        return None
 
     def plan(self, level0, levels, *, fanout, universe, requested, stale_uids):
         push_l0 = len(level0) >= fanout or (requested and level0)
-        if not push_l0:
-            # A converge request with nothing buffered above the slices
-            # is already satisfied (a factory swap expresses its rebuild
-            # through the stale set, not the request flag); the executor
-            # clears the flag when plan() returns None.
-            return self._rebuild_step(level0, levels, stale_uids)
-        slices = list(levels[0]) if levels else []
-        units = self._merge_units(level0, slices, universe)
+        if push_l0:
+            slices = list(levels[0]) if levels else []
+            units = self._merge_units(level0, slices, universe)
+            deeper_occupied = any(len(level) > 0 for level in levels[1:])
+            return CompactionStep(
+                kind="merge",
+                units=tuple(units),
+                output_level=1,
+                # Tombstones may only vanish at the deepest data: with
+                # L2+ occupied they still shadow older versions there.
+                drop_tombstones=not deeper_occupied,
+                clears_request=True,
+                reason=(
+                    f"leveled merge of {len(level0)} L0 runs into "
+                    f"{sum(len(u.inputs) for u in units) - len(level0) * len(units)}"
+                    f" of {len(slices)} slices"
+                ),
+            )
+        pushdown = self._pushdown_step(levels, universe)
+        if pushdown is not None:
+            return pushdown
+        # A converge request with nothing buffered above the slices
+        # is already satisfied (a factory swap expresses its rebuild
+        # through the stale set, not the request flag); the executor
+        # clears the flag when plan() returns None.
+        return self._rebuild_step(level0, levels, stale_uids)
+
+    def _pushdown_step(
+        self, levels: Sequence[Sequence[SSTable]], universe: int
+    ) -> Optional[CompactionStep]:
+        """One budget-pressure step: push the over-budget level's largest
+        slice into the overlapping slices one level down."""
+        li = self._over_budget(levels)
+        if li is None:
+            return None
+        level = levels[li]
+        # Largest slice first (most pressure relieved per rewrite);
+        # ties resolve to the lowest owning span for determinism.
+        victim = max(
+            level,
+            key=lambda run: (
+                len(run),
+                -(run.slice_bounds[0] if run.slice_bounds else 0),
+            ),
+        )
+        vspan = victim.slice_bounds or victim.key_bounds or (0, universe - 1)
+        below = list(levels[li + 1]) if li + 1 < len(levels) else []
+        if below:
+            spans = slice_spans(below, universe)
+            group = [
+                run for run, (span_lo, span_hi) in zip(below, spans)
+                if span_lo <= vspan[1] and vspan[0] <= span_hi
+            ]
+            group_spans = [
+                span for span in spans
+                if span[0] <= vspan[1] and vspan[0] <= span[1]
+            ]
+            span = (
+                min(lo for lo, _ in group_spans),
+                max(hi for _, hi in group_spans),
+            )
+            inputs = (victim, *group)
+        else:
+            # Growing a brand-new deepest level: the push-down's outputs
+            # must tile the whole universe so later pushes route into it.
+            span = (0, universe - 1)
+            inputs = (victim,)
+        deeper_occupied = any(len(l) > 0 for l in levels[li + 2:])
         return CompactionStep(
             kind="merge",
-            units=tuple(units),
-            output_level=1,
-            drop_tombstones=True,
-            clears_request=True,
+            units=(
+                MergeUnit(inputs, span=span, slice_target=self.slice_target),
+            ),
+            output_level=li + 2,
+            drop_tombstones=not deeper_occupied,
             reason=(
-                f"leveled merge of {len(level0)} L0 runs into "
-                f"{sum(len(u.inputs) for u in units) - len(level0) * len(units)}"
-                f" of {len(slices)} slices"
+                f"budget push-down of {len(victim)}-entry slice "
+                f"L{li + 1} -> L{li + 2}"
             ),
         )
 

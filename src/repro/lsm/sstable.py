@@ -1,21 +1,36 @@
 """Immutable sorted runs ("SSTables") with per-run range filters.
 
-Each run keeps its keys in a sorted numpy array and simulates the disk:
-every access that would touch storage increments an I/O counter. The
-attached range filter — any :class:`repro.filters.base.RangeFilter` — is
-consulted *before* touching the run, which is precisely the deployment
-the paper's introduction motivates: filters in memory prevent
-unnecessary reads of on-disk runs.
+Each run stores its entries **columnar**: a sorted ``<u8`` key array
+plus a typed value column — a one-byte tag, two fixed-width ``<u8``
+operand words, an expiry word, and a var-width byte heap for strings,
+bytes and pickled opaques. The columns are the single source of truth;
+``(key, value)`` tuples are decoded lazily and never materialised on
+the hot path. Runs loaded from a format-v4 snapshot keep their columns
+as views over an ``np.memmap`` of the run file, so opening a checkpoint
+moves no bytes until a block is actually read.
+
+Block-granular access returns :class:`Block` / :class:`Matches` views
+(zero-copy over the columns) rather than rebuilt tuple lists; the block
+cache (:mod:`repro.lsm.cache`) stores and serves these views directly.
+Every access that would touch storage still increments the simulated
+I/O counter, and the attached range filter — any
+:class:`repro.filters.base.RangeFilter` — is consulted *before*
+touching the run, which is precisely the deployment the paper's
+introduction motivates: filters in memory prevent unnecessary reads of
+on-disk runs.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import pickle
+import struct
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import CorruptionError
 from repro.filters.base import RangeFilter
 from repro.lsm.memtable import TOMBSTONE
 from repro.lsm.ttl import ExpiringValue
@@ -33,27 +48,348 @@ BLOCK_ENTRIES = 256
 #: unique even when concurrent flushes create runs from pool threads.
 _RUN_IDS = itertools.count()
 
+# ----------------------------------------------------------------------
+# Typed value column
+# ----------------------------------------------------------------------
+#: Value-type tags (low 7 bits of the tag byte). Tag 0 is *exactly* a
+#: tombstone — the expiry flag is never set on one, so a zeroed column
+#: decodes as all-tombstones rather than garbage.
+TAG_TOMBSTONE = 0
+TAG_NONE = 1
+TAG_INT = 2        # signed 64-bit, two's complement in ``va``
+TAG_FLOAT = 3      # IEEE-754 bits in ``va``
+TAG_BYTES = 4      # heap[va : va+vb]
+TAG_STR = 5        # utf-8 in heap[va : va+vb]
+TAG_PICKLE = 6     # pickled opaque object in heap[va : va+vb]
+TAG_BOOL = 7       # va in {0, 1}
 
-def _max_expiry(values: Sequence[Any]) -> Optional[int]:
+#: Tag flag: the entry is an :class:`ExpiringValue` wrapper; the wrapped
+#: type sits in the low bits and ``vexp`` holds ``expires_at``. Keeping
+#: the deadline in its own fixed-width column is what makes liveness a
+#: vectorised mask instead of a per-entry isinstance walk.
+FLAG_EXPIRES = 0x80
+_TYPE_MASK = 0x7F
+
+_HEAP_TAGS = (TAG_BYTES, TAG_STR, TAG_PICKLE)
+_INT64_MIN, _INT64_MAX = -(1 << 63), (1 << 63) - 1
+_U64_MAX = (1 << 64) - 1
+
+
+def _encode_one(value: Any, heap: bytearray) -> Tuple[int, int, int, int]:
+    """Encode one python value into ``(tag, va, vb, vexp)``; heap-typed
+    payloads are appended to ``heap`` in entry order, so each block's
+    heap references stay contiguous (the property the shared-memory
+    cache relies on to ship a block's heap slice in one piece)."""
+    vexp = 0
+    flag = 0
+    if isinstance(value, ExpiringValue):
+        inner, expires = value.value, value.expires_at
+        if (
+            not isinstance(inner, ExpiringValue)
+            and isinstance(expires, int)
+            and 0 <= expires <= _U64_MAX
+        ):
+            flag, vexp = FLAG_EXPIRES, expires
+            value = inner
+        # else: a pathological wrapper (nested, or a deadline outside
+        # u64) round-trips whole through the pickle lane below.
+    if value is TOMBSTONE:
+        return TAG_TOMBSTONE, 0, 0, 0
+    if value is None:
+        return TAG_NONE | flag, 0, 0, vexp
+    if isinstance(value, bool):
+        return TAG_BOOL | flag, int(value), 0, vexp
+    if isinstance(value, int) and _INT64_MIN <= value <= _INT64_MAX:
+        return TAG_INT | flag, value & _U64_MAX, 0, vexp
+    if isinstance(value, float):
+        (bits,) = struct.unpack("<Q", struct.pack("<d", value))
+        return TAG_FLOAT | flag, bits, 0, vexp
+    if isinstance(value, (bytes, bytearray)):
+        off = len(heap)
+        heap += bytes(value)
+        return TAG_BYTES | flag, off, len(value), vexp
+    if isinstance(value, str):
+        blob = value.encode("utf-8")
+        off = len(heap)
+        heap += blob
+        return TAG_STR | flag, off, len(blob), vexp
+    # Genuinely opaque objects (including oversized ints) take the
+    # pickle lane — per value, never whole-run.
+    blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    off = len(heap)
+    heap += blob
+    return TAG_PICKLE | flag, off, len(blob), vexp
+
+
+def encode_values(
+    values: Sequence[Any],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, bytes]:
+    """Encode a value sequence into the typed columns + heap."""
+    n = len(values)
+    tags = np.zeros(n, dtype=np.uint8)
+    va = np.zeros(n, dtype=np.uint64)
+    vb = np.zeros(n, dtype=np.uint64)
+    vexp = np.zeros(n, dtype=np.uint64)
+    heap = bytearray()
+    for i, value in enumerate(values):
+        t, a, b, e = _encode_one(value, heap)
+        tags[i] = t
+        va[i] = a
+        vb[i] = b
+        vexp[i] = e
+    return tags, va, vb, vexp, bytes(heap)
+
+
+def decode_value(
+    tag: int, va: int, vb: int, vexp: int, heap, heap_base: int
+) -> Any:
+    """Decode one ``(tag, va, vb, vexp)`` entry back to a python value.
+
+    ``heap`` may be any buffer holding at least the run's heap bytes
+    this entry references; ``heap_base`` is the absolute offset the
+    buffer starts at (non-zero when a cache slot holds only one block's
+    heap slice). The tombstone decodes to the identity singleton.
+    """
+    kind = tag & _TYPE_MASK
+    if kind == TAG_TOMBSTONE:
+        return TOMBSTONE
+    if kind == TAG_NONE:
+        value: Any = None
+    elif kind == TAG_BOOL:
+        value = bool(va)
+    elif kind == TAG_INT:
+        value = va - (1 << 64) if va > _INT64_MAX else va
+    elif kind == TAG_FLOAT:
+        (value,) = struct.unpack("<d", struct.pack("<Q", va))
+    else:
+        lo = va - heap_base
+        if lo < 0:
+            raise CorruptionError("value heap reference out of bounds")
+        blob = bytes(memoryview(heap)[lo:lo + vb])
+        if len(blob) != vb:
+            raise CorruptionError("value heap reference out of bounds")
+        if kind == TAG_BYTES:
+            value = blob
+        elif kind == TAG_STR:
+            value = blob.decode("utf-8")
+        elif kind == TAG_PICKLE:
+            value = pickle.loads(blob)
+        else:
+            raise CorruptionError(f"unknown value tag {kind}")
+    if tag & FLAG_EXPIRES:
+        return ExpiringValue(value, vexp)
+    return value
+
+
+def _max_expiry_from_columns(tags: np.ndarray, vexp: np.ndarray) -> Optional[int]:
     """Largest expiry stamp in a run, or ``None`` when it never expires.
 
     ``None`` means at least one non-tombstone entry has no TTL — the run
     holds data that lives forever, so it can never age out wholesale.
     Tombstones are ignored: a run of expired entries plus tombstones is
     still droppable at the bottom of the store (tombstones there shadow
-    nothing). An early exit on the first forever-live value keeps the
-    common TTL-free run at O(1).
+    nothing).
     """
-    max_expiry = 0
-    for value in values:
-        if value is TOMBSTONE:
-            continue
-        if isinstance(value, ExpiringValue):
-            if value.expires_at > max_expiry:
-                max_expiry = value.expires_at
-        else:
-            return None
-    return max_expiry
+    live = tags != TAG_TOMBSTONE
+    if not bool(live.any()):
+        return 0
+    live_tags = tags[live]
+    if bool(((live_tags & FLAG_EXPIRES) == 0).any()):
+        return None
+    return int(vexp[live].max())
+
+
+def _live_mask(tags: np.ndarray, vexp: np.ndarray, now: int) -> np.ndarray:
+    """Vectorised liveness at logical time ``now``: not a tombstone, and
+    either immortal or not yet expired (``now < expires_at``)."""
+    mask = tags != TAG_TOMBSTONE
+    expiring = (tags & FLAG_EXPIRES) != 0
+    if bool(expiring.any()):
+        mask &= ~expiring | (vexp > np.uint64(now))
+    return mask
+
+
+# ----------------------------------------------------------------------
+# Zero-copy block + scan views
+# ----------------------------------------------------------------------
+class Block:
+    """A zero-copy view of one :data:`BLOCK_ENTRIES`-sized run block.
+
+    Holds column *slices* (possibly backed by an ``np.memmap`` of the
+    run file, or by a shared-memory cache slot) and decodes values only
+    on demand. Iterating yields ``(key, value)`` pairs like the old
+    tuple lists did, so existing consumers keep working — but emptiness
+    probes use :meth:`live_mask` and never decode a value at all.
+    """
+
+    __slots__ = ("keys", "tags", "va", "vb", "vexp", "heap", "heap_base")
+
+    def __init__(self, keys, tags, va, vb, vexp, heap, heap_base=0):
+        self.keys = keys
+        self.tags = tags
+        self.va = va
+        self.vb = vb
+        self.vexp = vexp
+        self.heap = heap
+        self.heap_base = heap_base
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    def value_at(self, i: int) -> Any:
+        """Decode the value of entry ``i`` (block-local index)."""
+        return decode_value(
+            int(self.tags[i]), int(self.va[i]), int(self.vb[i]),
+            int(self.vexp[i]), self.heap, self.heap_base,
+        )
+
+    def entry(self, i: int) -> Tuple[int, Any]:
+        return int(self.keys[i]), self.value_at(i)
+
+    def __iter__(self) -> Iterator[Tuple[int, Any]]:
+        for i in range(len(self)):
+            yield self.entry(i)
+
+    def range_indices(self, lo: int, hi: int) -> Tuple[int, int]:
+        """Block-local ``[start, stop)`` of keys inside ``[lo, hi]``."""
+        start = int(np.searchsorted(self.keys, lo, side="left"))
+        stop = int(np.searchsorted(self.keys, hi, side="right"))
+        return start, stop
+
+    def live_mask(self, now: int) -> np.ndarray:
+        return _live_mask(self.tags, self.vexp, now)
+
+    def is_live(self, i: int, now: int) -> bool:
+        tag = int(self.tags[i])
+        if tag == TAG_TOMBSTONE:
+            return False
+        if tag & FLAG_EXPIRES:
+            return now < int(self.vexp[i])
+        return True
+
+    # -- shared-memory packing ----------------------------------------
+    def heap_slice(self) -> Tuple[int, bytes]:
+        """The contiguous heap span this block references, as
+        ``(heap_base, bytes)`` — empty when no entry is heap-typed."""
+        uses_heap = np.isin(self.tags & _TYPE_MASK, _HEAP_TAGS)
+        idx = np.flatnonzero(uses_heap)
+        if idx.size == 0:
+            return 0, b""
+        first, last = int(idx[0]), int(idx[-1])
+        base = int(self.va[first])
+        end = int(self.va[last]) + int(self.vb[last])
+        lo, hi = base - self.heap_base, end - self.heap_base
+        return base, bytes(memoryview(self.heap)[lo:hi])
+
+    def to_bytes(self) -> Tuple[bytes, int, int]:
+        """Pack the block for a fixed-size cache slot.
+
+        Returns ``(payload, n_entries, heap_base)``; the payload layout
+        is ``keys | va | vb | vexp | tags | pad-to-8 | heap`` so the u64
+        columns stay aligned when sliced back out of the slot.
+        """
+        n = len(self)
+        base, heap = self.heap_slice()
+        pad = (-n) % 8
+        payload = b"".join([
+            np.ascontiguousarray(self.keys).tobytes(),
+            np.ascontiguousarray(self.va).tobytes(),
+            np.ascontiguousarray(self.vb).tobytes(),
+            np.ascontiguousarray(self.vexp).tobytes(),
+            np.ascontiguousarray(self.tags).tobytes(),
+            b"\x00" * pad,
+            heap,
+        ])
+        return payload, n, base
+
+    @classmethod
+    def from_bytes(cls, buf, n: int, heap_base: int) -> "Block":
+        """Rebuild a block over a packed :meth:`to_bytes` payload."""
+        keys = np.frombuffer(buf, dtype=np.uint64, count=n, offset=0)
+        va = np.frombuffer(buf, dtype=np.uint64, count=n, offset=8 * n)
+        vb = np.frombuffer(buf, dtype=np.uint64, count=n, offset=16 * n)
+        vexp = np.frombuffer(buf, dtype=np.uint64, count=n, offset=24 * n)
+        tags = np.frombuffer(buf, dtype=np.uint8, count=n, offset=32 * n)
+        heap_off = 32 * n + n + ((-n) % 8)
+        heap = memoryview(buf)[heap_off:]
+        return cls(keys, tags, va, vb, vexp, heap, heap_base)
+
+
+class Matches:
+    """Lazy result of a block-granular range read: a list of
+    ``(Block, start, stop)`` segments presented as one sequence of
+    ``(key, value)`` entries, decoded only on access.
+
+    Compares equal to a materialised tuple list (tests and callers that
+    still want lists get exactly the old semantics via ``list(m)``).
+    """
+
+    __slots__ = ("_segments",)
+
+    def __init__(self, segments: List[Tuple[Block, int, int]]):
+        self._segments = [
+            (block, start, stop) for block, start, stop in segments
+            if stop > start
+        ]
+
+    def __len__(self) -> int:
+        return sum(stop - start for _, start, stop in self._segments)
+
+    def __bool__(self) -> bool:
+        return bool(self._segments)
+
+    def __iter__(self) -> Iterator[Tuple[int, Any]]:
+        for block, start, stop in self._segments:
+            for i in range(start, stop):
+                yield block.entry(i)
+
+    def __getitem__(self, index: int) -> Tuple[int, Any]:
+        if index < 0:
+            index += len(self)
+        for block, start, stop in self._segments:
+            width = stop - start
+            if index < width:
+                return block.entry(start + index)
+            index -= width
+        raise IndexError("Matches index out of range")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (list, tuple, Matches)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def keys_ints(self) -> List[int]:
+        """All matched keys as python ints (no value decode)."""
+        out: List[int] = []
+        for block, start, stop in self._segments:
+            out.extend(int(k) for k in block.keys[start:stop])
+        return out
+
+    def any_live(self, now: int) -> bool:
+        """Vectorised: is any matched entry live at time ``now``? Never
+        decodes a value — the emptiness-probe fast path."""
+        for block, start, stop in self._segments:
+            if bool(
+                _live_mask(
+                    block.tags[start:stop], block.vexp[start:stop], now
+                ).any()
+            ):
+                return True
+        return False
+
+    def items_with_liveness(self, now: int) -> Iterator[Tuple[int, bool]]:
+        """Stream ``(key, is_live)`` without decoding values — the
+        shadowed-set walk of ``range_empty`` needs nothing more."""
+        for block, start, stop in self._segments:
+            for i in range(start, stop):
+                yield int(block.keys[i]), block.is_live(i, now)
+
+
+def _released() -> CorruptionError:
+    return CorruptionError(
+        "run storage was released (its epoch was retired); the view is "
+        "no longer readable"
+    )
 
 
 class SSTable:
@@ -68,8 +404,9 @@ class SSTable:
     """
 
     __slots__ = (
-        "_keys", "_values", "_filter", "io_reads", "universe", "uid",
-        "slice_bounds", "max_expiry",
+        "_keys", "_tags", "_va", "_vb", "_vexp", "_heap", "_filter",
+        "io_reads", "universe", "uid", "slice_bounds", "max_expiry",
+        "_backing", "_is_released", "shared_id",
     )
 
     def __init__(
@@ -84,12 +421,17 @@ class SSTable:
         self._keys = np.asarray(keys, dtype=np.uint64)
         if self._keys.size > 1 and bool((self._keys[1:] <= self._keys[:-1]).any()):
             raise ValueError("SSTable entries must be sorted by strictly increasing key")
-        self._values: List[Any] = [v for _, v in entries]
+        self._tags, self._va, self._vb, self._vexp, self._heap = encode_values(
+            [v for _, v in entries]
+        )
         self.universe = int(universe)
         self.io_reads = 0
         self.uid = next(_RUN_IDS)
         self.slice_bounds = slice_bounds
-        self.max_expiry = _max_expiry(self._values)
+        self.max_expiry = _max_expiry_from_columns(self._tags, self._vexp)
+        self._backing = None
+        self._is_released = False
+        self.shared_id = None
         self._filter = (
             filter_factory(self._keys, self.universe) if filter_factory else None
         )
@@ -111,18 +453,57 @@ class SSTable:
         from the keys would draw fresh hash constants and change which
         probes false-positive after a reopen.
         """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if len(values) != keys.size:
+            raise ValueError("keys and values must have the same length")
+        tags, va, vb, vexp, heap = encode_values(values)
+        return cls.from_columns(
+            keys, tags, va, vb, vexp, heap, universe, filt,
+            slice_bounds=slice_bounds,
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        keys: np.ndarray,
+        tags: np.ndarray,
+        va: np.ndarray,
+        vb: np.ndarray,
+        vexp: np.ndarray,
+        heap,
+        universe: int,
+        filt: Optional[RangeFilter] = None,
+        *,
+        slice_bounds: Optional[Tuple[int, int]] = None,
+        backing=None,
+    ) -> "SSTable":
+        """Adopt already-encoded columns zero-copy (the mmap load path).
+
+        ``backing`` keeps the underlying buffer (an ``np.memmap``) alive
+        for as long as the run — or any block view the cache pinned —
+        references it; :meth:`release` drops it.
+        """
         run = cls.__new__(cls)
         run._keys = np.asarray(keys, dtype=np.uint64)
         if run._keys.size > 1 and bool((run._keys[1:] <= run._keys[:-1]).any()):
             raise ValueError("SSTable entries must be sorted by strictly increasing key")
-        if len(values) != run._keys.size:
-            raise ValueError("keys and values must have the same length")
-        run._values = list(values)
+        n = run._keys.size
+        run._tags = np.asarray(tags, dtype=np.uint8)
+        run._va = np.asarray(va, dtype=np.uint64)
+        run._vb = np.asarray(vb, dtype=np.uint64)
+        run._vexp = np.asarray(vexp, dtype=np.uint64)
+        if not (run._tags.size == run._va.size == run._vb.size
+                == run._vexp.size == n):
+            raise ValueError("value columns must match the key column length")
+        run._heap = heap
         run.universe = int(universe)
         run.io_reads = 0
         run.uid = next(_RUN_IDS)
         run.slice_bounds = slice_bounds
-        run.max_expiry = _max_expiry(run._values)
+        run.max_expiry = _max_expiry_from_columns(run._tags, run._vexp)
+        run._backing = backing
+        run._is_released = False
+        run.shared_id = None
         run._filter = filt
         return run
 
@@ -155,11 +536,46 @@ class SSTable:
     def keys_view(self) -> np.ndarray:
         """The sorted key column, zero-copy and free of simulated I/O.
 
-        Compaction *planning* reads this to route keys to overlapping
-        slices without charging a run read — only merges that actually
-        rewrite data touch the simulated disk.
+        Compaction *planning* and the columnar batch router read this to
+        route keys without charging a run read — only merges and probes
+        that actually resolve data touch the simulated disk.
         """
         return self._keys
+
+    def value_columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Any]:
+        """The typed value columns ``(tags, va, vb, vexp, heap)``,
+        zero-copy — the persistence writer serialises these directly."""
+        return self._tags, self._va, self._vb, self._vexp, self._heap
+
+    @property
+    def heap_nbytes(self) -> int:
+        return len(self._heap)
+
+    @property
+    def released(self) -> bool:
+        """True once :meth:`release` retired this run's storage."""
+        return self._is_released
+
+    def release(self) -> None:
+        """Retire the run's storage: drop the column views and the
+        mmap backing so the OS mapping can go away with the last block
+        view. Reads after release raise
+        :class:`~repro.errors.CorruptionError` cleanly — never a
+        use-after-unmap surprise. Idempotent.
+        """
+        if self._is_released:
+            return
+        self._is_released = True
+        empty_u64 = np.zeros(0, dtype=np.uint64)
+        self._keys = empty_u64
+        self._tags = np.zeros(0, dtype=np.uint8)
+        self._va = self._vb = self._vexp = empty_u64
+        self._heap = b""
+        self._backing = None
+
+    def _check_open(self) -> None:
+        if self._is_released:
+            raise _released()
 
     def fully_expired(self, now: int) -> bool:
         """Whether every entry of this run is dead at logical time ``now``.
@@ -203,27 +619,43 @@ class SSTable:
     # ------------------------------------------------------------------
     def get(self, key: int) -> Tuple[bool, Any]:
         """Point lookup; counts one I/O."""
+        self._check_open()
         self.io_reads += 1
         idx = int(np.searchsorted(self._keys, key))
         if idx < self._keys.size and int(self._keys[idx]) == key:
-            return True, self._values[idx]
+            return True, self._decode(idx)
         return False, None
 
-    def scan(self, lo: int, hi: int) -> List[Tuple[int, Any]]:
-        """Range scan; counts one I/O (a run read), returns matches."""
+    def _decode(self, i: int) -> Any:
+        return decode_value(
+            int(self._tags[i]), int(self._va[i]), int(self._vb[i]),
+            int(self._vexp[i]), self._heap, 0,
+        )
+
+    def scan(self, lo: int, hi: int) -> Matches:
+        """Range scan; counts one I/O (a run read), returns a lazy
+        zero-copy :class:`Matches` view of the matching entries."""
+        self._check_open()
         self.io_reads += 1
         start = int(np.searchsorted(self._keys, lo, side="left"))
-        out: List[Tuple[int, Any]] = []
-        idx = start
-        while idx < self._keys.size and int(self._keys[idx]) <= hi:
-            out.append((int(self._keys[idx]), self._values[idx]))
-            idx += 1
-        return out
+        stop = int(np.searchsorted(self._keys, hi, side="right"))
+        return Matches([(self._whole_view(), start, stop)])
+
+    def _whole_view(self) -> Block:
+        """One :class:`Block` view spanning the entire run (internal)."""
+        return Block(
+            self._keys, self._tags, self._va, self._vb, self._vexp,
+            self._heap, 0,
+        )
 
     def entries(self) -> List[Tuple[int, Any]]:
-        """Full dump (compaction input); counts one I/O."""
+        """Full decoded dump (compaction input); counts one I/O."""
+        self._check_open()
         self.io_reads += 1
-        return [(int(k), v) for k, v in zip(self._keys, self._values)]
+        return [
+            (int(self._keys[i]), self._decode(i))
+            for i in range(self._keys.size)
+        ]
 
     def iter_entries(
         self, lo: Optional[int] = None, hi: Optional[int] = None
@@ -232,11 +664,11 @@ class SSTable:
 
         ``lo``/``hi`` restrict the stream to ``[lo, hi]`` (both
         inclusive) — the span clipping leveled merges use so a level-0
-        run contributes each key to exactly one merge unit. Unlike
-        :meth:`entries` nothing is materialised: the k-way merge of
-        compaction pulls entries lazily and writes output slices as it
-        goes.
+        run contributes each key to exactly one merge unit. Nothing is
+        materialised: the k-way merge of compaction pulls entries lazily
+        and writes output slices as it goes.
         """
+        self._check_open()
         self.io_reads += 1
         start = 0 if lo is None else int(np.searchsorted(self._keys, lo, side="left"))
         stop = (
@@ -245,7 +677,7 @@ class SSTable:
             else int(np.searchsorted(self._keys, hi, side="right"))
         )
         for i in range(start, stop):
-            yield int(self._keys[i]), self._values[i]
+            yield int(self._keys[i]), self._decode(i)
 
     # ------------------------------------------------------------------
     # Block-granular access (the unit the block cache works in)
@@ -275,16 +707,30 @@ class SSTable:
             return None  # the whole range sits before the first key
         return max(first, 0), last
 
-    def read_block(self, index: int) -> List[Tuple[int, Any]]:
-        """Fetch one block from the simulated disk; counts one I/O."""
+    def block_view(self, index: int) -> Block:
+        """Zero-copy :class:`Block` over block ``index`` — no simulated
+        I/O charge (the cache's admission path pairs this with its own
+        miss accounting)."""
+        self._check_open()
         if not 0 <= index < self.block_count:
             raise IndexError(f"block {index} outside [0, {self.block_count})")
-        self.io_reads += 1
         start = index * BLOCK_ENTRIES
-        stop = min(start + BLOCK_ENTRIES, self._keys.size)
-        return [
-            (int(self._keys[i]), self._values[i]) for i in range(start, stop)
-        ]
+        stop = min(start + BLOCK_ENTRIES, int(self._keys.size))
+        return Block(
+            self._keys[start:stop], self._tags[start:stop],
+            self._va[start:stop], self._vb[start:stop],
+            self._vexp[start:stop], self._heap, 0,
+        )
+
+    def read_block(self, index: int) -> Block:
+        """Fetch one block from the simulated disk; counts one I/O.
+
+        Returns a zero-copy :class:`Block` view (iterable as ``(key,
+        value)`` pairs) instead of a rebuilt tuple list.
+        """
+        block = self.block_view(index)
+        self.io_reads += 1
+        return block
 
 
 def merge_entries_iter(

@@ -27,7 +27,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from typing import (
-    TYPE_CHECKING, Any, Callable, Iterable, List, Optional, Sequence, Tuple,
+    TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence,
+    Tuple,
 )
 
 from repro.errors import InvalidParameterError, InvalidQueryError
@@ -574,9 +575,22 @@ class LSMStore:
         """Remove a merge step's inputs and splice in its outputs."""
         self._level0 = [r for r in self._level0 if r.uid not in consumed]
         for li in range(len(self._levels)):
-            self._levels[li] = [
-                r for r in self._levels[li] if r.uid not in consumed
-            ]
+            if li < step.output_level - 1:
+                # A sliced input consumed from a level *above* the output
+                # (a budget push-down victim) leaves an empty placeholder
+                # behind so the level's owning spans keep tiling the
+                # universe — same pattern as TTL expiry.
+                self._levels[li] = self._coalesce_empty_slices([
+                    r if r.uid not in consumed else
+                    SSTable([], self.universe, None,
+                            slice_bounds=r.slice_bounds)
+                    for r in self._levels[li]
+                    if r.uid not in consumed or r.slice_bounds is not None
+                ])
+            else:
+                self._levels[li] = [
+                    r for r in self._levels[li] if r.uid not in consumed
+                ]
         while len(self._levels) < step.output_level:
             self._levels.append([])
         target = self._levels[step.output_level - 1]
@@ -599,6 +613,34 @@ class LSMStore:
         # Drop empty trailing levels so topology introspection stays tidy.
         while self._levels and not self._levels[-1]:
             self._levels.pop()
+
+    def _coalesce_empty_slices(self, level: List[SSTable]) -> List[SSTable]:
+        """Fuse runs of span-adjacent empty placeholder slices into one.
+
+        Repeated budget push-downs evacuate a level slice by slice, each
+        leaving an empty placeholder so the spans keep tiling. Without
+        coalescing those placeholders accumulate without bound and every
+        probe pays a per-run check for each; fusing contiguous empties
+        keeps the level's run count proportional to its *live* data.
+        ``level`` must be span-sorted (sliced levels always are).
+        """
+        out: List[SSTable] = []
+        for run in level:
+            prev = out[-1] if out else None
+            if (
+                prev is not None
+                and len(run) == 0 and len(prev) == 0
+                and run.slice_bounds is not None
+                and prev.slice_bounds is not None
+                and prev.slice_bounds[1] + 1 == run.slice_bounds[0]
+            ):
+                out[-1] = SSTable(
+                    [], self.universe, None,
+                    slice_bounds=(prev.slice_bounds[0], run.slice_bounds[1]),
+                )
+            else:
+                out.append(run)
+        return out
 
     def set_filter_factory(self, factory: Optional[FilterFactory]) -> None:
         """Swap the per-run filter builder for *future* runs.
@@ -779,10 +821,18 @@ class LSMStore:
             if not matches:
                 self.stats.wasted_reads += 1
                 continue
-            for key, value in matches:
+            if not shadowed:
+                # Nothing can shadow these entries, so the probe only
+                # needs "is anything live?" — a vectorised mask over the
+                # matched blocks, no value ever decoded.
+                if matches.any_live(self._ttl_now):
+                    return False
+                shadowed.update(matches.keys_ints())
+                continue
+            for key, live in matches.items_with_liveness(self._ttl_now):
                 if key in shadowed:
                     continue
-                if self._is_live(value):
+                if live:
                     return False
                 shadowed.add(key)
         return True
@@ -851,6 +901,36 @@ class LSMStore:
         if len(self._levels) == 1 and len(self._levels[0]) == 1:
             return self._levels[0][0]
         return None
+
+    def level_stats(self) -> List[Dict[str, int]]:
+        """Per-level topology snapshot: for L0 and each deep level, the
+        run/slice count, total entries, and (when the policy budgets
+        levels) the level's entry budget.
+
+        Pure introspection — reads the level lists without touching any
+        run's data, so it is cheap enough for a stats endpoint to call
+        on every snapshot.
+        """
+        stats: List[Dict[str, int]] = [{
+            "level": 0,
+            "runs": len(self._level0),
+            "entries": sum(len(r) for r in self._level0),
+        }]
+        budget_of = getattr(self._policy, "level_budget", None)
+        for li, level in enumerate(self._levels, start=1):
+            row = {
+                "level": li,
+                "runs": len(level),
+                "entries": sum(len(r) for r in level),
+                "slices": sum(
+                    1 for r in level if r.slice_bounds is not None
+                ),
+            }
+            budget = budget_of(li) if budget_of is not None else None
+            if budget is not None:
+                row["budget"] = int(budget)
+            stats.append(row)
+        return stats
 
     @property
     def stale_filter_uids(self) -> frozenset:

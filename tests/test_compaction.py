@@ -452,3 +452,182 @@ def test_merge_entries_iter_tombstone_newest_wins():
     assert kept == [(2, "keep"), (3, "other")]
     raw = list(merge_entries_iter([new, old], drop_tombstones=False))
     assert raw[0] == (1, TOMBSTONE)
+
+
+# ----------------------------------------------------------------------
+# Deep leveled tree (L2+): budgets, push-downs, placeholder hygiene
+# ----------------------------------------------------------------------
+def deep_policy(slice_target=32, level_fanout=4, l1_budget=64):
+    return LeveledPolicy(
+        slice_target=slice_target,
+        level_fanout=level_fanout,
+        l1_budget=l1_budget,
+    )
+
+
+def assert_levels_tile(store):
+    """Every deep level's owning spans must partition [0, universe)."""
+    for li, level in enumerate(store.levels):
+        if not level:
+            continue
+        spans = slice_spans(level, store.universe)
+        assert spans[0][0] == 0, f"L{li + 1} spans start at {spans[0]}"
+        assert spans[-1][1] == store.universe - 1, f"L{li + 1} spans end early"
+        for (_, prev_hi), (lo, _) in zip(spans, spans[1:]):
+            assert prev_hi + 1 == lo, f"gap/overlap in L{li + 1} at {prev_hi}"
+
+
+def test_deep_params_roundtrip_and_validation():
+    policy = LeveledPolicy(slice_target=64, level_fanout=4, l1_budget=256)
+    again = resolve_policy(policy.to_params())
+    assert again.to_params() == policy.to_params()
+    assert policy.level_budget(1) == 256
+    assert policy.level_budget(3) == 256 * 16
+    # No l1_budget means *unbudgeted*: the exact pre-deep topology.
+    assert LeveledPolicy(slice_target=64).level_budget(1) is None
+    assert LeveledPolicy(slice_target=64).to_params()["l1_budget"] is None
+    with pytest.raises(InvalidParameterError):
+        LeveledPolicy(level_fanout=1)
+    with pytest.raises(InvalidParameterError):
+        LeveledPolicy(l1_budget=0)
+
+
+def test_unbudgeted_leveled_keeps_single_sliced_level():
+    """Backward compatibility: without a budget the tree never grows L2,
+    no matter how much data accumulates."""
+    store = make_store(LeveledPolicy(slice_target=32), mem=16, fanout=3)
+    fill(store, range(0, 6000, 3))
+    store.flush()
+    drain_steps(store)
+    assert len(store.levels) == 1
+    assert_levels_tile(store)
+
+
+def test_budget_pressure_grows_deep_levels_within_budgets():
+    store = make_store(deep_policy(), mem=16, fanout=3)
+    rng = np.random.default_rng(17)
+    fill(store, np.unique(rng.integers(0, UNIVERSE, 1500)))
+    store.flush()
+    drain_steps(store)
+    assert len(store.levels) >= 2, "budget pressure never built L2+"
+    policy = store.compaction_policy
+    for li, level in enumerate(store.levels[:-1]):
+        size = sum(len(run) for run in level)
+        assert size <= policy.level_budget(li + 1), (
+            f"L{li + 1} holds {size} entries over its budget"
+        )
+    assert_levels_tile(store)
+    # level_stats mirrors the same topology, budgets included.
+    rows = store.level_stats()
+    assert rows[0]["level"] == 0
+    for row in rows[1:]:
+        if row["entries"]:
+            assert row["budget"] == policy.level_budget(row["level"])
+
+
+def test_pushdown_steps_are_bounded_and_preserve_tiling():
+    """Each budget push-down rewrites one victim slice plus only the
+    slices it overlaps one level down — never the whole level — and the
+    span tiling of every level survives every intermediate step."""
+    store = make_store(deep_policy(), mem=16, fanout=3)
+    rng = np.random.default_rng(23)
+    fill(store, np.unique(rng.integers(0, UNIVERSE, 1200)))
+    store.flush()
+    total = len(store)
+    saw_pushdown = False
+    while store.needs_compaction:
+        l0_push = bool(store.level0_runs)  # an L0 push may take all of L0
+        before = store.stats.entries_compacted
+        if not store.compact_step():
+            break
+        delta = store.stats.entries_compacted - before
+        if not l0_push:
+            # Budget push-down: one victim slice plus the slices it
+            # overlaps one level down — never the whole store.
+            saw_pushdown = True
+            assert delta < max(1, total // 2), (
+                f"a single push-down rewrote {delta} of {total} entries"
+            )
+        assert_levels_tile(store)
+    assert saw_pushdown, "workload never exercised a budget push-down"
+
+
+def test_deep_pushdowns_coalesce_empty_placeholders():
+    """Evacuated slices leave empty placeholders to keep the tiling;
+    adjacent placeholders must fuse so a level's run count tracks its
+    live data instead of its eviction history."""
+    store = make_store(deep_policy(), mem=16, fanout=3)
+    rng = np.random.default_rng(29)
+    fill(store, np.unique(rng.integers(0, UNIVERSE, 1500)))
+    store.flush()
+    drain_steps(store)
+    for level in store.levels:
+        spans = slice_spans(level, store.universe)
+        for (a, b), (a_span, b_span) in zip(
+            zip(level, level[1:]), zip(spans, spans[1:])
+        ):
+            adjacent = a_span[1] + 1 == b_span[0]
+            assert not (adjacent and len(a) == 0 and len(b) == 0), (
+                "two adjacent empty placeholder slices survived coalescing"
+            )
+    assert_levels_tile(store)
+
+
+def test_deep_tombstones_survive_until_deepest_level():
+    """A delete must go on shadowing older versions below it: tombstones
+    may only be dropped by steps whose output is the deepest data."""
+    store = make_store(deep_policy(), mem=16, fanout=3)
+    rng = np.random.default_rng(31)
+    keys = np.unique(rng.integers(0, UNIVERSE, 1200))
+    fill(store, keys)
+    store.flush()
+    drain_steps(store)  # push a population to the deep levels
+    victims = [int(k) for k in keys[::7]]
+    for k in victims:
+        store.delete(k)
+    store.flush()
+    drain_steps(store)
+    for k in victims:
+        assert store.get(k) is None
+        assert store.range_empty(k, k)
+    survivors = {int(k) for k in keys} - set(victims)
+    for k in list(survivors)[::97]:
+        assert not store.range_empty(k, k)
+
+
+def test_deep_store_matches_model_under_churn():
+    rng = np.random.default_rng(20260808)
+    store = LSMStore(
+        4096,
+        memtable_limit=16,
+        compaction_fanout=3,
+        filter_factory=None,
+        auto_compact=False,
+        compaction_policy=LeveledPolicy(
+            slice_target=24, level_fanout=2, l1_budget=48
+        ),
+    )
+    model = {}
+    for i in range(2500):
+        roll = rng.random()
+        key = int(rng.integers(0, 4096))
+        if roll < 0.5:
+            store.put(key, i)
+            model[key] = i
+        elif roll < 0.65:
+            store.delete(key)
+            model.pop(key, None)
+        elif roll < 0.8:
+            assert store.get(key) == model.get(key), f"op {i}"
+        elif roll < 0.92:
+            hi = min(4095, key + int(rng.integers(1, 200)))
+            want = not any(key <= k <= hi for k in model)
+            assert store.range_empty(key, hi) == want, f"op {i}"
+        elif roll < 0.97:
+            store.flush()
+        else:
+            store.compact_step()
+    store.flush()
+    store.compact()
+    assert model_of(store.range_scan(0, 4095)) == model
+    assert len(store.levels) >= 2, "churn never exercised the deep tree"

@@ -277,16 +277,21 @@ def test_wal_truncation_tiered_topology(tmp_path):
 def _v2_run_to_v1(buf: bytes) -> bytes:
     """Rewrite a current run file in the pre-slicing version-1 layout.
 
-    Byte surgery, not re-serialisation: everything except the version
-    stamp, the slice-bounds section, and the v3 crc trailer is kept
-    bit-identical — exactly what a run file written before the slicing
-    and checksum PRs looks like."""
+    The run is first re-serialised through the retired row-oriented v3
+    writer (production files are columnar v4 now), then byte-surgered:
+    everything except the version stamp, the slice-bounds section, and
+    the v3 crc trailer is kept bit-identical — exactly what a run file
+    written before the slicing and checksum PRs looks like."""
     import struct
 
     from repro.core.serialization import unpack_int, unpack_words
 
     assert buf[:4] == b"RSST"
     (version,) = struct.unpack_from("<H", buf, 4)
+    if version == 4:
+        run = persist.run_from_bytes(buf, missing_filter="drop")
+        buf = persist._run_to_bytes_v3(run)
+        (version,) = struct.unpack_from("<H", buf, 4)
     assert version == 3
     buf = buf[:-4]  # v1 has no crc32 trailer
     offset = 6 + 8  # header + entry count

@@ -1,0 +1,152 @@
+"""Lifecycle tests for zero-copy mmap-backed run files (format v4).
+
+Three hazards specific to memory-mapped storage, each pinned here:
+
+* **reopen fidelity** — a v4 checkpoint reopened through ``np.memmap``
+  must answer every query identically to the engine that wrote it, and
+  its runs must actually be backed by the mapping (zero-copy, not a
+  read-into-heap fallback);
+* **format compatibility** — v3 (row-oriented) run files written by the
+  retired legacy writer still load, byte-for-byte equivalent, and the
+  next checkpoint rewrites them as v4 without changing any answer
+  (v1/v2 reopen fidelity lives in ``test_crash_fuzz``);
+* **unmap discipline** — unlinking a mapped run file must not break
+  in-flight readers (POSIX keeps mapped pages alive), and a run that
+  has been explicitly :meth:`~repro.lsm.sstable.SSTable.release`-d must
+  raise :class:`~repro.errors.CorruptionError` cleanly on any further
+  read — never serve stale bytes or segfault.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grafite import Grafite
+from repro.engine import ShardedEngine, persist
+from repro.errors import CorruptionError
+
+UNIVERSE = 2**32
+N_KEYS = 4_000
+
+
+def grafite_factory(keys, universe):
+    return Grafite(keys, universe, bits_per_key=12, max_range_size=64, seed=5)
+
+
+def build_db(path, *, factory=grafite_factory):
+    rng = np.random.default_rng(99)
+    keys = np.unique(rng.integers(0, UNIVERSE, N_KEYS, dtype=np.uint64))
+    engine = ShardedEngine(
+        UNIVERSE,
+        num_shards=2,
+        memtable_limit=256,
+        compaction_fanout=4,
+        filter_factory=factory,
+        directory=path,
+    )
+    for key in keys:
+        engine.put(int(key), b"v%d" % (key % 97))
+    engine.flush_all()
+    engine.drain_compactions()
+    engine.checkpoint()
+    return engine, keys
+
+
+def probe_all(engine, keys, rng_seed=7):
+    """A broad fingerprint of query behaviour: gets, emptiness, scans."""
+    rng = np.random.default_rng(rng_seed)
+    gets = [engine.get(int(k)) for k in keys[::37]]
+    los = rng.integers(0, UNIVERSE - 64, 300, dtype=np.uint64)
+    his = los + np.uint64(63)
+    batch = engine.batch_range_empty(los, his)
+    scan = engine.shards[0].range_scan(0, UNIVERSE // 8)
+    return gets, batch.tolist(), scan
+
+
+def all_runs(engine):
+    return [run for store in engine.shards for run in store._runs()]
+
+
+def test_v4_checkpoint_reopens_mmap_backed_and_identical(tmp_path):
+    engine, keys = build_db(tmp_path / "db")
+    want = probe_all(engine, keys)
+
+    reopened = ShardedEngine.open(tmp_path / "db", filter_factory=grafite_factory)
+    assert probe_all(reopened, keys) == want
+    runs = all_runs(reopened)
+    assert runs, "reopened engine lost its runs"
+    for run in runs:
+        backing = run._backing
+        assert backing is not None, "v4 run loaded without mmap backing"
+        assert isinstance(backing, np.memmap)
+        # Zero-copy: the key column is a view over the mapping itself.
+        assert run.keys_view().base is not None
+        assert run.shared_id is not None, "persisted run lost its shared_id"
+
+
+def test_v3_run_files_still_load_and_upgrade_to_v4(tmp_path):
+    engine, keys = build_db(tmp_path / "db")
+    want = probe_all(engine, keys)
+
+    # Downgrade every run blob to the retired row-oriented v3 format.
+    downgraded = 0
+    for sst in (tmp_path / "db").glob("shard-*/*.sst"):
+        run = persist.run_from_bytes(sst.read_bytes())
+        sst.write_bytes(persist._run_to_bytes_v3(run))
+        downgraded += 1
+    assert downgraded > 0
+
+    reopened = ShardedEngine.open(tmp_path / "db", filter_factory=grafite_factory)
+    assert probe_all(reopened, keys) == want
+    for run in all_runs(reopened):
+        # Legacy blobs decode into heap arrays — no mapping to adopt.
+        assert not isinstance(run._backing, np.memmap)
+
+    # The next checkpoint rewrites the runs in the current (v4) format.
+    # (The previous epoch's v3 files stay on disk for rollback, so only
+    # inspect the files the new manifest actually references.)
+    reopened.checkpoint()
+    manifest = persist.load_manifest(tmp_path / "db")
+    versions = set()
+    for sid, names in persist.referenced_runs(manifest).items():
+        for name in names:
+            buf = (tmp_path / "db" / f"shard-{sid:04d}" / name).read_bytes()
+            assert buf[:4] == b"RSST"
+            versions.add(int.from_bytes(buf[4:6], "little"))
+    assert versions == {4}
+    again = ShardedEngine.open(tmp_path / "db", filter_factory=grafite_factory)
+    assert probe_all(again, keys) == want
+
+
+def test_unlink_mid_read_keeps_mapped_pages_alive(tmp_path):
+    engine, keys = build_db(tmp_path / "db")
+    want = probe_all(engine, keys)
+
+    reopened = ShardedEngine.open(tmp_path / "db", filter_factory=grafite_factory)
+    # Unlink every run file while the runs are mapped and mid-use.
+    removed = 0
+    for sst in (tmp_path / "db").glob("shard-*/*.sst"):
+        sst.unlink()
+        removed += 1
+    assert removed > 0
+    # POSIX semantics: the pages stay valid until the mapping is
+    # dropped, so every query keeps answering identically.
+    assert probe_all(reopened, keys) == want
+
+
+def test_reads_after_release_raise_cleanly(tmp_path):
+    engine, keys = build_db(tmp_path / "db", factory=None)
+    reopened = ShardedEngine.open(tmp_path / "db")
+    runs = all_runs(reopened)
+    assert runs
+    hot = max(runs, key=len)
+    lo, hi = hot.key_bounds
+    assert hot.scan(lo, hi)  # readable before release
+    for run in runs:
+        run.release()
+        assert run.released
+    with pytest.raises(CorruptionError):
+        hot.scan(lo, hi)
+    with pytest.raises(CorruptionError):
+        hot.block_view(0)
+    # Idempotent: releasing again is a no-op, not an error.
+    hot.release()
